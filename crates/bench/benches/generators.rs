@@ -1,0 +1,34 @@
+//! Criterion bench: graph-family generators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcs_graph::gen;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(20);
+    group.bench_function("grid_64x64", |b| {
+        b.iter(|| std::hint::black_box(gen::grid(64, 64)))
+    });
+    group.bench_function("ktree_2000_4", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            std::hint::black_box(gen::ktree(2000, 4, &mut rng))
+        })
+    });
+    group.bench_function("lower_bound_7_48", |b| {
+        b.iter(|| std::hint::black_box(gen::lower_bound_topology(7, 48)))
+    });
+    group.bench_function("voronoi_parts_grid32", |b| {
+        let g = gen::grid(32, 32);
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            std::hint::black_box(gen::random_connected_parts(&g, 128, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

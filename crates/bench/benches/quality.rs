@@ -1,0 +1,23 @@
+//! Criterion bench: quality measurement (congestion / dilation / blocks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_core::{full_shortcut, measure_quality, Partition, ShortcutConfig};
+use lcs_graph::{bfs, gen, NodeId};
+
+fn bench_quality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("measure_quality");
+    group.sample_size(20);
+    for side in [16usize, 32] {
+        let g = gen::grid(side, side);
+        let partition = Partition::from_parts(&g, gen::rows_of_grid(side, side)).unwrap();
+        let tree = bfs::bfs_tree(&g, NodeId(0));
+        let built = full_shortcut(&g, &tree, &partition, &ShortcutConfig::default());
+        group.bench_with_input(BenchmarkId::new("grid_rows", side), &side, |b, _| {
+            b.iter(|| std::hint::black_box(measure_quality(&g, &partition, &tree, &built.shortcut)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quality);
+criterion_main!(benches);

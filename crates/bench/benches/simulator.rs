@@ -1,0 +1,24 @@
+//! Criterion bench: CONGEST simulator throughput (BFS protocol).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_congest::{protocols::BfsTreeProgram, SimConfig, Simulator};
+use lcs_graph::{gen, NodeId};
+
+fn bench_bfs_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_bfs");
+    group.sample_size(20);
+    for side in [16usize, 32, 64] {
+        let g = gen::grid(side, side);
+        let sim = Simulator::new(&g, SimConfig::default());
+        group.bench_with_input(BenchmarkId::new("grid", side * side), &side, |b, _| {
+            b.iter(|| {
+                let run = sim.run(|v, _| BfsTreeProgram::new(v == NodeId(0)));
+                std::hint::black_box(run.metrics.rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs_protocol);
+criterion_main!(benches);

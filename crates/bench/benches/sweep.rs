@@ -1,0 +1,29 @@
+//! Criterion bench: the centralized Theorem 3.1 sweep kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcs_core::{partial_shortcut_or_witness, Partition, ShortcutConfig};
+use lcs_graph::{bfs, gen, NodeId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem31_sweep");
+    group.sample_size(20);
+    for side in [16usize, 32, 48] {
+        let g = gen::grid(side, side);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let parts = gen::random_connected_parts(&g, side * side / 8, &mut rng);
+        let partition = Partition::from_parts(&g, parts).unwrap();
+        let tree = bfs::bfs_tree(&g, NodeId(0));
+        let cfg = ShortcutConfig::default();
+        group.bench_with_input(BenchmarkId::new("grid", side * side), &side, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(partial_shortcut_or_witness(&g, &tree, &partition, 1, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: dense-minor witness extraction (Case II).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcs_core::{
+    extract_witness_derandomized, extract_witness_sampled, partial_shortcut_or_witness, Partition,
+    ShortcutConfig, SweepOutcome, WitnessMode,
+};
+use lcs_graph::{bfs, gen, NodeId};
+
+fn bench_witness(c: &mut Criterion) {
+    let comb = gen::comb(16, 48);
+    let partition = Partition::from_parts(&comb.graph, comb.parts.clone()).unwrap();
+    let tree = bfs::bfs_tree(&comb.graph, NodeId(0));
+    let cfg = ShortcutConfig {
+        witness_mode: WitnessMode::Skip,
+        ..ShortcutConfig::default()
+    };
+    let SweepOutcome::DenseMinor { data, .. } =
+        partial_shortcut_or_witness(&comb.graph, &tree, &partition, 1, &cfg)
+    else {
+        panic!("comb must fail at δ̂ = 1");
+    };
+
+    let mut group = c.benchmark_group("witness_extraction");
+    group.sample_size(30);
+    group.bench_function("derandomized_comb_16_48", |b| {
+        b.iter(|| {
+            std::hint::black_box(extract_witness_derandomized(
+                &comb.graph,
+                &tree,
+                &partition,
+                &data,
+            ))
+        })
+    });
+    group.bench_function("sampled_comb_16_48", |b| {
+        b.iter(|| {
+            std::hint::black_box(extract_witness_sampled(
+                &comb.graph,
+                &tree,
+                &partition,
+                &data,
+                50,
+                7,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_witness);
+criterion_main!(benches);

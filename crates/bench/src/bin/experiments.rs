@@ -1,0 +1,31 @@
+//! Experiment harness CLI.
+//!
+//! ```text
+//! cargo run -p lcs-bench --release --bin experiments -- all
+//! cargo run -p lcs-bench --release --bin experiments -- e1 e3 --fast
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let mut ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    if ids.is_empty() || ids.iter().any(|a| a == "all") {
+        ids = lcs_bench::ALL.iter().map(|s| s.to_string()).collect();
+    }
+    println!(
+        "# Low-congestion shortcuts — experiment harness ({} mode)\n",
+        if fast { "fast" } else { "full" }
+    );
+    for id in &ids {
+        let start = Instant::now();
+        let table = lcs_bench::run_experiment(id, fast);
+        println!("{table}");
+        println!("_{id} completed in {:.2?}_\n", start.elapsed());
+    }
+}

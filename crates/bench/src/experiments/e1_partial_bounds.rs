@@ -1,0 +1,85 @@
+//! E1 — Theorem 3.1: tree-restricted `8δ̂D`-congestion `8δ̂`-block partial
+//! shortcuts.
+//!
+//! For each family instance, run the sweep at the smallest `δ̂` that lands
+//! in Case (I) and check the measured congestion / block number against the
+//! theorem's thresholds. The `bounds ok` column is the reproduction claim:
+//! it must read `yes` everywhere.
+
+use crate::experiments::family_zoo;
+use crate::table::Table;
+use lcs_core::{measure_quality, partial_shortcut_or_witness, ShortcutConfig, SweepOutcome};
+
+/// Runs E1 and renders the table.
+pub fn run(fast: bool) -> String {
+    let mut t = Table::new(
+        "E1 (Theorem 3.1): partial shortcuts — measured vs 8δ̂D congestion, 8δ̂ blocks",
+        &[
+            "family",
+            "n",
+            "D",
+            "k",
+            "δ̂",
+            "served",
+            "|O|",
+            "cong",
+            "c=8δ̂D",
+            "blocks",
+            "8δ̂+1",
+            "bounds ok",
+        ],
+    );
+    let cfg = ShortcutConfig::default();
+    for inst in family_zoo(fast) {
+        let mut delta_hat = 1;
+        let ps = loop {
+            match partial_shortcut_or_witness(
+                &inst.graph,
+                &inst.tree,
+                &inst.partition,
+                delta_hat,
+                &cfg,
+            ) {
+                SweepOutcome::Shortcut(ps) => break ps,
+                SweepOutcome::DenseMinor { .. } => delta_hat *= 2,
+            }
+        };
+        let q = measure_quality(&inst.graph, &inst.partition, &inst.tree, &ps.shortcut);
+        let served_blocks = ps
+            .served
+            .iter()
+            .map(|&p| q.per_part[p.index()].blocks)
+            .max()
+            .unwrap_or(0);
+        let c = ps.data.congestion_threshold;
+        let ok = q.max_congestion <= c
+            && served_blocks <= 8 * delta_hat + 1
+            && q.tree_restricted
+            && ps.served.iter().all(|&p| q.per_part[p.index()].connected);
+        t.row(vec![
+            inst.name.into(),
+            inst.graph.num_nodes().to_string(),
+            inst.tree.depth_of_tree().to_string(),
+            inst.partition.num_parts().to_string(),
+            delta_hat.to_string(),
+            ps.served.len().to_string(),
+            ps.data.over_edges.len().to_string(),
+            q.max_congestion.to_string(),
+            c.to_string(),
+            served_blocks.to_string(),
+            (8 * delta_hat + 1).to_string(),
+            if ok { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bounds_hold_everywhere() {
+        let out = super::run(true);
+        assert!(out.contains("yes"));
+        assert!(!out.contains("NO"));
+    }
+}

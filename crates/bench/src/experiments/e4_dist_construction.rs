@@ -1,0 +1,101 @@
+//! E4 — Theorem 1.5: distributed construction cost.
+//!
+//! Rounds of the simulated construction (BFS + detection + dissemination)
+//! against the `Õ(δ̂D)` target, and messages against `Õ(m)`; the exact mode
+//! must reproduce the centralized cut set (checked in unit tests), the
+//! sketch mode trades accuracy for `O(D·t)` detection.
+
+use crate::experiments::random_parts;
+use crate::table::{f2, Table};
+use lcs_core::dist::{distributed_partial_shortcut, DistConfig, DistMode};
+use lcs_core::{Partition, ShortcutConfig, WitnessMode};
+use lcs_graph::{bfs, gen, NodeId};
+
+/// Runs E4 and renders the table.
+pub fn run(fast: bool) -> String {
+    let mut t = Table::new(
+        "E4 (Theorem 1.5): distributed construction — rounds vs δ̂D, messages vs m",
+        &[
+            "graph",
+            "n",
+            "m",
+            "D",
+            "k",
+            "mode",
+            "rounds",
+            "rounds/(δ̂D)",
+            "msgs",
+            "msgs/m",
+            "|O|",
+            "case I",
+        ],
+    );
+    let sides: &[usize] = if fast { &[12] } else { &[12, 16, 24, 32] };
+    let cfg = ShortcutConfig {
+        witness_mode: WitnessMode::Skip,
+        ..ShortcutConfig::default()
+    };
+    for &s in sides {
+        let g = gen::grid(s, s);
+        let parts = random_parts(&g, s * s / 4, 42);
+        let partition = Partition::from_parts(&g, parts).expect("valid parts");
+        let tree = bfs::bfs_tree(&g, NodeId(0));
+        let d = tree.depth_of_tree();
+        for (mode_name, mode) in [
+            ("exact", DistMode::Exact),
+            (
+                "sketch t=16",
+                DistMode::Sketch {
+                    t: 16,
+                    hash_seed: 0xabcd,
+                    cut_factor: 1.0,
+                },
+            ),
+            (
+                "sketch t=32",
+                DistMode::Sketch {
+                    t: 32,
+                    hash_seed: 0xabcd,
+                    cut_factor: 1.0,
+                },
+            ),
+        ] {
+            let dist = DistConfig {
+                mode,
+                ..DistConfig::default()
+            };
+            let res = distributed_partial_shortcut(&g, NodeId(0), &partition, 1, &cfg, &dist);
+            let rounds = res.metrics_bfs.rounds + res.metrics_shortcut.rounds;
+            let msgs = res.metrics_bfs.messages + res.metrics_shortcut.messages;
+            t.row(vec![
+                format!("grid {s}x{s}"),
+                g.num_nodes().to_string(),
+                g.num_edges().to_string(),
+                d.to_string(),
+                partition.num_parts().to_string(),
+                mode_name.into(),
+                rounds.to_string(),
+                f2(rounds as f64 / f64::from(d.max(1))),
+                msgs.to_string(),
+                f2(msgs as f64 / g.num_edges() as f64),
+                res.over_edges.len().to_string(),
+                if res.case_one {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
+            ]);
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        let out = super::run(true);
+        assert!(out.contains("exact"));
+        assert!(out.contains("sketch t=16"));
+    }
+}

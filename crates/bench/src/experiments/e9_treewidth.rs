@@ -1,0 +1,59 @@
+//! E9 — Corollary 3.4 / Lemma 3.3: shortcut quality vs treewidth.
+//!
+//! Family: the `k`-th power of a path with `n = k·D + 1` nodes, so the
+//! diameter stays `D` while treewidth (= δ bound) is exactly `k`. The
+//! measured quality should grow ~linearly in `k` at fixed `D`.
+
+use crate::experiments::random_parts;
+use crate::table::{f2, Table};
+use lcs_core::{full_shortcut, measure_quality, Partition, ShortcutConfig};
+use lcs_graph::{bfs, gen, minor, NodeId};
+
+/// Runs E9 and renders the table.
+pub fn run(fast: bool) -> String {
+    let d = if fast { 40 } else { 75 };
+    let mut t = Table::new(
+        "E9 (Corollary 3.4): quality vs treewidth k (path powers, diameter fixed)",
+        &[
+            "k",
+            "n",
+            "m/n",
+            "density LB",
+            "δ̂",
+            "quality",
+            "quality/(k·D)",
+        ],
+    );
+    let ks: &[usize] = if fast { &[1, 2, 4] } else { &[1, 2, 4, 8, 16] };
+    let cfg = ShortcutConfig::default();
+    for &k in ks {
+        let n = k * d + 1;
+        let g = gen::path_power(n, k);
+        // Fixed part count across the sweep so only k varies.
+        let parts = random_parts(&g, 20.min(n / 2), 300 + k as u64);
+        let partition = Partition::from_parts(&g, parts).expect("valid parts");
+        let tree = bfs::bfs_tree(&g, NodeId(0));
+        let res = full_shortcut(&g, &tree, &partition, &cfg);
+        let q = measure_quality(&g, &partition, &tree, &res.shortcut);
+        let density = minor::greedy_contraction_density(&g, None).density;
+        t.row(vec![
+            k.to_string(),
+            n.to_string(),
+            f2(g.density()),
+            f2(density),
+            res.delta_hat.to_string(),
+            q.quality().to_string(),
+            f2(f64::from(q.quality()) / (k as f64 * d as f64)),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        let out = super::run(true);
+        assert!(out.contains("E9"));
+    }
+}

@@ -1,0 +1,88 @@
+//! The experiment modules E1–E12 (DESIGN.md §6).
+
+pub mod e10_wheel;
+pub mod e11_ablation;
+pub mod e12_witness;
+pub mod e1_partial_bounds;
+pub mod e2_full_bounds;
+pub mod e3_lower_bound;
+pub mod e4_dist_construction;
+pub mod e5_partwise;
+pub mod e6_mst;
+pub mod e7_mincut;
+pub mod e8_genus;
+pub mod e9_treewidth;
+
+use lcs_core::Partition;
+use lcs_graph::{bfs, gen, Graph, NodeId, RootedTree};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A named test instance: graph + partition + BFS tree from node 0.
+pub(crate) struct Instance {
+    pub name: &'static str,
+    pub graph: Graph,
+    pub partition: Partition,
+    pub tree: RootedTree,
+}
+
+pub(crate) fn instance(name: &'static str, graph: Graph, parts: Vec<Vec<NodeId>>) -> Instance {
+    let partition = Partition::from_parts(&graph, parts).expect("valid parts");
+    let tree = bfs::bfs_tree(&graph, NodeId(0));
+    Instance {
+        name,
+        graph,
+        partition,
+        tree,
+    }
+}
+
+pub(crate) fn random_parts(g: &Graph, k: usize, seed: u64) -> Vec<Vec<NodeId>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    gen::random_connected_parts(g, k, &mut rng)
+}
+
+/// The standard family zoo used by E1/E2: one instance per graph class the
+/// paper's corollaries cover.
+pub(crate) fn family_zoo(fast: bool) -> Vec<Instance> {
+    let s = if fast { 12 } else { 24 };
+    let mut zoo = Vec::new();
+    // Planar grid with row parts (δ < 3).
+    zoo.push(instance(
+        "grid rows",
+        gen::grid(s, s),
+        gen::rows_of_grid(s, s),
+    ));
+    // Planar grid with random Voronoi parts.
+    let g = gen::grid(s, s);
+    let parts = random_parts(&g, s * s / 8, 101);
+    zoo.push(instance("grid voronoi", g, parts));
+    // Planar grid with singleton parts: k = n exceeds the 8D threshold, so
+    // the sweep genuinely cuts edges (non-empty O).
+    let g = gen::grid(s, s);
+    let parts = gen::singleton_parts(&g);
+    zoo.push(instance("grid singletons", g, parts));
+    // Torus (genus 1).
+    let g = gen::torus(s, s);
+    let parts = random_parts(&g, s * s / 8, 102);
+    zoo.push(instance("torus voronoi", g, parts));
+    // Bounded treewidth: 4-th power of a path (δ <= 4).
+    let n = if fast { 300 } else { 800 };
+    let g = gen::path_power(n, 4);
+    let parts = random_parts(&g, n / 16, 103);
+    zoo.push(instance("path-power-4", g, parts));
+    // Random 3-tree (δ <= 3).
+    let mut rng = SmallRng::seed_from_u64(104);
+    let g = gen::ktree(n, 3, &mut rng);
+    let parts = random_parts(&g, n / 16, 105);
+    zoo.push(instance("3-tree", g, parts));
+    // The adversarial comb (forces Case II at δ̂ = 1).
+    let comb = gen::comb(10, if fast { 20 } else { 24 });
+    zoo.push(instance("comb 10", comb.graph, comb.parts));
+    // Wheel with one rim part.
+    let w = if fast { 64 } else { 256 };
+    let g = gen::wheel(w);
+    let rim: Vec<NodeId> = (1..w as u32).map(NodeId).collect();
+    zoo.push(instance("wheel rim", g, vec![rim]));
+    zoo
+}

@@ -1,0 +1,40 @@
+//! Experiment harness regenerating every table/figure analogue of the
+//! paper (see DESIGN.md §6 for the experiment index E1–E12).
+//!
+//! Each experiment module exposes `run(fast: bool) -> String` producing a
+//! markdown table; the `experiments` binary prints them, and EXPERIMENTS.md
+//! records the outputs. `fast = true` shrinks the sweeps for smoke tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+/// All experiment ids in order.
+pub const ALL: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+];
+
+/// Runs one experiment by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn run_experiment(id: &str, fast: bool) -> String {
+    match id {
+        "e1" => experiments::e1_partial_bounds::run(fast),
+        "e2" => experiments::e2_full_bounds::run(fast),
+        "e3" => experiments::e3_lower_bound::run(fast),
+        "e4" => experiments::e4_dist_construction::run(fast),
+        "e5" => experiments::e5_partwise::run(fast),
+        "e6" => experiments::e6_mst::run(fast),
+        "e7" => experiments::e7_mincut::run(fast),
+        "e8" => experiments::e8_genus::run(fast),
+        "e9" => experiments::e9_treewidth::run(fast),
+        "e10" => experiments::e10_wheel::run(fast),
+        "e11" => experiments::e11_ablation::run(fast),
+        "e12" => experiments::e12_witness::run(fast),
+        other => panic!("unknown experiment id {other:?} (expected e1..e12)"),
+    }
+}

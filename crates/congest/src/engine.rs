@@ -1,0 +1,672 @@
+//! The round-driven simulation engine.
+
+use crate::{MessageSize, RunMetrics};
+use lcs_graph::{EdgeId, Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// How the engine treats sends beyond one message per edge per round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SimMode {
+    /// Pure CONGEST: a second send over the same directed edge in one round
+    /// is a protocol bug and panics.
+    #[default]
+    Strict,
+    /// Sends are queued per directed edge and drained one per round in
+    /// priority order (ties: FIFO). This models running several protocol
+    /// instances side by side with a scheduler — the random-delay technique
+    /// of [LMR94, Gha15] assigns each instance a random priority.
+    Queued,
+}
+
+/// Simulator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Send discipline.
+    pub mode: SimMode,
+    /// Per-message size limit in bits; `None` = `4·⌈log₂(n+1)⌉ + 128`, the
+    /// usual `O(log n)` CONGEST budget with constant headroom for a few ids
+    /// plus one aggregate value per message.
+    pub bandwidth_bits: Option<usize>,
+    /// Hard cap on simulated rounds (guards against non-terminating
+    /// protocols).
+    pub max_rounds: u64,
+    /// Seed for the per-node RNG streams.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            mode: SimMode::Strict,
+            bandwidth_bits: None,
+            max_rounds: 1_000_000,
+            seed: 0xc0ffee,
+        }
+    }
+}
+
+/// A message delivered to a node this round.
+#[derive(Clone, Debug)]
+pub struct Incoming<M> {
+    /// The local port (index into the node's neighbor list) it arrived on.
+    pub port: usize,
+    /// The payload.
+    pub msg: M,
+}
+
+/// The per-node protocol logic.
+///
+/// Programs are event-driven: [`on_round`](NodeProgram::on_round) fires only
+/// when the node received messages or previously called
+/// [`Ctx::wake_next_round`]. The run ends when every program reports
+/// [`is_done`](NodeProgram::is_done), no messages are in flight, and no
+/// wake-ups are pending.
+pub trait NodeProgram {
+    /// The message type exchanged by this protocol.
+    type Msg: Clone + MessageSize;
+
+    /// Called once before the first round; typically initiators send here.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called each round the node is active, with the messages delivered
+    /// this round.
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &[Incoming<Self::Msg>]);
+
+    /// Local termination flag.
+    fn is_done(&self) -> bool;
+}
+
+/// The node's view of the network during a callback.
+pub struct Ctx<'a, M> {
+    node: NodeId,
+    round: u64,
+    neighbors: &'a [lcs_graph::Neighbor],
+    outbox: &'a mut Vec<(usize, M, u64)>,
+    rng: &'a mut SmallRng,
+    wake: &'a mut bool,
+}
+
+impl<M> Ctx<'_, M> {
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current round (1-based; 0 during `on_start`).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of incident edges.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The neighbor id on `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree()`.
+    pub fn neighbor(&self, port: usize) -> NodeId {
+        self.neighbors[port].node
+    }
+
+    /// The edge id on `port` (useful for reporting; protocols should not
+    /// treat it as topology knowledge beyond the incident edge).
+    pub fn edge(&self, port: usize) -> EdgeId {
+        self.neighbors[port].edge
+    }
+
+    /// The port leading to neighbor `v`, if adjacent.
+    pub fn port_to(&self, v: NodeId) -> Option<usize> {
+        self.neighbors.binary_search_by_key(&v, |nb| nb.node).ok()
+    }
+
+    /// Sends `msg` over `port` with default priority 0.
+    pub fn send(&mut self, port: usize, msg: M) {
+        self.send_with_priority(port, msg, 0);
+    }
+
+    /// Sends `msg` over `port` with an explicit scheduling priority (lower
+    /// values drain first in queued mode; ignored in strict mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn send_with_priority(&mut self, port: usize, msg: M, priority: u64) {
+        assert!(port < self.neighbors.len(), "send on invalid port {port}");
+        self.outbox.push((port, msg, priority));
+    }
+
+    /// Sends a copy of `msg` to every neighbor.
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for port in 0..self.neighbors.len() {
+            let m = msg.clone();
+            self.send(port, m);
+        }
+    }
+
+    /// This node's deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Requests an `on_round` callback next round even without incoming
+    /// messages (for streaming senders and timeout logic).
+    pub fn wake_next_round(&mut self) {
+        *self.wake = true;
+    }
+}
+
+/// Result of a run: final program states plus metrics.
+#[derive(Debug)]
+pub struct RunOutcome<P> {
+    /// One program per node, in node-id order.
+    pub programs: Vec<P>,
+    /// Exact execution counts.
+    pub metrics: RunMetrics,
+}
+
+/// The CONGEST simulator for a fixed graph.
+#[derive(Debug)]
+pub struct Simulator<'g> {
+    graph: &'g Graph,
+    config: SimConfig,
+}
+
+#[derive(Debug)]
+struct Queued<M> {
+    priority: u64,
+    seq: u64,
+    msg: M,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator over `graph`.
+    pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
+        Simulator { graph, config }
+    }
+
+    /// The effective per-message bandwidth in bits.
+    pub fn bandwidth_bits(&self) -> usize {
+        self.config.bandwidth_bits.unwrap_or_else(|| {
+            let n = self.graph.num_nodes().max(1) as f64;
+            4 * (n + 1.0).log2().ceil() as usize + 128
+        })
+    }
+
+    /// Runs one program per node (constructed by `init`) to quiescence or
+    /// the round cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a program violates the CONGEST constraints: oversized
+    /// messages, or (in strict mode) two sends over one directed edge in one
+    /// round.
+    pub fn run<P, F>(&self, mut init: F) -> RunOutcome<P>
+    where
+        P: NodeProgram,
+        F: FnMut(NodeId, &Graph) -> P,
+    {
+        let g = self.graph;
+        let n = g.num_nodes();
+        let bandwidth = self.bandwidth_bits();
+
+        let mut programs: Vec<P> = g.nodes().map(|v| init(v, g)).collect();
+        let mut rngs: Vec<SmallRng> = g
+            .nodes()
+            .map(|v| SmallRng::seed_from_u64(splitmix(self.config.seed, v.0)))
+            .collect();
+
+        // Directed edge index: dir_base[v] + port.
+        let mut dir_base = vec![0usize; n + 1];
+        for v in 0..n {
+            dir_base[v + 1] = dir_base[v] + g.degree(NodeId(v as u32));
+        }
+        let num_dirs = dir_base[n];
+        // dir -> (receiver node, receiver's port back to the sender).
+        let mut dir_recv: Vec<(u32, u32)> = Vec::with_capacity(num_dirs);
+        for v in g.nodes() {
+            for nb in g.neighbors(v) {
+                let back = g
+                    .neighbors(nb.node)
+                    .binary_search_by_key(&v, |x| x.node)
+                    .expect("graph adjacency is symmetric");
+                dir_recv.push((nb.node.0, back as u32));
+            }
+        }
+        let mut queues: Vec<VecDeque<Queued<P::Msg>>> =
+            (0..num_dirs).map(|_| VecDeque::new()).collect();
+        // Active queue set with position map for O(1) insert/remove.
+        let mut active: Vec<usize> = Vec::new();
+        let mut active_pos: Vec<usize> = vec![usize::MAX; num_dirs];
+
+        let mut metrics = RunMetrics::default();
+        let mut seq = 0u64;
+        let mut outbox: Vec<(usize, P::Msg, u64)> = Vec::new();
+        let mut wake_flag = vec![false; n];
+        let mut wake_list: Vec<usize> = Vec::new();
+        let mut strict_sent = vec![0u64; num_dirs]; // round stamp per edge
+
+        // Round 0: on_start.
+        for v in 0..n {
+            let mut wake = false;
+            let mut ctx = Ctx {
+                node: NodeId(v as u32),
+                round: 0,
+                neighbors: g.neighbors(NodeId(v as u32)),
+                outbox: &mut outbox,
+                rng: &mut rngs[v],
+                wake: &mut wake,
+            };
+            programs[v].on_start(&mut ctx);
+            if wake && !wake_flag[v] {
+                wake_flag[v] = true;
+                wake_list.push(v);
+            }
+            Self::flush_outbox(
+                g,
+                v,
+                &mut outbox,
+                &dir_base,
+                &mut queues,
+                &mut active,
+                &mut active_pos,
+                &mut strict_sent,
+                self.config.mode,
+                0,
+                bandwidth,
+                &mut seq,
+                &mut metrics,
+            );
+        }
+
+        let mut inboxes: Vec<Vec<Incoming<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut receivers: Vec<usize> = Vec::new();
+
+        while metrics.rounds < self.config.max_rounds {
+            // Quiescence check.
+            if active.is_empty() && wake_list.is_empty() {
+                metrics.terminated = programs.iter().all(|p| p.is_done());
+                break;
+            }
+            metrics.rounds += 1;
+            let round = metrics.rounds;
+
+            // Deliver: one message per active directed edge.
+            receivers.clear();
+            let mut i = 0;
+            while i < active.len() {
+                let dir = active[i];
+                let q = &mut queues[dir];
+                metrics.max_queue = metrics.max_queue.max(q.len() as u64);
+                // Pop the minimum (priority, seq).
+                let best = q
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, m)| (m.priority, m.seq))
+                    .map(|(idx, _)| idx)
+                    .expect("active queue is non-empty");
+                let item = q.remove(best).expect("index valid");
+                let (recv, recv_port) = dir_recv[dir];
+                let recv = recv as usize;
+                if inboxes[recv].is_empty() {
+                    receivers.push(recv);
+                }
+                inboxes[recv].push(Incoming {
+                    port: recv_port as usize,
+                    msg: item.msg,
+                });
+                metrics.messages += 1;
+                if q.is_empty() {
+                    // Swap-remove from the active set.
+                    active_pos[dir] = usize::MAX;
+                    let last = *active.last().unwrap();
+                    active.swap_remove(i);
+                    if i < active.len() {
+                        active_pos[last] = i;
+                    }
+                    // Do not advance i: the swapped-in entry needs service.
+                } else {
+                    i += 1;
+                }
+            }
+
+            // Wake-ups requested last round join the receivers.
+            let mut to_run = std::mem::take(&mut receivers);
+            for v in wake_list.drain(..) {
+                wake_flag[v] = false;
+                if inboxes[v].is_empty() {
+                    to_run.push(v);
+                }
+            }
+            to_run.sort_unstable(); // deterministic execution order
+
+            for v in to_run.drain(..) {
+                let inbox = std::mem::take(&mut inboxes[v]);
+                let mut wake = false;
+                let mut ctx = Ctx {
+                    node: NodeId(v as u32),
+                    round,
+                    neighbors: g.neighbors(NodeId(v as u32)),
+                    outbox: &mut outbox,
+                    rng: &mut rngs[v],
+                    wake: &mut wake,
+                };
+                programs[v].on_round(&mut ctx, &inbox);
+                if wake && !wake_flag[v] {
+                    wake_flag[v] = true;
+                    wake_list.push(v);
+                }
+                Self::flush_outbox(
+                    g,
+                    v,
+                    &mut outbox,
+                    &dir_base,
+                    &mut queues,
+                    &mut active,
+                    &mut active_pos,
+                    &mut strict_sent,
+                    self.config.mode,
+                    round,
+                    bandwidth,
+                    &mut seq,
+                    &mut metrics,
+                );
+            }
+            receivers = to_run;
+        }
+
+        RunOutcome { programs, metrics }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn flush_outbox<M: MessageSize>(
+        g: &Graph,
+        sender: usize,
+        outbox: &mut Vec<(usize, M, u64)>,
+        dir_base: &[usize],
+        queues: &mut [VecDeque<Queued<M>>],
+        active: &mut Vec<usize>,
+        active_pos: &mut [usize],
+        strict_sent: &mut [u64],
+        mode: SimMode,
+        round: u64,
+        bandwidth: usize,
+        seq: &mut u64,
+        metrics: &mut RunMetrics,
+    ) {
+        for (port, msg, priority) in outbox.drain(..) {
+            debug_assert!(port < g.degree(NodeId(sender as u32)));
+            let bits = msg.size_bits();
+            assert!(
+                bits <= bandwidth,
+                "message of {bits} bits exceeds the {bandwidth}-bit CONGEST bandwidth"
+            );
+            let dir = dir_base[sender] + port;
+            if mode == SimMode::Strict {
+                assert!(
+                    strict_sent[dir] != round + 1,
+                    "strict mode: node {sender} sent twice on port {port} in round {round}"
+                );
+                strict_sent[dir] = round + 1;
+            }
+            metrics.bits += bits as u64;
+            *seq += 1;
+            queues[dir].push_back(Queued {
+                priority,
+                seq: *seq,
+                msg,
+            });
+            if active_pos[dir] == usize::MAX {
+                active_pos[dir] = active.len();
+                active.push(dir);
+            }
+        }
+    }
+}
+
+fn splitmix(seed: u64, salt: u32) -> u64 {
+    let mut z = seed ^ (u64::from(salt).wrapping_mul(0x9e3779b97f4a7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_graph::gen;
+
+    /// Floods the maximum node id; every node is done once it stops hearing
+    /// larger values.
+    struct MaxFlood {
+        best: u32,
+    }
+
+    impl NodeProgram for MaxFlood {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            let best = self.best;
+            ctx.broadcast(best);
+        }
+
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[Incoming<u32>]) {
+            let mut improved = false;
+            for m in inbox {
+                if m.msg > self.best {
+                    self.best = m.msg;
+                    improved = true;
+                }
+            }
+            if improved {
+                let best = self.best;
+                ctx.broadcast(best);
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            true // quiescence-detected
+        }
+    }
+
+    #[test]
+    fn max_flood_converges_in_diameter_rounds() {
+        let g = gen::path(10);
+        let sim = Simulator::new(&g, SimConfig::default());
+        let run = sim.run(|v, _| MaxFlood { best: v.0 });
+        assert!(run.metrics.terminated);
+        assert!(run.programs.iter().all(|p| p.best == 9));
+        // Node 9 is at one end: the value needs 9 hops, +1 quiescence round.
+        assert!(run.metrics.rounds >= 9 && run.metrics.rounds <= 11);
+    }
+
+    #[test]
+    fn strict_mode_rejects_double_send() {
+        struct DoubleSend;
+        impl NodeProgram for DoubleSend {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                if ctx.node() == NodeId(0) {
+                    ctx.send(0, 1);
+                    ctx.send(0, 2);
+                }
+            }
+            fn on_round(&mut self, _: &mut Ctx<'_, u32>, _: &[Incoming<u32>]) {}
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = gen::path(2);
+        let sim = Simulator::new(&g, SimConfig::default());
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run(|_, _| DoubleSend)));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn queued_mode_drains_by_priority() {
+        /// Node 0 enqueues three messages to node 1 in one round with
+        /// descending priority values; node 1 records arrival order.
+        struct Sender;
+        impl NodeProgram for Sender {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                if ctx.node() == NodeId(0) {
+                    ctx.send_with_priority(0, 30, 3);
+                    ctx.send_with_priority(0, 10, 1);
+                    ctx.send_with_priority(0, 20, 2);
+                }
+            }
+            fn on_round(&mut self, _: &mut Ctx<'_, u32>, _: &[Incoming<u32>]) {}
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        struct Recorder(Vec<u32>);
+        enum Either {
+            S(Sender),
+            R(Recorder),
+        }
+        impl NodeProgram for Either {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                if let Either::S(s) = self {
+                    s.on_start(ctx);
+                }
+            }
+            fn on_round(&mut self, _: &mut Ctx<'_, u32>, inbox: &[Incoming<u32>]) {
+                if let Either::R(r) = self {
+                    r.0.extend(inbox.iter().map(|m| m.msg));
+                }
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = gen::path(2);
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                mode: SimMode::Queued,
+                ..SimConfig::default()
+            },
+        );
+        let run = sim.run(|v, _| {
+            if v == NodeId(0) {
+                Either::S(Sender)
+            } else {
+                Either::R(Recorder(Vec::new()))
+            }
+        });
+        assert!(run.metrics.terminated);
+        assert_eq!(run.metrics.rounds, 3); // one message per round
+        assert_eq!(run.metrics.max_queue, 3);
+        let Either::R(r) = &run.programs[1] else {
+            panic!("node 1 is the recorder");
+        };
+        assert_eq!(r.0, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn bandwidth_is_enforced() {
+        struct BigMsg;
+        #[derive(Clone)]
+        struct Huge;
+        impl MessageSize for Huge {
+            fn size_bits(&self) -> usize {
+                1 << 20
+            }
+        }
+        impl NodeProgram for BigMsg {
+            type Msg = Huge;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Huge>) {
+                if ctx.node() == NodeId(0) {
+                    ctx.send(0, Huge);
+                }
+            }
+            fn on_round(&mut self, _: &mut Ctx<'_, Huge>, _: &[Incoming<Huge>]) {}
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = gen::path(2);
+        let sim = Simulator::new(&g, SimConfig::default());
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run(|_, _| BigMsg)));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn wake_next_round_ticks_without_messages() {
+        struct Counter {
+            ticks: u32,
+        }
+        impl NodeProgram for Counter {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                ctx.wake_next_round();
+            }
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, _: &[Incoming<u32>]) {
+                self.ticks += 1;
+                if self.ticks < 5 {
+                    ctx.wake_next_round();
+                }
+            }
+            fn is_done(&self) -> bool {
+                self.ticks >= 5
+            }
+        }
+        let g = gen::path(2);
+        let sim = Simulator::new(&g, SimConfig::default());
+        let run = sim.run(|_, _| Counter { ticks: 0 });
+        assert!(run.metrics.terminated);
+        assert_eq!(run.metrics.rounds, 5);
+        assert!(run.programs.iter().all(|p| p.ticks == 5));
+    }
+
+    #[test]
+    fn max_rounds_caps_runaway_protocols() {
+        struct Forever;
+        impl NodeProgram for Forever {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                ctx.wake_next_round();
+            }
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, _: &[Incoming<u32>]) {
+                ctx.wake_next_round();
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let g = gen::path(2);
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                max_rounds: 10,
+                ..SimConfig::default()
+            },
+        );
+        let run = sim.run(|_, _| Forever);
+        assert!(!run.metrics.terminated);
+        assert_eq!(run.metrics.rounds, 10);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let g = gen::grid(4, 4);
+        let sim = Simulator::new(&g, SimConfig::default());
+        let a = sim.run(|v, _| MaxFlood { best: v.0 });
+        let b = sim.run(|v, _| MaxFlood { best: v.0 });
+        assert_eq!(a.metrics, b.metrics);
+    }
+}

@@ -1,0 +1,69 @@
+//! Message size accounting for the CONGEST bandwidth limit.
+
+/// Types that can report their wire size in bits.
+///
+/// The simulator checks every sent message against the per-round bandwidth
+/// (`O(log n)` bits by default). Implementations should account for what a
+/// reasonable binary encoding would use — exact bit-packing is not required,
+/// but sizes must scale correctly (a message carrying two node ids must
+/// report roughly `2·log n`, not a constant).
+pub trait MessageSize {
+    /// Size of this message in bits.
+    fn size_bits(&self) -> usize;
+}
+
+impl MessageSize for () {
+    fn size_bits(&self) -> usize {
+        1
+    }
+}
+
+impl MessageSize for bool {
+    fn size_bits(&self) -> usize {
+        1
+    }
+}
+
+impl MessageSize for u32 {
+    fn size_bits(&self) -> usize {
+        32
+    }
+}
+
+impl MessageSize for u64 {
+    fn size_bits(&self) -> usize {
+        64
+    }
+}
+
+impl<A: MessageSize, B: MessageSize> MessageSize for (A, B) {
+    fn size_bits(&self) -> usize {
+        self.0.size_bits() + self.1.size_bits()
+    }
+}
+
+impl<T: MessageSize> MessageSize for Option<T> {
+    fn size_bits(&self) -> usize {
+        1 + self.as_ref().map_or(0, MessageSize::size_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(().size_bits(), 1);
+        assert_eq!(true.size_bits(), 1);
+        assert_eq!(7u32.size_bits(), 32);
+        assert_eq!(7u64.size_bits(), 64);
+    }
+
+    #[test]
+    fn composite_sizes() {
+        assert_eq!((1u32, 2u32).size_bits(), 64);
+        assert_eq!(Some(1u32).size_bits(), 33);
+        assert_eq!(None::<u32>.size_bits(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Run statistics reported by the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Exact counts from one simulated execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Rounds executed until quiescence (or the round cap).
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total bits delivered (per the senders' [`MessageSize`] accounting).
+    ///
+    /// [`MessageSize`]: crate::MessageSize
+    pub bits: u64,
+    /// Largest backlog observed on any directed edge queue (1 in strict
+    /// mode; larger values indicate multiplexing pressure in queued mode).
+    pub max_queue: u64,
+    /// Whether the run reached quiescence (all programs done, no messages in
+    /// flight) before the round cap.
+    pub terminated: bool,
+}
+
+impl RunMetrics {
+    /// Average messages per round (0 for empty runs).
+    pub fn messages_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_per_round_handles_zero() {
+        let m = RunMetrics::default();
+        assert_eq!(m.messages_per_round(), 0.0);
+        let m = RunMetrics {
+            rounds: 4,
+            messages: 10,
+            ..RunMetrics::default()
+        };
+        assert_eq!(m.messages_per_round(), 2.5);
+    }
+}

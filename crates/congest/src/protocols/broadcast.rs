@@ -1,0 +1,97 @@
+//! Tree broadcast: the root's value travels down to every tree node.
+
+use crate::protocols::TreeKnowledge;
+use crate::{Ctx, Incoming, NodeProgram};
+
+/// Broadcast over a known tree: completes in `depth` rounds with one message
+/// per tree edge.
+#[derive(Clone, Debug)]
+pub struct BroadcastProgram {
+    payload: Option<u64>,
+    children_ports: Vec<usize>,
+    in_tree: bool,
+    is_root: bool,
+}
+
+impl BroadcastProgram {
+    /// Creates the per-node program; `payload` is `Some` only at the root.
+    pub fn new(tk: &TreeKnowledge, node: lcs_graph::NodeId, payload: Option<u64>) -> Self {
+        let is_root = node == tk.root;
+        assert_eq!(
+            is_root,
+            payload.is_some(),
+            "exactly the root carries the payload"
+        );
+        BroadcastProgram {
+            payload,
+            children_ports: tk.children_ports[node.index()].clone(),
+            in_tree: tk.depth[node.index()] != u32::MAX,
+            is_root,
+        }
+    }
+
+    /// The received (or originated) value, once the wave has passed.
+    pub fn received(&self) -> Option<u64> {
+        self.payload
+    }
+
+    fn forward(&self, ctx: &mut Ctx<'_, u64>) {
+        let v = self.payload.expect("forward only after receipt");
+        for &p in &self.children_ports {
+            ctx.send(p, v);
+        }
+    }
+}
+
+impl NodeProgram for BroadcastProgram {
+    type Msg = u64;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        if self.is_root {
+            self.forward(ctx);
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[Incoming<u64>]) {
+        if self.payload.is_none() {
+            if let Some(m) = inbox.first() {
+                self.payload = Some(m.msg);
+                self.forward(ctx);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.payload.is_some() || !self.in_tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::TreeKnowledge;
+    use crate::{SimConfig, Simulator};
+    use lcs_graph::{bfs, gen, NodeId};
+
+    #[test]
+    fn every_tree_node_receives_the_value() {
+        let g = gen::grid(4, 5);
+        let tree = bfs::bfs_tree(&g, NodeId(3));
+        let tk = TreeKnowledge::from_rooted_tree(&g, &tree);
+        let sim = Simulator::new(&g, SimConfig::default());
+        let run = sim.run(|v, _| BroadcastProgram::new(&tk, v, (v == NodeId(3)).then_some(99)));
+        assert!(run.metrics.terminated);
+        assert!(run.programs.iter().all(|p| p.received() == Some(99)));
+        assert_eq!(run.metrics.messages, 19); // one per tree edge
+        assert!(run.metrics.rounds <= u64::from(tree.depth_of_tree()) + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly the root")]
+    fn non_root_payload_rejected() {
+        let g = gen::path(2);
+        let tree = bfs::bfs_tree(&g, NodeId(0));
+        let tk = TreeKnowledge::from_rooted_tree(&g, &tree);
+        BroadcastProgram::new(&tk, NodeId(1), Some(1));
+    }
+}

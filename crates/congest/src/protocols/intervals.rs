@@ -1,0 +1,201 @@
+//! Distributed DFS-interval labeling of a known tree in `O(D)` rounds.
+//!
+//! Two waves: subtree sizes converge up, then each node assigns its
+//! children consecutive sub-intervals of its own interval top-down. The
+//! resulting labels satisfy `u ∈ subtree(v) ⟺ in(v) <= in(u) < out(v)`,
+//! which underlies distributed subtree queries (e.g. the 1-respecting cut
+//! evaluation of the min-cut pipeline) without any sequential DFS.
+
+use crate::protocols::TreeKnowledge;
+use crate::{Ctx, Incoming, MessageSize, NodeProgram};
+
+/// Messages: subtree sizes (up), then interval starts (down).
+#[derive(Clone, Copy, Debug)]
+pub enum IntervalMsg {
+    /// "My subtree has this many nodes."
+    Size(u64),
+    /// "Your interval starts here" (the parent knows the child's size, so
+    /// the end is implicit).
+    Start(u64),
+}
+
+impl MessageSize for IntervalMsg {
+    fn size_bits(&self) -> usize {
+        1 + 64
+    }
+}
+
+/// Per-node interval-labeling program over a known tree.
+///
+/// After quiescence every tree node holds `interval() = Some((in, out))`
+/// with `out - in` equal to its subtree size.
+#[derive(Clone, Debug)]
+pub struct IntervalLabelProgram {
+    parent_port: Option<usize>,
+    children_ports: Vec<usize>,
+    in_tree: bool,
+    is_root: bool,
+    /// Sizes received per child (aligned with `children_ports`).
+    child_sizes: Vec<Option<u64>>,
+    my_size: Option<u64>,
+    interval: Option<(u64, u64)>,
+}
+
+impl IntervalLabelProgram {
+    /// Creates the program from the node's tree knowledge.
+    pub fn new(tk: &TreeKnowledge, node: lcs_graph::NodeId) -> Self {
+        let children_ports = tk.children_ports[node.index()].clone();
+        IntervalLabelProgram {
+            parent_port: tk.parent_port[node.index()],
+            child_sizes: vec![None; children_ports.len()],
+            children_ports,
+            in_tree: tk.depth[node.index()] != u32::MAX,
+            is_root: node == tk.root,
+            my_size: None,
+            interval: None,
+        }
+    }
+
+    /// The assigned `[in, out)` interval, once labeled.
+    pub fn interval(&self) -> Option<(u64, u64)> {
+        self.interval
+    }
+
+    /// This node's `in` time.
+    pub fn tin(&self) -> Option<u64> {
+        self.interval.map(|(i, _)| i)
+    }
+
+    fn try_report_size(&mut self, ctx: &mut Ctx<'_, IntervalMsg>) {
+        if self.my_size.is_some() || self.child_sizes.iter().any(Option::is_none) {
+            return;
+        }
+        let size = 1 + self.child_sizes.iter().map(|s| s.unwrap()).sum::<u64>();
+        self.my_size = Some(size);
+        if let Some(p) = self.parent_port {
+            ctx.send(p, IntervalMsg::Size(size));
+        } else if self.is_root {
+            self.assign(0, ctx);
+        }
+    }
+
+    fn assign(&mut self, start: u64, ctx: &mut Ctx<'_, IntervalMsg>) {
+        let size = self.my_size.expect("sizes precede assignment");
+        self.interval = Some((start, start + size));
+        // Children get consecutive sub-intervals after this node's own slot.
+        let mut cursor = start + 1;
+        for (i, &port) in self.children_ports.iter().enumerate() {
+            ctx.send(port, IntervalMsg::Start(cursor));
+            cursor += self.child_sizes[i].expect("all child sizes known");
+        }
+    }
+}
+
+impl NodeProgram for IntervalLabelProgram {
+    type Msg = IntervalMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, IntervalMsg>) {
+        if self.in_tree {
+            self.try_report_size(ctx);
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, IntervalMsg>, inbox: &[Incoming<IntervalMsg>]) {
+        for m in inbox {
+            match m.msg {
+                IntervalMsg::Size(s) => {
+                    let idx = self
+                        .children_ports
+                        .iter()
+                        .position(|&p| p == m.port)
+                        .expect("size reports come from children");
+                    self.child_sizes[idx] = Some(s);
+                }
+                IntervalMsg::Start(start) => {
+                    self.assign(start, ctx);
+                }
+            }
+        }
+        self.try_report_size(ctx);
+    }
+
+    fn is_done(&self) -> bool {
+        !self.in_tree || self.interval.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::TreeKnowledge;
+    use crate::{SimConfig, Simulator};
+    use lcs_graph::{bfs, gen, NodeId};
+
+    fn labels(g: &lcs_graph::Graph, root: NodeId) -> (Vec<(u64, u64)>, u64) {
+        let tree = bfs::bfs_tree(g, root);
+        let tk = TreeKnowledge::from_rooted_tree(g, &tree);
+        let sim = Simulator::new(g, SimConfig::default());
+        let run = sim.run(|v, _| IntervalLabelProgram::new(&tk, v));
+        assert!(run.metrics.terminated);
+        (
+            run.programs
+                .iter()
+                .map(|p| p.interval().expect("all nodes labeled"))
+                .collect(),
+            run.metrics.rounds,
+        )
+    }
+
+    #[test]
+    fn intervals_encode_ancestry() {
+        let g = gen::grid(4, 5);
+        let tree = bfs::bfs_tree(&g, NodeId(0));
+        let (iv, rounds) = labels(&g, NodeId(0));
+        // Root interval covers everything.
+        assert_eq!(iv[0], (0, 20));
+        // Ancestry ⟺ interval containment, checked pairwise.
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let ancestor = {
+                    let mut cur = u;
+                    let mut found = u == v;
+                    while let Some((p, _)) = tree.parent(cur) {
+                        cur = p;
+                        if cur == v {
+                            found = true;
+                            break;
+                        }
+                    }
+                    found
+                };
+                let contained =
+                    iv[v.index()].0 <= iv[u.index()].0 && iv[u.index()].0 < iv[v.index()].1;
+                assert_eq!(ancestor, contained, "{u:?} in subtree({v:?})");
+            }
+        }
+        // Two waves of depth ≈ ecc each.
+        assert!(rounds <= 2 * 8 + 4);
+    }
+
+    #[test]
+    fn interval_lengths_are_subtree_sizes() {
+        let g = gen::binary_tree(4);
+        let tree = bfs::bfs_tree(&g, NodeId(0));
+        let (iv, _) = labels(&g, NodeId(0));
+        let sizes = tree.subtree_sizes();
+        for v in g.nodes() {
+            assert_eq!(
+                iv[v.index()].1 - iv[v.index()].0,
+                u64::from(sizes[v.index()])
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_labeling() {
+        let g = gen::path(1);
+        let (iv, rounds) = labels(&g, NodeId(0));
+        assert_eq!(iv[0], (0, 1));
+        assert_eq!(rounds, 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Leader election by maximum-id flooding.
+
+use crate::{Ctx, Incoming, NodeProgram};
+
+/// Max-id flooding: every node learns the maximum node id in its component
+/// in `O(D)` rounds and `O(m·D)` messages (each improvement floods once).
+///
+/// After quiescence the node with `leader() == own id` is the unique leader
+/// of its component.
+#[derive(Clone, Debug)]
+pub struct LeaderElectProgram {
+    own: u32,
+    best: u32,
+}
+
+impl LeaderElectProgram {
+    /// Creates the program for a node with the given id.
+    pub fn new(id: lcs_graph::NodeId) -> Self {
+        LeaderElectProgram {
+            own: id.0,
+            best: id.0,
+        }
+    }
+
+    /// The best (maximum) id heard so far — the leader after quiescence.
+    pub fn leader(&self) -> u32 {
+        self.best
+    }
+
+    /// Whether this node won.
+    pub fn is_leader(&self) -> bool {
+        self.best == self.own
+    }
+}
+
+impl NodeProgram for LeaderElectProgram {
+    type Msg = u32;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+        let b = self.best;
+        ctx.broadcast(b);
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[Incoming<u32>]) {
+        let incoming_max = inbox.iter().map(|m| m.msg).max().unwrap_or(0);
+        if incoming_max > self.best {
+            self.best = incoming_max;
+            let b = self.best;
+            ctx.broadcast(b);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, Simulator};
+    use lcs_graph::{gen, NodeId};
+
+    #[test]
+    fn unique_leader_on_connected_graph() {
+        let g = gen::cycle(9);
+        let sim = Simulator::new(&g, SimConfig::default());
+        let run = sim.run(|v, _| LeaderElectProgram::new(v));
+        assert!(run.metrics.terminated);
+        let leaders: Vec<bool> = run.programs.iter().map(|p| p.is_leader()).collect();
+        assert_eq!(leaders.iter().filter(|&&l| l).count(), 1);
+        assert!(run.programs.iter().all(|p| p.leader() == 8));
+    }
+
+    #[test]
+    fn per_component_leaders() {
+        let g = lcs_graph::Graph::from_edges(5, [(0, 1), (2, 3), (3, 4)]);
+        let sim = Simulator::new(&g, SimConfig::default());
+        let run = sim.run(|v, _| LeaderElectProgram::new(v));
+        assert_eq!(run.programs[0].leader(), 1);
+        assert_eq!(run.programs[1].leader(), 1);
+        assert_eq!(run.programs[2].leader(), 4);
+        assert_eq!(run.programs[4].leader(), 4);
+        let _ = NodeId(0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Standard CONGEST building blocks: BFS trees, broadcast, convergecast,
+//! leader election.
+//!
+//! These are the primitives every shortcut-based algorithm composes
+//! (Section 2 of the paper assumes them implicitly). Each protocol is a
+//! [`NodeProgram`](crate::NodeProgram) plus an extraction helper that turns
+//! the final node states into whole-network knowledge for the next layer.
+
+mod bfs_tree;
+mod broadcast;
+mod convergecast;
+mod intervals;
+mod leader;
+mod tree_knowledge;
+
+pub use bfs_tree::{extract_tree, BfsMsg, BfsTreeProgram};
+pub use broadcast::BroadcastProgram;
+pub use convergecast::{AggOp, ConvergecastProgram};
+pub use intervals::{IntervalLabelProgram, IntervalMsg};
+pub use leader::LeaderElectProgram;
+pub use tree_knowledge::TreeKnowledge;

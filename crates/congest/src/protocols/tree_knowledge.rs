@@ -1,0 +1,100 @@
+//! Port-based tree knowledge: what each node locally knows about a rooted
+//! spanning tree.
+
+use lcs_graph::{Graph, NodeId, RootedTree};
+
+/// Per-node local knowledge of a rooted spanning tree: the port to the
+/// parent, the ports to the children, and the own depth.
+///
+/// This is the information a distributed BFS leaves behind at each node; it
+/// is also constructible from a centralized [`RootedTree`] for layering
+/// protocols in tests and experiments.
+#[derive(Clone, Debug)]
+pub struct TreeKnowledge {
+    /// `parent_port[v]` = local port of `v` leading to its parent (`None`
+    /// for the root and nodes outside the tree).
+    pub parent_port: Vec<Option<usize>>,
+    /// `children_ports[v]` = local ports of `v` leading to its children.
+    pub children_ports: Vec<Vec<usize>>,
+    /// `depth[v]`; `u32::MAX` for nodes outside the tree.
+    pub depth: Vec<u32>,
+    /// The root node.
+    pub root: NodeId,
+}
+
+impl TreeKnowledge {
+    /// Converts a centralized [`RootedTree`] into per-node port knowledge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree refers to edges absent from `g`.
+    pub fn from_rooted_tree(g: &Graph, tree: &RootedTree) -> Self {
+        let n = g.num_nodes();
+        let mut parent_port = vec![None; n];
+        let mut children_ports = vec![Vec::new(); n];
+        let mut depth = vec![u32::MAX; n];
+        for &v in tree.order() {
+            depth[v.index()] = tree.depth(v);
+            if let Some((p, _)) = tree.parent(v) {
+                let up = port_of(g, v, p);
+                parent_port[v.index()] = Some(up);
+                let down = port_of(g, p, v);
+                children_ports[p.index()].push(down);
+            }
+        }
+        TreeKnowledge {
+            parent_port,
+            children_ports,
+            depth,
+            root: tree.root(),
+        }
+    }
+
+    /// Number of tree nodes.
+    pub fn num_tree_nodes(&self) -> usize {
+        self.depth.iter().filter(|&&d| d != u32::MAX).count()
+    }
+
+    /// Maximum depth over tree nodes.
+    pub fn tree_depth(&self) -> u32 {
+        self.depth
+            .iter()
+            .copied()
+            .filter(|&d| d != u32::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn port_of(g: &Graph, from: NodeId, to: NodeId) -> usize {
+    g.neighbors(from)
+        .binary_search_by_key(&to, |nb| nb.node)
+        .unwrap_or_else(|_| panic!("{from:?} and {to:?} are not adjacent"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_graph::{bfs, gen};
+
+    #[test]
+    fn round_trip_from_rooted_tree() {
+        let g = gen::grid(3, 3);
+        let tree = bfs::bfs_tree(&g, NodeId(4));
+        let tk = TreeKnowledge::from_rooted_tree(&g, &tree);
+        assert_eq!(tk.root, NodeId(4));
+        assert_eq!(tk.num_tree_nodes(), 9);
+        assert_eq!(tk.tree_depth(), tree.depth_of_tree());
+        // Parent/child ports are mutually consistent.
+        for v in g.nodes() {
+            if let Some(up) = tk.parent_port[v.index()] {
+                let p = g.neighbors(v)[up].node;
+                let back: Vec<NodeId> = tk.children_ports[p.index()]
+                    .iter()
+                    .map(|&port| g.neighbors(p)[port].node)
+                    .collect();
+                assert!(back.contains(&v));
+            }
+        }
+    }
+}

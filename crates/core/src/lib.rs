@@ -1,0 +1,56 @@
+//! Low-congestion shortcuts for graphs excluding dense minors — the core
+//! construction of Ghaffari & Haeupler (PODC 2021).
+//!
+//! The crate implements, centrally and distributedly:
+//!
+//! * [`Partition`] / [`Shortcut`]: the objects of Definition 2.1/2.2,
+//! * [`partial_shortcut_or_witness`]: the Theorem 3.1 sweep — either a
+//!   tree-restricted `8δ̂D`-congestion `8δ̂`-block *partial* shortcut for at
+//!   least half the parts, or a certified minor of density `> δ̂`
+//!   (Case (II), extracted by sampling or derandomized via conditional
+//!   expectations),
+//! * [`full_shortcut`]: the Observation 2.7 loop plus doubling search over
+//!   `δ̂`, yielding the full shortcuts of Theorem 1.2 together with a
+//!   dense-minor certificate for near-optimality,
+//! * [`measure_quality`]: congestion / dilation / block-number measurement
+//!   (Definition 2.2/2.3, Observation 2.6),
+//! * [`baseline`]: the folklore `D + √n` shortcut for general graphs,
+//! * [`dist`]: the distributed `Õ(δD)`-round construction of Theorem 1.5 on
+//!   the CONGEST simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use lcs_core::{full_shortcut, measure_quality, Partition, ShortcutConfig};
+//! use lcs_graph::{bfs, gen, NodeId};
+//!
+//! let g = gen::grid(8, 8);
+//! let parts = Partition::from_parts(&g, gen::rows_of_grid(8, 8))?;
+//! let tree = bfs::bfs_tree(&g, NodeId(0));
+//! let built = full_shortcut(&g, &tree, &parts, &ShortcutConfig::default());
+//! let q = measure_quality(&g, &parts, &tree, &built.shortcut);
+//! assert!(q.max_blocks <= 8 * built.delta_hat + 1);
+//! # Ok::<(), lcs_core::PartitionError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+mod config;
+mod full;
+mod partition;
+mod quality;
+mod shortcut;
+mod sweep;
+mod witness;
+
+pub mod dist;
+
+pub use config::{ShortcutConfig, WitnessMode};
+pub use full::{full_shortcut, FullShortcutResult, RoundLog};
+pub use partition::{Partition, PartitionError};
+pub use quality::{measure_quality, PartQuality, QualityReport};
+pub use shortcut::Shortcut;
+pub use sweep::{partial_shortcut_or_witness, OverEdge, PartialShortcut, SweepData, SweepOutcome};
+pub use witness::{extract_witness_derandomized, extract_witness_sampled};

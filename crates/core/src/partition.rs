@@ -1,0 +1,203 @@
+//! Partitions of the vertex set into connected parts (Definition 2.1).
+
+use lcs_graph::{components, Graph, NodeId, PartId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A collection of node-disjoint parts, each inducing a connected subgraph —
+/// the input of the part-wise aggregation problem (Definition 2.1).
+///
+/// Parts need not cover every node (the paper's definition partitions all of
+/// `V`, but the shortcut machinery and Boruvka fragments are naturally
+/// defined for sub-collections too; uncovered nodes simply belong to no
+/// part).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    part_of: Vec<Option<PartId>>,
+    parts: Vec<Vec<NodeId>>,
+}
+
+/// Ways a part collection can be invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A part is empty.
+    EmptyPart(usize),
+    /// A node occurs in two parts.
+    Overlap(NodeId),
+    /// A node id is out of range for the graph.
+    OutOfRange(NodeId),
+    /// A part does not induce a connected subgraph.
+    Disconnected(usize),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyPart(i) => write!(f, "part {i} is empty"),
+            Self::Overlap(v) => write!(f, "node {v:?} occurs in two parts"),
+            Self::OutOfRange(v) => write!(f, "node {v:?} out of range"),
+            Self::Disconnected(i) => write!(f, "part {i} does not induce a connected subgraph"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+impl Partition {
+    /// Validates and wraps a part collection.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PartitionError`] if a part is empty, parts overlap, a node
+    /// is out of range, or a part does not induce a connected subgraph.
+    pub fn from_parts(g: &Graph, parts: Vec<Vec<NodeId>>) -> Result<Self, PartitionError> {
+        let n = g.num_nodes();
+        let mut part_of: Vec<Option<PartId>> = vec![None; n];
+        for (i, part) in parts.iter().enumerate() {
+            if part.is_empty() {
+                return Err(PartitionError::EmptyPart(i));
+            }
+            for &v in part {
+                if v.index() >= n {
+                    return Err(PartitionError::OutOfRange(v));
+                }
+                if part_of[v.index()].is_some() {
+                    return Err(PartitionError::Overlap(v));
+                }
+                part_of[v.index()] = Some(PartId(i as u32));
+            }
+        }
+        for (i, part) in parts.iter().enumerate() {
+            if !components::induces_connected(g, part) {
+                return Err(PartitionError::Disconnected(i));
+            }
+        }
+        Ok(Partition { part_of, parts })
+    }
+
+    /// Every node of `g` as its own part (Boruvka's initial fragments).
+    pub fn singletons(g: &Graph) -> Self {
+        let parts: Vec<Vec<NodeId>> = g.nodes().map(|v| vec![v]).collect();
+        let part_of = g.nodes().map(|v| Some(PartId(v.0))).collect();
+        Partition { part_of, parts }
+    }
+
+    /// Number of parts `k`.
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The nodes of part `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn part(&self, p: PartId) -> &[NodeId] {
+        &self.parts[p.index()]
+    }
+
+    /// The part containing `v`, or `None` if `v` is uncovered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the original graph.
+    pub fn part_of(&self, v: NodeId) -> Option<PartId> {
+        self.part_of[v.index()]
+    }
+
+    /// Iterates over `(PartId, nodes)`.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (PartId, &[NodeId])> {
+        self.parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PartId(i as u32), p.as_slice()))
+    }
+
+    /// All part ids.
+    pub fn part_ids(&self) -> impl ExactSizeIterator<Item = PartId> + Clone {
+        (0..self.parts.len() as u32).map(PartId)
+    }
+
+    /// Whether every node of the graph belongs to some part.
+    pub fn covers_all(&self) -> bool {
+        self.part_of.iter().all(Option::is_some)
+    }
+
+    /// Total number of covered nodes.
+    pub fn covered_nodes(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    /// The per-node assignment vector (indexed by node id).
+    pub fn assignment(&self) -> &[Option<PartId>] {
+        &self.part_of
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_graph::gen;
+
+    #[test]
+    fn valid_partition() {
+        let g = gen::grid(2, 3);
+        let parts = gen::rows_of_grid(2, 3);
+        let p = Partition::from_parts(&g, parts).unwrap();
+        assert_eq!(p.num_parts(), 2);
+        assert!(p.covers_all());
+        assert_eq!(p.part_of(NodeId(4)), Some(PartId(1)));
+        assert_eq!(p.covered_nodes(), 6);
+    }
+
+    #[test]
+    fn singleton_partition() {
+        let g = gen::path(4);
+        let p = Partition::singletons(&g);
+        assert_eq!(p.num_parts(), 4);
+        assert!(p.covers_all());
+        assert_eq!(p.part(PartId(2)), &[NodeId(2)]);
+    }
+
+    #[test]
+    fn partial_coverage_is_allowed() {
+        let g = gen::path(5);
+        let p = Partition::from_parts(&g, vec![vec![NodeId(0), NodeId(1)]]).unwrap();
+        assert!(!p.covers_all());
+        assert_eq!(p.part_of(NodeId(4)), None);
+        assert_eq!(p.covered_nodes(), 2);
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        let g = gen::path(3);
+        let err = Partition::from_parts(
+            &g,
+            vec![vec![NodeId(0), NodeId(1)], vec![NodeId(1), NodeId(2)]],
+        )
+        .unwrap_err();
+        assert_eq!(err, PartitionError::Overlap(NodeId(1)));
+    }
+
+    #[test]
+    fn rejects_disconnected_part() {
+        let g = gen::path(4);
+        let err = Partition::from_parts(&g, vec![vec![NodeId(0), NodeId(3)]]).unwrap_err();
+        assert_eq!(err, PartitionError::Disconnected(0));
+    }
+
+    #[test]
+    fn rejects_empty_and_out_of_range() {
+        let g = gen::path(2);
+        assert_eq!(
+            Partition::from_parts(&g, vec![vec![]]).unwrap_err(),
+            PartitionError::EmptyPart(0)
+        );
+        assert_eq!(
+            Partition::from_parts(&g, vec![vec![NodeId(9)]]).unwrap_err(),
+            PartitionError::OutOfRange(NodeId(9))
+        );
+    }
+
+    use lcs_graph::{NodeId, PartId};
+}

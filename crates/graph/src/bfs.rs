@@ -1,0 +1,167 @@
+//! Breadth-first search and BFS spanning trees.
+
+use crate::{EdgeId, Graph, NodeId, RootedTree};
+use std::collections::VecDeque;
+
+/// Result of a (multi-source) BFS: distances and parent pointers.
+#[derive(Clone, Debug)]
+pub struct BfsResult {
+    /// `dist[v]` = hop distance from the nearest source, `u32::MAX` if
+    /// unreachable.
+    pub dist: Vec<u32>,
+    /// `parent[v]` = predecessor node and connecting edge on a shortest path,
+    /// `None` for sources and unreachable nodes.
+    pub parent: Vec<Option<(NodeId, EdgeId)>>,
+    /// Nodes in visit order (sources first).
+    pub order: Vec<NodeId>,
+}
+
+impl BfsResult {
+    /// Whether `v` was reached.
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.dist[v.index()] != u32::MAX
+    }
+
+    /// The farthest reached node and its distance (ties broken by smallest
+    /// id). `None` if no node was reached.
+    pub fn farthest(&self) -> Option<(NodeId, u32)> {
+        self.order
+            .iter()
+            .map(|&v| (v, self.dist[v.index()]))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+    }
+
+    /// Maximum finite distance (the eccentricity of the source set within its
+    /// component).
+    pub fn eccentricity(&self) -> u32 {
+        self.farthest().map(|(_, d)| d).unwrap_or(0)
+    }
+}
+
+/// BFS from a single source over the whole graph.
+///
+/// # Panics
+///
+/// Panics if `src` is out of range.
+pub fn bfs(g: &Graph, src: NodeId) -> BfsResult {
+    bfs_multi(g, std::slice::from_ref(&src))
+}
+
+/// BFS from multiple sources (distance = hops to the nearest source).
+///
+/// # Panics
+///
+/// Panics if any source is out of range.
+pub fn bfs_multi(g: &Graph, sources: &[NodeId]) -> BfsResult {
+    bfs_filtered(g, sources, |_, _| true)
+}
+
+/// BFS that only traverses edges accepted by `allow(edge, next_node)`.
+///
+/// Useful for BFS restricted to a subgraph (e.g. `G[P_i] + H_i` when
+/// measuring shortcut dilation) without materializing it.
+pub fn bfs_filtered(
+    g: &Graph,
+    sources: &[NodeId],
+    mut allow: impl FnMut(EdgeId, NodeId) -> bool,
+) -> BfsResult {
+    let n = g.num_nodes();
+    let mut dist = vec![u32::MAX; n];
+    let mut parent = vec![None; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        assert!(s.index() < n, "source {s:?} out of range");
+        if dist[s.index()] == u32::MAX {
+            dist[s.index()] = 0;
+            order.push(s);
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for nb in g.neighbors(u) {
+            if dist[nb.node.index()] == u32::MAX && allow(nb.edge, nb.node) {
+                dist[nb.node.index()] = du + 1;
+                parent[nb.node.index()] = Some((u, nb.edge));
+                order.push(nb.node);
+                queue.push_back(nb.node);
+            }
+        }
+    }
+    BfsResult {
+        dist,
+        parent,
+        order,
+    }
+}
+
+/// Builds a BFS spanning tree of the component of `root`.
+///
+/// The returned tree has depth equal to the eccentricity of `root`, hence at
+/// most the diameter `D` of a connected `G` — the tree `T` required by
+/// Theorem 3.1 of the paper.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn bfs_tree(g: &Graph, root: NodeId) -> RootedTree {
+    let res = bfs(g, root);
+    RootedTree::from_parents(g, root, &res.parent, &res.dist, &res.order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn distances_on_a_path() {
+        let g = gen::path(5);
+        let res = bfs(&g, NodeId(0));
+        assert_eq!(res.dist, vec![0, 1, 2, 3, 4]);
+        assert_eq!(res.farthest(), Some((NodeId(4), 4)));
+        assert_eq!(res.eccentricity(), 4);
+    }
+
+    #[test]
+    fn multi_source_takes_nearest() {
+        let g = gen::path(5);
+        let res = bfs_multi(&g, &[NodeId(0), NodeId(4)]);
+        assert_eq!(res.dist, vec![0, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn unreachable_nodes_have_max_dist() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let res = bfs(&g, NodeId(0));
+        assert!(res.reached(NodeId(1)));
+        assert!(!res.reached(NodeId(2)));
+        assert_eq!(res.dist[3], u32::MAX);
+    }
+
+    #[test]
+    fn filtered_bfs_respects_filter() {
+        let g = gen::cycle(6);
+        // Disallow the edge between 0 and 5, turning the cycle into a path.
+        let forbidden = g.find_edge(NodeId(0), NodeId(5)).unwrap();
+        let res = bfs_filtered(&g, &[NodeId(0)], |e, _| e != forbidden);
+        assert_eq!(res.dist[5], 5);
+    }
+
+    #[test]
+    fn bfs_tree_depth_is_eccentricity() {
+        let g = gen::grid(3, 3);
+        let t = bfs_tree(&g, NodeId(0));
+        assert_eq!(t.depth_of_tree(), 4); // corner to corner of 3x3 grid
+        assert_eq!(t.num_tree_nodes(), 9);
+    }
+
+    #[test]
+    fn duplicate_sources_are_deduped() {
+        let g = gen::path(3);
+        let res = bfs_multi(&g, &[NodeId(1), NodeId(1)]);
+        assert_eq!(res.order.len(), 3);
+        assert_eq!(res.dist[1], 0);
+    }
+}

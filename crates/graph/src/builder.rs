@@ -1,0 +1,189 @@
+//! Incremental construction of [`Graph`]s.
+
+use crate::graph::Neighbor;
+use crate::{EdgeId, Graph, NodeId};
+
+/// Builder for [`Graph`].
+///
+/// Collects edges, validates them (no self-loops, endpoints in range), and
+/// produces a CSR [`Graph`] with sorted adjacency lists. Duplicate edges are
+/// rejected at [`build`](GraphBuilder::build) time.
+///
+/// # Example
+///
+/// ```
+/// use lcs_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(4);
+/// for i in 0..3u32 {
+///     b.add_edge(NodeId(i), NodeId(i + 1));
+/// }
+/// let path = b.build();
+/// assert_eq!(path.num_edges(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            num_nodes: n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}` and returns its future [`EdgeId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` (self-loop) or either endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> EdgeId {
+        assert!(u != v, "self-loop at {u:?} rejected");
+        assert!(
+            u.index() < self.num_nodes && v.index() < self.num_nodes,
+            "edge ({u:?}, {v:?}) out of range for {} nodes",
+            self.num_nodes
+        );
+        let e = EdgeId::from_index(self.edges.len());
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b));
+        e
+    }
+
+    /// Adds `{u, v}` unless it already exists; returns the edge id either way.
+    ///
+    /// Linear scan free: uses a sort at build time for duplicate detection,
+    /// so this method keeps its own hash set only when first called.
+    pub fn add_edge_dedup(&mut self, u: NodeId, v: NodeId) -> EdgeId {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        if let Some(pos) = self.edges.iter().position(|&(x, y)| (x, y) == (a, b)) {
+            return EdgeId::from_index(pos);
+        }
+        self.add_edge(u, v)
+    }
+
+    /// Whether `{u, v}` has been added already.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.contains(&(a, b))
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if duplicate edges were added (use
+    /// [`add_edge_dedup`](Self::add_edge_dedup) to silently ignore them).
+    pub fn build(self) -> Graph {
+        let n = self.num_nodes;
+        let m = self.edges.len();
+        // Duplicate detection via sorted copy.
+        let mut sorted = self.edges.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert!(
+                w[0] != w[1],
+                "duplicate edge ({:?}, {:?}) rejected",
+                w[0].0,
+                w[0].1
+            );
+        }
+        // Degree counting.
+        let mut deg = vec![0u32; n];
+        for &(u, v) in &self.edges {
+            deg[u.index()] += 1;
+            deg[v.index()] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + deg[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut adj = vec![
+            Neighbor {
+                node: NodeId(0),
+                edge: EdgeId(0)
+            };
+            2 * m
+        ];
+        for (i, &(u, v)) in self.edges.iter().enumerate() {
+            let e = EdgeId(i as u32);
+            adj[cursor[u.index()] as usize] = Neighbor { node: v, edge: e };
+            cursor[u.index()] += 1;
+            adj[cursor[v.index()] as usize] = Neighbor { node: u, edge: e };
+            cursor[v.index()] += 1;
+        }
+        // Sort each adjacency list by neighbor id for binary search.
+        for i in 0..n {
+            let lo = offsets[i] as usize;
+            let hi = offsets[i + 1] as usize;
+            adj[lo..hi].sort_unstable_by_key(|nb| nb.node);
+        }
+        Graph {
+            num_nodes: n,
+            endpoints: self.edges,
+            offsets,
+            adj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_in_any_insertion_order() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(2), NodeId(0));
+        b.add_edge(NodeId(1), NodeId(0));
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        GraphBuilder::new(2).add_edge(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        GraphBuilder::new(2).add_edge(NodeId(0), NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicates_at_build() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(0));
+        b.build();
+    }
+
+    #[test]
+    fn dedup_returns_existing_id() {
+        let mut b = GraphBuilder::new(3);
+        let e0 = b.add_edge_dedup(NodeId(0), NodeId(1));
+        let e1 = b.add_edge_dedup(NodeId(1), NodeId(0));
+        assert_eq!(e0, e1);
+        assert_eq!(b.num_edges(), 1);
+        assert!(b.has_edge(NodeId(1), NodeId(0)));
+    }
+}

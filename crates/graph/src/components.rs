@@ -1,0 +1,105 @@
+//! Connected components.
+
+use crate::{bfs, Graph, NodeId};
+
+/// Connected-component labelling of a graph.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// `label[v]` = dense component index in `0..count`.
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+    /// Nodes of each component.
+    pub members: Vec<Vec<NodeId>>,
+}
+
+/// Computes connected components via repeated BFS.
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.num_nodes();
+    let mut label = vec![u32::MAX; n];
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    for v in g.nodes() {
+        if label[v.index()] != u32::MAX {
+            continue;
+        }
+        let id = members.len() as u32;
+        let res = bfs::bfs(g, v);
+        let mut comp = Vec::new();
+        for &u in &res.order {
+            label[u.index()] = id;
+            comp.push(u);
+        }
+        members.push(comp);
+    }
+    Components {
+        count: members.len(),
+        label,
+        members,
+    }
+}
+
+/// Whether the whole graph is connected (the empty graph counts as
+/// connected).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.num_nodes() == 0 {
+        return true;
+    }
+    bfs::bfs(g, NodeId(0)).order.len() == g.num_nodes()
+}
+
+/// Whether `nodes` induces a connected subgraph of `g` (the paper requires
+/// each part `P_i` to induce a connected subgraph; Definition 2.1).
+///
+/// The empty set counts as connected.
+pub fn induces_connected(g: &Graph, nodes: &[NodeId]) -> bool {
+    if nodes.is_empty() {
+        return true;
+    }
+    let mut inside = vec![false; g.num_nodes()];
+    for &v in nodes {
+        inside[v.index()] = true;
+    }
+    let res = bfs::bfs_filtered(g, &nodes[..1], |_, next| inside[next.index()]);
+    nodes.iter().all(|&v| res.reached(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn single_component_on_grid() {
+        let g = gen::grid(3, 4);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+        assert!(is_connected(&g));
+        assert_eq!(c.members[0].len(), 12);
+    }
+
+    #[test]
+    fn two_components() {
+        let g = Graph::from_edges(5, [(0, 1), (2, 3), (3, 4)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.label[0], c.label[1]);
+        assert_ne!(c.label[0], c.label[2]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn induced_connectivity() {
+        let g = gen::path(5);
+        assert!(induces_connected(&g, &[NodeId(1), NodeId(2), NodeId(3)]));
+        assert!(!induces_connected(&g, &[NodeId(0), NodeId(2)]));
+        assert!(induces_connected(&g, &[]));
+        assert!(induces_connected(&g, &[NodeId(4)]));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = Graph::from_edges(0, []);
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g).count, 0);
+    }
+}

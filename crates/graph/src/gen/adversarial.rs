@@ -1,0 +1,79 @@
+//! Adversarial instances for the shortcut construction.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// A part-wise aggregation instance that forces Case (II) of Theorem 3.1.
+#[derive(Clone, Debug)]
+pub struct CombInstance {
+    /// The comb graph.
+    pub graph: Graph,
+    /// The `k` chain parts.
+    pub parts: Vec<Vec<NodeId>>,
+}
+
+/// The "comb": a root (node 0), `t` middle nodes, `k` leaves under each
+/// middle node, and `k` chain parts where part `p` connects the `p`-th leaf
+/// of every middle node.
+///
+/// A BFS tree from the root has depth 2, so the Theorem 3.1 threshold is
+/// `c = 16δ̂`; with `k >= c` parts every root edge overcongests and every
+/// part has `B`-degree `t`. For `t > 8δ̂` this lands in Case (II) and the
+/// witness extraction must produce a minor of density `> δ̂` — the comb
+/// contains a `K_{k,t}` minor of density `kt/(k+t)`.
+///
+/// # Panics
+///
+/// Panics if `t < 2` or `k < 1`.
+pub fn comb(t: usize, k: usize) -> CombInstance {
+    assert!(t >= 2, "comb needs at least two middle nodes");
+    assert!(k >= 1, "comb needs at least one part");
+    let n = 1 + t + t * k;
+    let mut b = GraphBuilder::new(n);
+    let leaf = |i: usize, p: usize| NodeId((1 + t + i * k + p) as u32);
+    for i in 0..t {
+        b.add_edge(NodeId(0), NodeId((1 + i) as u32));
+        for p in 0..k {
+            b.add_edge(NodeId((1 + i) as u32), leaf(i, p));
+        }
+    }
+    for p in 0..k {
+        for i in 0..t - 1 {
+            b.add_edge(leaf(i, p), leaf(i + 1, p));
+        }
+    }
+    let graph = b.build();
+    let parts = (0..k)
+        .map(|p| (0..t).map(|i| leaf(i, p)).collect())
+        .collect();
+    CombInstance { graph, parts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{components, diameter};
+
+    #[test]
+    fn comb_shape() {
+        let c = comb(10, 20);
+        assert_eq!(c.graph.num_nodes(), 1 + 10 + 200);
+        assert_eq!(c.parts.len(), 20);
+        assert!(components::is_connected(&c.graph));
+        for p in &c.parts {
+            assert_eq!(p.len(), 10);
+            assert!(components::induces_connected(&c.graph, p));
+        }
+    }
+
+    #[test]
+    fn comb_diameter_is_small() {
+        let c = comb(6, 8);
+        assert!(diameter::exact_diameter(&c.graph) <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "two middle")]
+    fn rejects_tiny_comb() {
+        comb(1, 5);
+    }
+}

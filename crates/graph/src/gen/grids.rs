@@ -1,0 +1,120 @@
+//! Grid-like families: planar grids, king grids, and tori.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Node id of grid cell `(r, c)` in an `rows × cols` grid, row-major.
+#[inline]
+fn cell(cols: usize, r: usize, c: usize) -> NodeId {
+    NodeId((r * cols + c) as u32)
+}
+
+/// The `rows × cols` planar grid. Minor density `δ < 3` (planar); diameter
+/// `rows + cols - 2`.
+///
+/// # Panics
+///
+/// Panics if either dimension is 0.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(cell(cols, r, c), cell(cols, r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(cell(cols, r, c), cell(cols, r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `rows × cols` king grid (grid plus diagonals). Still planar when
+/// only one diagonal per cell is added — here we add both, giving a
+/// 1-planar graph with `δ = O(1)`; diameter `max(rows, cols) - 1`.
+///
+/// # Panics
+///
+/// Panics if either dimension is 0.
+pub fn grid_king(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(cell(cols, r, c), cell(cols, r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(cell(cols, r, c), cell(cols, r + 1, c));
+            }
+            if r + 1 < rows && c + 1 < cols {
+                b.add_edge(cell(cols, r, c), cell(cols, r + 1, c + 1));
+                b.add_edge(cell(cols, r, c + 1), cell(cols, r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `rows × cols` torus (grid with wraparound in both dimensions).
+/// Genus 1, so `δ = O(1)` (toroidal graphs have at most `3n` edges and the
+/// class is minor-closed); diameter `⌊rows/2⌋ + ⌊cols/2⌋`.
+///
+/// # Panics
+///
+/// Panics if either dimension is `< 3` (wraparound would create parallel
+/// edges).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(
+        rows >= 3 && cols >= 3,
+        "torus dimensions must be at least 3"
+    );
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(cell(cols, r, c), cell(cols, r, (c + 1) % cols));
+            b.add_edge(cell(cols, r, c), cell(cols, (r + 1) % rows, c));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{components, diameter};
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert!(components::is_connected(&g));
+        assert_eq!(diameter::exact_diameter(&g), 5);
+        assert!(g.density() < 3.0); // planar bound
+    }
+
+    #[test]
+    fn one_by_one_grid() {
+        let g = grid(1, 1);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn king_grid_diameter() {
+        let g = grid_king(4, 4);
+        assert_eq!(diameter::exact_diameter(&g), 3);
+        assert!(components::is_connected(&g));
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let g = torus(4, 5);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(g.num_edges(), 2 * 20);
+        assert_eq!(diameter::exact_diameter(&g), 2 + 2);
+        assert!(g.density() <= 3.0); // toroidal bound m <= 3n
+    }
+}

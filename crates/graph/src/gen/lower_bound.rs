@@ -1,0 +1,210 @@
+//! The lower-bound topology of Lemma 3.2 (Figure 3.2 of the paper).
+//!
+//! For parameters `δ′, D′` the construction yields a graph of diameter at
+//! most `D′` whose every minor has density below `δ′`, together with a
+//! collection of path parts (the "rows") on which *any* partial shortcut has
+//! quality at least `(δ′ - 3)·D′ / 6 = Θ(δ′D′)`.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The generated Lemma 3.2 instance: the graph, the row parts, and the
+/// internal parameters `δ = δ′ - 2`, `k`, `D = kδ`.
+///
+/// **Erratum note.** The paper sets `k = ⌊D′/(2δ)⌋`, but its own distance
+/// argument only bounds the *radius* by `1.5D + 1` (via the central top-path
+/// node), i.e. the diameter by `3D + 2`, which can exceed `D′`. We instead
+/// use `k = ⌊(D′-2)/(3δ)⌋`, which guarantees diameter `<= 3kδ + 2 <= D′`
+/// while preserving the stated `Θ(δ′D′)` shortcut-quality lower bound
+/// (`(δ-1)D/2` with `D ≈ D′/3` equals the paper's `(δ′-3)D′/6`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LowerBoundTopology {
+    /// The topology `G`.
+    pub graph: Graph,
+    /// The nodes `p_1, …, p_{(δ-1)k+1}` of the special top path, in order.
+    pub top_path: Vec<NodeId>,
+    /// The `(δ-1)D + 1` row paths — the parts of the hard part-wise
+    /// aggregation instance.
+    pub rows: Vec<Vec<NodeId>>,
+    /// Requested minor-density bound `δ′` (every minor has density `< δ′`).
+    pub delta_prime: u32,
+    /// Requested diameter bound `D′` (the graph has diameter `<= D′`).
+    pub d_prime: u32,
+    /// Internal `δ = δ′ - 2`.
+    pub delta: u32,
+    /// Internal `k = ⌊(D′ - 2) / (3δ)⌋` (see the erratum note on the type).
+    pub k: u32,
+    /// Internal `D = kδ`.
+    pub d: u32,
+}
+
+impl LowerBoundTopology {
+    /// The paper's asymptotic reference bound `(δ′ - 3)·D′ / 6`. With our
+    /// corrected `k` (see the erratum note) the *guaranteed* bound is
+    /// [`internal_lower_bound`](Self::internal_lower_bound), which matches
+    /// this up to rounding.
+    pub fn quality_lower_bound(&self) -> f64 {
+        f64::from(self.delta_prime - 3) * f64::from(self.d_prime) / 6.0
+    }
+
+    /// The guaranteed bound `(δ - 1)·D / 2` from the Lemma 3.2 proof: any
+    /// partial shortcut for [`rows`](Self::rows) has congestion or dilation
+    /// at least this.
+    pub fn internal_lower_bound(&self) -> f64 {
+        f64::from(self.delta - 1) * f64::from(self.d) / 2.0
+    }
+}
+
+/// Builds the Lemma 3.2 lower-bound topology for `δ′` and `D′`.
+///
+/// Following the paper's proof: one top path of length `(δ-1)k`, plus
+/// `(δ-1)D + 1` rows of length `(δ-1)D` each; every `D`-th column carries a
+/// vertical path, and every `D`-th row of each such column connects to the
+/// corresponding top-path node.
+///
+/// # Panics
+///
+/// Panics unless `5 <= δ′` and `3·δ′ - 4 <= D′` (slightly stronger than the
+/// paper's `δ′ <= D′/2`, required for the corrected diameter guarantee; see
+/// the erratum note on [`LowerBoundTopology`]).
+pub fn lower_bound_topology(delta_prime: u32, d_prime: u32) -> LowerBoundTopology {
+    assert!(delta_prime >= 5, "Lemma 3.2 needs δ′ >= 5");
+    assert!(
+        3 * delta_prime - 4 <= d_prime,
+        "corrected Lemma 3.2 needs 3δ′ - 4 <= D′ (paper: δ′ <= D′/2)"
+    );
+    let delta = delta_prime - 2;
+    let k = (d_prime - 2) / (3 * delta);
+    let d = k * delta;
+    assert!(k >= 1 && d >= 1);
+
+    let top_len = ((delta - 1) * k + 1) as usize; // number of p-nodes
+    let side = ((delta - 1) * d + 1) as usize; // rows and row length (nodes)
+    let n = top_len + side * side;
+
+    // p_t (1-based t) -> node t-1; v_{i,j} (1-based) -> top_len + (i-1)*side + (j-1)
+    let p = |t: u32| NodeId(t - 1);
+    let v = |i: u32, j: u32| NodeId((top_len + (i as usize - 1) * side + (j as usize - 1)) as u32);
+
+    let mut b = GraphBuilder::new(n);
+    // Top path.
+    for t in 1..top_len as u32 {
+        b.add_edge(p(t), p(t + 1));
+    }
+    // Row paths.
+    for i in 1..=side as u32 {
+        for j in 1..side as u32 {
+            b.add_edge(v(i, j), v(i, j + 1));
+        }
+    }
+    // Vertical paths on every D-th column (columns (j-1)D + 1 for j in [δ]).
+    for j in 1..=delta {
+        let col = (j - 1) * d + 1;
+        for i in 1..side as u32 {
+            b.add_edge(v(i, col), v(i + 1, col));
+        }
+    }
+    // Connections to the top path: v_{(j'-1)D+1, (j-1)D+1} ~ p_{(j-1)k+1}.
+    for j in 1..=delta {
+        let col = (j - 1) * d + 1;
+        let pt = (j - 1) * k + 1;
+        for jp in 1..=delta {
+            let row = (jp - 1) * d + 1;
+            b.add_edge(v(row, col), p(pt));
+        }
+    }
+
+    let graph = b.build();
+    let top_path = (1..=top_len as u32).map(p).collect();
+    let rows = (1..=side as u32)
+        .map(|i| (1..=side as u32).map(|j| v(i, j)).collect())
+        .collect();
+
+    LowerBoundTopology {
+        graph,
+        top_path,
+        rows,
+        delta_prime,
+        d_prime,
+        delta,
+        k,
+        d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{components, diameter};
+
+    #[test]
+    fn small_instance_matches_paper_parameters() {
+        // δ′ = 5, D′ = 30 → δ = 3, corrected k = ⌊28/9⌋ = 3, D = 9.
+        let lb = lower_bound_topology(5, 30);
+        assert_eq!(lb.delta, 3);
+        assert_eq!(lb.k, 3);
+        assert_eq!(lb.d, 9);
+        let side = (lb.delta - 1) * lb.d + 1;
+        assert_eq!(lb.rows.len(), side as usize);
+        assert_eq!(lb.rows[0].len(), side as usize);
+        assert_eq!(lb.top_path.len(), ((lb.delta - 1) * lb.k + 1) as usize);
+    }
+
+    #[test]
+    fn graph_is_connected_with_claimed_diameter() {
+        let lb = lower_bound_topology(5, 30);
+        assert!(components::is_connected(&lb.graph));
+        let bounds = diameter::diameter_bounds(&lb.graph, lb.top_path[0]);
+        assert!(
+            bounds.lower <= lb.d_prime,
+            "double-sweep lower bound {} exceeds D′ = {}",
+            bounds.lower,
+            lb.d_prime
+        );
+        // The corrected construction guarantees diameter <= 3D + 2 <= D′.
+        let exact = diameter::exact_diameter(&lb.graph);
+        assert!(exact <= lb.d_prime, "diameter {exact} > D′ {}", lb.d_prime);
+        assert!(exact <= 3 * lb.d + 2);
+    }
+
+    #[test]
+    fn rows_are_disjoint_connected_paths() {
+        let lb = lower_bound_topology(5, 30);
+        let mut seen = vec![false; lb.graph.num_nodes()];
+        for row in &lb.rows {
+            for &node in row {
+                assert!(!seen[node.index()], "rows must be disjoint");
+                seen[node.index()] = true;
+            }
+            assert!(components::induces_connected(&lb.graph, row));
+        }
+    }
+
+    #[test]
+    fn density_stays_below_delta_prime() {
+        // m/n is a lower bound on minor density; the construction promises
+        // every minor has density < δ′.
+        let lb = lower_bound_topology(6, 40);
+        assert!(lb.graph.density() < f64::from(lb.delta_prime));
+    }
+
+    #[test]
+    fn quality_lower_bound_value() {
+        let lb = lower_bound_topology(5, 30);
+        assert_eq!(lb.quality_lower_bound(), 2.0 * 30.0 / 6.0);
+        // internal = (δ-1)D/2 = 2*9/2 = 9, same order as the paper's 10.
+        assert_eq!(lb.internal_lower_bound(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "δ′ >= 5")]
+    fn rejects_small_delta() {
+        lower_bound_topology(4, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "3δ′ - 4 <= D′")]
+    fn rejects_small_diameter() {
+        lower_bound_topology(6, 10);
+    }
+}

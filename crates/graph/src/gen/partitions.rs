@@ -1,0 +1,164 @@
+//! Helpers that produce part collections (disjoint connected node sets) for
+//! part-wise aggregation instances.
+
+use crate::{bfs, Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Every node its own part — the starting fragments of Boruvka's algorithm.
+pub fn singleton_parts(g: &Graph) -> Vec<Vec<NodeId>> {
+    g.nodes().map(|v| vec![v]).collect()
+}
+
+/// The rows of a `rows × cols` grid as parts (each row is an induced path).
+pub fn rows_of_grid(rows: usize, cols: usize) -> Vec<Vec<NodeId>> {
+    (0..rows)
+        .map(|r| (0..cols).map(|c| NodeId((r * cols + c) as u32)).collect())
+        .collect()
+}
+
+/// Partitions the whole vertex set into `target_parts` connected parts by
+/// Voronoi growth from random seeds (multi-source BFS; each node joins the
+/// part of its nearest seed, ties broken by BFS order).
+///
+/// Every part induces a connected subgraph, parts are disjoint and cover the
+/// component(s) containing seeds. On a connected graph the parts cover all
+/// nodes. The actual number of parts can be lower than requested if seeds
+/// collide (it never is, since seeds are sampled without replacement).
+///
+/// # Panics
+///
+/// Panics if `target_parts` is 0 or exceeds the node count.
+pub fn random_connected_parts(
+    g: &Graph,
+    target_parts: usize,
+    rng: &mut impl Rng,
+) -> Vec<Vec<NodeId>> {
+    let n = g.num_nodes();
+    assert!(target_parts >= 1 && target_parts <= n, "bad part count");
+    let mut nodes: Vec<NodeId> = g.nodes().collect();
+    nodes.shuffle(rng);
+    let seeds = &nodes[..target_parts];
+
+    // Multi-source BFS where each visited node inherits the part of the
+    // node that discovered it — Voronoi cells are connected.
+    let mut part_of = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for (i, &s) in seeds.iter().enumerate() {
+        part_of[s.index()] = i as u32;
+        queue.push_back(s);
+    }
+    while let Some(u) = queue.pop_front() {
+        for nb in g.neighbors(u) {
+            if part_of[nb.node.index()] == u32::MAX {
+                part_of[nb.node.index()] = part_of[u.index()];
+                queue.push_back(nb.node);
+            }
+        }
+    }
+    let mut parts = vec![Vec::new(); target_parts];
+    for v in g.nodes() {
+        let p = part_of[v.index()];
+        if p != u32::MAX {
+            parts[p as usize].push(v);
+        }
+    }
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
+/// Grows `target_parts` connected parts that each cover roughly
+/// `coverage` fraction of their Voronoi cell, leaving the rest of the graph
+/// unassigned. Useful for instances where parts do not cover `V`.
+///
+/// # Panics
+///
+/// Panics like [`random_connected_parts`]; additionally requires
+/// `0.0 < coverage <= 1.0`.
+pub fn random_partial_parts(
+    g: &Graph,
+    target_parts: usize,
+    coverage: f64,
+    rng: &mut impl Rng,
+) -> Vec<Vec<NodeId>> {
+    assert!(coverage > 0.0 && coverage <= 1.0, "bad coverage");
+    let full = random_connected_parts(g, target_parts, rng);
+    full.into_iter()
+        .map(|cell| {
+            let keep = ((cell.len() as f64 * coverage).ceil() as usize).max(1);
+            // Keep a connected prefix: BFS inside the cell from its seed.
+            let mut inside = vec![false; g.num_nodes()];
+            for &v in &cell {
+                inside[v.index()] = true;
+            }
+            let res = bfs::bfs_filtered(g, &cell[..1], |_, nxt| inside[nxt.index()]);
+            res.order.into_iter().take(keep).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{components, gen};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn singletons_cover_everything() {
+        let g = gen::path(5);
+        let parts = singleton_parts(&g);
+        assert_eq!(parts.len(), 5);
+        assert!(parts.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn grid_rows_are_connected_paths() {
+        let g = gen::grid(4, 6);
+        let parts = rows_of_grid(4, 6);
+        assert_eq!(parts.len(), 4);
+        for p in &parts {
+            assert_eq!(p.len(), 6);
+            assert!(components::induces_connected(&g, p));
+        }
+    }
+
+    #[test]
+    fn voronoi_parts_partition_connected_graph() {
+        let g = gen::grid(8, 8);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let parts = random_connected_parts(&g, 7, &mut rng);
+        assert_eq!(parts.len(), 7);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 64);
+        let mut seen = [false; 64];
+        for p in &parts {
+            assert!(components::induces_connected(&g, p));
+            for &v in p {
+                assert!(!seen[v.index()]);
+                seen[v.index()] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn partial_parts_respect_coverage() {
+        let g = gen::grid(6, 6);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let parts = random_partial_parts(&g, 4, 0.5, &mut rng);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert!(total < 36);
+        for p in &parts {
+            assert!(!p.is_empty());
+            assert!(components::induces_connected(&g, p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad part count")]
+    fn rejects_zero_parts() {
+        let g = gen::path(3);
+        let mut rng = SmallRng::seed_from_u64(1);
+        random_connected_parts(&g, 0, &mut rng);
+    }
+}

@@ -1,0 +1,159 @@
+//! Randomized families: connected G(n,m), genus-bounded planar+chords, and
+//! expander-like rings.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A uniformly-ish random connected graph with `n` nodes and `m` edges:
+/// a random spanning tree (random permutation + random attachment) plus
+/// `m - (n-1)` distinct random extra edges.
+///
+/// # Panics
+///
+/// Panics if `m < n - 1` or `m` exceeds `n(n-1)/2`.
+pub fn gnm_connected(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
+    assert!(n > 0, "need at least one node");
+    assert!(m + 1 >= n, "too few edges for connectivity");
+    assert!(
+        m <= n * n.saturating_sub(1) / 2,
+        "too many edges for a simple graph"
+    );
+    let mut b = GraphBuilder::new(n);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.shuffle(rng);
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        b.add_edge(NodeId(perm[i]), NodeId(perm[j]));
+    }
+    let mut attempts = 0usize;
+    while b.num_edges() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v && !b.has_edge(NodeId(u), NodeId(v)) {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        attempts += 1;
+        assert!(
+            attempts < 100 * m + 10_000,
+            "edge sampling did not converge; graph too dense"
+        );
+    }
+    b.build()
+}
+
+/// A planar `rows × cols` grid plus `extra` random chords.
+///
+/// Adding one edge increases the genus by at most one, so the result has
+/// genus at most `extra` — the synthetic genus-`g` family for Corollary 1.4
+/// (experiment E8). Its minor density grows as `O(√extra)`.
+///
+/// # Panics
+///
+/// Panics if the requested chords exceed the number of absent node pairs.
+pub fn grid_plus_random_edges(rows: usize, cols: usize, extra: usize, rng: &mut impl Rng) -> Graph {
+    let g = super::grid(rows, cols);
+    let n = g.num_nodes();
+    assert!(
+        g.num_edges() + extra <= n * (n - 1) / 2,
+        "too many extra edges"
+    );
+    let mut b = GraphBuilder::new(n);
+    for er in g.edges() {
+        b.add_edge(er.u, er.v);
+    }
+    let target = g.num_edges() + extra;
+    let mut attempts = 0usize;
+    while b.num_edges() < target {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v && !b.has_edge(NodeId(u), NodeId(v)) {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        attempts += 1;
+        assert!(
+            attempts < 100 * target + 10_000,
+            "sampling did not converge"
+        );
+    }
+    b.build()
+}
+
+/// A cycle on `n` nodes plus `r` random perfect matchings (expander-like for
+/// `r >= 2`). High minor density (`δ = Θ̃(√n)` in expectation for constant
+/// `r`), low diameter — the *negative control* family on which
+/// tree-restricted shortcuts are poor and the `D + √n` baseline is the right
+/// answer.
+///
+/// # Panics
+///
+/// Panics if `n` is odd or `n < 4`.
+pub fn ring_with_matchings(n: usize, r: usize, rng: &mut impl Rng) -> Graph {
+    assert!(n >= 4 && n.is_multiple_of(2), "need an even n >= 4");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32));
+    }
+    for _ in 0..r {
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.shuffle(rng);
+        for pair in perm.chunks(2) {
+            let (u, v) = (NodeId(pair[0]), NodeId(pair[1]));
+            if !b.has_edge(u, v) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnm_is_connected_with_exact_m() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = gnm_connected(50, 80, &mut rng);
+        assert_eq!(g.num_nodes(), 50);
+        assert_eq!(g.num_edges(), 80);
+        assert!(components::is_connected(&g));
+    }
+
+    #[test]
+    fn gnm_tree_case() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = gnm_connected(20, 19, &mut rng);
+        assert_eq!(g.num_edges(), 19);
+        assert!(components::is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "too few edges")]
+    fn gnm_rejects_underconnected() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        gnm_connected(10, 5, &mut rng);
+    }
+
+    #[test]
+    fn grid_plus_edges_counts() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = grid_plus_random_edges(5, 5, 7, &mut rng);
+        let base = super::super::grid(5, 5);
+        assert_eq!(g.num_edges(), base.num_edges() + 7);
+        assert!(components::is_connected(&g));
+    }
+
+    #[test]
+    fn ring_with_matchings_connected_and_low_diameter() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = ring_with_matchings(64, 2, &mut rng);
+        assert!(components::is_connected(&g));
+        assert!(g.num_edges() >= 64);
+        let b = crate::diameter::diameter_bounds(&g, NodeId(0));
+        assert!(b.upper < 64 / 2); // far below the plain ring's diameter
+    }
+}

@@ -1,0 +1,328 @@
+//! The immutable CSR graph type.
+
+use crate::{EdgeId, GraphBuilder, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A neighbor entry in an adjacency list: the neighboring node together with
+/// the id of the connecting edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// The adjacent node.
+    pub node: NodeId,
+    /// The undirected edge connecting to `node`.
+    pub edge: EdgeId,
+}
+
+/// A resolved edge: its id and both endpoints (`u < v` canonically).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EdgeRef {
+    /// The edge id.
+    pub id: EdgeId,
+    /// The smaller endpoint.
+    pub u: NodeId,
+    /// The larger endpoint.
+    pub v: NodeId,
+}
+
+impl EdgeRef {
+    /// Returns the endpoint opposite to `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, x: NodeId) -> NodeId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("{x:?} is not an endpoint of edge {:?}", self.id)
+        }
+    }
+}
+
+/// An immutable, undirected, simple graph in compressed-sparse-row form.
+///
+/// Construct via [`GraphBuilder`]. Nodes are `0..n`, edges are `0..m`;
+/// adjacency lists are sorted by neighbor id. Self-loops and parallel edges
+/// are rejected at build time, matching the simple network graphs of the
+/// CONGEST model.
+///
+/// # Example
+///
+/// ```
+/// use lcs_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1));
+/// b.add_edge(NodeId(1), NodeId(2));
+/// let g = b.build();
+/// assert_eq!(g.degree(NodeId(1)), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    pub(crate) num_nodes: usize,
+    /// Canonical endpoints per edge, `endpoints[e] = (u, v)` with `u < v`.
+    pub(crate) endpoints: Vec<(NodeId, NodeId)>,
+    /// CSR offsets into `adj`, length `num_nodes + 1`.
+    pub(crate) offsets: Vec<u32>,
+    /// Concatenated adjacency lists.
+    pub(crate) adj: Vec<Neighbor>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list; convenience for
+    /// `GraphBuilder` + `add_edge` loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node `>= n`, is a self-loop, or is a
+    /// duplicate.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Edge density `m / n` (0 for the empty graph). A trivial lower bound on
+    /// the minor density `δ(G)`.
+    pub fn density(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes as f64
+        }
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone {
+        (0..self.num_nodes as u32).map(NodeId)
+    }
+
+    /// Iterator over all edges with endpoints.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = EdgeRef> + Clone + '_ {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| EdgeRef {
+                id: EdgeId(i as u32),
+                u,
+                v,
+            })
+    }
+
+    /// The endpoints `(u, v)` of `e`, with `u < v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.endpoints[e.index()]
+    }
+
+    /// The resolved [`EdgeRef`] for `e`.
+    #[inline]
+    pub fn edge_ref(&self, e: EdgeId) -> EdgeRef {
+        let (u, v) = self.endpoints(e);
+        EdgeRef { id: e, u, v }
+    }
+
+    /// The endpoint of `e` opposite to `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of `e`.
+    #[inline]
+    pub fn opposite(&self, e: EdgeId, x: NodeId) -> NodeId {
+        self.edge_ref(e).other(x)
+    }
+
+    /// The sorted adjacency list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[Neighbor] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Looks up the edge between `u` and `v`, if present (binary search).
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let list = self.neighbors(u);
+        list.binary_search_by_key(&v, |nb| nb.node)
+            .ok()
+            .map(|i| list[i].edge)
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.find_edge(u, v).is_some()
+    }
+
+    /// Maximum degree, 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree, 0 for the empty graph.
+    pub fn min_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// Returns the subgraph induced by `keep_nodes` together with the mapping
+    /// from old node ids to new ones (dense renumbering) and from new edge
+    /// ids to old ones.
+    ///
+    /// Nodes absent from `keep_nodes` and all their incident edges are
+    /// dropped. Duplicate entries in `keep_nodes` are ignored.
+    pub fn induced_subgraph(&self, keep_nodes: &[NodeId]) -> InducedSubgraph {
+        let mut old_to_new = vec![None; self.num_nodes];
+        let mut new_to_old = Vec::new();
+        for &v in keep_nodes {
+            if old_to_new[v.index()].is_none() {
+                old_to_new[v.index()] = Some(NodeId::from_index(new_to_old.len()));
+                new_to_old.push(v);
+            }
+        }
+        let mut b = GraphBuilder::new(new_to_old.len());
+        let mut edge_to_old = Vec::new();
+        for er in self.edges() {
+            if let (Some(nu), Some(nv)) = (old_to_new[er.u.index()], old_to_new[er.v.index()]) {
+                b.add_edge(nu, nv);
+                edge_to_old.push(er.id);
+            }
+        }
+        InducedSubgraph {
+            graph: b.build(),
+            node_to_old: new_to_old,
+            node_from_old: old_to_new,
+            edge_to_old,
+        }
+    }
+}
+
+/// Result of [`Graph::induced_subgraph`]: the subgraph plus id mappings.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The induced subgraph with densely renumbered ids.
+    pub graph: Graph,
+    /// Maps new node ids (by index) to original node ids.
+    pub node_to_old: Vec<NodeId>,
+    /// Maps original node ids (by index) to new node ids, `None` if dropped.
+    pub node_from_old: Vec<Option<NodeId>>,
+    /// Maps new edge ids (by index) to original edge ids.
+    pub edge_to_old: Vec<EdgeId>,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.num_nodes)
+            .field("m", &self.num_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.density(), 1.0);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 2);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_symmetric() {
+        let g = Graph::from_edges(4, [(2, 0), (3, 1), (0, 1)]);
+        for v in g.nodes() {
+            let nbrs = g.neighbors(v);
+            assert!(nbrs.windows(2).all(|w| w[0].node < w[1].node));
+            for nb in nbrs {
+                assert!(g.neighbors(nb.node).iter().any(|x| x.node == v));
+            }
+        }
+    }
+
+    #[test]
+    fn find_edge_and_opposite() {
+        let g = triangle();
+        let e = g.find_edge(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(g.find_edge(NodeId(2), NodeId(0)), Some(e));
+        assert_eq!(g.opposite(e, NodeId(0)), NodeId(2));
+        assert_eq!(g.opposite(e, NodeId(2)), NodeId(0));
+        assert_eq!(g.find_edge(NodeId(0), NodeId(0)), None);
+    }
+
+    #[test]
+    fn endpoints_are_canonical() {
+        let g = Graph::from_edges(3, [(2, 1)]);
+        assert_eq!(g.endpoints(EdgeId(0)), (NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn opposite_panics_for_non_endpoint() {
+        let g = triangle();
+        let e = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        g.opposite(e, NodeId(2));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let sub = g.induced_subgraph(&[NodeId(0), NodeId(1), NodeId(4)]);
+        assert_eq!(sub.graph.num_nodes(), 3);
+        // edges kept: (0,1) and (0,4)
+        assert_eq!(sub.graph.num_edges(), 2);
+        assert_eq!(sub.node_to_old.len(), 3);
+        assert_eq!(sub.node_from_old[2], None);
+        for (new_e, old_e) in sub.edge_to_old.iter().enumerate() {
+            let (u, v) = sub.graph.endpoints(EdgeId(new_e as u32));
+            let (ou, ov) = g.endpoints(*old_e);
+            let mapped = (sub.node_to_old[u.index()], sub.node_to_old[v.index()]);
+            assert!(mapped == (ou, ov) || mapped == (ov, ou));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, []);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.density(), 0.0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Compact identifier newtypes for nodes, edges and parts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node (vertex) in a [`Graph`](crate::Graph).
+///
+/// Node ids are dense: a graph with `n` nodes uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an undirected edge in a [`Graph`](crate::Graph).
+///
+/// Edge ids are dense: a graph with `m` edges uses ids `0..m`. The id is
+/// shared by both directions of the edge.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+/// Identifier of a part `P_i` in a partition of the vertex set
+/// (Definition 2.1 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PartId(pub u32);
+
+macro_rules! impl_id {
+    ($t:ident, $prefix:literal) => {
+        impl $t {
+            /// Returns the id as a `usize` index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `i` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                $t(u32::try_from(i).expect("id index exceeds u32::MAX"))
+            }
+        }
+
+        impl fmt::Debug for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<$t> for usize {
+            fn from(id: $t) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+impl_id!(NodeId, "n");
+impl_id!(EdgeId, "e");
+impl_id!(PartId, "P");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n, NodeId(42));
+        assert_eq!(n.index(), 42);
+        assert_eq!(usize::from(n), 42);
+    }
+
+    #[test]
+    fn debug_prefixes_distinguish_kinds() {
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", EdgeId(4)), "e4");
+        assert_eq!(format!("{:?}", PartId(5)), "P5");
+        assert_eq!(format!("{}", NodeId(3)), "3");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(0) < EdgeId(10));
+    }
+}

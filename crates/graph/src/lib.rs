@@ -1,0 +1,48 @@
+//! Graph substrate for the low-congestion-shortcuts workspace.
+//!
+//! This crate provides everything the shortcut machinery of
+//! [Ghaffari & Haeupler, PODC 2021] needs from a graph library:
+//!
+//! * compact undirected graphs in CSR form ([`Graph`], [`GraphBuilder`]),
+//!   with stable [`NodeId`]/[`EdgeId`] addressing,
+//! * traversals and structure queries ([`bfs`], [`components`], [`diameter`]),
+//! * rooted spanning trees with the tree-edge-by-child addressing the paper
+//!   uses (`v_e` = deeper endpoint of tree edge `e`) ([`RootedTree`]),
+//! * graph-family generators with known minor density ([`gen`]),
+//! * minors: contraction, witnesses, verification and density estimation
+//!   ([`minor`]).
+//!
+//! # Example
+//!
+//! ```
+//! use lcs_graph::{gen, bfs, NodeId};
+//!
+//! let g = gen::grid(4, 5);
+//! assert_eq!(g.num_nodes(), 20);
+//! let tree = bfs::bfs_tree(&g, NodeId(0));
+//! assert!(tree.depth_of_tree() as usize <= g.num_nodes());
+//! ```
+//!
+//! [Ghaffari & Haeupler, PODC 2021]: https://arxiv.org/abs/2008.03091
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod graph;
+mod ids;
+mod union_find;
+
+pub mod bfs;
+pub mod components;
+pub mod diameter;
+pub mod gen;
+pub mod minor;
+pub mod tree;
+pub mod weights;
+
+pub use builder::GraphBuilder;
+pub use graph::{EdgeRef, Graph, Neighbor};
+pub use ids::{EdgeId, NodeId, PartId};
+pub use tree::RootedTree;
+pub use union_find::UnionFind;

@@ -1,0 +1,99 @@
+//! Clique-minor order bounds from minor density (Lemma 1.1 of the paper,
+//! due to Thomason [Tho01]).
+//!
+//! The paper recalls that minor density and the largest clique-minor order
+//! `r(G) = max { r : K_r is a minor of G }` agree up to `Õ(1)` factors:
+//!
+//! ```text
+//! (r(G) - 1) / 2  <=  δ(G)  <=  8·r(G)·√(log₂ r(G)).
+//! ```
+//!
+//! These helpers convert certified density bounds into clique-minor-order
+//! bounds, letting experiments report "contains a K_r minor" /
+//! "K_r-minor-free" statements alongside densities.
+
+/// The largest `r` such that **every** graph with minor density at least
+/// `density` is guaranteed to contain a `K_r` minor, via the upper half of
+/// Lemma 1.1 (`δ <= 8r√(log₂ r)` forces `r` up once δ is large).
+///
+/// Returns 1 for densities too small to force an edge (`K_2`).
+pub fn guaranteed_clique_minor_order(density: f64) -> u32 {
+    if density <= 0.0 {
+        return 1;
+    }
+    // δ <= 8r√(log₂ r) forces r(G) to be at least the smallest order whose
+    // cap reaches the certified density.
+    let mut r = 2u32;
+    loop {
+        let cap = 8.0 * f64::from(r) * f64::from(r).log2().max(0.0).sqrt();
+        if cap >= density {
+            return r;
+        }
+        r += 1;
+    }
+}
+
+/// The largest clique-minor order possible for a graph whose minor density
+/// is at most `density_upper`, via the lower half of Lemma 1.1
+/// (`(r-1)/2 <= δ` gives `r <= 2δ + 1`).
+pub fn max_clique_minor_order(density_upper: f64) -> u32 {
+    if density_upper <= 0.0 {
+        return 1;
+    }
+    (2.0 * density_upper + 1.0).floor() as u32
+}
+
+/// Whether a graph with minor density below `density_upper` certainly
+/// excludes `K_r` as a minor.
+pub fn excludes_clique_minor(density_upper: f64, r: u32) -> bool {
+    r > max_clique_minor_order(density_upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, minor};
+
+    #[test]
+    fn clique_bounds_are_consistent_on_cliques() {
+        // K_r itself: δ = (r-1)/2, so the upper conversion is exact.
+        for r in 2u32..12 {
+            let delta = f64::from(r - 1) / 2.0;
+            assert_eq!(max_clique_minor_order(delta), r);
+            assert!(guaranteed_clique_minor_order(delta) <= r);
+        }
+    }
+
+    #[test]
+    fn guaranteed_order_grows_with_density() {
+        let small = guaranteed_clique_minor_order(3.0);
+        let large = guaranteed_clique_minor_order(300.0);
+        assert!(small >= 1);
+        assert!(large > small);
+        // The bound is the inverse of 8r√log r: check it round-trips.
+        let cap = 8.0 * f64::from(large) * f64::from(large).log2().sqrt();
+        assert!(cap >= 300.0 || large == 1);
+    }
+
+    #[test]
+    fn planar_graphs_exclude_k7() {
+        // Planar: δ < 3, so r <= 2·3 + 1 = 7 and K_8 is excluded.
+        assert!(excludes_clique_minor(3.0, 8));
+        assert!(!excludes_clique_minor(3.0, 5)); // K_5 not ruled out by density alone
+    }
+
+    #[test]
+    fn certified_density_gives_witnessed_clique_bound() {
+        // grid_of_cliques contains K_8, so its certified density must allow
+        // an order-8 clique minor.
+        let g = gen::grid_of_cliques(2, 2, 8);
+        let est = minor::greedy_contraction_density(&g, None);
+        assert!(max_clique_minor_order(est.density + 0.5) >= 8);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(guaranteed_clique_minor_order(0.0), 1);
+        assert_eq!(max_clique_minor_order(-1.0), 1);
+    }
+}

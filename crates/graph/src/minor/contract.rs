@@ -1,0 +1,114 @@
+//! Contraction of node sets into supernodes.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use std::collections::HashSet;
+
+/// Result of [`contract_parts`]: the contracted simple graph and the
+/// node-to-supernode mapping.
+#[derive(Clone, Debug)]
+pub struct ContractedGraph {
+    /// The contracted graph (parallel edges merged, self-loops dropped).
+    pub graph: Graph,
+    /// `supernode_of[v]` = supernode index of original node `v`.
+    pub supernode_of: Vec<u32>,
+    /// Original nodes of each supernode.
+    pub members: Vec<Vec<NodeId>>,
+}
+
+/// Contracts each set in `sets` to a single supernode; nodes not mentioned
+/// become their own singleton supernodes.
+///
+/// Sets need not induce connected subgraphs — for a *minor* use connected
+/// sets (see [`verify_minor`](crate::minor::verify_minor)); for general
+/// quotient graphs any disjoint sets work.
+///
+/// # Panics
+///
+/// Panics if sets overlap or contain out-of-range nodes.
+pub fn contract_parts(g: &Graph, sets: &[Vec<NodeId>]) -> ContractedGraph {
+    let n = g.num_nodes();
+    let mut supernode_of = vec![u32::MAX; n];
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    for set in sets {
+        let id = members.len() as u32;
+        let mut m = Vec::with_capacity(set.len());
+        for &v in set {
+            assert!(v.index() < n, "{v:?} out of range");
+            assert!(
+                supernode_of[v.index()] == u32::MAX,
+                "{v:?} occurs in two sets"
+            );
+            supernode_of[v.index()] = id;
+            m.push(v);
+        }
+        members.push(m);
+    }
+    for v in g.nodes() {
+        if supernode_of[v.index()] == u32::MAX {
+            supernode_of[v.index()] = members.len() as u32;
+            members.push(vec![v]);
+        }
+    }
+    let k = members.len();
+    let mut b = GraphBuilder::new(k);
+    let mut seen = HashSet::new();
+    for er in g.edges() {
+        let (a, b2) = (supernode_of[er.u.index()], supernode_of[er.v.index()]);
+        if a == b2 {
+            continue;
+        }
+        let key = (a.min(b2), a.max(b2));
+        if seen.insert(key) {
+            b.add_edge(NodeId(key.0), NodeId(key.1));
+        }
+    }
+    ContractedGraph {
+        graph: b.build(),
+        supernode_of,
+        members,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn contracting_grid_columns_gives_path() {
+        let g = gen::grid(3, 4);
+        let cols: Vec<Vec<NodeId>> = (0..4)
+            .map(|c| (0..3).map(|r| NodeId((r * 4 + c) as u32)).collect())
+            .collect();
+        let cg = contract_parts(&g, &cols);
+        assert_eq!(cg.graph.num_nodes(), 4);
+        assert_eq!(cg.graph.num_edges(), 3); // a path of supernodes
+    }
+
+    #[test]
+    fn unmentioned_nodes_become_singletons() {
+        let g = gen::path(4);
+        let cg = contract_parts(&g, &[vec![NodeId(1), NodeId(2)]]);
+        assert_eq!(cg.graph.num_nodes(), 3);
+        assert_eq!(cg.graph.num_edges(), 2);
+        assert_eq!(cg.members[0], vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two sets")]
+    fn overlapping_sets_rejected() {
+        let g = gen::path(3);
+        contract_parts(&g, &[vec![NodeId(0), NodeId(1)], vec![NodeId(1)]]);
+    }
+
+    #[test]
+    fn parallel_edges_merged() {
+        let g = gen::cycle(4);
+        let cg = contract_parts(
+            &g,
+            &[vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]],
+        );
+        assert_eq!(cg.graph.num_nodes(), 2);
+        assert_eq!(cg.graph.num_edges(), 1); // two parallel edges merged
+    }
+}

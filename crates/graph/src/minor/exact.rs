@@ -1,0 +1,139 @@
+//! Exhaustive minor-density computation for tiny graphs.
+
+use crate::{components, Graph, NodeId};
+
+/// Maximum host size accepted by [`exact_minor_density_small`].
+pub const EXACT_LIMIT: usize = 10;
+
+/// Computes `δ(G)` exactly by enumerating all ways to group vertices into
+/// disjoint branch sets (plus an "unused" class), keeping only groupings
+/// whose branch sets induce connected subgraphs.
+///
+/// Edge deletions never increase density, so enumerating contractions and
+/// vertex deletions suffices. Runs in super-exponential time — restricted to
+/// `n <= 10`; used to validate the heuristics in tests.
+///
+/// # Panics
+///
+/// Panics if `g.num_nodes() > EXACT_LIMIT`.
+pub fn exact_minor_density_small(g: &Graph) -> f64 {
+    let n = g.num_nodes();
+    assert!(
+        n <= EXACT_LIMIT,
+        "exact minor density limited to {EXACT_LIMIT} nodes"
+    );
+    if n == 0 {
+        return 0.0;
+    }
+    let mut assignment: Vec<i32> = vec![-1; n]; // -1 = unused, else group id
+    let mut best = 0.0f64;
+    recurse(g, 0, 0, &mut assignment, &mut best);
+    best
+}
+
+fn recurse(g: &Graph, v: usize, groups: usize, assignment: &mut Vec<i32>, best: &mut f64) {
+    let n = g.num_nodes();
+    if v == n {
+        if groups == 0 {
+            return;
+        }
+        // Connectivity check per group.
+        let mut sets: Vec<Vec<NodeId>> = vec![Vec::new(); groups];
+        for (node, &a) in assignment.iter().enumerate() {
+            if a >= 0 {
+                sets[a as usize].push(NodeId(node as u32));
+            }
+        }
+        for s in &sets {
+            if s.is_empty() || !components::induces_connected(g, s) {
+                return;
+            }
+        }
+        // Count distinct inter-group edges.
+        let mut pairs = std::collections::HashSet::new();
+        for er in g.edges() {
+            let (a, b) = (assignment[er.u.index()], assignment[er.v.index()]);
+            if a >= 0 && b >= 0 && a != b {
+                pairs.insert((a.min(b), a.max(b)));
+            }
+        }
+        let d = pairs.len() as f64 / groups as f64;
+        if d > *best {
+            *best = d;
+        }
+        return;
+    }
+    // Unused.
+    assignment[v] = -1;
+    recurse(g, v + 1, groups, assignment, best);
+    // Existing groups (restricted growth keeps enumeration canonical).
+    for gid in 0..groups {
+        assignment[v] = gid as i32;
+        recurse(g, v + 1, groups, assignment, best);
+    }
+    // New group.
+    assignment[v] = groups as i32;
+    recurse(g, v + 1, groups + 1, assignment, best);
+    assignment[v] = -1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::minor::greedy_contraction_density;
+
+    #[test]
+    fn exact_on_cliques() {
+        assert!((exact_minor_density_small(&gen::complete(4)) - 1.5).abs() < 1e-12);
+        assert!((exact_minor_density_small(&gen::complete(5)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_on_sparse_families() {
+        assert!((exact_minor_density_small(&gen::path(6)) - 5.0 / 6.0).abs() < 1e-12);
+        assert!((exact_minor_density_small(&gen::cycle(6)) - 1.0).abs() < 1e-12);
+        // C_6 contracts to C_3, density still 1 — no denser minor exists.
+    }
+
+    #[test]
+    fn exact_on_small_grid() {
+        // 2x3 grid: contracting the two middle nodes gives K_4 minus an edge
+        // plus...; best known minor density of the 2x3 grid is 7/6 (itself).
+        let g = gen::grid(2, 3);
+        let d = exact_minor_density_small(&g);
+        assert!(d >= 7.0 / 6.0 - 1e-12);
+        assert!(d < 3.0); // planar
+    }
+
+    #[test]
+    fn greedy_never_exceeds_exact() {
+        for g in [
+            gen::complete(5),
+            gen::grid(2, 4),
+            gen::cycle(7),
+            gen::wheel(8),
+            gen::star(9),
+        ] {
+            let exact = exact_minor_density_small(&g);
+            let greedy = greedy_contraction_density(&g, None).density;
+            assert!(
+                greedy <= exact + 1e-9,
+                "greedy {greedy} exceeded exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn rejects_large_graphs() {
+        exact_minor_density_small(&gen::grid(4, 4));
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(exact_minor_density_small(&Graph::from_edges(0, [])), 0.0);
+    }
+
+    use crate::Graph;
+}

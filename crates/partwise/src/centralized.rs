@@ -1,0 +1,56 @@
+//! Centralized reference for part-wise aggregation.
+
+use lcs_congest::protocols::AggOp;
+use lcs_core::Partition;
+
+/// Identity element of an aggregation operator.
+pub(crate) fn identity(op: AggOp) -> u64 {
+    match op {
+        AggOp::Sum => 0,
+        AggOp::Min => u64::MAX,
+        AggOp::Max => 0,
+    }
+}
+
+/// Computes each part's aggregate directly — the ground truth the
+/// distributed solver is checked against.
+///
+/// # Panics
+///
+/// Panics if `values` has fewer entries than the partition references.
+pub fn centralized_aggregate(partition: &Partition, values: &[u64], op: AggOp) -> Vec<u64> {
+    partition
+        .iter()
+        .map(|(_, nodes)| {
+            nodes
+                .iter()
+                .map(|v| values[v.index()])
+                .fold(identity(op), |a, b| op.apply(a, b))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_graph::gen;
+
+    #[test]
+    fn aggregates_per_part() {
+        let g = gen::grid(2, 3);
+        let partition = Partition::from_parts(&g, gen::rows_of_grid(2, 3)).unwrap();
+        let values = vec![5, 1, 9, 100, 2, 30];
+        assert_eq!(
+            centralized_aggregate(&partition, &values, AggOp::Min),
+            vec![1, 2]
+        );
+        assert_eq!(
+            centralized_aggregate(&partition, &values, AggOp::Max),
+            vec![9, 100]
+        );
+        assert_eq!(
+            centralized_aggregate(&partition, &values, AggOp::Sum),
+            vec![15, 132]
+        );
+    }
+}

@@ -1,0 +1,579 @@
+//! Distributed part-wise aggregation over shortcut subgraphs.
+
+use crate::centralized::identity;
+use lcs_congest::protocols::AggOp;
+use lcs_congest::{
+    Ctx, Incoming, MessageSize, NodeProgram, RunMetrics, SimConfig, SimMode, Simulator,
+};
+use lcs_core::{Partition, Shortcut};
+use lcs_graph::{Graph, NodeId, PartId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Configuration of the distributed solver.
+#[derive(Clone, Copy, Debug)]
+pub struct PartwiseConfig {
+    /// Leaders delay their start uniformly in `[0, delay_range)` rounds —
+    /// the random-delays smoothing; `0` disables delays.
+    pub delay_range: u32,
+    /// Seed for delays.
+    pub seed: u64,
+    /// Simulator settings; the mode is forced to
+    /// [`Queued`](lcs_congest::SimMode::Queued) because several protocol
+    /// instances share edges.
+    pub sim: SimConfig,
+}
+
+impl Default for PartwiseConfig {
+    fn default() -> Self {
+        PartwiseConfig {
+            delay_range: 0,
+            seed: 0xde1af,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// Result of [`solve_partwise`].
+#[derive(Clone, Debug)]
+pub struct PartwiseOutcome {
+    /// Aggregate per part as known by its leader (`None` if the leader never
+    /// finished, e.g. because `G[P_i] + H_i` is disconnected).
+    pub results: Vec<Option<u64>>,
+    /// Whether every member of every part learned its part's result.
+    pub all_members_informed: bool,
+    /// Simulation metrics (rounds are the headline number: expect
+    /// `Õ(congestion + dilation)`).
+    pub metrics: RunMetrics,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum PaMsg {
+    /// BFS-offer wave for a part.
+    Offer(u32),
+    /// "You are my parent for this part."
+    Adopt(u32),
+    /// "I already have a parent for this part."
+    Decline(u32),
+    /// Convergecast: aggregate of the sender's subtree.
+    Up(u32, u64),
+    /// Result broadcast.
+    Down(u32, u64),
+}
+
+impl MessageSize for PaMsg {
+    fn size_bits(&self) -> usize {
+        match self {
+            PaMsg::Offer(_) | PaMsg::Adopt(_) | PaMsg::Decline(_) => 3 + 32,
+            PaMsg::Up(..) | PaMsg::Down(..) => 3 + 32 + 64,
+        }
+    }
+}
+
+/// Per-(node, part) protocol state.
+#[derive(Clone, Debug)]
+struct PartState {
+    ports: Vec<usize>,
+    parent: Option<usize>,
+    started: bool,
+    awaiting_replies: usize,
+    children: Vec<usize>,
+    pending_up: usize,
+    acc: u64,
+    is_leader: bool,
+    up_sent: bool,
+    result: Option<u64>,
+}
+
+struct PaProgram {
+    op: AggOp,
+    /// part id -> state.
+    states: HashMap<u32, PartState>,
+    /// (part, remaining delay) for leader starts.
+    delays: Vec<(u32, u32)>,
+    /// Per-part scheduling priority (the part's random delay, reused as a
+    /// queue priority so late-starting parts also yield edge access).
+    priority: HashMap<u32, u64>,
+}
+
+impl PaProgram {
+    fn start_part(&mut self, part: u32, ctx: &mut Ctx<'_, PaMsg>) {
+        let prio = self.priority[&part];
+        let st = self.states.get_mut(&part).expect("leader state exists");
+        st.started = true;
+        st.awaiting_replies = st.ports.len();
+        for &p in &st.ports {
+            ctx.send_with_priority(p, PaMsg::Offer(part), prio);
+        }
+        self.maybe_up(part, ctx);
+    }
+
+    fn maybe_up(&mut self, part: u32, ctx: &mut Ctx<'_, PaMsg>) {
+        let prio = self.priority[&part];
+        let st = self.states.get_mut(&part).expect("state exists");
+        if st.up_sent || !st.started || st.awaiting_replies > 0 || st.pending_up > 0 {
+            return;
+        }
+        st.up_sent = true;
+        if st.is_leader {
+            st.result = Some(st.acc);
+            let acc = st.acc;
+            let children = st.children.clone();
+            for p in children {
+                ctx.send_with_priority(p, PaMsg::Down(part, acc), prio);
+            }
+        } else {
+            let parent = st.parent.expect("non-leader has a parent once started");
+            let acc = st.acc;
+            ctx.send_with_priority(parent, PaMsg::Up(part, acc), prio);
+        }
+    }
+}
+
+impl NodeProgram for PaProgram {
+    type Msg = PaMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, PaMsg>) {
+        let immediate: Vec<u32> = self
+            .delays
+            .iter()
+            .filter(|&&(_, d)| d == 0)
+            .map(|&(p, _)| p)
+            .collect();
+        self.delays.retain(|&(_, d)| d > 0);
+        for part in immediate {
+            self.start_part(part, ctx);
+        }
+        if !self.delays.is_empty() {
+            ctx.wake_next_round();
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, PaMsg>, inbox: &[Incoming<PaMsg>]) {
+        // Tick leader delays.
+        if !self.delays.is_empty() {
+            let mut ready = Vec::new();
+            for d in &mut self.delays {
+                d.1 -= 1;
+                if d.1 == 0 {
+                    ready.push(d.0);
+                }
+            }
+            self.delays.retain(|&(_, d)| d > 0);
+            for part in ready {
+                self.start_part(part, ctx);
+            }
+            if !self.delays.is_empty() {
+                ctx.wake_next_round();
+            }
+        }
+
+        for m in inbox {
+            match m.msg {
+                PaMsg::Offer(part) => {
+                    let prio = self.priority[&part];
+                    let st = self
+                        .states
+                        .get_mut(&part)
+                        .expect("offer only travels participating edges");
+                    if st.started {
+                        ctx.send_with_priority(m.port, PaMsg::Decline(part), prio);
+                    } else {
+                        st.started = true;
+                        st.parent = Some(m.port);
+                        st.awaiting_replies = st.ports.len() - 1;
+                        ctx.send_with_priority(m.port, PaMsg::Adopt(part), prio);
+                        let ports = st.ports.clone();
+                        for p in ports {
+                            if p != m.port {
+                                ctx.send_with_priority(p, PaMsg::Offer(part), prio);
+                            }
+                        }
+                        self.maybe_up(part, ctx);
+                    }
+                }
+                PaMsg::Adopt(part) => {
+                    let st = self.states.get_mut(&part).expect("state exists");
+                    st.children.push(m.port);
+                    st.pending_up += 1;
+                    st.awaiting_replies -= 1;
+                    self.maybe_up(part, ctx);
+                }
+                PaMsg::Decline(part) => {
+                    let st = self.states.get_mut(&part).expect("state exists");
+                    st.awaiting_replies -= 1;
+                    self.maybe_up(part, ctx);
+                }
+                PaMsg::Up(part, val) => {
+                    let op = self.op;
+                    let st = self.states.get_mut(&part).expect("state exists");
+                    st.acc = op.apply(st.acc, val);
+                    st.pending_up -= 1;
+                    self.maybe_up(part, ctx);
+                }
+                PaMsg::Down(part, val) => {
+                    let prio = self.priority[&part];
+                    let st = self.states.get_mut(&part).expect("state exists");
+                    if st.result.is_none() {
+                        st.result = Some(val);
+                        let children = st.children.clone();
+                        for p in children {
+                            ctx.send_with_priority(p, PaMsg::Down(part, val), prio);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.states.values().all(|st| st.result.is_some())
+    }
+}
+
+/// Solves part-wise aggregation distributedly over `G[P_i] + H_i`.
+///
+/// `leaders[i]`, when given, must be a member of part `i`; by default the
+/// minimum-id member leads. Every part's subgraph must be connected for the
+/// run to complete (a disconnected part simply never finishes and is
+/// reported as uninformed).
+///
+/// # Panics
+///
+/// Panics if `values.len() != g.num_nodes()`, a leader is not a member of
+/// its part, or the shortcut's shape differs from the partition's.
+pub fn solve_partwise(
+    g: &Graph,
+    partition: &Partition,
+    shortcut: &Shortcut,
+    values: &[u64],
+    op: AggOp,
+    leaders: Option<&[NodeId]>,
+    cfg: &PartwiseConfig,
+) -> PartwiseOutcome {
+    assert_eq!(values.len(), g.num_nodes(), "one value per node");
+    assert_eq!(
+        shortcut.num_parts(),
+        partition.num_parts(),
+        "shortcut and partition shapes differ"
+    );
+    let k = partition.num_parts();
+    let default_leaders: Vec<NodeId> = partition
+        .iter()
+        .map(|(_, nodes)| *nodes.iter().min().expect("parts are non-empty"))
+        .collect();
+    let leaders = leaders.unwrap_or(&default_leaders);
+    assert_eq!(leaders.len(), k, "one leader per part");
+    for (i, &l) in leaders.iter().enumerate() {
+        assert_eq!(
+            partition.part_of(l),
+            Some(PartId(i as u32)),
+            "leader {l:?} is not a member of part {i}"
+        );
+    }
+
+    // Participation: per node, per part, the participating ports.
+    // An edge participates in part i iff it is in H_i or both endpoints lie
+    // in P_i.
+    let mut participation: Vec<HashMap<u32, Vec<usize>>> = vec![HashMap::new(); g.num_nodes()];
+    let mut register = |part: u32, u: NodeId, v: NodeId| {
+        let pu = g
+            .neighbors(u)
+            .binary_search_by_key(&v, |nb| nb.node)
+            .expect("edge endpoints adjacent");
+        participation[u.index()].entry(part).or_default().push(pu);
+    };
+    for (pid, _) in partition.iter() {
+        for &e in shortcut.edges_for(pid) {
+            let (u, v) = g.endpoints(e);
+            register(pid.0, u, v);
+            register(pid.0, v, u);
+        }
+    }
+    for er in g.edges() {
+        let (pu, pv) = (partition.part_of(er.u), partition.part_of(er.v));
+        if let (Some(a), Some(b)) = (pu, pv) {
+            if a == b && !shortcut.contains(a, er.id) {
+                register(a.0, er.u, er.v);
+                register(a.0, er.v, er.u);
+            }
+        }
+    }
+    for lists in &mut participation {
+        for ports in lists.values_mut() {
+            ports.sort_unstable();
+            ports.dedup();
+        }
+    }
+
+    // Random delays per part.
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let delays: Vec<u32> = (0..k)
+        .map(|_| {
+            if cfg.delay_range == 0 {
+                0
+            } else {
+                rng.gen_range(0..cfg.delay_range)
+            }
+        })
+        .collect();
+
+    let sim_cfg = SimConfig {
+        mode: SimMode::Queued,
+        ..cfg.sim
+    };
+    let sim = Simulator::new(g, sim_cfg);
+    let run = sim.run(|v, _| {
+        let mut states = HashMap::new();
+        let mut priority = HashMap::new();
+        let mut node_delays = Vec::new();
+        // States for parts this node participates in (as relay or member).
+        let mut parts: Vec<u32> = participation[v.index()].keys().copied().collect();
+        if let Some(pid) = partition.part_of(v) {
+            if !parts.contains(&pid.0) {
+                parts.push(pid.0); // singleton part without edges
+            }
+        }
+        for part in parts {
+            let is_member = partition.part_of(v) == Some(PartId(part));
+            let is_leader = leaders[part as usize] == v;
+            let ports = participation[v.index()]
+                .get(&part)
+                .cloned()
+                .unwrap_or_default();
+            states.insert(
+                part,
+                PartState {
+                    ports,
+                    parent: None,
+                    started: false,
+                    awaiting_replies: 0,
+                    children: Vec::new(),
+                    pending_up: 0,
+                    acc: if is_member {
+                        values[v.index()]
+                    } else {
+                        identity(op)
+                    },
+                    is_leader,
+                    up_sent: false,
+                    result: None,
+                },
+            );
+            priority.insert(part, u64::from(delays[part as usize]));
+            if is_leader {
+                node_delays.push((part, delays[part as usize]));
+            }
+        }
+        PaProgram {
+            op,
+            states,
+            delays: node_delays,
+            priority,
+        }
+    });
+
+    // Collect results.
+    let mut results: Vec<Option<u64>> = vec![None; k];
+    let mut all_informed = true;
+    for (i, &leader) in leaders.iter().enumerate() {
+        let part = i as u32;
+        results[i] = run.programs[leader.index()]
+            .states
+            .get(&part)
+            .and_then(|st| st.result);
+        for &member in partition.part(PartId(part)) {
+            let informed = run.programs[member.index()]
+                .states
+                .get(&part)
+                .map(|st| st.result.is_some())
+                .unwrap_or(false);
+            if !informed {
+                all_informed = false;
+            }
+        }
+    }
+
+    PartwiseOutcome {
+        results,
+        all_members_informed: all_informed,
+        metrics: run.metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_core::{baseline, full_shortcut, ShortcutConfig};
+    use lcs_graph::{bfs, gen};
+
+    fn grid_setup(side: usize) -> (Graph, Partition, Shortcut) {
+        let g = gen::grid(side, side);
+        let partition = Partition::from_parts(&g, gen::rows_of_grid(side, side)).unwrap();
+        let tree = bfs::bfs_tree(&g, NodeId(0));
+        let built = full_shortcut(&g, &tree, &partition, &ShortcutConfig::default());
+        (g, partition, built.shortcut)
+    }
+
+    #[test]
+    fn matches_centralized_for_all_ops() {
+        let (g, partition, shortcut) = grid_setup(8);
+        let values: Vec<u64> = (0..g.num_nodes() as u64).map(|x| (x * 37) % 101).collect();
+        for op in [AggOp::Min, AggOp::Max, AggOp::Sum] {
+            let out = solve_partwise(
+                &g,
+                &partition,
+                &shortcut,
+                &values,
+                op,
+                None,
+                &PartwiseConfig::default(),
+            );
+            assert!(out.metrics.terminated);
+            assert!(out.all_members_informed);
+            let expect = crate::centralized_aggregate(&partition, &values, op);
+            let got: Vec<u64> = out.results.iter().map(|r| r.unwrap()).collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn no_shortcut_still_correct_but_slower() {
+        let (g, partition, shortcut) = grid_setup(8);
+        let empty = baseline::no_shortcut(&partition);
+        let values: Vec<u64> = (0..g.num_nodes() as u64).collect();
+        let with = solve_partwise(
+            &g,
+            &partition,
+            &shortcut,
+            &values,
+            AggOp::Sum,
+            None,
+            &PartwiseConfig::default(),
+        );
+        let without = solve_partwise(
+            &g,
+            &partition,
+            &empty,
+            &values,
+            AggOp::Sum,
+            None,
+            &PartwiseConfig::default(),
+        );
+        assert!(with.all_members_informed && without.all_members_informed);
+        assert_eq!(with.results, without.results);
+        // On short row parts the shortcut brings no speedup (the rows are
+        // already paths of length 7) — correctness must hold either way. The
+        // wheel test below covers the speedup claim.
+    }
+
+    #[test]
+    fn wheel_rim_needs_shortcuts() {
+        // The paper's Section 2 wheel example: D = 2, rim diameter Θ(n).
+        let n = 64;
+        let g = gen::wheel(n);
+        let rim: Vec<NodeId> = (1..n as u32).map(NodeId).collect();
+        let partition = Partition::from_parts(&g, vec![rim]).unwrap();
+        let tree = bfs::bfs_tree(&g, NodeId(0));
+        let built = full_shortcut(&g, &tree, &partition, &ShortcutConfig::default());
+        let values: Vec<u64> = (0..n as u64).collect();
+
+        let with = solve_partwise(
+            &g,
+            &partition,
+            &built.shortcut,
+            &values,
+            AggOp::Max,
+            None,
+            &PartwiseConfig::default(),
+        );
+        let without = solve_partwise(
+            &g,
+            &partition,
+            &baseline::no_shortcut(&partition),
+            &values,
+            AggOp::Max,
+            None,
+            &PartwiseConfig::default(),
+        );
+        assert_eq!(with.results[0], Some(n as u64 - 1));
+        assert_eq!(without.results[0], Some(n as u64 - 1));
+        // Shortcut routes through the hub: O(1) diameter vs Θ(n) rim walk.
+        assert!(
+            with.metrics.rounds * 4 < without.metrics.rounds,
+            "with {} vs without {}",
+            with.metrics.rounds,
+            without.metrics.rounds
+        );
+    }
+
+    #[test]
+    fn disconnected_shortcut_reports_uninformed() {
+        let g = gen::path(6);
+        let partition = Partition::from_parts(&g, vec![vec![NodeId(0), NodeId(1)]]).unwrap();
+        // A shortcut edge disconnected from the part.
+        let far = g.find_edge(NodeId(4), NodeId(5)).unwrap();
+        let s = Shortcut::from_edge_lists(vec![vec![far]]);
+        let values = vec![1; 6];
+        let out = solve_partwise(
+            &g,
+            &partition,
+            &s,
+            &values,
+            AggOp::Sum,
+            None,
+            &PartwiseConfig::default(),
+        );
+        // The members finish (their side is connected) and the run quiesces
+        // early, but the relay island never hears an offer, so the run does
+        // not count as fully terminated.
+        assert!(!out.metrics.terminated);
+        assert!(out.metrics.rounds < 100);
+        assert!(out.all_members_informed);
+        assert_eq!(out.results[0], Some(2));
+    }
+
+    #[test]
+    fn explicit_leaders_and_delays() {
+        let (g, partition, shortcut) = grid_setup(6);
+        let leaders: Vec<NodeId> = partition
+            .iter()
+            .map(|(_, nodes)| *nodes.last().unwrap())
+            .collect();
+        let values = vec![3u64; g.num_nodes()];
+        let out = solve_partwise(
+            &g,
+            &partition,
+            &shortcut,
+            &values,
+            AggOp::Sum,
+            Some(&leaders),
+            &PartwiseConfig {
+                delay_range: 8,
+                ..PartwiseConfig::default()
+            },
+        );
+        assert!(out.all_members_informed);
+        assert!(out.results.iter().all(|&r| r == Some(18)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member")]
+    fn foreign_leader_rejected() {
+        let (g, partition, shortcut) = grid_setup(4);
+        let bad: Vec<NodeId> = vec![NodeId(0); 4];
+        let values = vec![0u64; g.num_nodes()];
+        solve_partwise(
+            &g,
+            &partition,
+            &shortcut,
+            &values,
+            AggOp::Sum,
+            Some(&bad),
+            &PartwiseConfig::default(),
+        );
+    }
+
+    use lcs_graph::Graph;
+}

@@ -1,0 +1,46 @@
+//! Part-wise aggregation (Definition 2.1 of the paper), centralized and
+//! distributed.
+//!
+//! Given a partition into connected parts and a value per node, every node
+//! of part `P_i` must learn an aggregate (min / max / sum) of its part's
+//! values. Shortcuts exist precisely to make this fast: the distributed
+//! solver runs one echo protocol per part over `G[P_i] + H_i` — offer wave
+//! from the leader, adopt/decline replies, convergecast, result broadcast —
+//! multiplexed with the random-delays technique [LMR94, Gha15] on the queued
+//! CONGEST simulator, completing in `Õ(congestion + dilation)` rounds.
+//!
+//! # Example
+//!
+//! ```
+//! use lcs_congest::protocols::AggOp;
+//! use lcs_core::{full_shortcut, Partition, ShortcutConfig};
+//! use lcs_graph::{bfs, gen, NodeId};
+//! use lcs_partwise::{solve_partwise, PartwiseConfig};
+//!
+//! let g = gen::grid(6, 6);
+//! let partition = Partition::from_parts(&g, gen::rows_of_grid(6, 6))?;
+//! let tree = bfs::bfs_tree(&g, NodeId(0));
+//! let built = full_shortcut(&g, &tree, &partition, &ShortcutConfig::default());
+//! let values: Vec<u64> = (0..36).collect();
+//!
+//! let out = solve_partwise(
+//!     &g, &partition, &built.shortcut, &values, AggOp::Max, None,
+//!     &PartwiseConfig::default(),
+//! );
+//! assert!(out.all_members_informed);
+//! assert_eq!(out.results[0], Some(5)); // max of row 0's values 0..=5
+//! # Ok::<(), lcs_core::PartitionError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod centralized;
+mod dist;
+pub mod gossip;
+pub mod unicast;
+
+pub use centralized::centralized_aggregate;
+pub use dist::{solve_partwise, PartwiseConfig, PartwiseOutcome};
+pub use gossip::{gossip_aggregate, GossipOutcome, IdempotentOp};
+pub use unicast::{route_multiple_unicasts, UnicastConfig, UnicastOutcome};

@@ -1,0 +1,354 @@
+//! Multiple unicasts along tree paths — the second communication primitive
+//! the paper lists next to part-wise aggregation (§1.2).
+//!
+//! Given packets `(s_i, t_i)` routed along their unique tree paths, the
+//! random-delays technique [LMR94, Gha15] delivers all of them in
+//! `O(congestion + dilation·log n)` rounds, where congestion is the maximum
+//! number of paths over an edge and dilation the maximum path length. This
+//! module implements the store-and-forward protocol on the queued simulator
+//! and reports measured rounds against those two quantities.
+
+use lcs_congest::{
+    Ctx, Incoming, MessageSize, NodeProgram, RunMetrics, SimConfig, SimMode, Simulator,
+};
+use lcs_graph::{Graph, NodeId, RootedTree};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Configuration for [`route_multiple_unicasts`].
+#[derive(Clone, Copy, Debug)]
+pub struct UnicastConfig {
+    /// Packets start after a uniform random delay in `[0, delay_range)`
+    /// (0 disables delays; the per-packet queue priority still randomizes
+    /// drain order).
+    pub delay_range: u32,
+    /// Seed for delays and priorities.
+    pub seed: u64,
+    /// Simulator settings (mode forced to queued).
+    pub sim: SimConfig,
+}
+
+impl Default for UnicastConfig {
+    fn default() -> Self {
+        UnicastConfig {
+            delay_range: 0,
+            seed: 0x0417,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// Result of a routing run.
+#[derive(Clone, Debug)]
+pub struct UnicastOutcome {
+    /// Number of packets that reached their targets.
+    pub delivered: usize,
+    /// The instance's path congestion `c` (max paths over one edge).
+    pub congestion: u32,
+    /// The instance's dilation `d` (max path length in edges).
+    pub dilation: u32,
+    /// Simulation metrics; `metrics.rounds` is the headline number, to be
+    /// compared against `c + d`.
+    pub metrics: RunMetrics,
+}
+
+/// A packet in flight: its id (index into the pair list).
+#[derive(Clone, Copy, Debug)]
+struct Packet(u32);
+
+impl MessageSize for Packet {
+    fn size_bits(&self) -> usize {
+        32
+    }
+}
+
+struct RouterProgram {
+    /// packet id -> outgoing port for packets this node must forward.
+    forward: HashMap<u32, usize>,
+    /// Packets originating here: (packet id, remaining delay).
+    inject: Vec<(u32, u32)>,
+    /// Packet ids this node is the target of (receipt recorded here).
+    expect: Vec<u32>,
+    received: Vec<u32>,
+    /// Per-packet priorities (shared random map).
+    priority: HashMap<u32, u64>,
+}
+
+impl RouterProgram {
+    fn send_packet(&self, id: u32, ctx: &mut Ctx<'_, Packet>) {
+        let port = self.forward[&id];
+        ctx.send_with_priority(port, Packet(id), self.priority[&id]);
+    }
+}
+
+impl NodeProgram for RouterProgram {
+    type Msg = Packet;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        let ready: Vec<u32> = self
+            .inject
+            .iter()
+            .filter(|&&(_, d)| d == 0)
+            .map(|&(id, _)| id)
+            .collect();
+        self.inject.retain(|&(_, d)| d > 0);
+        for id in ready {
+            self.send_packet(id, ctx);
+        }
+        if !self.inject.is_empty() {
+            ctx.wake_next_round();
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Packet>, inbox: &[Incoming<Packet>]) {
+        if !self.inject.is_empty() {
+            let mut ready = Vec::new();
+            for item in &mut self.inject {
+                item.1 -= 1;
+                if item.1 == 0 {
+                    ready.push(item.0);
+                }
+            }
+            self.inject.retain(|&(_, d)| d > 0);
+            for id in ready {
+                self.send_packet(id, ctx);
+            }
+            if !self.inject.is_empty() {
+                ctx.wake_next_round();
+            }
+        }
+        for m in inbox {
+            let id = m.msg.0;
+            if self.expect.contains(&id) {
+                self.received.push(id);
+            } else {
+                self.send_packet(id, ctx);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.inject.is_empty() && self.received.len() == self.expect.len()
+    }
+}
+
+/// Routes one packet per `(source, target)` pair along its unique tree path,
+/// all pairs concurrently, under random-delay scheduling.
+///
+/// # Panics
+///
+/// Panics if some endpoint lies outside the tree's component, or a source
+/// equals its target.
+pub fn route_multiple_unicasts(
+    g: &Graph,
+    tree: &RootedTree,
+    pairs: &[(NodeId, NodeId)],
+    cfg: &UnicastConfig,
+) -> UnicastOutcome {
+    // Tree paths (up to the LCA, then down) with per-edge load counting.
+    let mut load = vec![0u32; g.num_edges()];
+    let mut dilation = 0u32;
+    // forward tables: node -> (packet -> port).
+    let mut forward: Vec<HashMap<u32, usize>> = vec![HashMap::new(); g.num_nodes()];
+    for (i, &(s, t)) in pairs.iter().enumerate() {
+        assert!(s != t, "source equals target for packet {i}");
+        assert!(
+            tree.contains(s) && tree.contains(t),
+            "unicast endpoints must be in the tree"
+        );
+        let path = tree_path(tree, s, t);
+        dilation = dilation.max(path.len() as u32);
+        let mut cur = s;
+        for &next in &path {
+            let port = g
+                .neighbors(cur)
+                .binary_search_by_key(&next, |nb| nb.node)
+                .expect("tree path steps along edges");
+            let edge = g.neighbors(cur)[port].edge;
+            load[edge.index()] += 1;
+            forward[cur.index()].insert(i as u32, port);
+            cur = next;
+        }
+    }
+    let congestion = load.iter().copied().max().unwrap_or(0);
+
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let delays: Vec<u32> = pairs
+        .iter()
+        .map(|_| {
+            if cfg.delay_range == 0 {
+                0
+            } else {
+                rng.gen_range(0..cfg.delay_range)
+            }
+        })
+        .collect();
+    let priorities: Vec<u64> = pairs.iter().map(|_| rng.gen()).collect();
+
+    let sim_cfg = SimConfig {
+        mode: SimMode::Queued,
+        ..cfg.sim
+    };
+    let sim = Simulator::new(g, sim_cfg);
+    let run = sim.run(|v, _| {
+        let mut priority = HashMap::new();
+        let fwd = forward[v.index()].clone();
+        for &id in fwd.keys() {
+            priority.insert(id, priorities[id as usize]);
+        }
+        let inject: Vec<(u32, u32)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(s, _))| s == v)
+            .map(|(i, _)| (i as u32, delays[i]))
+            .collect();
+        for &(id, _) in &inject {
+            priority.insert(id, priorities[id as usize]);
+        }
+        let expect: Vec<u32> = pairs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(_, t))| t == v)
+            .map(|(i, _)| i as u32)
+            .collect();
+        RouterProgram {
+            forward: fwd,
+            inject,
+            expect,
+            received: Vec::new(),
+            priority,
+        }
+    });
+
+    let delivered = run.programs.iter().map(|p| p.received.len()).sum::<usize>();
+    UnicastOutcome {
+        delivered,
+        congestion,
+        dilation,
+        metrics: run.metrics,
+    }
+}
+
+/// The node sequence from `s` to `t` along the tree (excluding `s`,
+/// including `t`): ascend to the LCA, then descend.
+fn tree_path(tree: &RootedTree, s: NodeId, t: NodeId) -> Vec<NodeId> {
+    let (mut a, mut b) = (s, t);
+    let mut up = Vec::new(); // nodes after s, ascending (ends at the LCA)
+    let mut down = Vec::new(); // nodes from t upward, excluding the LCA
+    while tree.depth(a) > tree.depth(b) {
+        a = tree.parent(a).expect("deeper node has parent").0;
+        up.push(a);
+    }
+    while tree.depth(b) > tree.depth(a) {
+        down.push(b);
+        b = tree.parent(b).expect("deeper node has parent").0;
+    }
+    while a != b {
+        a = tree.parent(a).expect("non-root").0;
+        up.push(a);
+        down.push(b);
+        b = tree.parent(b).expect("non-root").0;
+    }
+    // If s itself is the LCA, `up` is empty and the descent starts at s.
+    up.extend(down.into_iter().rev());
+    up
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_graph::{bfs, gen};
+
+    fn tree_of(g: &Graph) -> RootedTree {
+        bfs::bfs_tree(g, NodeId(0))
+    }
+
+    #[test]
+    fn tree_path_cases() {
+        let g = gen::path(7);
+        let t = tree_of(&g);
+        // Ancestor to descendant.
+        assert_eq!(
+            tree_path(&t, NodeId(1), NodeId(4)),
+            vec![NodeId(2), NodeId(3), NodeId(4)]
+        );
+        // Descendant to ancestor.
+        assert_eq!(
+            tree_path(&t, NodeId(4), NodeId(1)),
+            vec![NodeId(3), NodeId(2), NodeId(1)]
+        );
+    }
+
+    #[test]
+    fn tree_path_through_lca() {
+        let g = gen::grid(3, 3);
+        let t = tree_of(&g);
+        let path = tree_path(&t, NodeId(6), NodeId(2));
+        // Path must end at the target and walk along tree edges.
+        assert_eq!(*path.last().unwrap(), NodeId(2));
+        let mut cur = NodeId(6);
+        for &next in &path {
+            assert!(
+                g.has_edge(cur, next),
+                "step {cur:?} -> {next:?} not an edge"
+            );
+            cur = next;
+        }
+    }
+
+    #[test]
+    fn all_packets_delivered_on_grid() {
+        let g = gen::grid(8, 8);
+        let t = tree_of(&g);
+        let pairs: Vec<(NodeId, NodeId)> = (0..16).map(|i| (NodeId(i), NodeId(63 - i))).collect();
+        let out = route_multiple_unicasts(&g, &t, &pairs, &UnicastConfig::default());
+        assert!(out.metrics.terminated);
+        assert_eq!(out.delivered, 16);
+        assert!(out.congestion >= 1 && out.dilation >= 1);
+        // LMR shape: rounds within a small factor of c + d.
+        let budget = u64::from(out.congestion + out.dilation);
+        assert!(
+            out.metrics.rounds <= 4 * budget,
+            "rounds {} vs budget {budget}",
+            out.metrics.rounds
+        );
+    }
+
+    #[test]
+    fn hotspot_congestion_is_serialized_fairly() {
+        // Star: every packet must cross the hub; congestion = k.
+        let g = gen::star(12);
+        let t = tree_of(&g);
+        let pairs: Vec<(NodeId, NodeId)> = (1..7).map(|i| (NodeId(i), NodeId(i + 5))).collect();
+        let out = route_multiple_unicasts(&g, &t, &pairs, &UnicastConfig::default());
+        assert_eq!(out.delivered, 6);
+        assert_eq!(out.dilation, 2);
+        // All six packets enter distinct hub edges but leave over distinct
+        // edges too; rounds stay near c + d.
+        assert!(out.metrics.rounds <= u64::from(out.congestion + out.dilation) + 2);
+    }
+
+    #[test]
+    fn random_delays_do_not_lose_packets() {
+        let g = gen::torus(6, 6);
+        let t = tree_of(&g);
+        let pairs: Vec<(NodeId, NodeId)> = (0..12).map(|i| (NodeId(i), NodeId(35 - i))).collect();
+        let cfg = UnicastConfig {
+            delay_range: 8,
+            ..UnicastConfig::default()
+        };
+        let out = route_multiple_unicasts(&g, &t, &pairs, &cfg);
+        assert_eq!(out.delivered, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "source equals target")]
+    fn rejects_self_pairs() {
+        let g = gen::path(3);
+        let t = tree_of(&g);
+        route_multiple_unicasts(&g, &t, &[(NodeId(1), NodeId(1))], &UnicastConfig::default());
+    }
+
+    use lcs_graph::Graph;
+}

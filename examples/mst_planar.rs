@@ -1,0 +1,55 @@
+//! Distributed MST on a planar network (Corollary 1.6): shortcut-based
+//! Boruvka versus the `D+√n` baseline and the no-shortcut strawman, checked
+//! against Kruskal.
+//!
+//! Run with: `cargo run --release --example mst_planar`
+
+use lcs_graph::weights::EdgeWeights;
+use low_congestion_shortcuts::algos::mst::{
+    distributed_mst, kruskal, BoruvkaConfig, ShortcutProvider,
+};
+use low_congestion_shortcuts::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let side = 24;
+    let g = gen::grid(side, side);
+    let mut rng = SmallRng::seed_from_u64(2024);
+    let weights = EdgeWeights::random_unique(&g, &mut rng);
+
+    let reference = kruskal(&g, &weights);
+    let ref_weight = weights.total(reference.iter().copied());
+    println!(
+        "grid {side}x{side}: n = {}, m = {}, MST weight (Kruskal) = {ref_weight}",
+        g.num_nodes(),
+        g.num_edges()
+    );
+    println!(
+        "{:<22} {:>8} {:>10} {:>8}",
+        "provider", "phases", "rounds", "exact?"
+    );
+
+    for (name, provider) in [
+        (
+            "minor-sweep (oracle)",
+            ShortcutProvider::MinorSweepOracle(ShortcutConfig::default()),
+        ),
+        ("baseline D+sqrt(n)", ShortcutProvider::Baseline),
+        ("no shortcuts", ShortcutProvider::None),
+    ] {
+        let cfg = BoruvkaConfig {
+            provider,
+            ..BoruvkaConfig::default()
+        };
+        let report = distributed_mst(&g, &weights, NodeId(0), &cfg);
+        assert_eq!(report.edges, reference, "{name} must produce the exact MST");
+        println!(
+            "{:<22} {:>8} {:>10} {:>8}",
+            name,
+            report.phases,
+            report.rounds.total(),
+            "yes"
+        );
+    }
+}

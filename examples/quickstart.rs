@@ -1,0 +1,47 @@
+//! Quickstart: construct a tree-restricted shortcut on a planar grid and
+//! check it against the paper's bounds.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use low_congestion_shortcuts::prelude::*;
+
+fn main() {
+    // A 32x32 planar grid (minor density δ < 3, diameter 62) whose rows are
+    // the parts of a part-wise aggregation instance.
+    let side = 32;
+    let g = gen::grid(side, side);
+    let parts = Partition::from_parts(&g, gen::rows_of_grid(side, side))
+        .expect("grid rows are disjoint connected paths");
+    let tree = bfs::bfs_tree(&g, NodeId(0));
+    let d = tree.depth_of_tree();
+
+    println!(
+        "graph: n = {}, m = {}, tree depth D = {d}",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    // Theorem 1.2 machinery: doubling search + Observation 2.7 loop.
+    let built = full_shortcut(&g, &tree, &parts, &ShortcutConfig::default());
+    let q = measure_quality(&g, &parts, &tree, &built.shortcut);
+
+    println!(
+        "construction: δ̂ = {}, rounds = {}",
+        built.delta_hat, built.successful_rounds
+    );
+    println!(
+        "measured:  congestion = {:>4}   dilation <= {:>4}   blocks = {}",
+        q.max_congestion, q.max_dilation_upper, q.max_blocks
+    );
+    println!(
+        "bounds:    congestion <= {:>3}   dilation <= {:>4}   blocks <= {}",
+        8 * built.delta_hat * d * built.successful_rounds as u32,
+        (8 * built.delta_hat + 1) * (2 * d + 1),
+        8 * built.delta_hat + 1
+    );
+    assert!(q.tree_restricted && q.all_connected());
+    assert!(q.max_blocks <= 8 * built.delta_hat + 1);
+
+    // The quality governs part-wise aggregation: Q = c + d.
+    println!("shortcut quality Q = c + d = {}", q.quality());
+}

@@ -1,0 +1,55 @@
+//! The paper's Section 2 motivating example: a wheel graph has diameter 2,
+//! but its rim — a single part — has induced diameter Θ(n). Part-wise
+//! aggregation inside the part alone needs Θ(n) rounds; with a shortcut
+//! through the hub it needs O(1)·D.
+//!
+//! Run with: `cargo run --release --example wheel_aggregation`
+
+use low_congestion_shortcuts::congest::protocols::AggOp;
+use low_congestion_shortcuts::core::baseline;
+use low_congestion_shortcuts::partwise::{solve_partwise, PartwiseConfig};
+use low_congestion_shortcuts::prelude::*;
+
+fn main() {
+    println!(
+        "{:>6} {:>16} {:>18} {:>8}",
+        "n", "rounds (none)", "rounds (shortcut)", "speedup"
+    );
+    for exp in 5..=10 {
+        let n = 1 << exp;
+        let g = gen::wheel(n);
+        let rim: Vec<NodeId> = (1..n as u32).map(NodeId).collect();
+        let parts = Partition::from_parts(&g, vec![rim]).expect("rim is connected");
+        let tree = bfs::bfs_tree(&g, NodeId(0));
+        let built = full_shortcut(&g, &tree, &parts, &ShortcutConfig::default());
+        let values: Vec<u64> = (0..n as u64).collect();
+
+        let with = solve_partwise(
+            &g,
+            &parts,
+            &built.shortcut,
+            &values,
+            AggOp::Max,
+            None,
+            &PartwiseConfig::default(),
+        );
+        let without = solve_partwise(
+            &g,
+            &parts,
+            &baseline::no_shortcut(&parts),
+            &values,
+            AggOp::Max,
+            None,
+            &PartwiseConfig::default(),
+        );
+        assert_eq!(with.results[0], Some(n as u64 - 1));
+        assert_eq!(without.results[0], Some(n as u64 - 1));
+        println!(
+            "{:>6} {:>16} {:>18} {:>7.1}x",
+            n,
+            without.metrics.rounds,
+            with.metrics.rounds,
+            without.metrics.rounds as f64 / with.metrics.rounds as f64
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Low-congestion shortcuts for graphs excluding dense minors.
+//!
+//! This is the umbrella crate of the workspace reproducing
+//! *Ghaffari & Haeupler, "Low-Congestion Shortcuts for Graphs Excluding
+//! Dense Minors" (PODC 2021)*. It re-exports the member crates:
+//!
+//! * [`graph`] — graph substrate, generators, minors ([`lcs_graph`]),
+//! * [`congest`] — CONGEST-model simulator ([`lcs_congest`]),
+//! * [`core`] — the shortcut construction and certificates ([`lcs_core`]),
+//! * [`partwise`] — part-wise aggregation ([`lcs_partwise`]),
+//! * [`algos`] — shortcut-based distributed algorithms ([`lcs_algos`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use low_congestion_shortcuts::prelude::*;
+//!
+//! // A 16x16 planar grid with its rows as parts.
+//! let g = gen::grid(16, 16);
+//! let parts = Partition::from_parts(&g, gen::rows_of_grid(16, 16)).unwrap();
+//! let tree = bfs::bfs_tree(&g, NodeId(0));
+//!
+//! // Construct a full tree-restricted shortcut (Theorem 1.2 machinery).
+//! let built = full_shortcut(&g, &tree, &parts, &ShortcutConfig::default());
+//! let quality = measure_quality(&g, &parts, &tree, &built.shortcut);
+//! assert!(quality.max_congestion >= 1);
+//! ```
+
+pub use lcs_algos as algos;
+pub use lcs_congest as congest;
+pub use lcs_core as core;
+pub use lcs_graph as graph;
+pub use lcs_partwise as partwise;
+
+/// Convenient glob-import surface for examples and downstream users.
+pub mod prelude {
+    pub use lcs_core::{
+        full_shortcut, measure_quality, partial_shortcut_or_witness, Partition, Shortcut,
+        ShortcutConfig,
+    };
+    pub use lcs_graph::{bfs, diameter, gen, minor, EdgeId, Graph, NodeId, PartId, RootedTree};
+}

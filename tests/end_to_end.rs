@@ -1,0 +1,180 @@
+//! Cross-crate integration: the full pipeline from graph generation through
+//! shortcut construction, quality verification, part-wise aggregation, and
+//! the distributed algorithms.
+
+use lcs_graph::weights::EdgeWeights;
+use low_congestion_shortcuts::algos::mst::{
+    distributed_mst, kruskal, BoruvkaConfig, ShortcutProvider,
+};
+use low_congestion_shortcuts::congest::protocols::AggOp;
+use low_congestion_shortcuts::core::dist::{
+    distributed_full_shortcut, distributed_partial_shortcut, DistConfig,
+};
+use low_congestion_shortcuts::core::{SweepOutcome, WitnessMode};
+use low_congestion_shortcuts::partwise::{centralized_aggregate, solve_partwise, PartwiseConfig};
+use low_congestion_shortcuts::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn pipeline(g: &Graph, parts: Vec<Vec<NodeId>>, seed: u64) {
+    let partition = Partition::from_parts(g, parts).expect("valid partition");
+    let tree = bfs::bfs_tree(g, NodeId(0));
+    let d = tree.depth_of_tree();
+
+    // 1. Full shortcut respects every Theorem 1.2 bound.
+    let built = full_shortcut(g, &tree, &partition, &ShortcutConfig::default());
+    let q = measure_quality(g, &partition, &tree, &built.shortcut);
+    assert!(q.tree_restricted);
+    assert!(q.all_connected());
+    assert!(q.max_blocks <= 8 * built.delta_hat + 1);
+    assert!(q.max_congestion <= 8 * built.delta_hat * d * built.successful_rounds.max(1) as u32);
+    assert!(q.max_dilation_upper <= (8 * built.delta_hat + 1) * (2 * d + 1));
+
+    // 2. Any certificate produced along the way is a real dense minor.
+    if let Some(w) = &built.best_witness {
+        minor::verify_minor(g, w).expect("witness verifies");
+        assert!(w.density() > 1.0);
+    }
+
+    // 3. Part-wise aggregation over the shortcut matches the centralized
+    //    reference for every operator.
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let values: Vec<u64> = (0..g.num_nodes())
+        .map(|_| rand::Rng::gen_range(&mut rng, 0..1_000_000))
+        .collect();
+    for op in [AggOp::Min, AggOp::Max, AggOp::Sum] {
+        let out = solve_partwise(
+            g,
+            &partition,
+            &built.shortcut,
+            &values,
+            op,
+            None,
+            &PartwiseConfig::default(),
+        );
+        assert!(
+            out.all_members_informed,
+            "all members must learn the result"
+        );
+        let expect = centralized_aggregate(&partition, &values, op);
+        let got: Vec<u64> = out.results.iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, expect);
+    }
+}
+
+#[test]
+fn pipeline_on_grid_rows() {
+    let g = gen::grid(10, 10);
+    pipeline(&g, gen::rows_of_grid(10, 10), 1);
+}
+
+#[test]
+fn pipeline_on_torus_voronoi() {
+    let g = gen::torus(8, 8);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let parts = gen::random_connected_parts(&g, 12, &mut rng);
+    pipeline(&g, parts, 2);
+}
+
+#[test]
+fn pipeline_on_ktree() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let g = gen::ktree(150, 3, &mut rng);
+    let parts = gen::random_connected_parts(&g, 15, &mut rng);
+    pipeline(&g, parts, 3);
+}
+
+#[test]
+fn pipeline_on_comb() {
+    let comb = gen::comb(8, 24);
+    pipeline(&comb.graph, comb.parts, 4);
+}
+
+#[test]
+fn pipeline_on_lower_bound_topology() {
+    let lb = gen::lower_bound_topology(5, 24);
+    // Root the partition pipeline at node 0 (a top-path node).
+    pipeline(&lb.graph, lb.rows, 5);
+}
+
+#[test]
+fn distributed_construction_agrees_with_centralized_on_random_instances() {
+    for seed in 0..5 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = gen::gnm_connected(120, 240, &mut rng);
+        let parts = gen::random_connected_parts(&g, 30, &mut rng);
+        let partition = Partition::from_parts(&g, parts).unwrap();
+        let cfg = ShortcutConfig {
+            witness_mode: WitnessMode::Skip,
+            ..ShortcutConfig::default()
+        };
+        let dist = distributed_partial_shortcut(
+            &g,
+            NodeId(0),
+            &partition,
+            1,
+            &cfg,
+            &DistConfig::default(),
+        );
+        let tree = bfs::bfs_tree(&g, NodeId(0));
+        let central = partial_shortcut_or_witness(&g, &tree, &partition, 1, &cfg);
+        let central_cuts: Vec<_> = match &central {
+            SweepOutcome::Shortcut(ps) => ps.data.over_edges.iter().map(|oe| oe.edge).collect(),
+            SweepOutcome::DenseMinor { data, .. } => {
+                data.over_edges.iter().map(|oe| oe.edge).collect()
+            }
+        };
+        let mut a = dist.over_edges.clone();
+        a.sort_unstable();
+        let mut b = central_cuts;
+        b.sort_unstable();
+        assert_eq!(
+            a, b,
+            "seed {seed}: exact mode must match the centralized sweep"
+        );
+    }
+}
+
+#[test]
+fn distributed_full_shortcut_passes_quality_bounds() {
+    let g = gen::grid(10, 10);
+    let partition = Partition::from_parts(&g, gen::rows_of_grid(10, 10)).unwrap();
+    let res = distributed_full_shortcut(
+        &g,
+        NodeId(0),
+        &partition,
+        &ShortcutConfig::default(),
+        &DistConfig::default(),
+    );
+    let tree = bfs::bfs_tree(&g, NodeId(0));
+    let q = measure_quality(&g, &partition, &tree, &res.shortcut);
+    assert!(q.tree_restricted && q.all_connected());
+    assert!(q.max_blocks <= 8 * res.delta_hat + 1);
+}
+
+#[test]
+fn mst_exact_across_providers_and_families() {
+    let cases: Vec<Graph> = vec![gen::grid(8, 8), gen::torus(6, 6), gen::wheel(40), {
+        let mut rng = SmallRng::seed_from_u64(7);
+        gen::gnm_connected(80, 160, &mut rng)
+    }];
+    for (i, g) in cases.iter().enumerate() {
+        let mut rng = SmallRng::seed_from_u64(100 + i as u64);
+        let w = EdgeWeights::random_unique(g, &mut rng);
+        let reference = kruskal(g, &w);
+        for provider in [
+            ShortcutProvider::MinorSweepOracle(ShortcutConfig::default()),
+            ShortcutProvider::Baseline,
+            ShortcutProvider::None,
+        ] {
+            let cfg = BoruvkaConfig {
+                provider,
+                ..BoruvkaConfig::default()
+            };
+            let rep = distributed_mst(g, &w, NodeId(0), &cfg);
+            assert_eq!(rep.edges, reference, "family {i} provider mismatch");
+        }
+    }
+}
+
+use low_congestion_shortcuts::core::partial_shortcut_or_witness;

@@ -1,0 +1,91 @@
+//! Serde round-trips: the data structures experiments persist must survive
+//! serialization unchanged.
+
+use low_congestion_shortcuts::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn graph_roundtrip_preserves_structure() {
+    let g = gen::torus(4, 5);
+    let back: Graph = roundtrip(&g);
+    assert_eq!(back, g);
+    assert_eq!(back.num_nodes(), 20);
+    assert_eq!(back.neighbors(NodeId(7)), g.neighbors(NodeId(7)));
+}
+
+#[test]
+fn partition_and_shortcut_roundtrip() {
+    let g = gen::grid(6, 6);
+    let partition = Partition::from_parts(&g, gen::rows_of_grid(6, 6)).unwrap();
+    let tree = bfs::bfs_tree(&g, NodeId(0));
+    let built = full_shortcut(&g, &tree, &partition, &ShortcutConfig::default());
+
+    let p2: Partition = roundtrip(&partition);
+    assert_eq!(p2, partition);
+    let s2: Shortcut = roundtrip(&built.shortcut);
+    assert_eq!(s2, built.shortcut);
+    // Quality is identical after the round trip.
+    let q1 = measure_quality(&g, &partition, &tree, &built.shortcut);
+    let q2 = measure_quality(&g, &p2, &tree, &s2);
+    assert_eq!(q1, q2);
+}
+
+#[test]
+fn quality_report_and_witness_roundtrip() {
+    let comb = gen::comb(10, 24);
+    let partition = Partition::from_parts(&comb.graph, comb.parts.clone()).unwrap();
+    let tree = bfs::bfs_tree(&comb.graph, NodeId(0));
+    let built = full_shortcut(&comb.graph, &tree, &partition, &ShortcutConfig::default());
+    let q = measure_quality(&comb.graph, &partition, &tree, &built.shortcut);
+    let q2: low_congestion_shortcuts::core::QualityReport = roundtrip(&q);
+    assert_eq!(q2, q);
+
+    let w = built.best_witness.expect("comb yields a witness");
+    let w2: minor::MinorWitness = roundtrip(&w);
+    assert_eq!(w2, w);
+    assert!(minor::verify_minor(&comb.graph, &w2).is_ok());
+}
+
+#[test]
+fn rooted_tree_roundtrip() {
+    let g = gen::grid(5, 5);
+    let tree = bfs::bfs_tree(&g, NodeId(12));
+    let t2: RootedTree = roundtrip(&tree);
+    assert_eq!(t2.root(), tree.root());
+    assert_eq!(t2.depth_of_tree(), tree.depth_of_tree());
+    for v in g.nodes() {
+        assert_eq!(t2.parent(v), tree.parent(v));
+        assert_eq!(t2.depth(v), tree.depth(v));
+    }
+}
+
+#[test]
+fn weights_and_metrics_roundtrip() {
+    let g = gen::cycle(8);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let w = lcs_graph::weights::EdgeWeights::random(&g, 100, &mut rng);
+    let w2: lcs_graph::weights::EdgeWeights = roundtrip(&w);
+    assert_eq!(w2, w);
+
+    let metrics = lcs_congest::RunMetrics {
+        rounds: 10,
+        messages: 42,
+        bits: 1000,
+        max_queue: 3,
+        terminated: true,
+    };
+    let m2: lcs_congest::RunMetrics = roundtrip(&metrics);
+    assert_eq!(m2, metrics);
+}
+
+use lcs_graph::RootedTree;
+use low_congestion_shortcuts::core::Shortcut;
