@@ -433,7 +433,11 @@ impl<'g> Simulator<'g> {
     }
 }
 
-fn splitmix(seed: u64, salt: u32) -> u64 {
+/// SplitMix64-style mixer: derives a well-mixed 64-bit value from a seed
+/// and a 32-bit salt. Used for the per-node RNG streams and exported for
+/// protocols needing a shared deterministic hash (e.g. the sketch detection
+/// of the distributed shortcut construction).
+pub fn splitmix(seed: u64, salt: u32) -> u64 {
     let mut z = seed ^ (u64::from(salt).wrapping_mul(0x9e3779b97f4a7c15));
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);

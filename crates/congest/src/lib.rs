@@ -43,6 +43,6 @@ mod metrics;
 
 pub mod protocols;
 
-pub use engine::{Ctx, Incoming, NodeProgram, RunOutcome, SimConfig, SimMode, Simulator};
+pub use engine::{splitmix, Ctx, Incoming, NodeProgram, RunOutcome, SimConfig, SimMode, Simulator};
 pub use message::MessageSize;
 pub use metrics::RunMetrics;

@@ -50,6 +50,33 @@ impl TreeKnowledge {
         }
     }
 
+    /// Reconstructs the centralized [`RootedTree`] from the per-node port
+    /// knowledge — the inverse of [`from_rooted_tree`](Self::from_rooted_tree),
+    /// used to lift a finished distributed BFS run into the centralized
+    /// tree machinery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the knowledge is inconsistent (ports out of range, depths
+    /// disagreeing with parents).
+    pub fn to_rooted_tree(&self, g: &Graph) -> RootedTree {
+        let n = g.num_nodes();
+        let mut parent = vec![None; n];
+        let mut order: Vec<NodeId> = Vec::new();
+        for v in g.nodes() {
+            if self.depth[v.index()] == u32::MAX {
+                continue;
+            }
+            order.push(v);
+            if let Some(port) = self.parent_port[v.index()] {
+                let nb = g.neighbors(v)[port];
+                parent[v.index()] = Some((nb.node, nb.edge));
+            }
+        }
+        order.sort_unstable_by_key(|&v| (self.depth[v.index()], v));
+        RootedTree::from_parents(g, self.root, &parent, &self.depth, &order)
+    }
+
     /// Number of tree nodes.
     pub fn num_tree_nodes(&self) -> usize {
         self.depth.iter().filter(|&&d| d != u32::MAX).count()
@@ -76,6 +103,19 @@ fn port_of(g: &Graph, from: NodeId, to: NodeId) -> usize {
 mod tests {
     use super::*;
     use lcs_graph::{bfs, gen};
+
+    #[test]
+    fn to_rooted_tree_round_trips() {
+        let g = gen::torus(4, 5);
+        let tree = bfs::bfs_tree(&g, NodeId(7));
+        let tk = TreeKnowledge::from_rooted_tree(&g, &tree);
+        let back = tk.to_rooted_tree(&g);
+        assert_eq!(back.root(), tree.root());
+        assert_eq!(back.depth_of_tree(), tree.depth_of_tree());
+        for v in g.nodes() {
+            assert_eq!(back.parent(v), tree.parent(v));
+        }
+    }
 
     #[test]
     fn round_trip_from_rooted_tree() {

@@ -1,0 +1,656 @@
+//! The distributed `Õ(δ̂D)`-round construction of Theorem 1.5 on the CONGEST
+//! simulator.
+//!
+//! The construction simulates two phases per sweep:
+//!
+//! 1. **BFS**: the standard distributed BFS-tree protocol
+//!    ([`lcs_congest::protocols::BfsTreeProgram`]) builds the tree `T` in
+//!    `ecc(root) + O(1)` rounds. Its parent rule (minimum-id neighbor one
+//!    level closer to the root) matches [`lcs_graph::bfs::bfs_tree`], so the
+//!    simulated and centralized constructions operate on the identical tree.
+//! 2. **Detection**: a bottom-up convergecast over `T`. Every node merges
+//!    the part sets reported by its children (below any already-cut edge),
+//!    adds its own part, and cuts its parent edge when the set size reaches
+//!    the congestion threshold `c = 8δ̂D`. In [`DistMode::Exact`] the sets
+//!    are streamed verbatim (one part id per `O(log n)`-bit message), which
+//!    reproduces the centralized Theorem 3.1 cut set edge-for-edge; in
+//!    [`DistMode::Sketch`] each node forwards only a `t`-value KMV sketch
+//!    ([`KmvSketch`]), trading exactness for `O(t)` messages per edge.
+//!
+//! Shortcut assembly, the Case (I)/(II) split, and witness extraction reuse
+//! the centralized code on the protocol's cut set (the dissemination phase
+//! of the paper is bookkeeping the nodes could do locally from what the
+//! convergecast already told them).
+
+use crate::full::run_doubling_search;
+use crate::sweep::{build_shortcut, case_one_accepts, finish_sweep, sweep_core, CutRule};
+use crate::{Partition, Shortcut, ShortcutConfig, SweepData};
+use lcs_congest::protocols::{extract_tree, BfsTreeProgram};
+use lcs_congest::{
+    splitmix, Ctx, Incoming, MessageSize, NodeProgram, RunMetrics, SimConfig, SimMode, Simulator,
+};
+use lcs_graph::minor::MinorWitness;
+use lcs_graph::{EdgeId, Graph, NodeId, PartId, RootedTree};
+use std::collections::HashSet;
+
+/// How the detection phase represents the part sets it convergecasts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DistMode {
+    /// Stream the exact part sets (one id per message). Deterministic and
+    /// guaranteed to reproduce the centralized cut set; `O(|set|)` messages
+    /// per tree edge.
+    Exact,
+    /// Stream a `t`-value KMV distinct-count sketch instead.
+    Sketch {
+        /// Sketch capacity (number of retained minima).
+        t: usize,
+        /// Seed of the shared hash function applied to part ids.
+        hash_seed: u64,
+        /// The estimate is multiplied by this factor before the threshold
+        /// comparison (`>= 1` biases toward cutting, `< 1` against).
+        cut_factor: f64,
+    },
+}
+
+/// Configuration of the distributed construction.
+#[derive(Clone, Copy, Debug)]
+pub struct DistConfig {
+    /// Detection mode.
+    pub mode: DistMode,
+    /// Simulator settings. The detection phase forces
+    /// [`SimMode::Queued`](lcs_congest::SimMode::Queued) since set streaming
+    /// sends several messages per edge.
+    pub sim: SimConfig,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            mode: DistMode::Exact,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// A `k`-minimum-values sketch over hashed 64-bit items: keeps the `t`
+/// smallest distinct hash values seen: exact distinct count below capacity,
+/// an unbiased `(t-1)·2⁶⁴/v_t` estimate above it, and mergeable by value
+/// union — exactly what the sketch detection mode streams up the tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KmvSketch {
+    t: usize,
+    values: Vec<u64>,
+}
+
+impl KmvSketch {
+    /// An empty sketch of capacity `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is 0.
+    pub fn new(t: usize) -> Self {
+        assert!(t >= 1, "sketch capacity must be positive");
+        KmvSketch {
+            t,
+            values: Vec::new(),
+        }
+    }
+
+    /// The sketch capacity.
+    pub fn capacity(&self) -> usize {
+        self.t
+    }
+
+    /// Inserts one hashed item.
+    pub fn insert(&mut self, hash: u64) {
+        match self.values.binary_search(&hash) {
+            Ok(_) => {}
+            Err(pos) => {
+                if pos < self.t {
+                    self.values.insert(pos, hash);
+                    self.values.truncate(self.t);
+                }
+            }
+        }
+    }
+
+    /// Merges another sketch (union semantics).
+    pub fn merge(&mut self, other: &KmvSketch) {
+        for &v in &other.values {
+            self.insert(v);
+        }
+    }
+
+    /// The retained minima, ascending.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Estimated distinct count: exact below capacity, `(t-1)·2⁶⁴/v_t`
+    /// at capacity.
+    pub fn estimate(&self) -> f64 {
+        if self.values.len() < self.t {
+            self.values.len() as f64
+        } else {
+            let kth = self.values[self.t - 1];
+            (self.t - 1) as f64 * (u64::MAX as f64) / (kth as f64 + 1.0)
+        }
+    }
+}
+
+/// Result of [`distributed_partial_shortcut`].
+#[derive(Clone, Debug)]
+pub struct DistPartialShortcut {
+    /// The assembled partial shortcut (forest ancestor edges of every part
+    /// whose `B`-degree meets the block threshold).
+    pub shortcut: Shortcut,
+    /// Parts served by this sweep, sorted.
+    pub served: Vec<PartId>,
+    /// Whether at least half the active parts were served (Case (I)).
+    pub case_one: bool,
+    /// The cut set `O` the protocol detected, in the sweep's deepest-first
+    /// order.
+    pub over_edges: Vec<EdgeId>,
+    /// Centralized re-derivation of the sweep bookkeeping under the
+    /// protocol's cut set (thresholds, `B`-degrees, representatives).
+    pub data: SweepData,
+    /// Simulation metrics of the BFS phase.
+    pub metrics_bfs: RunMetrics,
+    /// Simulation metrics of the detection phase.
+    pub metrics_shortcut: RunMetrics,
+}
+
+/// Result of [`distributed_full_shortcut`].
+#[derive(Clone, Debug)]
+pub struct DistFullShortcut {
+    /// The union shortcut over all successful sweeps.
+    pub shortcut: Shortcut,
+    /// The final `δ̂` of the doubling search.
+    pub delta_hat: u32,
+    /// Successful (Case (I)) sweeps executed.
+    pub successful_rounds: usize,
+    /// Densest certificate from failed sweeps, if extraction was enabled.
+    pub best_witness: Option<MinorWitness>,
+    /// Total simulated rounds (BFS + every detection sweep).
+    pub rounds: u64,
+    /// Total simulated messages.
+    pub messages: u64,
+    /// Metrics of the (single) BFS phase.
+    pub metrics_bfs: RunMetrics,
+}
+
+/// Messages of the detection convergecast.
+#[derive(Clone, Copy, Debug)]
+enum DetectMsg {
+    /// One part id of the sender's set (exact mode).
+    Part(u32),
+    /// One retained hash value of the sender's sketch (sketch mode).
+    SketchVal(u64),
+    /// The sender's stream is complete.
+    Done,
+}
+
+impl MessageSize for DetectMsg {
+    fn size_bits(&self) -> usize {
+        match self {
+            DetectMsg::Part(_) => 2 + 32,
+            DetectMsg::SketchVal(_) => 2 + 64,
+            DetectMsg::Done => 2,
+        }
+    }
+}
+
+/// Per-node accumulator of the convergecast.
+#[derive(Clone, Debug)]
+enum SetAcc {
+    Exact(HashSet<u32>),
+    Sketch(KmvSketch),
+}
+
+impl SetAcc {
+    fn estimate(&self, cut_factor: f64) -> f64 {
+        match self {
+            SetAcc::Exact(set) => set.len() as f64,
+            SetAcc::Sketch(s) => s.estimate() * cut_factor,
+        }
+    }
+}
+
+/// The detection-phase program of one node.
+struct DetectProgram {
+    /// Port to the tree parent (`None` at the root and off-tree nodes).
+    parent_port: Option<usize>,
+    /// Tree children that have not sent [`DetectMsg::Done`] yet.
+    pending_children: usize,
+    /// This node's active part, pre-hashed for sketch mode.
+    own_part: Option<u32>,
+    acc: SetAcc,
+    /// Congestion threshold `c`.
+    threshold: u32,
+    /// Sketch cut factor (1.0 in exact mode).
+    cut_factor: f64,
+    /// Hash seed (sketch mode).
+    hash_seed: u64,
+    /// Whether this node cut its parent edge.
+    cut: bool,
+    finished: bool,
+    /// Whether the node lies in the tree's component at all.
+    in_tree: bool,
+}
+
+impl DetectProgram {
+    fn finalize(&mut self, ctx: &mut Ctx<'_, DetectMsg>) {
+        if let Some(p) = self.own_part {
+            match &mut self.acc {
+                SetAcc::Exact(set) => {
+                    set.insert(p);
+                }
+                SetAcc::Sketch(s) => s.insert(splitmix(self.hash_seed, p)),
+            }
+        }
+        if let Some(port) = self.parent_port {
+            if self.acc.estimate(self.cut_factor) >= f64::from(self.threshold) {
+                self.cut = true;
+            } else {
+                match &self.acc {
+                    SetAcc::Exact(set) => {
+                        let mut parts: Vec<u32> = set.iter().copied().collect();
+                        parts.sort_unstable();
+                        for p in parts {
+                            ctx.send(port, DetectMsg::Part(p));
+                        }
+                    }
+                    SetAcc::Sketch(s) => {
+                        for &v in s.values() {
+                            ctx.send(port, DetectMsg::SketchVal(v));
+                        }
+                    }
+                }
+            }
+            ctx.send(port, DetectMsg::Done);
+        }
+        self.finished = true;
+    }
+}
+
+impl NodeProgram for DetectProgram {
+    type Msg = DetectMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, DetectMsg>) {
+        if !self.in_tree {
+            self.finished = true;
+        } else if self.pending_children == 0 {
+            self.finalize(ctx);
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, DetectMsg>, inbox: &[Incoming<DetectMsg>]) {
+        for m in inbox {
+            match m.msg {
+                DetectMsg::Part(p) => {
+                    if let SetAcc::Exact(set) = &mut self.acc {
+                        set.insert(p);
+                    }
+                }
+                DetectMsg::SketchVal(v) => {
+                    if let SetAcc::Sketch(s) = &mut self.acc {
+                        s.insert(v);
+                    }
+                }
+                DetectMsg::Done => self.pending_children -= 1,
+            }
+        }
+        if self.pending_children == 0 && !self.finished {
+            self.finalize(ctx);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.finished
+    }
+}
+
+/// Runs the simulated BFS phase and reconstructs the tree it built.
+fn run_bfs(g: &Graph, root: NodeId, cfg: &DistConfig) -> (RootedTree, RunMetrics) {
+    let sim = Simulator::new(g, cfg.sim);
+    let run = sim.run(|v, _| BfsTreeProgram::new(v == root));
+    assert!(
+        run.metrics.terminated,
+        "BFS phase hit SimConfig::max_rounds ({}) before quiescence — raise the cap",
+        cfg.sim.max_rounds
+    );
+    let tree = extract_tree(g, &run).to_rooted_tree(g);
+    (tree, run.metrics)
+}
+
+/// Enforces the documented contract that every part lives inside the tree's
+/// component (mirrors the validation of [`crate::sweep::sweep_active`]).
+fn assert_parts_in_tree(tree: &RootedTree, partition: &Partition) {
+    for (pid, nodes) in partition.iter() {
+        for &v in nodes {
+            assert!(
+                tree.contains(v),
+                "part {pid:?} node {v:?} outside the tree's component"
+            );
+        }
+    }
+}
+
+/// Runs one detection sweep; returns the cut-edge marks and the metrics.
+fn run_detection(
+    g: &Graph,
+    tree: &RootedTree,
+    partition: &Partition,
+    active: &[PartId],
+    delta_hat: u32,
+    config: &ShortcutConfig,
+    dist: &DistConfig,
+) -> (Vec<bool>, RunMetrics) {
+    let mut is_active = vec![false; partition.num_parts()];
+    for &p in active {
+        is_active[p.index()] = true;
+    }
+    let threshold = config.congestion_threshold(delta_hat, tree.depth_of_tree());
+    let sim = Simulator::new(
+        g,
+        SimConfig {
+            mode: SimMode::Queued,
+            ..dist.sim
+        },
+    );
+    let run = sim.run(|v, _| {
+        let in_tree = tree.contains(v);
+        let parent_port = if in_tree {
+            tree.parent(v).map(|(p, _)| {
+                g.neighbors(v)
+                    .binary_search_by_key(&p, |nb| nb.node)
+                    .expect("tree parent is a graph neighbor")
+            })
+        } else {
+            None
+        };
+        let (acc, cut_factor, hash_seed) = match dist.mode {
+            DistMode::Exact => (SetAcc::Exact(HashSet::new()), 1.0, 0),
+            DistMode::Sketch {
+                t,
+                hash_seed,
+                cut_factor,
+            } => {
+                // t = 1 is a legal sketch but a degenerate detector: its
+                // at-capacity estimate is identically 0, so no edge would
+                // ever be cut and the congestion guarantee silently breaks.
+                assert!(t >= 2, "sketch detection needs capacity t >= 2");
+                (SetAcc::Sketch(KmvSketch::new(t)), cut_factor, hash_seed)
+            }
+        };
+        DetectProgram {
+            parent_port,
+            pending_children: if in_tree { tree.children(v).len() } else { 0 },
+            own_part: partition
+                .part_of(v)
+                .filter(|p| is_active[p.index()])
+                .map(|p| p.0),
+            acc,
+            threshold,
+            cut_factor,
+            hash_seed,
+            cut: false,
+            finished: false,
+            in_tree,
+        }
+    });
+    assert!(
+        run.metrics.terminated,
+        "detection phase hit SimConfig::max_rounds ({}) before quiescence — \
+         the cut set would be truncated; raise the cap",
+        dist.sim.max_rounds
+    );
+    let mut fixed_o = vec![false; g.num_edges()];
+    for v in g.nodes() {
+        if run.programs[v.index()].cut {
+            let (_, e) = tree.parent(v).expect("only non-root nodes cut");
+            fixed_o[e.index()] = true;
+        }
+    }
+    (fixed_o, run.metrics)
+}
+
+/// One detection sweep on the simulator plus the centralized re-derivation
+/// of its bookkeeping — the handoff shared by the partial and full
+/// constructions. Returns `(data, o_mark, served, metrics)`.
+fn detect_and_sweep(
+    g: &Graph,
+    tree: &RootedTree,
+    partition: &Partition,
+    active: &[PartId],
+    delta_hat: u32,
+    config: &ShortcutConfig,
+    dist: &DistConfig,
+) -> (SweepData, Vec<bool>, Vec<PartId>, RunMetrics) {
+    let (fixed_o, metrics) = run_detection(g, tree, partition, active, delta_hat, config, dist);
+    let (data, o_mark, served) = sweep_core(
+        g,
+        tree,
+        partition,
+        active,
+        delta_hat,
+        config,
+        CutRule::Fixed(&fixed_o),
+    );
+    (data, o_mark, served, metrics)
+}
+
+/// One distributed Theorem 3.1 sweep over all parts of `partition` with
+/// guess `δ̂` (Theorem 1.5, single level of the doubling search).
+///
+/// In [`DistMode::Exact`] the returned cut set equals the centralized
+/// [`crate::partial_shortcut_or_witness`] cut set on the same root
+/// edge-for-edge.
+///
+/// # Panics
+///
+/// Panics if `δ̂ = 0` or some part node lies outside the component of
+/// `root`.
+pub fn distributed_partial_shortcut(
+    g: &Graph,
+    root: NodeId,
+    partition: &Partition,
+    delta_hat: u32,
+    config: &ShortcutConfig,
+    dist: &DistConfig,
+) -> DistPartialShortcut {
+    assert!(delta_hat >= 1, "δ̂ must be at least 1");
+    let (tree, metrics_bfs) = run_bfs(g, root, dist);
+    assert_parts_in_tree(&tree, partition);
+    let active: Vec<PartId> = partition.part_ids().collect();
+    let (data, o_mark, served, metrics_shortcut) =
+        detect_and_sweep(g, &tree, partition, &active, delta_hat, config, dist);
+    // Unlike the full loop, the partial result reports the assembled
+    // shortcut in both cases, so it is built unconditionally.
+    let shortcut = build_shortcut(g, &tree, partition, &served, &o_mark, partition.num_parts());
+    let case_one = case_one_accepts(served.len(), active.len());
+    let over_edges = data.over_edges.iter().map(|oe| oe.edge).collect();
+    DistPartialShortcut {
+        shortcut,
+        served,
+        case_one,
+        over_edges,
+        data,
+        metrics_bfs,
+        metrics_shortcut,
+    }
+}
+
+/// The full distributed construction: one simulated BFS, then the
+/// Observation 2.7 loop with doubling search, each sweep running the
+/// detection convergecast on the simulator (Theorem 1.5).
+///
+/// # Panics
+///
+/// Panics if some part node lies outside the component of `root`, or if the
+/// doubling search exceeds `4n` (impossible in exact mode; in sketch mode it
+/// would indicate a pathologically biased hash seed).
+pub fn distributed_full_shortcut(
+    g: &Graph,
+    root: NodeId,
+    partition: &Partition,
+    config: &ShortcutConfig,
+    dist: &DistConfig,
+) -> DistFullShortcut {
+    let (tree, metrics_bfs) = run_bfs(g, root, dist);
+    assert_parts_in_tree(&tree, partition);
+    let mut rounds = metrics_bfs.rounds;
+    let mut messages = metrics_bfs.messages;
+
+    let res = run_doubling_search(g.num_nodes(), partition, config, |active, delta_hat| {
+        let (data, o_mark, served, metrics) =
+            detect_and_sweep(g, &tree, partition, active, delta_hat, config, dist);
+        rounds += metrics.rounds;
+        messages += metrics.messages;
+        finish_sweep(
+            g,
+            &tree,
+            partition,
+            data,
+            |served| build_shortcut(g, &tree, partition, served, &o_mark, partition.num_parts()),
+            served,
+            config,
+        )
+    });
+
+    DistFullShortcut {
+        shortcut: res.shortcut,
+        delta_hat: res.delta_hat,
+        successful_rounds: res.successful_rounds,
+        best_witness: res.best_witness,
+        rounds,
+        messages,
+        metrics_bfs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{measure_quality, partial_shortcut_or_witness, SweepOutcome, WitnessMode};
+    use lcs_graph::{bfs, gen};
+
+    #[test]
+    fn kmv_exact_below_capacity() {
+        let mut s = KmvSketch::new(8);
+        for v in [5u64, 3, 5, 9, 1] {
+            s.insert(v);
+        }
+        assert_eq!(s.values(), &[1, 3, 5, 9]);
+        assert_eq!(s.estimate() as usize, 4);
+    }
+
+    #[test]
+    fn kmv_merge_equals_union() {
+        let mut a = KmvSketch::new(4);
+        let mut b = KmvSketch::new(4);
+        let mut whole = KmvSketch::new(4);
+        for (i, v) in [9u64, 2, 7, 4, 11, 3, 8].iter().enumerate() {
+            if i % 2 == 0 {
+                a.insert(*v);
+            } else {
+                b.insert(*v);
+            }
+            whole.insert(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a.values(), whole.values());
+    }
+
+    #[test]
+    fn exact_mode_matches_centralized_cut_set_on_grid() {
+        let g = gen::grid(8, 8);
+        let parts = gen::singleton_parts(&g);
+        let partition = Partition::from_parts(&g, parts).unwrap();
+        let cfg = ShortcutConfig {
+            witness_mode: WitnessMode::Skip,
+            ..ShortcutConfig::default()
+        };
+        let res = distributed_partial_shortcut(
+            &g,
+            NodeId(0),
+            &partition,
+            1,
+            &cfg,
+            &DistConfig::default(),
+        );
+        let tree = bfs::bfs_tree(&g, NodeId(0));
+        let central = partial_shortcut_or_witness(&g, &tree, &partition, 1, &cfg);
+        let central_cuts: Vec<EdgeId> = match &central {
+            SweepOutcome::Shortcut(ps) => ps.data.over_edges.iter().map(|oe| oe.edge).collect(),
+            SweepOutcome::DenseMinor { data, .. } => {
+                data.over_edges.iter().map(|oe| oe.edge).collect()
+            }
+        };
+        let mut a = res.over_edges.clone();
+        a.sort_unstable();
+        let mut b = central_cuts;
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert!(res.metrics_bfs.terminated && res.metrics_shortcut.terminated);
+    }
+
+    #[test]
+    fn full_construction_satisfies_bounds_on_rows() {
+        let g = gen::grid(8, 8);
+        let partition = Partition::from_parts(&g, gen::rows_of_grid(8, 8)).unwrap();
+        let res = distributed_full_shortcut(
+            &g,
+            NodeId(0),
+            &partition,
+            &ShortcutConfig::default(),
+            &DistConfig::default(),
+        );
+        let tree = bfs::bfs_tree(&g, NodeId(0));
+        let q = measure_quality(&g, &partition, &tree, &res.shortcut);
+        assert!(q.tree_restricted && q.all_connected());
+        assert!(q.max_blocks <= 8 * res.delta_hat + 1);
+        assert!(res.rounds > 0 && res.messages > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the tree")]
+    fn rejects_parts_outside_root_component() {
+        let g = lcs_graph::Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let partition = Partition::from_parts(&g, vec![vec![NodeId(2)]]).unwrap();
+        distributed_partial_shortcut(
+            &g,
+            NodeId(0),
+            &partition,
+            1,
+            &ShortcutConfig::default(),
+            &DistConfig::default(),
+        );
+    }
+
+    #[test]
+    fn sketch_mode_is_deterministic_and_valid() {
+        let g = gen::grid(6, 6);
+        let parts = gen::singleton_parts(&g);
+        let partition = Partition::from_parts(&g, parts).unwrap();
+        let cfg = ShortcutConfig {
+            witness_mode: WitnessMode::Skip,
+            ..ShortcutConfig::default()
+        };
+        let dist = DistConfig {
+            mode: DistMode::Sketch {
+                t: 8,
+                hash_seed: 0xbeef,
+                cut_factor: 1.0,
+            },
+            ..DistConfig::default()
+        };
+        let a = distributed_partial_shortcut(&g, NodeId(0), &partition, 1, &cfg, &dist);
+        let b = distributed_partial_shortcut(&g, NodeId(0), &partition, 1, &cfg, &dist);
+        assert_eq!(a.over_edges, b.over_edges);
+        assert_eq!(a.shortcut, b.shortcut);
+        let tree = bfs::bfs_tree(&g, NodeId(0));
+        let q = measure_quality(&g, &partition, &tree, &a.shortcut);
+        assert!(q.tree_restricted);
+    }
+}

@@ -76,6 +76,27 @@ pub fn full_shortcut(
     partition: &Partition,
     config: &ShortcutConfig,
 ) -> FullShortcutResult {
+    run_doubling_search(g.num_nodes(), partition, config, |active, delta_hat| {
+        sweep_active(g, tree, partition, active, delta_hat, config)
+    })
+}
+
+/// The Observation 2.7 driver shared by the centralized and distributed
+/// constructions: repeated sweeps over the still-unserved parts with a
+/// doubling search over `δ̂`. `sweep` runs one Theorem 3.1 sweep over the
+/// given active parts at the given `δ̂` — centrally ([`full_shortcut`]) or
+/// on the CONGEST simulator ([`crate::dist::distributed_full_shortcut`]).
+///
+/// # Panics
+///
+/// Panics if the doubling search exceeds `4·num_nodes` (a sweep at
+/// `δ̂ >= δ(G)` always succeeds, so this indicates a broken sweep).
+pub(crate) fn run_doubling_search(
+    num_nodes: usize,
+    partition: &Partition,
+    config: &ShortcutConfig,
+    mut sweep: impl FnMut(&[PartId], u32) -> SweepOutcome,
+) -> FullShortcutResult {
     let k = partition.num_parts();
     let mut shortcut = Shortcut::empty(k);
     let mut remaining: Vec<PartId> = partition.part_ids().collect();
@@ -83,10 +104,10 @@ pub fn full_shortcut(
     let mut best_witness: Option<MinorWitness> = None;
     let mut round_log = Vec::new();
     let mut successful_rounds = 0usize;
-    let cap = 4 * (g.num_nodes() as u64).max(1);
+    let cap = 4 * (num_nodes as u64).max(1);
 
     while !remaining.is_empty() {
-        match sweep_active(g, tree, partition, &remaining, delta_hat, config) {
+        match sweep(&remaining, delta_hat) {
             SweepOutcome::Shortcut(ps) => {
                 round_log.push(RoundLog {
                     delta_hat,

@@ -10,7 +10,7 @@
 //! [`crate::witness`]).
 
 use crate::witness;
-use crate::{Partition, Shortcut, ShortcutConfig, WitnessMode};
+use crate::{Partition, Shortcut, ShortcutConfig};
 use lcs_graph::minor::MinorWitness;
 use lcs_graph::{EdgeId, Graph, NodeId, PartId, RootedTree};
 use serde::{Deserialize, Serialize};
@@ -120,11 +120,11 @@ pub fn sweep_active(
 ) -> SweepOutcome {
     assert!(delta_hat >= 1, "δ̂ must be at least 1");
     let num_parts = partition.num_parts();
-    let mut is_active = vec![false; num_parts];
+    let mut seen = vec![false; num_parts];
     for &p in active {
         assert!(p.index() < num_parts, "active part {p:?} out of range");
-        assert!(!is_active[p.index()], "duplicate active part {p:?}");
-        is_active[p.index()] = true;
+        assert!(!seen[p.index()], "duplicate active part {p:?}");
+        seen[p.index()] = true;
         for &v in partition.part(p) {
             assert!(
                 tree.contains(v),
@@ -133,13 +133,64 @@ pub fn sweep_active(
         }
     }
 
+    let (data, o_mark, served) = sweep_core(
+        g,
+        tree,
+        partition,
+        active,
+        delta_hat,
+        config,
+        CutRule::Threshold,
+    );
+    finish_sweep(
+        g,
+        tree,
+        partition,
+        data,
+        |served| build_shortcut(g, tree, partition, served, &o_mark, num_parts),
+        served,
+        config,
+    )
+}
+
+/// How one sweep decides which tree edges to cut.
+pub(crate) enum CutRule<'a> {
+    /// Cut when at least `c = congestion_factor·δ̂·D` active parts intersect
+    /// the descendants — the Theorem 3.1 rule of the centralized sweep.
+    Threshold,
+    /// Cut exactly the marked edges — re-deriving the bookkeeping under a
+    /// cut set the distributed protocol already detected.
+    Fixed(&'a [bool]),
+}
+
+/// The bookkeeping every sweep shares: threshold computation, the bottom-up
+/// merge under the given cut rule, [`SweepData`] assembly, and the served
+/// filter (`deg_B <= block threshold`). Returns `(data, o_mark, served)`.
+pub(crate) fn sweep_core(
+    g: &Graph,
+    tree: &RootedTree,
+    partition: &Partition,
+    active: &[PartId],
+    delta_hat: u32,
+    config: &ShortcutConfig,
+    rule: CutRule<'_>,
+) -> (SweepData, Vec<bool>, Vec<PartId>) {
+    let mut is_active = vec![false; partition.num_parts()];
+    for &p in active {
+        is_active[p.index()] = true;
+    }
     let d_t = tree.depth_of_tree();
     let c = config.congestion_threshold(delta_hat, d_t);
     let b_thr = config.block_threshold(delta_hat);
 
-    let (over_edges, o_mark, deg_b) = bottom_up(g, tree, partition, &is_active, |set_len, _| {
-        set_len >= c as usize
-    });
+    let (over_edges, o_mark, deg_b) = match rule {
+        CutRule::Threshold => bottom_up(g, tree, partition, &is_active, |set_len, _| {
+            set_len >= c as usize
+        }),
+        CutRule::Fixed(fixed_o) => {
+            bottom_up(g, tree, partition, &is_active, |_, e| fixed_o[e.index()])
+        }
+    };
 
     let data = SweepData {
         delta_hat,
@@ -150,31 +201,43 @@ pub fn sweep_active(
         deg_b,
         active: active.to_vec(),
     };
-
-    // Case split.
     let served: Vec<PartId> = active
         .iter()
         .copied()
         .filter(|&p| data.deg_b[p.index()] <= b_thr)
         .collect();
-    if 2 * served.len() >= active.len() {
-        let shortcut = build_shortcut(g, tree, partition, &served, &o_mark, num_parts);
+    (data, o_mark, served)
+}
+
+/// The Case (I) acceptance rule of Theorem 3.1: a sweep succeeds when at
+/// least half its active parts were served.
+pub(crate) fn case_one_accepts(served: usize, active: usize) -> bool {
+    2 * served >= active
+}
+
+/// Completes a sweep from its bookkeeping: applies [`case_one_accepts`] and
+/// assembles the [`SweepOutcome`] — building the shortcut (via `build`) only
+/// on success, extracting the Case (II) certificate per the configured
+/// witness mode on failure. The single decision point shared by the
+/// centralized sweep and the distributed construction.
+pub(crate) fn finish_sweep(
+    g: &Graph,
+    tree: &RootedTree,
+    partition: &Partition,
+    data: SweepData,
+    build: impl FnOnce(&[PartId]) -> Shortcut,
+    served: Vec<PartId>,
+    config: &ShortcutConfig,
+) -> SweepOutcome {
+    if case_one_accepts(served.len(), data.active.len()) {
+        let shortcut = build(&served);
         SweepOutcome::Shortcut(PartialShortcut {
             served,
             shortcut,
             data,
         })
     } else {
-        let witness = match config.witness_mode {
-            WitnessMode::Skip => None,
-            WitnessMode::Derandomized => {
-                witness::extract_witness_derandomized(g, tree, partition, &data)
-            }
-            WitnessMode::Sampled { attempts } => {
-                witness::extract_witness_sampled(g, tree, partition, &data, attempts, config.seed)
-                    .or_else(|| witness::extract_witness_derandomized(g, tree, partition, &data))
-            }
-        };
+        let witness = witness::extract_per_mode(g, tree, partition, &data, config);
         SweepOutcome::DenseMinor { witness, data }
     }
 }
@@ -256,52 +319,9 @@ fn bottom_up(
     (over_edges, o_mark, deg_b)
 }
 
-/// Re-runs the sweep bookkeeping under a *fixed* cut set (from the
-/// distributed protocol) and serves every part with `B`-degree at most
-/// `8δ̂`.
-///
-/// Returns the recomputed [`SweepData`], the assembled shortcut, and the
-/// served parts.
-pub(crate) fn sweep_fixed_o(
-    g: &Graph,
-    tree: &RootedTree,
-    partition: &Partition,
-    active: &[PartId],
-    delta_hat: u32,
-    config: &ShortcutConfig,
-    fixed_o: &[bool],
-) -> (SweepData, Shortcut, Vec<PartId>) {
-    let num_parts = partition.num_parts();
-    let mut is_active = vec![false; num_parts];
-    for &p in active {
-        is_active[p.index()] = true;
-    }
-    let d_t = tree.depth_of_tree();
-    let c = config.congestion_threshold(delta_hat, d_t);
-    let b_thr = config.block_threshold(delta_hat);
-    let (over_edges, o_mark, deg_b) =
-        bottom_up(g, tree, partition, &is_active, |_, e| fixed_o[e.index()]);
-    let data = SweepData {
-        delta_hat,
-        congestion_threshold: c,
-        block_threshold: b_thr,
-        tree_depth: d_t,
-        over_edges,
-        deg_b,
-        active: active.to_vec(),
-    };
-    let served: Vec<PartId> = active
-        .iter()
-        .copied()
-        .filter(|&p| data.deg_b[p.index()] <= b_thr)
-        .collect();
-    let shortcut = build_shortcut(g, tree, partition, &served, &o_mark, num_parts);
-    (data, shortcut, served)
-}
-
 /// `H_i` = all ancestor edges of `P_i` in the forest `T \ O`, for each
 /// served part.
-fn build_shortcut(
+pub(crate) fn build_shortcut(
     g: &Graph,
     tree: &RootedTree,
     partition: &Partition,

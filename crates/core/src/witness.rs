@@ -8,7 +8,7 @@
 //! passes [`lcs_graph::minor::verify_minor`].
 
 use crate::sweep::SweepData;
-use crate::Partition;
+use crate::{Partition, ShortcutConfig, WitnessMode};
 use lcs_graph::minor::MinorWitness;
 use lcs_graph::{Graph, NodeId, PartId, RootedTree};
 use rand::rngs::SmallRng;
@@ -152,6 +152,26 @@ fn realize(
     let excess =
         edges.len() as i64 - i64::from(data.delta_hat) * (num_part_nodes + num_edge_nodes) as i64;
     (MinorWitness { branch_sets, edges }, excess)
+}
+
+/// Dispatches Case (II) extraction per the configured
+/// [`WitnessMode`] — the single policy point shared by the centralized
+/// sweep and the distributed construction.
+pub(crate) fn extract_per_mode(
+    g: &Graph,
+    tree: &RootedTree,
+    partition: &Partition,
+    data: &SweepData,
+    config: &ShortcutConfig,
+) -> Option<MinorWitness> {
+    match config.witness_mode {
+        WitnessMode::Skip => None,
+        WitnessMode::Derandomized => extract_witness_derandomized(g, tree, partition, data),
+        WitnessMode::Sampled { attempts } => {
+            extract_witness_sampled(g, tree, partition, data, attempts, config.seed)
+                .or_else(|| extract_witness_derandomized(g, tree, partition, data))
+        }
+    }
 }
 
 /// The paper's sampling extraction: each active part joins `P'`
@@ -415,9 +435,7 @@ mod tests {
                 assert!(minor::verify_minor(&g, &w).is_ok());
                 assert!(w.density() > 1.0);
             }
-            if let Some(w) =
-                extract_witness_sampled(&g, &tree, &partition, &data, 50, 3)
-            {
+            if let Some(w) = extract_witness_sampled(&g, &tree, &partition, &data, 50, 3) {
                 assert!(minor::verify_minor(&g, &w).is_ok());
                 assert!(w.density() > 1.0);
             }

@@ -102,12 +102,34 @@ pub fn bfs_filtered(
 /// most the diameter `D` of a connected `G` — the tree `T` required by
 /// Theorem 3.1 of the paper.
 ///
+/// The parent of each node is the **minimum-id neighbor one level closer to
+/// the root** (not the first-discovered one). This canonical rule is what
+/// the distributed BFS protocol converges to — all `Dist(d-1)` offers reach
+/// a node in the same round and the smallest port wins — so the centralized
+/// and simulated constructions build the identical tree, which the exact
+/// detection mode of Theorem 1.5 relies on.
+///
 /// # Panics
 ///
 /// Panics if `root` is out of range.
 pub fn bfs_tree(g: &Graph, root: NodeId) -> RootedTree {
     let res = bfs(g, root);
-    RootedTree::from_parents(g, root, &res.parent, &res.dist, &res.order)
+    let mut parent = res.parent;
+    for &v in &res.order {
+        if v == root {
+            continue;
+        }
+        let d = res.dist[v.index()];
+        // Neighbors are sorted by id: the first one at depth d-1 is the
+        // canonical parent.
+        for nb in g.neighbors(v) {
+            if res.dist[nb.node.index()] != u32::MAX && res.dist[nb.node.index()] + 1 == d {
+                parent[v.index()] = Some((nb.node, nb.edge));
+                break;
+            }
+        }
+    }
+    RootedTree::from_parents(g, root, &parent, &res.dist, &res.order)
 }
 
 #[cfg(test)]

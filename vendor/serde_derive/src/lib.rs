@@ -1,0 +1,414 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are unavailable
+//! offline, so this crate parses the derive input token stream by hand. It
+//! supports exactly the shapes this workspace uses: non-generic structs
+//! (named, tuple/newtype, unit) and enums whose variants are unit, tuple, or
+//! struct-like. `#[serde(...)]` attributes are not supported and produce a
+//! compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// Shape of a struct body or an enum variant payload.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+enum Parsed {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match (&parsed, mode) {
+        (Parsed::Struct { name, fields }, Mode::Serialize) => struct_serialize(name, fields),
+        (Parsed::Struct { name, fields }, Mode::Deserialize) => struct_deserialize(name, fields),
+        (Parsed::Enum { name, variants }, Mode::Serialize) => enum_serialize(name, variants),
+        (Parsed::Enum { name, variants }, Mode::Deserialize) => enum_deserialize(name, variants),
+    };
+    code.parse().expect("generated impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+
+fn parse_input(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected type name".into()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                _ => return Err("serde shim derive: unsupported struct body".into()),
+            };
+            Ok(Parsed::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => return Err("serde shim derive: expected enum body".into()),
+            };
+            Ok(Parsed::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("serde shim derive: unsupported item `{other}`")),
+    }
+}
+
+/// Skips outer attributes (`#[...]`) and a visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // `#`
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // `[...]`
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips tokens until (and including) a comma at angle-bracket depth 0.
+fn skip_past_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            _ => return Err("serde shim derive: expected field name".into()),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde shim derive: expected `:` after `{name}`")),
+        }
+        skip_past_comma(&tokens, &mut i);
+        names.push(name);
+    }
+    Ok(names)
+}
+
+/// Counts fields of a tuple struct / tuple variant.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_past_comma(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            _ => return Err("serde shim derive: expected variant name".into()),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        skip_past_comma(&tokens, &mut i);
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+
+fn struct_serialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let pairs: Vec<String> = names
+                .iter()
+                .map(|f| format!("({f:?}, ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::object([{}])", pairs.join(", "))
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(__fields, {f:?}, {name:?})?"))
+                .collect();
+            format!(
+                "let __fields = ::serde::de::object(v, {name:?})?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de::element(__items, {i}, {name:?})?"))
+                .collect();
+            format!(
+                "let __items = ::serde::de::array(v, {name:?})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Fields::Unit => format!("let _ = v; ::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[(String, Fields)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(v, fields)| match fields {
+            Fields::Unit => format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),"),
+            Fields::Named(names) => {
+                let binds = names.join(", ");
+                let pairs: Vec<String> = names
+                    .iter()
+                    .map(|f| format!("({f:?}, ::serde::Serialize::to_value({f}))"))
+                    .collect();
+                format!(
+                    "{name}::{v} {{ {binds} }} => ::serde::Value::object([({v:?}, \
+                     ::serde::Value::object([{}]))]),",
+                    pairs.join(", ")
+                )
+            }
+            Fields::Tuple(1) => format!(
+                "{name}::{v}(__x0) => ::serde::Value::object([({v:?}, \
+                 ::serde::Serialize::to_value(__x0))]),"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(__x{i})"))
+                    .collect();
+                format!(
+                    "{name}::{v}({}) => ::serde::Value::object([({v:?}, \
+                     ::serde::Value::Arr(vec![{}]))]),",
+                    binds.join(", "),
+                    items.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {} }}\n\
+             }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|(v, fields)| {
+            let ty = format!("{name}::{v}");
+            match fields {
+                Fields::Unit => None,
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::de::field(__fields, {f:?}, {ty:?})?"))
+                        .collect();
+                    Some(format!(
+                        "{v:?} => {{\n\
+                             let __fields = ::serde::de::object(__payload, {ty:?})?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{ {} }})\n\
+                         }}",
+                        inits.join(", ")
+                    ))
+                }
+                Fields::Tuple(1) => Some(format!(
+                    "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                     ::serde::Deserialize::from_value(__payload)?)),"
+                )),
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::de::element(__items, {i}, {ty:?})?"))
+                        .collect();
+                    Some(format!(
+                        "{v:?} => {{\n\
+                             let __items = ::serde::de::array(__payload, {ty:?})?;\n\
+                             ::std::result::Result::Ok({name}::{v}({}))\n\
+                         }}",
+                        inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::new(format!(\n\
+                             \"unknown variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Obj(__fields0) if __fields0.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__fields0[0];\n\
+                         match __tag.as_str() {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::new(format!(\n\
+                                 \"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::new(format!(\n\
+                         \"expected variant of {name}, found {{:?}}\", __other))),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        unit_arms.join("\n"),
+        payload_arms.join("\n")
+    )
+}
