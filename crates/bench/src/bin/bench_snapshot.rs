@@ -1,0 +1,240 @@
+//! Perf snapshot binary: emits `BENCH_sim.json` and `BENCH_partial.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_snapshot [--fast] [--out DIR]
+//! ```
+//!
+//! `--fast` restricts the sweep to the n ≈ 1e3 instances with a single
+//! repetition (the CI smoke configuration); the full run covers
+//! n ∈ {1e3, 1e4, 1e5} with the median of three repetitions per entry.
+//!
+//! Every entry carries the wall time measured by this run (`wall_ms`) next
+//! to the pinned pre-CSR baseline (`wall_ms_before`, measured at the seed
+//! engine commit on the same instance) so the committed `BENCH_*.json`
+//! files double as a before/after record of the batched-delivery rewrite.
+//! Baselines are `null` for instances the seed engine was never measured
+//! on. Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p lcs_bench --bin bench_snapshot -- --out .
+//! ```
+
+use lcs_congest::protocols::BfsTreeProgram;
+use lcs_congest::{SimConfig, SimMode, Simulator};
+use lcs_core::dist::{distributed_partial_shortcut, DistConfig};
+use lcs_core::{Partition, ShortcutConfig, WitnessMode};
+use lcs_graph::{gen, Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Wall-clock baselines measured at the pre-CSR seed engine (commit
+/// `a3f13c8`, `Vec<VecDeque>` per-directed-edge mailboxes) on the same
+/// machine class that produced the committed snapshots. Keyed by
+/// `(bench, family, n, mode)`.
+const BASELINE_MS: &[(&str, &str, u64, &str, f64)] = &[
+    ("sim", "grid", 1024, "strict", 0.59),
+    ("sim", "grid", 1024, "queued", 0.45),
+    ("sim", "torus", 1024, "strict", 0.54),
+    ("sim", "grid", 10000, "strict", 7.44),
+    ("sim", "grid", 10000, "queued", 6.99),
+    ("sim", "torus", 10000, "strict", 7.06),
+    ("sim", "grid", 99856, "strict", 147.20),
+    ("sim", "grid", 99856, "queued", 133.49),
+    ("sim", "torus", 99856, "strict", 158.15),
+    ("partial", "grid_rows", 1024, "exact", 3.69),
+    ("partial", "grid_rows", 10000, "exact", 101.76),
+    ("partial", "torus_voronoi", 1024, "exact", 1.60),
+];
+
+fn baseline_ms(bench: &str, family: &str, n: u64, mode: &str) -> Option<f64> {
+    BASELINE_MS
+        .iter()
+        .find(|&&(b, f, bn, m, _)| b == bench && f == family && bn == n && m == mode)
+        .map(|&(_, _, _, _, ms)| ms)
+}
+
+struct Entry {
+    family: String,
+    n: u64,
+    m: u64,
+    mode: String,
+    rounds: u64,
+    messages: u64,
+    wall_ms: f64,
+    wall_ms_before: Option<f64>,
+    terminated: bool,
+    truncated: bool,
+}
+
+type RunStats = (u64, u64, bool, bool);
+
+fn median_ms(reps: usize, mut f: impl FnMut() -> RunStats) -> (f64, RunStats) {
+    let mut times = Vec::with_capacity(reps);
+    let mut out = (0, 0, false, false);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = f();
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[times.len() / 2], out)
+}
+
+fn sim_entry(bench: &str, family: &str, g: &Graph, mode: SimMode, reps: usize) -> Entry {
+    let sim = Simulator::new(
+        g,
+        SimConfig {
+            mode,
+            ..SimConfig::default()
+        },
+    );
+    let (wall_ms, (rounds, messages, terminated, truncated)) = median_ms(reps, || {
+        let run = sim.run(|v, _| BfsTreeProgram::new(v == NodeId(0)));
+        (
+            run.metrics.rounds,
+            run.metrics.messages,
+            run.metrics.terminated,
+            run.metrics.truncated,
+        )
+    });
+    let mode_name = match mode {
+        SimMode::Strict => "strict",
+        SimMode::Queued => "queued",
+    };
+    Entry {
+        family: family.to_string(),
+        n: g.num_nodes() as u64,
+        m: g.num_edges() as u64,
+        mode: mode_name.to_string(),
+        rounds,
+        messages,
+        wall_ms,
+        wall_ms_before: baseline_ms(bench, family, g.num_nodes() as u64, mode_name),
+        terminated,
+        truncated,
+    }
+}
+
+fn partial_entry(family: &str, g: &Graph, parts: Vec<Vec<NodeId>>, reps: usize) -> Entry {
+    let partition = Partition::from_parts(g, parts).expect("valid partition");
+    let cfg = ShortcutConfig {
+        witness_mode: WitnessMode::Skip,
+        ..ShortcutConfig::default()
+    };
+    let dist = DistConfig::default();
+    let (wall_ms, (rounds, messages, terminated, truncated)) = median_ms(reps, || {
+        let res = distributed_partial_shortcut(g, NodeId(0), &partition, 1, &cfg, &dist);
+        (
+            res.metrics_bfs.rounds + res.metrics_shortcut.rounds,
+            res.metrics_bfs.messages + res.metrics_shortcut.messages,
+            res.metrics_bfs.terminated && res.metrics_shortcut.terminated,
+            res.metrics_bfs.truncated || res.metrics_shortcut.truncated,
+        )
+    });
+    Entry {
+        family: family.to_string(),
+        n: g.num_nodes() as u64,
+        m: g.num_edges() as u64,
+        mode: "exact".to_string(),
+        rounds,
+        messages,
+        wall_ms,
+        wall_ms_before: baseline_ms("partial", family, g.num_nodes() as u64, "exact"),
+        terminated,
+        truncated,
+    }
+}
+
+fn render(schema: &str, entries: &[Entry]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{schema}\",");
+    out.push_str(
+        "  \"note\": \"wall_ms_before is the pinned pre-CSR seed-engine baseline; \
+         regenerate with `cargo run --release -p lcs_bench --bin bench_snapshot -- --out .`\",\n",
+    );
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let before = e
+            .wall_ms_before
+            .map(|b| format!("{b:.2}"))
+            .unwrap_or_else(|| "null".to_string());
+        let speedup = e
+            .wall_ms_before
+            .map(|b| format!("{:.2}", b / e.wall_ms.max(1e-9)))
+            .unwrap_or_else(|| "null".to_string());
+        let _ = write!(
+            out,
+            "    {{\"family\": \"{}\", \"n\": {}, \"m\": {}, \"mode\": \"{}\", \
+             \"rounds\": {}, \"messages\": {}, \"wall_ms\": {:.2}, \
+             \"wall_ms_before\": {}, \"speedup\": {}, \"terminated\": {}, \
+             \"truncated\": {}}}",
+            e.family,
+            e.n,
+            e.m,
+            e.mode,
+            e.rounds,
+            e.messages,
+            e.wall_ms,
+            before,
+            speedup,
+            e.terminated,
+            e.truncated,
+        );
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| ".".to_string());
+    let reps = if fast { 1 } else { 3 };
+    // Grid sides giving n ≈ 1e3 / 1e4 / 1e5.
+    let sides: &[usize] = if fast { &[32] } else { &[32, 100, 316] };
+
+    let mut sim_entries = Vec::new();
+    for &side in sides {
+        let g = gen::grid(side, side);
+        sim_entries.push(sim_entry("sim", "grid", &g, SimMode::Strict, reps));
+        sim_entries.push(sim_entry("sim", "grid", &g, SimMode::Queued, reps));
+        let t = gen::torus(side, side);
+        sim_entries.push(sim_entry("sim", "torus", &t, SimMode::Strict, reps));
+    }
+
+    let mut partial_entries = Vec::new();
+    let partial_sides: &[usize] = if fast { &[32] } else { &[32, 100] };
+    for &side in partial_sides {
+        let g = gen::grid(side, side);
+        partial_entries.push(partial_entry(
+            "grid_rows",
+            &g,
+            gen::rows_of_grid(side, side),
+            reps,
+        ));
+    }
+    {
+        let t = gen::torus(32, 32);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let parts = gen::random_connected_parts(&t, 32, &mut rng);
+        partial_entries.push(partial_entry("torus_voronoi", &t, parts, reps));
+    }
+
+    let sim_json = render("bench_sim/v1", &sim_entries);
+    let partial_json = render("bench_partial/v1", &partial_entries);
+    std::fs::write(format!("{out_dir}/BENCH_sim.json"), &sim_json).expect("write BENCH_sim.json");
+    std::fs::write(format!("{out_dir}/BENCH_partial.json"), &partial_json)
+        .expect("write BENCH_partial.json");
+    print!("{sim_json}");
+    print!("{partial_json}");
+}

@@ -1,10 +1,29 @@
 //! The round-driven simulation engine.
+//!
+//! # Delivery model
+//!
+//! Messages are addressed by *directed edge id* — the graph's CSR slot
+//! index `first_out[v] + port`, reused verbatim so the engine needs no
+//! per-run index building beyond one O(n + m) reverse-port table.
+//!
+//! - **[`SimMode::Strict`]** (one message per directed edge per round)
+//!   needs no queues at all: sends append `(dir, msg)` to a flat arena
+//!   `Vec`, and the next round drains that arena into the receivers'
+//!   inboxes in one linear pass. Two arenas alternate as send/deliver
+//!   buffers, so steady state allocates nothing.
+//! - **[`SimMode::Queued`]** keeps each directed edge's
+//!   `(priority, seq)`-minimum message in a flat slot array and spills to a
+//!   per-edge binary heap only when a second message queues; the round
+//!   drains in one linear pass over the set of *active* (non-empty) edges —
+//!   O(log q) worst case per delivery instead of the O(q) scan-and-shift of
+//!   a scanned `VecDeque`, and no heap traffic at all in the common
+//!   single-message case.
 
 use crate::{MessageSize, RunMetrics};
 use lcs_graph::{EdgeId, Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::collections::VecDeque;
+use std::collections::BinaryHeap;
 
 /// How the engine treats sends beyond one message per edge per round.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -30,7 +49,8 @@ pub struct SimConfig {
     /// plus one aggregate value per message.
     pub bandwidth_bits: Option<usize>,
     /// Hard cap on simulated rounds (guards against non-terminating
-    /// protocols).
+    /// protocols). A run cut short by the cap reports
+    /// [`RunMetrics::truncated`]` = true`.
     pub max_rounds: u64,
     /// Seed for the per-node RNG streams.
     pub seed: u64,
@@ -48,6 +68,12 @@ impl Default for SimConfig {
 }
 
 /// A message delivered to a node this round.
+///
+/// The order of messages within one round's inbox is deterministic for a
+/// fixed engine version but otherwise **unspecified** (it changed in the
+/// batched-delivery rewrite); protocols must treat it as adversarial, as
+/// the CONGEST model demands, and key any tie-breaking on `port` or
+/// message content instead.
 #[derive(Clone, Debug)]
 pub struct Incoming<M> {
     /// The local port (index into the node's neighbor list) it arrived on.
@@ -84,7 +110,11 @@ pub trait NodeProgram {
 pub struct Ctx<'a, M> {
     node: NodeId,
     round: u64,
-    neighbors: &'a [lcs_graph::Neighbor],
+    /// The node's CSR neighbor slice (sorted by id); `heads[port]` is the
+    /// node on `port`.
+    heads: &'a [NodeId],
+    /// Incident edge ids, parallel to `heads`.
+    edges: &'a [EdgeId],
     outbox: &'a mut Vec<(usize, M, u64)>,
     rng: &'a mut SmallRng,
     wake: &'a mut bool,
@@ -103,7 +133,7 @@ impl<M> Ctx<'_, M> {
 
     /// Number of incident edges.
     pub fn degree(&self) -> usize {
-        self.neighbors.len()
+        self.heads.len()
     }
 
     /// The neighbor id on `port`.
@@ -112,18 +142,18 @@ impl<M> Ctx<'_, M> {
     ///
     /// Panics if `port >= degree()`.
     pub fn neighbor(&self, port: usize) -> NodeId {
-        self.neighbors[port].node
+        self.heads[port]
     }
 
     /// The edge id on `port` (useful for reporting; protocols should not
     /// treat it as topology knowledge beyond the incident edge).
     pub fn edge(&self, port: usize) -> EdgeId {
-        self.neighbors[port].edge
+        self.edges[port]
     }
 
     /// The port leading to neighbor `v`, if adjacent.
     pub fn port_to(&self, v: NodeId) -> Option<usize> {
-        self.neighbors.binary_search_by_key(&v, |nb| nb.node).ok()
+        self.heads.binary_search(&v).ok()
     }
 
     /// Sends `msg` over `port` with default priority 0.
@@ -138,7 +168,7 @@ impl<M> Ctx<'_, M> {
     ///
     /// Panics if `port` is out of range.
     pub fn send_with_priority(&mut self, port: usize, msg: M, priority: u64) {
-        assert!(port < self.neighbors.len(), "send on invalid port {port}");
+        assert!(port < self.heads.len(), "send on invalid port {port}");
         self.outbox.push((port, msg, priority));
     }
 
@@ -147,7 +177,7 @@ impl<M> Ctx<'_, M> {
     where
         M: Clone,
     {
-        for port in 0..self.neighbors.len() {
+        for port in 0..self.heads.len() {
             let m = msg.clone();
             self.send(port, m);
         }
@@ -181,11 +211,169 @@ pub struct Simulator<'g> {
     config: SimConfig,
 }
 
+/// One queued message: heap-ordered by `(priority, seq)` with the ordering
+/// reversed so the std max-heap pops the minimum. `seq` is unique per run,
+/// giving a total order (priority ties drain FIFO) without inspecting `msg`.
 #[derive(Debug)]
-struct Queued<M> {
+struct HeapMsg<M> {
     priority: u64,
     seq: u64,
     msg: M,
+}
+
+impl<M> PartialEq for HeapMsg<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl<M> Eq for HeapMsg<M> {}
+
+impl<M> PartialOrd for HeapMsg<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for HeapMsg<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.priority, other.seq).cmp(&(self.priority, self.seq))
+    }
+}
+
+/// Per-run delivery state, shared by the `on_start` and round loops.
+///
+/// Queued mode stores each directed edge's `(priority, seq)`-minimum
+/// message in a flat slot array (`slots[dir]`) and only spills to a
+/// per-edge overflow heap when a second message is queued. Almost every
+/// dir holds at most one message at a time (one delivery per round drains
+/// it), so the common case never touches a heap and never allocates.
+struct Delivery<M> {
+    mode: SimMode,
+    /// Strict mode: the flat send arena — messages sent this round, drained
+    /// into inboxes next round in one linear pass.
+    pending_next: Vec<(u32, M)>,
+    /// Strict mode: round stamp per directed edge for double-send detection.
+    strict_sent: Vec<u64>,
+    /// Queued mode: the minimum queued message per directed edge.
+    slots: Vec<Option<HeapMsg<M>>>,
+    /// Queued mode: messages beyond the first, per directed edge. Empty
+    /// heaps never allocate.
+    overflow: Vec<BinaryHeap<HeapMsg<M>>>,
+    /// Queued mode: dirs with a filled slot, with a position map for O(1)
+    /// insert/remove.
+    active: Vec<u32>,
+    active_pos: Vec<u32>,
+    seq: u64,
+}
+
+impl<M: MessageSize> Delivery<M> {
+    fn new(mode: SimMode, num_dirs: usize) -> Self {
+        let queued = mode == SimMode::Queued;
+        Delivery {
+            mode,
+            pending_next: Vec::new(),
+            strict_sent: if queued {
+                Vec::new()
+            } else {
+                vec![0; num_dirs]
+            },
+            slots: if queued {
+                (0..num_dirs).map(|_| None).collect()
+            } else {
+                Vec::new()
+            },
+            overflow: if queued {
+                (0..num_dirs).map(|_| BinaryHeap::new()).collect()
+            } else {
+                Vec::new()
+            },
+            active: Vec::new(),
+            active_pos: if queued {
+                vec![u32::MAX; num_dirs]
+            } else {
+                Vec::new()
+            },
+            seq: 0,
+        }
+    }
+
+    /// Whether any message is still in flight.
+    fn inflight(&self) -> bool {
+        match self.mode {
+            SimMode::Strict => !self.pending_next.is_empty(),
+            SimMode::Queued => !self.active.is_empty(),
+        }
+    }
+
+    /// Queued mode: this dir's queue length (slot + overflow).
+    fn queue_len(&self, dir: usize) -> u64 {
+        u64::from(self.slots[dir].is_some()) + self.overflow[dir].len() as u64
+    }
+
+    /// Queued mode: removes and returns the `(priority, seq)`-minimum
+    /// message of `dir`, refilling the slot from the overflow heap.
+    fn pop_min(&mut self, dir: usize) -> HeapMsg<M> {
+        let item = self.slots[dir].take().expect("active dir has a message");
+        self.slots[dir] = self.overflow[dir].pop();
+        item
+    }
+
+    /// Validates and enqueues everything `sender` put in its outbox.
+    fn flush_outbox(
+        &mut self,
+        g: &Graph,
+        sender: usize,
+        outbox: &mut Vec<(usize, M, u64)>,
+        round: u64,
+        bandwidth: usize,
+        metrics: &mut RunMetrics,
+    ) {
+        let base = g.first_out()[sender] as usize;
+        for (port, msg, priority) in outbox.drain(..) {
+            debug_assert!(port < g.degree(NodeId(sender as u32)));
+            let bits = msg.size_bits();
+            assert!(
+                bits <= bandwidth,
+                "message of {bits} bits exceeds the {bandwidth}-bit CONGEST bandwidth"
+            );
+            let dir = base + port;
+            metrics.bits += bits as u64;
+            self.seq += 1;
+            match self.mode {
+                SimMode::Strict => {
+                    assert!(
+                        self.strict_sent[dir] != round + 1,
+                        "strict mode: node {sender} sent twice on port {port} in round {round}"
+                    );
+                    self.strict_sent[dir] = round + 1;
+                    self.pending_next.push((dir as u32, msg));
+                }
+                SimMode::Queued => {
+                    let item = HeapMsg {
+                        priority,
+                        seq: self.seq,
+                        msg,
+                    };
+                    match &mut self.slots[dir] {
+                        empty @ None => {
+                            *empty = Some(item);
+                            self.active_pos[dir] = self.active.len() as u32;
+                            self.active.push(dir as u32);
+                        }
+                        // HeapMsg's Ord is reversed (max-heap pops the
+                        // minimum), so `item > *held` means item's
+                        // (priority, seq) key is SMALLER: it takes the slot.
+                        Some(held) if item > *held => {
+                            let spilled = std::mem::replace(held, item);
+                            self.overflow[dir].push(spilled);
+                        }
+                        Some(_) => self.overflow[dir].push(item),
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl<'g> Simulator<'g> {
@@ -218,6 +406,10 @@ impl<'g> Simulator<'g> {
         let g = self.graph;
         let n = g.num_nodes();
         let bandwidth = self.bandwidth_bits();
+        // The graph's CSR slot index IS the directed edge id: dir =
+        // first_out[v] + port.
+        let first_out = g.first_out();
+        let num_dirs = *first_out.last().unwrap_or(&0) as usize;
 
         let mut programs: Vec<P> = g.nodes().map(|v| init(v, g)).collect();
         let mut rngs: Vec<SmallRng> = g
@@ -225,35 +417,37 @@ impl<'g> Simulator<'g> {
             .map(|v| SmallRng::seed_from_u64(splitmix(self.config.seed, v.0)))
             .collect();
 
-        // Directed edge index: dir_base[v] + port.
-        let mut dir_base = vec![0usize; n + 1];
-        for v in 0..n {
-            dir_base[v + 1] = dir_base[v] + g.degree(NodeId(v as u32));
-        }
-        let num_dirs = dir_base[n];
-        // dir -> (receiver node, receiver's port back to the sender).
-        let mut dir_recv: Vec<(u32, u32)> = Vec::with_capacity(num_dirs);
+        // dir -> (receiver node, receiver's port back to the sender), built
+        // in O(n + m) by pairing each undirected edge's two CSR slots.
+        // A slot's side is 1 iff its tail is the edge's larger endpoint,
+        // derivable from the head entry alone (endpoints are canonical
+        // `u < v`, so tail > head ⟺ tail is the larger endpoint).
+        let mut edge_dirs: Vec<[u32; 2]> = vec![[0; 2]; g.num_edges()];
         for v in g.nodes() {
-            for nb in g.neighbors(v) {
-                let back = g
-                    .neighbors(nb.node)
-                    .binary_search_by_key(&v, |x| x.node)
-                    .expect("graph adjacency is symmetric");
-                dir_recv.push((nb.node.0, back as u32));
+            let base = first_out[v.index()];
+            let heads = g.heads(v);
+            for (port, &e) in g.edge_ids(v).iter().enumerate() {
+                let side = usize::from(v > heads[port]);
+                edge_dirs[e.index()][side] = base + port as u32;
             }
         }
-        let mut queues: Vec<VecDeque<Queued<P::Msg>>> =
-            (0..num_dirs).map(|_| VecDeque::new()).collect();
-        // Active queue set with position map for O(1) insert/remove.
-        let mut active: Vec<usize> = Vec::new();
-        let mut active_pos: Vec<usize> = vec![usize::MAX; num_dirs];
+        let mut dir_recv: Vec<(u32, u32)> = vec![(0, 0); num_dirs];
+        for v in g.nodes() {
+            let base = first_out[v.index()];
+            let heads = g.heads(v);
+            for (port, &e) in g.edge_ids(v).iter().enumerate() {
+                let side = usize::from(v > heads[port]);
+                let back = edge_dirs[e.index()][1 - side];
+                let recv = heads[port];
+                dir_recv[(base + port as u32) as usize] = (recv.0, back - first_out[recv.index()]);
+            }
+        }
 
+        let mut delivery: Delivery<P::Msg> = Delivery::new(self.config.mode, num_dirs);
         let mut metrics = RunMetrics::default();
-        let mut seq = 0u64;
         let mut outbox: Vec<(usize, P::Msg, u64)> = Vec::new();
         let mut wake_flag = vec![false; n];
         let mut wake_list: Vec<usize> = Vec::new();
-        let mut strict_sent = vec![0u64; num_dirs]; // round stamp per edge
 
         // Round 0: on_start.
         for v in 0..n {
@@ -261,7 +455,8 @@ impl<'g> Simulator<'g> {
             let mut ctx = Ctx {
                 node: NodeId(v as u32),
                 round: 0,
-                neighbors: g.neighbors(NodeId(v as u32)),
+                heads: g.heads(NodeId(v as u32)),
+                edges: g.edge_ids(NodeId(v as u32)),
                 outbox: &mut outbox,
                 rng: &mut rngs[v],
                 wake: &mut wake,
@@ -271,71 +466,84 @@ impl<'g> Simulator<'g> {
                 wake_flag[v] = true;
                 wake_list.push(v);
             }
-            Self::flush_outbox(
-                g,
-                v,
-                &mut outbox,
-                &dir_base,
-                &mut queues,
-                &mut active,
-                &mut active_pos,
-                &mut strict_sent,
-                self.config.mode,
-                0,
-                bandwidth,
-                &mut seq,
-                &mut metrics,
-            );
+            delivery.flush_outbox(g, v, &mut outbox, 0, bandwidth, &mut metrics);
         }
 
+        // Inboxes are reused across rounds (cleared, never dropped), so the
+        // steady-state round loop allocates nothing.
         let mut inboxes: Vec<Vec<Incoming<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
         let mut receivers: Vec<usize> = Vec::new();
+        // Strict mode's second arena: the buffer being delivered this round.
+        let mut pending_cur: Vec<(u32, P::Msg)> = Vec::new();
 
-        while metrics.rounds < self.config.max_rounds {
+        loop {
             // Quiescence check.
-            if active.is_empty() && wake_list.is_empty() {
+            if !delivery.inflight() && wake_list.is_empty() {
                 metrics.terminated = programs.iter().all(|p| p.is_done());
+                break;
+            }
+            if metrics.rounds >= self.config.max_rounds {
+                metrics.truncated = true;
                 break;
             }
             metrics.rounds += 1;
             let round = metrics.rounds;
 
-            // Deliver: one message per active directed edge.
             receivers.clear();
-            let mut i = 0;
-            while i < active.len() {
-                let dir = active[i];
-                let q = &mut queues[dir];
-                metrics.max_queue = metrics.max_queue.max(q.len() as u64);
-                // Pop the minimum (priority, seq).
-                let best = q
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, m)| (m.priority, m.seq))
-                    .map(|(idx, _)| idx)
-                    .expect("active queue is non-empty");
-                let item = q.remove(best).expect("index valid");
-                let (recv, recv_port) = dir_recv[dir];
-                let recv = recv as usize;
-                if inboxes[recv].is_empty() {
-                    receivers.push(recv);
-                }
-                inboxes[recv].push(Incoming {
-                    port: recv_port as usize,
-                    msg: item.msg,
-                });
-                metrics.messages += 1;
-                if q.is_empty() {
-                    // Swap-remove from the active set.
-                    active_pos[dir] = usize::MAX;
-                    let last = *active.last().unwrap();
-                    active.swap_remove(i);
-                    if i < active.len() {
-                        active_pos[last] = i;
+            match self.config.mode {
+                SimMode::Strict => {
+                    // One linear pass over the send arena: every pending
+                    // message is delivered (strict mode admits at most one
+                    // per directed edge), then the arenas swap roles.
+                    std::mem::swap(&mut pending_cur, &mut delivery.pending_next);
+                    if !pending_cur.is_empty() {
+                        metrics.max_queue = metrics.max_queue.max(1);
                     }
-                    // Do not advance i: the swapped-in entry needs service.
-                } else {
-                    i += 1;
+                    for (dir, msg) in pending_cur.drain(..) {
+                        let (recv, recv_port) = dir_recv[dir as usize];
+                        let recv = recv as usize;
+                        if inboxes[recv].is_empty() {
+                            receivers.push(recv);
+                        }
+                        inboxes[recv].push(Incoming {
+                            port: recv_port as usize,
+                            msg,
+                        });
+                        metrics.messages += 1;
+                    }
+                }
+                SimMode::Queued => {
+                    // One linear pass over the active dirs: pop the
+                    // (priority, seq)-minimum of each non-empty queue.
+                    let mut i = 0;
+                    while i < delivery.active.len() {
+                        let dir = delivery.active[i] as usize;
+                        metrics.max_queue = metrics.max_queue.max(delivery.queue_len(dir));
+                        let item = delivery.pop_min(dir);
+                        let (recv, recv_port) = dir_recv[dir];
+                        let recv = recv as usize;
+                        if inboxes[recv].is_empty() {
+                            receivers.push(recv);
+                        }
+                        inboxes[recv].push(Incoming {
+                            port: recv_port as usize,
+                            msg: item.msg,
+                        });
+                        metrics.messages += 1;
+                        if delivery.slots[dir].is_none() {
+                            // Swap-remove from the active set.
+                            delivery.active_pos[dir] = u32::MAX;
+                            delivery.active.swap_remove(i);
+                            if i < delivery.active.len() {
+                                let moved = delivery.active[i] as usize;
+                                delivery.active_pos[moved] = i as u32;
+                            }
+                            // Do not advance i: the swapped-in entry needs
+                            // service.
+                        } else {
+                            i += 1;
+                        }
+                    }
                 }
             }
 
@@ -350,86 +558,28 @@ impl<'g> Simulator<'g> {
             to_run.sort_unstable(); // deterministic execution order
 
             for v in to_run.drain(..) {
-                let inbox = std::mem::take(&mut inboxes[v]);
                 let mut wake = false;
                 let mut ctx = Ctx {
                     node: NodeId(v as u32),
                     round,
-                    neighbors: g.neighbors(NodeId(v as u32)),
+                    heads: g.heads(NodeId(v as u32)),
+                    edges: g.edge_ids(NodeId(v as u32)),
                     outbox: &mut outbox,
                     rng: &mut rngs[v],
                     wake: &mut wake,
                 };
-                programs[v].on_round(&mut ctx, &inbox);
+                programs[v].on_round(&mut ctx, &inboxes[v]);
+                inboxes[v].clear();
                 if wake && !wake_flag[v] {
                     wake_flag[v] = true;
                     wake_list.push(v);
                 }
-                Self::flush_outbox(
-                    g,
-                    v,
-                    &mut outbox,
-                    &dir_base,
-                    &mut queues,
-                    &mut active,
-                    &mut active_pos,
-                    &mut strict_sent,
-                    self.config.mode,
-                    round,
-                    bandwidth,
-                    &mut seq,
-                    &mut metrics,
-                );
+                delivery.flush_outbox(g, v, &mut outbox, round, bandwidth, &mut metrics);
             }
             receivers = to_run;
         }
 
         RunOutcome { programs, metrics }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn flush_outbox<M: MessageSize>(
-        g: &Graph,
-        sender: usize,
-        outbox: &mut Vec<(usize, M, u64)>,
-        dir_base: &[usize],
-        queues: &mut [VecDeque<Queued<M>>],
-        active: &mut Vec<usize>,
-        active_pos: &mut [usize],
-        strict_sent: &mut [u64],
-        mode: SimMode,
-        round: u64,
-        bandwidth: usize,
-        seq: &mut u64,
-        metrics: &mut RunMetrics,
-    ) {
-        for (port, msg, priority) in outbox.drain(..) {
-            debug_assert!(port < g.degree(NodeId(sender as u32)));
-            let bits = msg.size_bits();
-            assert!(
-                bits <= bandwidth,
-                "message of {bits} bits exceeds the {bandwidth}-bit CONGEST bandwidth"
-            );
-            let dir = dir_base[sender] + port;
-            if mode == SimMode::Strict {
-                assert!(
-                    strict_sent[dir] != round + 1,
-                    "strict mode: node {sender} sent twice on port {port} in round {round}"
-                );
-                strict_sent[dir] = round + 1;
-            }
-            metrics.bits += bits as u64;
-            *seq += 1;
-            queues[dir].push_back(Queued {
-                priority,
-                seq: *seq,
-                msg,
-            });
-            if active_pos[dir] == usize::MAX {
-                active_pos[dir] = active.len();
-                active.push(dir);
-            }
-        }
     }
 }
 
@@ -662,7 +812,39 @@ mod tests {
         );
         let run = sim.run(|_, _| Forever);
         assert!(!run.metrics.terminated);
+        assert!(
+            run.metrics.truncated,
+            "hitting the cap with pending work must be observable"
+        );
         assert_eq!(run.metrics.rounds, 10);
+    }
+
+    #[test]
+    fn quiescent_runs_are_not_truncated() {
+        let g = gen::path(10);
+        let sim = Simulator::new(&g, SimConfig::default());
+        let run = sim.run(|v, _| MaxFlood { best: v.0 });
+        assert!(run.metrics.terminated);
+        assert!(!run.metrics.truncated);
+    }
+
+    #[test]
+    fn truncation_with_messages_in_flight_is_flagged() {
+        // MaxFlood on a long path needs ~n rounds; cap it far below that.
+        let g = gen::path(40);
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                max_rounds: 5,
+                ..SimConfig::default()
+            },
+        );
+        let run = sim.run(|v, _| MaxFlood { best: v.0 });
+        assert!(run.metrics.truncated);
+        assert!(!run.metrics.terminated);
+        assert_eq!(run.metrics.rounds, 5);
+        // The flood cannot have finished.
+        assert!(run.programs.iter().any(|p| p.best != 39));
     }
 
     #[test]

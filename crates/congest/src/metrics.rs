@@ -19,6 +19,12 @@ pub struct RunMetrics {
     /// Whether the run reached quiescence (all programs done, no messages in
     /// flight) before the round cap.
     pub terminated: bool,
+    /// Whether the run was cut short by [`SimConfig::max_rounds`] while
+    /// messages were still in flight or wake-ups pending. Callers must treat
+    /// a truncated run's program states as incomplete.
+    ///
+    /// [`SimConfig::max_rounds`]: crate::SimConfig::max_rounds
+    pub truncated: bool,
 }
 
 impl RunMetrics {

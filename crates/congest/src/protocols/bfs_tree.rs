@@ -173,11 +173,11 @@ mod tests {
                 continue;
             }
             let up = tk.parent_port[v.index()].unwrap();
-            let p = g.neighbors(v)[up].node;
+            let p = g.heads(v)[up];
             assert_eq!(tk.depth[v.index()], tk.depth[p.index()] + 1);
             let children: Vec<NodeId> = tk.children_ports[p.index()]
                 .iter()
-                .map(|&port| g.neighbors(p)[port].node)
+                .map(|&port| g.heads(p)[port])
                 .collect();
             assert!(children.contains(&v));
         }

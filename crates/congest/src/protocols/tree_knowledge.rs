@@ -69,7 +69,7 @@ impl TreeKnowledge {
             }
             order.push(v);
             if let Some(port) = self.parent_port[v.index()] {
-                let nb = g.neighbors(v)[port];
+                let nb = g.neighbor(v, port);
                 parent[v.index()] = Some((nb.node, nb.edge));
             }
         }
@@ -94,9 +94,8 @@ impl TreeKnowledge {
 }
 
 fn port_of(g: &Graph, from: NodeId, to: NodeId) -> usize {
-    g.neighbors(from)
-        .binary_search_by_key(&to, |nb| nb.node)
-        .unwrap_or_else(|_| panic!("{from:?} and {to:?} are not adjacent"))
+    g.port_to(from, to)
+        .unwrap_or_else(|| panic!("{from:?} and {to:?} are not adjacent"))
 }
 
 #[cfg(test)]
@@ -128,10 +127,10 @@ mod tests {
         // Parent/child ports are mutually consistent.
         for v in g.nodes() {
             if let Some(up) = tk.parent_port[v.index()] {
-                let p = g.neighbors(v)[up].node;
+                let p = g.heads(v)[up];
                 let back: Vec<NodeId> = tk.children_ports[p.index()]
                     .iter()
-                    .map(|&port| g.neighbors(p)[port].node)
+                    .map(|&port| g.heads(p)[port])
                     .collect();
                 assert!(back.contains(&v));
             }

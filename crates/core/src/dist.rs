@@ -315,7 +315,7 @@ fn run_bfs(g: &Graph, root: NodeId, cfg: &DistConfig) -> (RootedTree, RunMetrics
     let sim = Simulator::new(g, cfg.sim);
     let run = sim.run(|v, _| BfsTreeProgram::new(v == root));
     assert!(
-        run.metrics.terminated,
+        !run.metrics.truncated && run.metrics.terminated,
         "BFS phase hit SimConfig::max_rounds ({}) before quiescence — raise the cap",
         cfg.sim.max_rounds
     );
@@ -361,11 +361,8 @@ fn run_detection(
     let run = sim.run(|v, _| {
         let in_tree = tree.contains(v);
         let parent_port = if in_tree {
-            tree.parent(v).map(|(p, _)| {
-                g.neighbors(v)
-                    .binary_search_by_key(&p, |nb| nb.node)
-                    .expect("tree parent is a graph neighbor")
-            })
+            tree.parent(v)
+                .map(|(p, _)| g.port_to(v, p).expect("tree parent is a graph neighbor"))
         } else {
             None
         };
@@ -400,7 +397,7 @@ fn run_detection(
         }
     });
     assert!(
-        run.metrics.terminated,
+        !run.metrics.truncated && run.metrics.terminated,
         "detection phase hit SimConfig::max_rounds ({}) before quiescence — \
          the cut set would be truncated; raise the cap",
         dist.sim.max_rounds

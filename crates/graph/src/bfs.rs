@@ -80,12 +80,16 @@ pub fn bfs_filtered(
     }
     while let Some(u) = queue.pop_front() {
         let du = dist[u.index()];
-        for nb in g.neighbors(u) {
-            if dist[nb.node.index()] == u32::MAX && allow(nb.edge, nb.node) {
-                dist[nb.node.index()] = du + 1;
-                parent[nb.node.index()] = Some((u, nb.edge));
-                order.push(nb.node);
-                queue.push_back(nb.node);
+        // Hot loop: walk the CSR head slice directly; the edge-id slice is
+        // only touched for newly discovered nodes.
+        let heads = g.heads(u);
+        let eids = g.edge_ids(u);
+        for (port, &next) in heads.iter().enumerate() {
+            if dist[next.index()] == u32::MAX && allow(eids[port], next) {
+                dist[next.index()] = du + 1;
+                parent[next.index()] = Some((u, eids[port]));
+                order.push(next);
+                queue.push_back(next);
             }
         }
     }
@@ -122,9 +126,11 @@ pub fn bfs_tree(g: &Graph, root: NodeId) -> RootedTree {
         let d = res.dist[v.index()];
         // Neighbors are sorted by id: the first one at depth d-1 is the
         // canonical parent.
-        for nb in g.neighbors(v) {
-            if res.dist[nb.node.index()] != u32::MAX && res.dist[nb.node.index()] + 1 == d {
-                parent[v.index()] = Some((nb.node, nb.edge));
+        let heads = g.heads(v);
+        let eids = g.edge_ids(v);
+        for (port, &u) in heads.iter().enumerate() {
+            if res.dist[u.index()] != u32::MAX && res.dist[u.index()] + 1 == d {
+                parent[v.index()] = Some((u, eids[port]));
                 break;
             }
         }

@@ -1,6 +1,5 @@
 //! Incremental construction of [`Graph`]s.
 
-use crate::graph::Neighbor;
 use crate::{EdgeId, Graph, NodeId};
 
 /// Builder for [`Graph`].
@@ -102,42 +101,38 @@ impl GraphBuilder {
                 w[0].1
             );
         }
-        // Degree counting.
-        let mut deg = vec![0u32; n];
+        // Degree counting, then a prefix sum into the CSR offsets.
+        let mut first_out = vec![0u32; n + 1];
         for &(u, v) in &self.edges {
-            deg[u.index()] += 1;
-            deg[v.index()] += 1;
+            first_out[u.index() + 1] += 1;
+            first_out[v.index() + 1] += 1;
         }
-        let mut offsets = vec![0u32; n + 1];
         for i in 0..n {
-            offsets[i + 1] = offsets[i] + deg[i];
+            first_out[i + 1] += first_out[i];
         }
-        let mut cursor = offsets.clone();
-        let mut adj = vec![
-            Neighbor {
-                node: NodeId(0),
-                edge: EdgeId(0)
-            };
-            2 * m
-        ];
+        // Scatter both directions into a scratch (head, edge) array, sort
+        // each node's range by head, then split into the SoA arrays.
+        let mut cursor = first_out.clone();
+        let mut scratch = vec![(NodeId(0), EdgeId(0)); 2 * m];
         for (i, &(u, v)) in self.edges.iter().enumerate() {
             let e = EdgeId(i as u32);
-            adj[cursor[u.index()] as usize] = Neighbor { node: v, edge: e };
+            scratch[cursor[u.index()] as usize] = (v, e);
             cursor[u.index()] += 1;
-            adj[cursor[v.index()] as usize] = Neighbor { node: u, edge: e };
+            scratch[cursor[v.index()] as usize] = (u, e);
             cursor[v.index()] += 1;
         }
-        // Sort each adjacency list by neighbor id for binary search.
         for i in 0..n {
-            let lo = offsets[i] as usize;
-            let hi = offsets[i + 1] as usize;
-            adj[lo..hi].sort_unstable_by_key(|nb| nb.node);
+            let lo = first_out[i] as usize;
+            let hi = first_out[i + 1] as usize;
+            scratch[lo..hi].sort_unstable_by_key(|&(node, _)| node);
         }
+        let (head, edge_id): (Vec<NodeId>, Vec<EdgeId>) = scratch.into_iter().unzip();
         Graph {
             num_nodes: n,
             endpoints: self.edges,
-            offsets,
-            adj,
+            first_out,
+            head,
+            edge_id,
         }
     }
 }

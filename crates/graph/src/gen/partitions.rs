@@ -49,10 +49,10 @@ pub fn random_connected_parts(
         queue.push_back(s);
     }
     while let Some(u) = queue.pop_front() {
-        for nb in g.neighbors(u) {
-            if part_of[nb.node.index()] == u32::MAX {
-                part_of[nb.node.index()] = part_of[u.index()];
-                queue.push_back(nb.node);
+        for &next in g.heads(u) {
+            if part_of[next.index()] == u32::MAX {
+                part_of[next.index()] = part_of[u.index()];
+                queue.push_back(next);
             }
         }
     }

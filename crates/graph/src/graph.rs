@@ -1,4 +1,22 @@
 //! The immutable CSR graph type.
+//!
+//! # Layout
+//!
+//! The graph is stored as three flat arrays in structure-of-arrays form
+//! (the `first_out`/`head` layout of high-throughput route planners):
+//!
+//! - `first_out[v] .. first_out[v + 1]` delimits node `v`'s adjacency range
+//!   (length `n + 1`, so degrees are O(1) subtractions),
+//! - `head[i]` is the neighbor node of directed-edge slot `i` (sorted per
+//!   node, enabling binary-search port lookup),
+//! - `edge_id[i]` is the undirected edge behind slot `i`.
+//!
+//! Keeping `head` and `edge_id` separate (instead of an interleaved
+//! `(node, edge)` array) halves the bytes touched by traversals that only
+//! need neighbor ids — BFS over `head` alone streams 4 bytes per directed
+//! edge. The slot index `first_out[v] + port` doubles as the canonical
+//! *directed edge id*, which the CONGEST simulator uses to address its
+//! per-edge delivery state without any per-run index building.
 
 use crate::{EdgeId, GraphBuilder, NodeId};
 use serde::{Deserialize, Serialize};
@@ -48,7 +66,8 @@ impl EdgeRef {
 /// Construct via [`GraphBuilder`]. Nodes are `0..n`, edges are `0..m`;
 /// adjacency lists are sorted by neighbor id. Self-loops and parallel edges
 /// are rejected at build time, matching the simple network graphs of the
-/// CONGEST model.
+/// CONGEST model. See the [module docs](self) for the flat
+/// `first_out`/`head`/`edge_id` layout.
 ///
 /// # Example
 ///
@@ -60,17 +79,58 @@ impl EdgeRef {
 /// b.add_edge(NodeId(1), NodeId(2));
 /// let g = b.build();
 /// assert_eq!(g.degree(NodeId(1)), 2);
+/// assert_eq!(g.heads(NodeId(1)), &[NodeId(0), NodeId(2)]);
 /// ```
 #[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Graph {
     pub(crate) num_nodes: usize,
     /// Canonical endpoints per edge, `endpoints[e] = (u, v)` with `u < v`.
     pub(crate) endpoints: Vec<(NodeId, NodeId)>,
-    /// CSR offsets into `adj`, length `num_nodes + 1`.
-    pub(crate) offsets: Vec<u32>,
-    /// Concatenated adjacency lists.
-    pub(crate) adj: Vec<Neighbor>,
+    /// CSR offsets, length `num_nodes + 1`.
+    pub(crate) first_out: Vec<u32>,
+    /// Neighbor node per directed-edge slot, sorted within each node's range.
+    pub(crate) head: Vec<NodeId>,
+    /// Undirected edge id per directed-edge slot, parallel to `head`.
+    pub(crate) edge_id: Vec<EdgeId>,
 }
+
+/// Iterator over a node's [`Neighbor`]s, zipping the `head` and `edge_id`
+/// slices of the CSR layout. Prefer [`Graph::heads`] / [`Graph::edge_ids`]
+/// in hot loops that only need one of the two.
+#[derive(Clone, Debug)]
+pub struct Neighbors<'a> {
+    heads: std::slice::Iter<'a, NodeId>,
+    edges: std::slice::Iter<'a, EdgeId>,
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = Neighbor;
+
+    #[inline]
+    fn next(&mut self) -> Option<Neighbor> {
+        let node = *self.heads.next()?;
+        let edge = *self.edges.next()?;
+        Some(Neighbor { node, edge })
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.heads.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Neighbors<'_> {}
+
+impl DoubleEndedIterator for Neighbors<'_> {
+    #[inline]
+    fn next_back(&mut self) -> Option<Neighbor> {
+        let node = *self.heads.next_back()?;
+        let edge = *self.edges.next_back()?;
+        Some(Neighbor { node, edge })
+    }
+}
+
+impl std::iter::FusedIterator for Neighbors<'_> {}
 
 impl Graph {
     /// Builds a graph from an edge list; convenience for
@@ -154,26 +214,72 @@ impl Graph {
         self.edge_ref(e).other(x)
     }
 
-    /// The sorted adjacency list of `v`.
+    /// The raw CSR offset array, length `n + 1`.
+    ///
+    /// `first_out[v] + port` is the canonical **directed edge id** of
+    /// `v`'s `port`-th incident edge — a dense index in
+    /// `0 .. 2m` that consumers (notably the CONGEST simulator's delivery
+    /// arena) use to address per-directed-edge state in flat arrays.
     #[inline]
-    pub fn neighbors(&self, v: NodeId) -> &[Neighbor] {
-        let lo = self.offsets[v.index()] as usize;
-        let hi = self.offsets[v.index() + 1] as usize;
-        &self.adj[lo..hi]
+    pub fn first_out(&self) -> &[u32] {
+        &self.first_out
+    }
+
+    /// The sorted neighbor-node slice of `v` (the `head` range of the CSR
+    /// layout). `heads(v)[port]` is the neighbor on `port`.
+    #[inline]
+    pub fn heads(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.first_out[v.index()] as usize;
+        let hi = self.first_out[v.index() + 1] as usize;
+        &self.head[lo..hi]
+    }
+
+    /// The incident-edge slice of `v`, parallel to [`heads`](Self::heads):
+    /// `edge_ids(v)[port]` connects `v` to `heads(v)[port]`.
+    #[inline]
+    pub fn edge_ids(&self, v: NodeId) -> &[EdgeId] {
+        let lo = self.first_out[v.index()] as usize;
+        let hi = self.first_out[v.index() + 1] as usize;
+        &self.edge_id[lo..hi]
+    }
+
+    /// Iterator over the sorted adjacency list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        Neighbors {
+            heads: self.heads(v).iter(),
+            edges: self.edge_ids(v).iter(),
+        }
+    }
+
+    /// The [`Neighbor`] of `v` on local port `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree(v)`.
+    #[inline]
+    pub fn neighbor(&self, v: NodeId, port: usize) -> Neighbor {
+        Neighbor {
+            node: self.heads(v)[port],
+            edge: self.edge_ids(v)[port],
+        }
+    }
+
+    /// The local port of `v` leading to `w`, if adjacent (binary search).
+    #[inline]
+    pub fn port_to(&self, v: NodeId, w: NodeId) -> Option<usize> {
+        self.heads(v).binary_search(&w).ok()
     }
 
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.neighbors(v).len()
+        (self.first_out[v.index() + 1] - self.first_out[v.index()]) as usize
     }
 
     /// Looks up the edge between `u` and `v`, if present (binary search).
     pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        let list = self.neighbors(u);
-        list.binary_search_by_key(&v, |nb| nb.node)
-            .ok()
-            .map(|i| list[i].edge)
+        self.port_to(u, v).map(|p| self.edge_ids(u)[p])
     }
 
     /// Whether `u` and `v` are adjacent.
@@ -268,10 +374,27 @@ mod tests {
     fn adjacency_is_sorted_and_symmetric() {
         let g = Graph::from_edges(4, [(2, 0), (3, 1), (0, 1)]);
         for v in g.nodes() {
-            let nbrs = g.neighbors(v);
-            assert!(nbrs.windows(2).all(|w| w[0].node < w[1].node));
-            for nb in nbrs {
-                assert!(g.neighbors(nb.node).iter().any(|x| x.node == v));
+            let heads = g.heads(v);
+            assert!(heads.windows(2).all(|w| w[0] < w[1]));
+            for &u in heads {
+                assert!(g.heads(u).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn slices_agree_with_neighbor_iterator() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 4)]);
+        for v in g.nodes() {
+            assert_eq!(g.neighbors(v).len(), g.degree(v));
+            for (port, nb) in g.neighbors(v).enumerate() {
+                assert_eq!(nb.node, g.heads(v)[port]);
+                assert_eq!(nb.edge, g.edge_ids(v)[port]);
+                assert_eq!(g.neighbor(v, port), nb);
+                assert_eq!(g.port_to(v, nb.node), Some(port));
+                // The directed-edge id is dense and consistent.
+                let dir = g.first_out()[v.index()] as usize + port;
+                assert!(dir < 2 * g.num_edges());
             }
         }
     }

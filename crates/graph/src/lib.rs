@@ -42,7 +42,7 @@ pub mod tree;
 pub mod weights;
 
 pub use builder::GraphBuilder;
-pub use graph::{EdgeRef, Graph, Neighbor};
+pub use graph::{EdgeRef, Graph, Neighbor, Neighbors};
 pub use ids::{EdgeId, NodeId, PartId};
 pub use tree::RootedTree;
 pub use union_find::UnionFind;

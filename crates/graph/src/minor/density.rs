@@ -32,8 +32,8 @@ pub fn degeneracy(g: &Graph) -> usize {
                     let v = v as usize;
                     removed[v] = true;
                     degeneracy = degeneracy.max(cur);
-                    for nb in g.neighbors(NodeId(v as u32)) {
-                        let u = nb.node.index();
+                    for &h in g.heads(NodeId(v as u32)) {
+                        let u = h.index();
                         if !removed[u] {
                             deg[u] -= 1;
                             buckets[deg[u]].push(u as u32);

@@ -125,9 +125,9 @@ pub fn verify_minor(g: &Graph, w: &MinorWitness) -> Result<(), MinorVerifyError>
             return Err(MinorVerifyError::DuplicateEdge(key.0, key.1));
         }
         let realized = w.branch_sets[a].iter().any(|&u| {
-            g.neighbors(u)
+            g.heads(u)
                 .iter()
-                .any(|nb| owner[nb.node.index()] == Some(b as u32))
+                .any(|&w| owner[w.index()] == Some(b as u32))
         });
         if !realized {
             return Err(MinorVerifyError::Unrealized(key.0, key.1));

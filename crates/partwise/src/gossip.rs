@@ -145,10 +145,7 @@ pub fn gossip_aggregate(
     // Participation map, as in the leader-based solver.
     let mut participation: Vec<HashMap<u32, Vec<usize>>> = vec![HashMap::new(); g.num_nodes()];
     let mut register = |part: u32, u: NodeId, v: NodeId| {
-        let pu = g
-            .neighbors(u)
-            .binary_search_by_key(&v, |nb| nb.node)
-            .expect("edge endpoints adjacent");
+        let pu = g.port_to(u, v).expect("edge endpoints adjacent");
         participation[u.index()].entry(part).or_default().push(pu);
     };
     for (pid, _) in partition.iter() {

@@ -161,11 +161,8 @@ pub fn route_multiple_unicasts(
         dilation = dilation.max(path.len() as u32);
         let mut cur = s;
         for &next in &path {
-            let port = g
-                .neighbors(cur)
-                .binary_search_by_key(&next, |nb| nb.node)
-                .expect("tree path steps along edges");
-            let edge = g.neighbors(cur)[port].edge;
+            let port = g.port_to(cur, next).expect("tree path steps along edges");
+            let edge = g.edge_ids(cur)[port];
             load[edge.index()] += 1;
             forward[cur.index()].insert(i as u32, port);
             cur = next;

@@ -97,41 +97,63 @@ fn pipeline_on_lower_bound_topology() {
     pipeline(&lb.graph, lb.rows, 5);
 }
 
+/// Differential check: `DistMode::Exact` must reproduce the centralized
+/// sweep's cut set edge-for-edge on `g` with the given partition.
+fn assert_distributed_matches_centralized(g: &Graph, parts: Vec<Vec<NodeId>>, label: &str) {
+    let partition = Partition::from_parts(g, parts).unwrap();
+    let cfg = ShortcutConfig {
+        witness_mode: WitnessMode::Skip,
+        ..ShortcutConfig::default()
+    };
+    let dist =
+        distributed_partial_shortcut(g, NodeId(0), &partition, 1, &cfg, &DistConfig::default());
+    let tree = bfs::bfs_tree(g, NodeId(0));
+    let central = partial_shortcut_or_witness(g, &tree, &partition, 1, &cfg);
+    let central_cuts: Vec<_> = match &central {
+        SweepOutcome::Shortcut(ps) => ps.data.over_edges.iter().map(|oe| oe.edge).collect(),
+        SweepOutcome::DenseMinor { data, .. } => data.over_edges.iter().map(|oe| oe.edge).collect(),
+    };
+    let mut a = dist.over_edges.clone();
+    a.sort_unstable();
+    let mut b = central_cuts;
+    b.sort_unstable();
+    assert_eq!(a, b, "{label}: exact mode must match the centralized sweep");
+}
+
+const DIFFERENTIAL_SEEDS: u64 = 50;
+
 #[test]
-fn distributed_construction_agrees_with_centralized_on_random_instances() {
-    for seed in 0..5 {
+fn distributed_construction_agrees_with_centralized_on_gnm() {
+    for seed in 0..DIFFERENTIAL_SEEDS {
         let mut rng = SmallRng::seed_from_u64(seed);
         let g = gen::gnm_connected(120, 240, &mut rng);
         let parts = gen::random_connected_parts(&g, 30, &mut rng);
-        let partition = Partition::from_parts(&g, parts).unwrap();
-        let cfg = ShortcutConfig {
-            witness_mode: WitnessMode::Skip,
-            ..ShortcutConfig::default()
-        };
-        let dist = distributed_partial_shortcut(
-            &g,
-            NodeId(0),
-            &partition,
-            1,
-            &cfg,
-            &DistConfig::default(),
-        );
-        let tree = bfs::bfs_tree(&g, NodeId(0));
-        let central = partial_shortcut_or_witness(&g, &tree, &partition, 1, &cfg);
-        let central_cuts: Vec<_> = match &central {
-            SweepOutcome::Shortcut(ps) => ps.data.over_edges.iter().map(|oe| oe.edge).collect(),
-            SweepOutcome::DenseMinor { data, .. } => {
-                data.over_edges.iter().map(|oe| oe.edge).collect()
-            }
-        };
-        let mut a = dist.over_edges.clone();
-        a.sort_unstable();
-        let mut b = central_cuts;
-        b.sort_unstable();
-        assert_eq!(
-            a, b,
-            "seed {seed}: exact mode must match the centralized sweep"
-        );
+        assert_distributed_matches_centralized(&g, parts, &format!("gnm seed {seed}"));
+    }
+}
+
+#[test]
+fn distributed_construction_agrees_with_centralized_on_tori() {
+    for seed in 0..DIFFERENTIAL_SEEDS {
+        let mut rng = SmallRng::seed_from_u64(1000 + seed);
+        let rows = 4 + (seed as usize % 5);
+        let cols = 4 + ((seed as usize / 5) % 5);
+        let g = gen::torus(rows, cols);
+        let k = 1 + (seed as usize % (g.num_nodes() / 2));
+        let parts = gen::random_connected_parts(&g, k, &mut rng);
+        assert_distributed_matches_centralized(&g, parts, &format!("torus seed {seed}"));
+    }
+}
+
+#[test]
+fn distributed_construction_agrees_with_centralized_on_ktrees() {
+    for seed in 0..DIFFERENTIAL_SEEDS {
+        let mut rng = SmallRng::seed_from_u64(2000 + seed);
+        let n = 40 + (seed as usize % 80);
+        let g = gen::ktree(n, 3, &mut rng);
+        let k = 1 + (seed as usize % (n / 4));
+        let parts = gen::random_connected_parts(&g, k, &mut rng);
+        assert_distributed_matches_centralized(&g, parts, &format!("ktree seed {seed}"));
     }
 }
 

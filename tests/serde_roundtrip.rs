@@ -19,7 +19,8 @@ fn graph_roundtrip_preserves_structure() {
     let back: Graph = roundtrip(&g);
     assert_eq!(back, g);
     assert_eq!(back.num_nodes(), 20);
-    assert_eq!(back.neighbors(NodeId(7)), g.neighbors(NodeId(7)));
+    assert_eq!(back.heads(NodeId(7)), g.heads(NodeId(7)));
+    assert_eq!(back.edge_ids(NodeId(7)), g.edge_ids(NodeId(7)));
 }
 
 #[test]
@@ -82,6 +83,7 @@ fn weights_and_metrics_roundtrip() {
         bits: 1000,
         max_queue: 3,
         terminated: true,
+        truncated: false,
     };
     let m2: lcs_congest::RunMetrics = roundtrip(&metrics);
     assert_eq!(m2, metrics);

@@ -1,0 +1,234 @@
+//! Simulator conformance: the batched-delivery engine must reproduce the
+//! seed engine's execution metrics exactly.
+//!
+//! The pinned corpus below was generated on the pre-CSR seed engine
+//! (per-directed-edge `VecDeque` mailboxes, commit `a3f13c8`) by running
+//! this test with an empty `PINNED` table, which prints the actual rows.
+//! Every later engine change must keep `(rounds, messages, bits,
+//! max_queue)` identical on these seeded instances.
+//!
+//! Scope: the corpus pins *metrics*, not inbox contents. Within-round
+//! inbox ordering is unspecified (see [`Incoming`]) and did change in the
+//! strict-mode rewrite; the repo's protocols are arrival-order
+//! independent, which is exactly why the pinned metrics stay identical.
+//!
+//! [`Incoming`]: low_congestion_shortcuts::congest::Incoming
+
+use low_congestion_shortcuts::congest::protocols::BfsTreeProgram;
+use low_congestion_shortcuts::congest::{
+    Ctx, Incoming, NodeProgram, RunMetrics, SimConfig, SimMode, Simulator,
+};
+use low_congestion_shortcuts::core::dist::{distributed_partial_shortcut, DistConfig};
+use low_congestion_shortcuts::core::{Partition, ShortcutConfig, WitnessMode};
+use low_congestion_shortcuts::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// `(case, rounds, messages, bits, max_queue)` pinned on the seed engine.
+const PINNED: &[(&str, u64, u64, u64, u64)] = &[
+    ("bfs/grid8x8", 15, 224, 5376, 1),
+    ("bfs/grid20x20", 39, 1520, 37392, 1),
+    ("bfs/grid8x8_queued", 15, 224, 5376, 1),
+    ("bfs/torus10x10", 11, 400, 10032, 1),
+    ("bfs/path50", 50, 98, 1666, 1),
+    ("bfs/star33", 2, 64, 1088, 1),
+    ("bfs/gnm200", 6, 800, 20032, 1),
+    ("bfs/ktree150", 4, 888, 24536, 1),
+    ("partial/grid8x8_singletons/bfs", 15, 224, 5376, 1),
+    ("partial/grid8x8_singletons/detect", 266, 511, 15358, 57),
+    ("partial/torus8x8_voronoi/bfs", 9, 256, 6432, 1),
+    ("partial/torus8x8_voronoi/detect", 34, 194, 4580, 9),
+    ("partial/gnm120/bfs", 8, 480, 12032, 1),
+    ("partial/gnm120/detect", 59, 376, 8976, 30),
+];
+
+fn row(case: &str, m: &RunMetrics) -> (String, u64, u64, u64, u64) {
+    (case.to_string(), m.rounds, m.messages, m.bits, m.max_queue)
+}
+
+fn bfs_metrics(case: &str, g: &Graph, mode: SimMode) -> (String, u64, u64, u64, u64) {
+    let sim = Simulator::new(
+        g,
+        SimConfig {
+            mode,
+            ..SimConfig::default()
+        },
+    );
+    let run = sim.run(|v, _| BfsTreeProgram::new(v == NodeId(0)));
+    assert!(run.metrics.terminated, "{case}: BFS must quiesce");
+    row(case, &run.metrics)
+}
+
+fn partial_metrics(
+    case: &str,
+    g: &Graph,
+    parts: Vec<Vec<NodeId>>,
+) -> Vec<(String, u64, u64, u64, u64)> {
+    let partition = Partition::from_parts(g, parts).unwrap();
+    let cfg = ShortcutConfig {
+        witness_mode: WitnessMode::Skip,
+        ..ShortcutConfig::default()
+    };
+    let res =
+        distributed_partial_shortcut(g, NodeId(0), &partition, 1, &cfg, &DistConfig::default());
+    assert!(res.metrics_bfs.terminated && res.metrics_shortcut.terminated);
+    vec![
+        row(&format!("{case}/bfs"), &res.metrics_bfs),
+        row(&format!("{case}/detect"), &res.metrics_shortcut),
+    ]
+}
+
+fn run_corpus() -> Vec<(String, u64, u64, u64, u64)> {
+    let mut rows = vec![
+        bfs_metrics("bfs/grid8x8", &gen::grid(8, 8), SimMode::Strict),
+        bfs_metrics("bfs/grid20x20", &gen::grid(20, 20), SimMode::Strict),
+        bfs_metrics("bfs/grid8x8_queued", &gen::grid(8, 8), SimMode::Queued),
+        bfs_metrics("bfs/torus10x10", &gen::torus(10, 10), SimMode::Strict),
+        bfs_metrics("bfs/path50", &gen::path(50), SimMode::Strict),
+        bfs_metrics("bfs/star33", &gen::star(33), SimMode::Strict),
+    ];
+    {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = gen::gnm_connected(200, 400, &mut rng);
+        rows.push(bfs_metrics("bfs/gnm200", &g, SimMode::Strict));
+    }
+    {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = gen::ktree(150, 3, &mut rng);
+        rows.push(bfs_metrics("bfs/ktree150", &g, SimMode::Strict));
+    }
+
+    let g = gen::grid(8, 8);
+    rows.extend(partial_metrics(
+        "partial/grid8x8_singletons",
+        &g,
+        gen::singleton_parts(&g),
+    ));
+    {
+        let t = gen::torus(8, 8);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let parts = gen::random_connected_parts(&t, 12, &mut rng);
+        rows.extend(partial_metrics("partial/torus8x8_voronoi", &t, parts));
+    }
+    {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let g = gen::gnm_connected(120, 240, &mut rng);
+        let parts = gen::random_connected_parts(&g, 30, &mut rng);
+        rows.extend(partial_metrics("partial/gnm120", &g, parts));
+    }
+    rows
+}
+
+#[test]
+fn metrics_match_pinned_seed_corpus() {
+    let actual = run_corpus();
+    if PINNED.is_empty() {
+        for (case, rounds, messages, bits, max_queue) in &actual {
+            println!("    (\"{case}\", {rounds}, {messages}, {bits}, {max_queue}),");
+        }
+        panic!("PINNED corpus is empty — paste the rows printed above");
+    }
+    assert_eq!(actual.len(), PINNED.len(), "corpus size changed");
+    for ((case, rounds, messages, bits, max_queue), &(pc, pr, pm, pb, pq)) in
+        actual.iter().zip(PINNED)
+    {
+        assert_eq!(case, pc, "corpus order changed");
+        assert_eq!(
+            (rounds, messages, bits, max_queue),
+            (&pr, &pm, &pb, &pq),
+            "{case}: metrics drifted from the pinned seed-engine corpus"
+        );
+    }
+}
+
+/// Strict mode must keep rejecting a double send over one directed edge in
+/// one round (the rewrite batches sends, so the check moved from queue push
+/// to the pending arena — behavior must be unchanged).
+#[test]
+fn strict_mode_still_panics_on_double_send() {
+    struct DoubleSend;
+    impl NodeProgram for DoubleSend {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if ctx.node() == NodeId(0) {
+                ctx.send(0, 1);
+                ctx.send(0, 2);
+            }
+        }
+        fn on_round(&mut self, _: &mut Ctx<'_, u32>, _: &[Incoming<u32>]) {}
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+    let g = gen::path(2);
+    let sim = Simulator::new(&g, SimConfig::default());
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run(|_, _| DoubleSend)));
+    assert!(result.is_err(), "strict double-send must panic");
+}
+
+/// Queued mode preserves per-edge (priority, FIFO) order: lower priority
+/// values drain first, ties drain in send order — including across rounds.
+#[test]
+fn queued_mode_preserves_priority_then_fifo_order() {
+    struct Sender {
+        round: u32,
+    }
+    struct Recorder(Vec<u32>);
+    enum P {
+        S(Sender),
+        R(Recorder),
+    }
+    impl NodeProgram for P {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if let P::S(_) = self {
+                // Same priority: FIFO among 40, 41; priority 0 beats them.
+                ctx.send_with_priority(0, 40, 4);
+                ctx.send_with_priority(0, 41, 4);
+                ctx.send_with_priority(0, 10, 0);
+                ctx.wake_next_round();
+            }
+        }
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[Incoming<u32>]) {
+            match self {
+                P::S(s) => {
+                    if s.round == 0 {
+                        s.round = 1;
+                        // Arrives while 40/41 still queue: priority 1 jumps
+                        // ahead of them, priority 4 queues behind (FIFO).
+                        ctx.send_with_priority(0, 20, 1);
+                        ctx.send_with_priority(0, 42, 4);
+                    }
+                }
+                P::R(r) => r.0.extend(inbox.iter().map(|m| m.msg)),
+            }
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+    let g = gen::path(2);
+    let sim = Simulator::new(
+        &g,
+        SimConfig {
+            mode: SimMode::Queued,
+            ..SimConfig::default()
+        },
+    );
+    let run = sim.run(|v, _| {
+        if v == NodeId(0) {
+            P::S(Sender { round: 0 })
+        } else {
+            P::R(Recorder(Vec::new()))
+        }
+    });
+    assert!(run.metrics.terminated);
+    let P::R(r) = &run.programs[1] else {
+        panic!("node 1 records");
+    };
+    // Round 1 delivers 10 (priority 0, queued first by priority). The
+    // round-1 sends then join the queue, so: 20 (priority 1), then the
+    // priority-4 class in FIFO order 40, 41, 42.
+    assert_eq!(r.0, vec![10, 20, 40, 41, 42]);
+}
