@@ -7,15 +7,23 @@
 //! ```
 //!
 //! `--fast` restricts the sweep to the n ≈ 1e3 instances with a single
-//! repetition (the CI smoke configuration); the full run covers
-//! n ∈ {1e3, 1e4, 1e5} with the median of three repetitions per entry.
+//! repetition (the CI smoke configuration — it still covers every backend:
+//! strict, queued/calendar, the 4-thread sharded executor, and sketch-mode
+//! detection); the full run covers n ∈ {1e3, 1e4, 1e5} with the median of
+//! three repetitions per entry.
 //!
 //! Every entry carries the wall time measured by this run (`wall_ms`) next
 //! to the pinned pre-CSR baseline (`wall_ms_before`, measured at the seed
-//! engine commit on the same instance) so the committed `BENCH_*.json`
-//! files double as a before/after record of the batched-delivery rewrite.
-//! Baselines are `null` for instances the seed engine was never measured
-//! on. Regenerate with:
+//! engine commit on the same instance; `null` for instances the seed engine
+//! was never measured on). Multi-threaded entries additionally report
+//! `speedup_vs_t1`, the ratio against the single-thread entry of the same
+//! instance **from the same run**. Sketch-mode detection entries assert
+//! their accuracy against the centralized exact construction (every cut's
+//! true load within the KMV error band of the threshold, cut counts within
+//! a constant factor of the exact detector's) and record the observed
+//! values.
+//!
+//! Regenerate with:
 //!
 //! ```text
 //! cargo run --release -p lcs_bench --bin bench_snapshot -- --out .
@@ -23,9 +31,9 @@
 
 use lcs_congest::protocols::BfsTreeProgram;
 use lcs_congest::{SimConfig, SimMode, Simulator};
-use lcs_core::dist::{distributed_partial_shortcut, DistConfig};
-use lcs_core::{Partition, ShortcutConfig, WitnessMode};
-use lcs_graph::{gen, Graph, NodeId};
+use lcs_core::dist::{distributed_partial_shortcut, DistConfig, DistMode};
+use lcs_core::{Partition, ShortcutConfig, SweepOutcome, WitnessMode};
+use lcs_graph::{bfs, gen, Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -34,7 +42,7 @@ use std::time::Instant;
 /// Wall-clock baselines measured at the pre-CSR seed engine (commit
 /// `a3f13c8`, `Vec<VecDeque>` per-directed-edge mailboxes) on the same
 /// machine class that produced the committed snapshots. Keyed by
-/// `(bench, family, n, mode)`.
+/// `(bench, family, n, mode)`; all baselines are single-threaded.
 const BASELINE_MS: &[(&str, &str, u64, &str, f64)] = &[
     ("sim", "grid", 1024, "strict", 0.59),
     ("sim", "grid", 1024, "queued", 0.45),
@@ -50,6 +58,21 @@ const BASELINE_MS: &[(&str, &str, u64, &str, f64)] = &[
     ("partial", "torus_voronoi", 1024, "exact", 1.60),
 ];
 
+/// Accuracy envelope for sketch-mode detection (deterministic for the
+/// fixed hash seed). A `t = 16` KMV estimate carries ~25% relative error,
+/// so the sketch legitimately cuts at *different tree edges* than the
+/// exact detector — what must hold is that its decisions stay within the
+/// estimator's error band:
+///
+/// - every edge the sketch cuts must carry a true crossing load of at
+///   least `MIN_CUT_LOAD_RATIO · threshold` (no wild false positives), and
+/// - the sketch must cut a similar *number* of edges as the exact
+///   construction (each cut absorbs ~threshold parts, so counts track
+///   total load): ratio within `[1 / MAX_CUT_COUNT_RATIO,
+///   MAX_CUT_COUNT_RATIO]`.
+const MIN_CUT_LOAD_RATIO: f64 = 0.5;
+const MAX_CUT_COUNT_RATIO: f64 = 4.0;
+
 fn baseline_ms(bench: &str, family: &str, n: u64, mode: &str) -> Option<f64> {
     BASELINE_MS
         .iter()
@@ -62,10 +85,15 @@ struct Entry {
     n: u64,
     m: u64,
     mode: String,
+    threads: usize,
     rounds: u64,
     messages: u64,
     wall_ms: f64,
     wall_ms_before: Option<f64>,
+    /// Sketch entries: min over cut edges of `true load / threshold`.
+    min_cut_load_ratio: Option<f64>,
+    /// Sketch entries: `(sketch cuts, exact cuts)` edge counts.
+    cut_edges: Option<(usize, usize)>,
     terminated: bool,
     truncated: bool,
 }
@@ -84,11 +112,19 @@ fn median_ms(reps: usize, mut f: impl FnMut() -> RunStats) -> (f64, RunStats) {
     (times[times.len() / 2], out)
 }
 
-fn sim_entry(bench: &str, family: &str, g: &Graph, mode: SimMode, reps: usize) -> Entry {
+fn sim_entry(
+    bench: &str,
+    family: &str,
+    g: &Graph,
+    mode: SimMode,
+    threads: usize,
+    reps: usize,
+) -> Entry {
     let sim = Simulator::new(
         g,
         SimConfig {
             mode,
+            threads,
             ..SimConfig::default()
         },
     );
@@ -110,24 +146,71 @@ fn sim_entry(bench: &str, family: &str, g: &Graph, mode: SimMode, reps: usize) -
         n: g.num_nodes() as u64,
         m: g.num_edges() as u64,
         mode: mode_name.to_string(),
+        threads,
         rounds,
         messages,
         wall_ms,
-        wall_ms_before: baseline_ms(bench, family, g.num_nodes() as u64, mode_name),
+        wall_ms_before: (threads == 1)
+            .then(|| baseline_ms(bench, family, g.num_nodes() as u64, mode_name))
+            .flatten(),
+        min_cut_load_ratio: None,
+        cut_edges: None,
         terminated,
         truncated,
     }
 }
 
-fn partial_entry(family: &str, g: &Graph, parts: Vec<Vec<NodeId>>, reps: usize) -> Entry {
+/// Detection representation for a partial-construction entry.
+enum DetectKind {
+    Exact,
+    /// KMV sketch detection — the workload that makes n = 1e5 affordable.
+    Sketch,
+}
+
+fn sketch_mode() -> DistMode {
+    DistMode::Sketch {
+        t: 16,
+        hash_seed: 0xbeef,
+        cut_factor: 1.0,
+    }
+}
+
+/// Number of edges the centralized exact detector cuts on the same tree —
+/// the reference for the sketch cut-count accuracy band.
+fn exact_cut_count(g: &Graph, partition: &Partition, cfg: &ShortcutConfig) -> usize {
+    let tree = bfs::bfs_tree(g, NodeId(0));
+    match lcs_core::partial_shortcut_or_witness(g, &tree, partition, 1, cfg) {
+        SweepOutcome::Shortcut(ps) => ps.data.over_edges.len(),
+        SweepOutcome::DenseMinor { data, .. } => data.over_edges.len(),
+    }
+}
+
+fn partial_entry(
+    family: &str,
+    g: &Graph,
+    parts: Vec<Vec<NodeId>>,
+    kind: DetectKind,
+    reps: usize,
+) -> Entry {
     let partition = Partition::from_parts(g, parts).expect("valid partition");
     let cfg = ShortcutConfig {
         witness_mode: WitnessMode::Skip,
         ..ShortcutConfig::default()
     };
-    let dist = DistConfig::default();
+    let (mode_name, dist) = match kind {
+        DetectKind::Exact => ("exact", DistConfig::default()),
+        DetectKind::Sketch => (
+            "sketch",
+            DistConfig {
+                mode: sketch_mode(),
+                ..DistConfig::default()
+            },
+        ),
+    };
+    let mut data = None;
     let (wall_ms, (rounds, messages, terminated, truncated)) = median_ms(reps, || {
         let res = distributed_partial_shortcut(g, NodeId(0), &partition, 1, &cfg, &dist);
+        data = Some(res.data);
         (
             res.metrics_bfs.rounds + res.metrics_shortcut.rounds,
             res.metrics_bfs.messages + res.metrics_shortcut.messages,
@@ -135,15 +218,56 @@ fn partial_entry(family: &str, g: &Graph, parts: Vec<Vec<NodeId>>, reps: usize) 
             res.metrics_bfs.truncated || res.metrics_shortcut.truncated,
         )
     });
+    assert!(
+        terminated && !truncated,
+        "{family}/{mode_name}: detection benchmark must quiesce"
+    );
+    let (min_cut_load_ratio, cut_edges) = match kind {
+        DetectKind::Exact => (None, None),
+        DetectKind::Sketch => {
+            // Accuracy: the re-derived SweepData carries the *true* crossing
+            // set of every edge the sketch protocol cut, so each cut's real
+            // load is directly comparable against the threshold.
+            let data = data.expect("at least one repetition ran");
+            let threshold = f64::from(data.congestion_threshold);
+            assert!(
+                !data.over_edges.is_empty(),
+                "{family}: the sketch detection workload must actually cut edges"
+            );
+            let min_ratio = data
+                .over_edges
+                .iter()
+                .map(|oe| oe.parts.len() as f64 / threshold)
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                min_ratio >= MIN_CUT_LOAD_RATIO,
+                "{family}: sketch cut an edge with true load {min_ratio:.3}×threshold \
+                 (< {MIN_CUT_LOAD_RATIO}) — outside the KMV error band"
+            );
+            let exact = exact_cut_count(g, &partition, &cfg);
+            let count_ratio = data.over_edges.len() as f64 / (exact.max(1)) as f64;
+            assert!(
+                (1.0 / MAX_CUT_COUNT_RATIO..=MAX_CUT_COUNT_RATIO).contains(&count_ratio),
+                "{family}: sketch cut {} edges vs {} exact — outside the \
+                 [1/{MAX_CUT_COUNT_RATIO}, {MAX_CUT_COUNT_RATIO}] accuracy band",
+                data.over_edges.len(),
+                exact
+            );
+            (Some(min_ratio), Some((data.over_edges.len(), exact)))
+        }
+    };
     Entry {
         family: family.to_string(),
         n: g.num_nodes() as u64,
         m: g.num_edges() as u64,
-        mode: "exact".to_string(),
+        mode: mode_name.to_string(),
+        threads: 1,
         rounds,
         messages,
         wall_ms,
-        wall_ms_before: baseline_ms("partial", family, g.num_nodes() as u64, "exact"),
+        wall_ms_before: baseline_ms("partial", family, g.num_nodes() as u64, mode_name),
+        min_cut_load_ratio,
+        cut_edges,
         terminated,
         truncated,
     }
@@ -153,34 +277,57 @@ fn render(schema: &str, entries: &[Entry]) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"schema\": \"{schema}\",");
     out.push_str(
-        "  \"note\": \"wall_ms_before is the pinned pre-CSR seed-engine baseline; \
-         regenerate with `cargo run --release -p lcs_bench --bin bench_snapshot -- --out .`\",\n",
+        "  \"note\": \"wall_ms_before is the pinned pre-CSR seed-engine baseline (single-thread); \
+         speedup_vs_t1 compares a threads>1 entry against the same instance at threads=1 in this \
+         run and depends on the host's core count; regenerate with \
+         `cargo run --release -p lcs_bench --bin bench_snapshot -- --out .`\",\n",
+    );
+    let _ = writeln!(
+        out,
+        "  \"host_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
     );
     out.push_str("  \"entries\": [\n");
+    let fmt_opt = |v: Option<f64>| v.map_or_else(|| "null".to_string(), |x| format!("{x:.2}"));
     for (i, e) in entries.iter().enumerate() {
-        let before = e
-            .wall_ms_before
-            .map(|b| format!("{b:.2}"))
-            .unwrap_or_else(|| "null".to_string());
-        let speedup = e
-            .wall_ms_before
-            .map(|b| format!("{:.2}", b / e.wall_ms.max(1e-9)))
-            .unwrap_or_else(|| "null".to_string());
+        let speedup = fmt_opt(e.wall_ms_before.map(|b| b / e.wall_ms.max(1e-9)));
+        let vs_t1 = fmt_opt(
+            (e.threads > 1)
+                .then(|| {
+                    entries
+                        .iter()
+                        .find(|t| {
+                            t.threads == 1 && t.family == e.family && t.n == e.n && t.mode == e.mode
+                        })
+                        .map(|t| t.wall_ms / e.wall_ms.max(1e-9))
+                })
+                .flatten(),
+        );
+        let load_ratio = fmt_opt(e.min_cut_load_ratio);
+        let cuts = e.cut_edges.map_or_else(
+            || "null".to_string(),
+            |(s, x)| format!("{{\"sketch\": {s}, \"exact\": {x}}}"),
+        );
         let _ = write!(
             out,
             "    {{\"family\": \"{}\", \"n\": {}, \"m\": {}, \"mode\": \"{}\", \
-             \"rounds\": {}, \"messages\": {}, \"wall_ms\": {:.2}, \
-             \"wall_ms_before\": {}, \"speedup\": {}, \"terminated\": {}, \
-             \"truncated\": {}}}",
+             \"threads\": {}, \"rounds\": {}, \"messages\": {}, \"wall_ms\": {:.2}, \
+             \"wall_ms_before\": {}, \"speedup\": {}, \"speedup_vs_t1\": {}, \
+             \"min_cut_load_ratio\": {}, \"cut_edges\": {}, \
+             \"terminated\": {}, \"truncated\": {}}}",
             e.family,
             e.n,
             e.m,
             e.mode,
+            e.threads,
             e.rounds,
             e.messages,
             e.wall_ms,
-            before,
+            fmt_opt(e.wall_ms_before),
             speedup,
+            vs_t1,
+            load_ratio,
+            cuts,
             e.terminated,
             e.truncated,
         );
@@ -206,10 +353,18 @@ fn main() {
     let mut sim_entries = Vec::new();
     for &side in sides {
         let g = gen::grid(side, side);
-        sim_entries.push(sim_entry("sim", "grid", &g, SimMode::Strict, reps));
-        sim_entries.push(sim_entry("sim", "grid", &g, SimMode::Queued, reps));
+        sim_entries.push(sim_entry("sim", "grid", &g, SimMode::Strict, 1, reps));
+        sim_entries.push(sim_entry("sim", "grid", &g, SimMode::Queued, 1, reps));
         let t = gen::torus(side, side);
-        sim_entries.push(sim_entry("sim", "torus", &t, SimMode::Strict, reps));
+        sim_entries.push(sim_entry("sim", "torus", &t, SimMode::Strict, 1, reps));
+    }
+    // The sharded executor: 4 workers on the largest instance of the sweep
+    // (the CI smoke covers the backend at n = 1e3).
+    {
+        let side = if fast { 32 } else { 316 };
+        let g = gen::grid(side, side);
+        sim_entries.push(sim_entry("sim", "grid", &g, SimMode::Strict, 4, reps));
+        sim_entries.push(sim_entry("sim", "grid", &g, SimMode::Queued, 4, reps));
     }
 
     let mut partial_entries = Vec::new();
@@ -220,6 +375,7 @@ fn main() {
             "grid_rows",
             &g,
             gen::rows_of_grid(side, side),
+            DetectKind::Exact,
             reps,
         ));
     }
@@ -227,11 +383,34 @@ fn main() {
         let t = gen::torus(32, 32);
         let mut rng = SmallRng::seed_from_u64(42);
         let parts = gen::random_connected_parts(&t, 32, &mut rng);
-        partial_entries.push(partial_entry("torus_voronoi", &t, parts, reps));
+        partial_entries.push(partial_entry(
+            "torus_voronoi",
+            &t,
+            parts,
+            DetectKind::Exact,
+            reps,
+        ));
+    }
+    // Sketch-mode detection: the n = 1e5 workload (exact streaming would
+    // need ~n·k messages; the KMV sketch caps per-edge traffic at t + 1).
+    // Singleton parts make the detection non-trivial — edges do get cut —
+    // and the accuracy assertion compares against the centralized exact
+    // cut set. The CI smoke runs the same family at n = 1e3.
+    {
+        let side = if fast { 32 } else { 316 };
+        let g = gen::grid(side, side);
+        let parts = gen::singleton_parts(&g);
+        partial_entries.push(partial_entry(
+            "grid_singletons",
+            &g,
+            parts,
+            DetectKind::Sketch,
+            reps,
+        ));
     }
 
-    let sim_json = render("bench_sim/v1", &sim_entries);
-    let partial_json = render("bench_partial/v1", &partial_entries);
+    let sim_json = render("bench_sim/v2", &sim_entries);
+    let partial_json = render("bench_partial/v2", &partial_entries);
     std::fs::write(format!("{out_dir}/BENCH_sim.json"), &sim_json).expect("write BENCH_sim.json");
     std::fs::write(format!("{out_dir}/BENCH_partial.json"), &partial_json)
         .expect("write BENCH_partial.json");

@@ -1,0 +1,53 @@
+//! Pluggable delivery backends for the round loop.
+//!
+//! A backend owns every message between a sender's flush and its delivery
+//! into the receiver's inbox. The engine drives it through exactly three
+//! operations per round, all on the coordinating thread, in a fixed order:
+//!
+//! 1. [`Delivery::push`] — once per validated message, in the global
+//!    deterministic send order (shards merged in shard order, nodes
+//!    ascending within a shard, sends in issue order within a node).
+//! 2. [`Delivery::stage`] — once per round: move everything due this round
+//!    into per-shard staging lists (routed by the *receiver's* shard, so
+//!    the shard workers can deliver without synchronization).
+//! 3. [`Delivery::inflight`] — the quiescence check.
+//!
+//! Because staging happens on one thread in a fixed order, the metrics a
+//! backend reports (`messages`, `max_queue`) are bit-identical regardless
+//! of how many worker threads later drain the staged lists.
+
+mod queued;
+mod strict;
+
+pub(crate) use queued::CalendarDelivery;
+pub(crate) use strict::StrictDelivery;
+
+use super::topology::Topology;
+use crate::{MessageSize, RunMetrics};
+
+/// A delivery backend: accepts validated sends, schedules them, and stages
+/// each round's deliveries into per-receiver-shard lists.
+pub(crate) trait Delivery<M: MessageSize> {
+    /// Accepts one message on directed edge `dir`.
+    ///
+    /// `seq` is the run-global send sequence number (monotonic in push
+    /// order); `round` is the round the sender executed in (0 during
+    /// `on_start`). Backends may panic on protocol violations (e.g. a
+    /// strict-mode double send).
+    fn push(&mut self, dir: u32, priority: u64, seq: u64, msg: M, round: u64, topo: &Topology<'_>);
+
+    /// Whether any accepted message has not been staged yet.
+    fn inflight(&self) -> bool;
+
+    /// Moves every message due in `round` into `out`, where `out[s]`
+    /// collects `(dir, msg)` pairs whose receiver lies in shard `s`. Every
+    /// `out[s]` is empty on entry. Updates `metrics.messages` and
+    /// `metrics.max_queue` exactly as the seed engine did.
+    fn stage(
+        &mut self,
+        round: u64,
+        topo: &Topology<'_>,
+        out: &mut [Vec<(u32, M)>],
+        metrics: &mut RunMetrics,
+    );
+}

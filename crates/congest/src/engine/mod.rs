@@ -1,29 +1,42 @@
 //! The round-driven simulation engine.
 //!
-//! # Delivery model
+//! # Architecture
 //!
-//! Messages are addressed by *directed edge id* — the graph's CSR slot
-//! index `first_out[v] + port`, reused verbatim so the engine needs no
-//! per-run index building beyond one O(n + m) reverse-port table.
+//! The engine is split into focused layers (see each module's docs):
 //!
-//! - **[`SimMode::Strict`]** (one message per directed edge per round)
-//!   needs no queues at all: sends append `(dir, msg)` to a flat arena
-//!   `Vec`, and the next round drains that arena into the receivers'
-//!   inboxes in one linear pass. Two arenas alternate as send/deliver
-//!   buffers, so steady state allocates nothing.
-//! - **[`SimMode::Queued`]** keeps each directed edge's
-//!   `(priority, seq)`-minimum message in a flat slot array and spills to a
-//!   per-edge binary heap only when a second message queues; the round
-//!   drains in one linear pass over the set of *active* (non-empty) edges —
-//!   O(log q) worst case per delivery instead of the O(q) scan-and-shift of
-//!   a scanned `VecDeque`, and no heap traffic at all in the common
-//!   single-message case.
+//! - [`topology`] — the per-run routing tables: directed-edge reverse map
+//!   (`dir = first_out[v] + port` is the message address) and the shard
+//!   layout of the node-id space.
+//! - [`delivery`] — pluggable delivery backends behind the `Delivery`
+//!   trait: strict mode is a double-buffered flat send arena drained in
+//!   one linear pass; queued mode is a bucketed **calendar queue**
+//!   (per-round buckets indexed by `slot % horizon`, an overflow ring for
+//!   deeper backlogs, and per-edge `VecDeque` rings replacing the seed
+//!   engine's per-edge binary heaps).
+//! - [`shard`] — a contiguous node range owning its programs, RNGs,
+//!   inboxes, and wake bookkeeping; the unit of parallel work.
+//! - [`parallel`] — the sharded round executor: scoped worker threads run
+//!   the shards of each round concurrently, and the coordinator merges
+//!   their outboxes **in shard order**, so sequence numbers and every
+//!   reported metric are bit-identical to the sequential engine at any
+//!   [`SimConfig::threads`] setting.
+//!
+//! Determinism: all validation, sequence numbering, and metric accounting
+//! happens on the coordinating thread in a fixed order. The pinned
+//! conformance corpus (`tests/sim_conformance.rs`) passes unchanged for
+//! every thread count.
+
+mod delivery;
+mod parallel;
+mod shard;
+mod topology;
 
 use crate::{MessageSize, RunMetrics};
+use delivery::{CalendarDelivery, Delivery, StrictDelivery};
 use lcs_graph::{EdgeId, Graph, NodeId};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use std::collections::BinaryHeap;
+use shard::Shard;
+use topology::Topology;
 
 /// How the engine treats sends beyond one message per edge per round.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -54,6 +67,13 @@ pub struct SimConfig {
     pub max_rounds: u64,
     /// Seed for the per-node RNG streams.
     pub seed: u64,
+    /// Worker threads for the sharded round executor. `1` (the default)
+    /// runs fully inline with zero threading overhead; `0` resolves to the
+    /// host's available parallelism; larger values are capped at 64 and at
+    /// the node count. **Any setting yields bit-identical metrics**: shard
+    /// outboxes are merged in shard order, so rounds, messages, bits, and
+    /// max_queue never depend on the thread count.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -63,6 +83,7 @@ impl Default for SimConfig {
             bandwidth_bits: None,
             max_rounds: 1_000_000,
             seed: 0xc0ffee,
+            threads: 1,
         }
     }
 }
@@ -108,16 +129,18 @@ pub trait NodeProgram {
 
 /// The node's view of the network during a callback.
 pub struct Ctx<'a, M> {
-    node: NodeId,
-    round: u64,
+    pub(crate) node: NodeId,
+    pub(crate) round: u64,
     /// The node's CSR neighbor slice (sorted by id); `heads[port]` is the
     /// node on `port`.
-    heads: &'a [NodeId],
+    pub(crate) heads: &'a [NodeId],
     /// Incident edge ids, parallel to `heads`.
-    edges: &'a [EdgeId],
-    outbox: &'a mut Vec<(usize, M, u64)>,
-    rng: &'a mut SmallRng,
-    wake: &'a mut bool,
+    pub(crate) edges: &'a [EdgeId],
+    /// Sends issued by this node: `(port, priority, msg)`; the shard
+    /// rewrites `port` to the global directed-edge id after the callback.
+    pub(crate) outbox: &'a mut Vec<(u32, u64, M)>,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) wake: &'a mut bool,
 }
 
 impl<M> Ctx<'_, M> {
@@ -169,7 +192,7 @@ impl<M> Ctx<'_, M> {
     /// Panics if `port` is out of range.
     pub fn send_with_priority(&mut self, port: usize, msg: M, priority: u64) {
         assert!(port < self.heads.len(), "send on invalid port {port}");
-        self.outbox.push((port, msg, priority));
+        self.outbox.push((port as u32, priority, msg));
     }
 
     /// Sends a copy of `msg` to every neighbor.
@@ -211,171 +234,6 @@ pub struct Simulator<'g> {
     config: SimConfig,
 }
 
-/// One queued message: heap-ordered by `(priority, seq)` with the ordering
-/// reversed so the std max-heap pops the minimum. `seq` is unique per run,
-/// giving a total order (priority ties drain FIFO) without inspecting `msg`.
-#[derive(Debug)]
-struct HeapMsg<M> {
-    priority: u64,
-    seq: u64,
-    msg: M,
-}
-
-impl<M> PartialEq for HeapMsg<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-
-impl<M> Eq for HeapMsg<M> {}
-
-impl<M> PartialOrd for HeapMsg<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<M> Ord for HeapMsg<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (other.priority, other.seq).cmp(&(self.priority, self.seq))
-    }
-}
-
-/// Per-run delivery state, shared by the `on_start` and round loops.
-///
-/// Queued mode stores each directed edge's `(priority, seq)`-minimum
-/// message in a flat slot array (`slots[dir]`) and only spills to a
-/// per-edge overflow heap when a second message is queued. Almost every
-/// dir holds at most one message at a time (one delivery per round drains
-/// it), so the common case never touches a heap and never allocates.
-struct Delivery<M> {
-    mode: SimMode,
-    /// Strict mode: the flat send arena — messages sent this round, drained
-    /// into inboxes next round in one linear pass.
-    pending_next: Vec<(u32, M)>,
-    /// Strict mode: round stamp per directed edge for double-send detection.
-    strict_sent: Vec<u64>,
-    /// Queued mode: the minimum queued message per directed edge.
-    slots: Vec<Option<HeapMsg<M>>>,
-    /// Queued mode: messages beyond the first, per directed edge. Empty
-    /// heaps never allocate.
-    overflow: Vec<BinaryHeap<HeapMsg<M>>>,
-    /// Queued mode: dirs with a filled slot, with a position map for O(1)
-    /// insert/remove.
-    active: Vec<u32>,
-    active_pos: Vec<u32>,
-    seq: u64,
-}
-
-impl<M: MessageSize> Delivery<M> {
-    fn new(mode: SimMode, num_dirs: usize) -> Self {
-        let queued = mode == SimMode::Queued;
-        Delivery {
-            mode,
-            pending_next: Vec::new(),
-            strict_sent: if queued {
-                Vec::new()
-            } else {
-                vec![0; num_dirs]
-            },
-            slots: if queued {
-                (0..num_dirs).map(|_| None).collect()
-            } else {
-                Vec::new()
-            },
-            overflow: if queued {
-                (0..num_dirs).map(|_| BinaryHeap::new()).collect()
-            } else {
-                Vec::new()
-            },
-            active: Vec::new(),
-            active_pos: if queued {
-                vec![u32::MAX; num_dirs]
-            } else {
-                Vec::new()
-            },
-            seq: 0,
-        }
-    }
-
-    /// Whether any message is still in flight.
-    fn inflight(&self) -> bool {
-        match self.mode {
-            SimMode::Strict => !self.pending_next.is_empty(),
-            SimMode::Queued => !self.active.is_empty(),
-        }
-    }
-
-    /// Queued mode: this dir's queue length (slot + overflow).
-    fn queue_len(&self, dir: usize) -> u64 {
-        u64::from(self.slots[dir].is_some()) + self.overflow[dir].len() as u64
-    }
-
-    /// Queued mode: removes and returns the `(priority, seq)`-minimum
-    /// message of `dir`, refilling the slot from the overflow heap.
-    fn pop_min(&mut self, dir: usize) -> HeapMsg<M> {
-        let item = self.slots[dir].take().expect("active dir has a message");
-        self.slots[dir] = self.overflow[dir].pop();
-        item
-    }
-
-    /// Validates and enqueues everything `sender` put in its outbox.
-    fn flush_outbox(
-        &mut self,
-        g: &Graph,
-        sender: usize,
-        outbox: &mut Vec<(usize, M, u64)>,
-        round: u64,
-        bandwidth: usize,
-        metrics: &mut RunMetrics,
-    ) {
-        let base = g.first_out()[sender] as usize;
-        for (port, msg, priority) in outbox.drain(..) {
-            debug_assert!(port < g.degree(NodeId(sender as u32)));
-            let bits = msg.size_bits();
-            assert!(
-                bits <= bandwidth,
-                "message of {bits} bits exceeds the {bandwidth}-bit CONGEST bandwidth"
-            );
-            let dir = base + port;
-            metrics.bits += bits as u64;
-            self.seq += 1;
-            match self.mode {
-                SimMode::Strict => {
-                    assert!(
-                        self.strict_sent[dir] != round + 1,
-                        "strict mode: node {sender} sent twice on port {port} in round {round}"
-                    );
-                    self.strict_sent[dir] = round + 1;
-                    self.pending_next.push((dir as u32, msg));
-                }
-                SimMode::Queued => {
-                    let item = HeapMsg {
-                        priority,
-                        seq: self.seq,
-                        msg,
-                    };
-                    match &mut self.slots[dir] {
-                        empty @ None => {
-                            *empty = Some(item);
-                            self.active_pos[dir] = self.active.len() as u32;
-                            self.active.push(dir as u32);
-                        }
-                        // HeapMsg's Ord is reversed (max-heap pops the
-                        // minimum), so `item > *held` means item's
-                        // (priority, seq) key is SMALLER: it takes the slot.
-                        Some(held) if item > *held => {
-                            let spilled = std::mem::replace(held, item);
-                            self.overflow[dir].push(spilled);
-                        }
-                        Some(_) => self.overflow[dir].push(item),
-                    }
-                }
-            }
-        }
-    }
-}
-
 impl<'g> Simulator<'g> {
     /// Creates a simulator over `graph`.
     pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
@@ -390,6 +248,18 @@ impl<'g> Simulator<'g> {
         })
     }
 
+    /// The worker count [`SimConfig::threads`] resolves to on this host.
+    pub fn effective_threads(&self) -> usize {
+        let t = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        t.clamp(1, 64).min(self.graph.num_nodes().max(1))
+    }
+
     /// Runs one program per node (constructed by `init`) to quiescence or
     /// the round cap.
     ///
@@ -397,189 +267,173 @@ impl<'g> Simulator<'g> {
     ///
     /// Panics if a program violates the CONGEST constraints: oversized
     /// messages, or (in strict mode) two sends over one directed edge in one
-    /// round.
+    /// round. Violations raised on a worker thread are re-raised on the
+    /// calling thread.
     pub fn run<P, F>(&self, mut init: F) -> RunOutcome<P>
     where
-        P: NodeProgram,
+        P: NodeProgram + Send,
+        P::Msg: Send,
         F: FnMut(NodeId, &Graph) -> P,
     {
         let g = self.graph;
-        let n = g.num_nodes();
-        let bandwidth = self.bandwidth_bits();
-        // The graph's CSR slot index IS the directed edge id: dir =
-        // first_out[v] + port.
-        let first_out = g.first_out();
-        let num_dirs = *first_out.last().unwrap_or(&0) as usize;
-
-        let mut programs: Vec<P> = g.nodes().map(|v| init(v, g)).collect();
-        let mut rngs: Vec<SmallRng> = g
-            .nodes()
-            .map(|v| SmallRng::seed_from_u64(splitmix(self.config.seed, v.0)))
+        let topo = Topology::build(g, self.effective_threads());
+        let shards: Vec<Shard<P>> = (0..topo.num_shards())
+            .map(|s| Shard::new(g, topo.shard_range(s), self.config.seed, &mut init))
             .collect();
-
-        // dir -> (receiver node, receiver's port back to the sender), built
-        // in O(n + m) by pairing each undirected edge's two CSR slots.
-        // A slot's side is 1 iff its tail is the edge's larger endpoint,
-        // derivable from the head entry alone (endpoints are canonical
-        // `u < v`, so tail > head ⟺ tail is the larger endpoint).
-        let mut edge_dirs: Vec<[u32; 2]> = vec![[0; 2]; g.num_edges()];
-        for v in g.nodes() {
-            let base = first_out[v.index()];
-            let heads = g.heads(v);
-            for (port, &e) in g.edge_ids(v).iter().enumerate() {
-                let side = usize::from(v > heads[port]);
-                edge_dirs[e.index()][side] = base + port as u32;
-            }
+        match self.config.mode {
+            SimMode::Strict => self.drive(
+                &topo,
+                StrictDelivery::new(topo.num_dirs(), topo.num_shards()),
+                shards,
+            ),
+            SimMode::Queued => self.drive(&topo, CalendarDelivery::new(topo.num_dirs()), shards),
         }
-        let mut dir_recv: Vec<(u32, u32)> = vec![(0, 0); num_dirs];
-        for v in g.nodes() {
-            let base = first_out[v.index()];
-            let heads = g.heads(v);
-            for (port, &e) in g.edge_ids(v).iter().enumerate() {
-                let side = usize::from(v > heads[port]);
-                let back = edge_dirs[e.index()][1 - side];
-                let recv = heads[port];
-                dir_recv[(base + port as u32) as usize] = (recv.0, back - first_out[recv.index()]);
-            }
-        }
+    }
 
-        let mut delivery: Delivery<P::Msg> = Delivery::new(self.config.mode, num_dirs);
+    /// Round 0 plus the round loop, generic over the delivery backend.
+    fn drive<P, D>(
+        &self,
+        topo: &Topology<'_>,
+        mut delivery: D,
+        mut shards: Vec<Shard<P>>,
+    ) -> RunOutcome<P>
+    where
+        P: NodeProgram + Send,
+        P::Msg: Send,
+        D: Delivery<P::Msg>,
+    {
+        let g = self.graph;
+        let bandwidth = self.bandwidth_bits();
         let mut metrics = RunMetrics::default();
-        let mut outbox: Vec<(usize, P::Msg, u64)> = Vec::new();
-        let mut wake_flag = vec![false; n];
-        let mut wake_list: Vec<usize> = Vec::new();
+        let mut seq = 0u64;
+        let mut wakes = 0usize;
 
-        // Round 0: on_start.
-        for v in 0..n {
-            let mut wake = false;
-            let mut ctx = Ctx {
-                node: NodeId(v as u32),
-                round: 0,
-                heads: g.heads(NodeId(v as u32)),
-                edges: g.edge_ids(NodeId(v as u32)),
-                outbox: &mut outbox,
-                rng: &mut rngs[v],
-                wake: &mut wake,
-            };
-            programs[v].on_start(&mut ctx);
-            if wake && !wake_flag[v] {
-                wake_flag[v] = true;
-                wake_list.push(v);
-            }
-            delivery.flush_outbox(g, v, &mut outbox, 0, bandwidth, &mut metrics);
+        // Round 0: on_start, merged in shard order like every later round.
+        for shard in &mut shards {
+            shard.run_start(g);
+        }
+        for shard in &mut shards {
+            flush_shard(
+                shard,
+                &mut delivery,
+                topo,
+                0,
+                bandwidth,
+                &mut seq,
+                &mut metrics,
+            );
+            wakes += shard.pending_wakes();
         }
 
-        // Inboxes are reused across rounds (cleared, never dropped), so the
-        // steady-state round loop allocates nothing.
-        let mut inboxes: Vec<Vec<Incoming<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
-        let mut receivers: Vec<usize> = Vec::new();
-        // Strict mode's second arena: the buffer being delivered this round.
-        let mut pending_cur: Vec<(u32, P::Msg)> = Vec::new();
-
-        loop {
-            // Quiescence check.
-            if !delivery.inflight() && wake_list.is_empty() {
-                metrics.terminated = programs.iter().all(|p| p.is_done());
-                break;
-            }
-            if metrics.rounds >= self.config.max_rounds {
-                metrics.truncated = true;
-                break;
-            }
-            metrics.rounds += 1;
-            let round = metrics.rounds;
-
-            receivers.clear();
-            match self.config.mode {
-                SimMode::Strict => {
-                    // One linear pass over the send arena: every pending
-                    // message is delivered (strict mode admits at most one
-                    // per directed edge), then the arenas swap roles.
-                    std::mem::swap(&mut pending_cur, &mut delivery.pending_next);
-                    if !pending_cur.is_empty() {
-                        metrics.max_queue = metrics.max_queue.max(1);
-                    }
-                    for (dir, msg) in pending_cur.drain(..) {
-                        let (recv, recv_port) = dir_recv[dir as usize];
-                        let recv = recv as usize;
-                        if inboxes[recv].is_empty() {
-                            receivers.push(recv);
-                        }
-                        inboxes[recv].push(Incoming {
-                            port: recv_port as usize,
-                            msg,
-                        });
-                        metrics.messages += 1;
-                    }
-                }
-                SimMode::Queued => {
-                    // One linear pass over the active dirs: pop the
-                    // (priority, seq)-minimum of each non-empty queue.
-                    let mut i = 0;
-                    while i < delivery.active.len() {
-                        let dir = delivery.active[i] as usize;
-                        metrics.max_queue = metrics.max_queue.max(delivery.queue_len(dir));
-                        let item = delivery.pop_min(dir);
-                        let (recv, recv_port) = dir_recv[dir];
-                        let recv = recv as usize;
-                        if inboxes[recv].is_empty() {
-                            receivers.push(recv);
-                        }
-                        inboxes[recv].push(Incoming {
-                            port: recv_port as usize,
-                            msg: item.msg,
-                        });
-                        metrics.messages += 1;
-                        if delivery.slots[dir].is_none() {
-                            // Swap-remove from the active set.
-                            delivery.active_pos[dir] = u32::MAX;
-                            delivery.active.swap_remove(i);
-                            if i < delivery.active.len() {
-                                let moved = delivery.active[i] as usize;
-                                delivery.active_pos[moved] = i as u32;
-                            }
-                            // Do not advance i: the swapped-in entry needs
-                            // service.
-                        } else {
-                            i += 1;
-                        }
-                    }
-                }
-            }
-
-            // Wake-ups requested last round join the receivers.
-            let mut to_run = std::mem::take(&mut receivers);
-            for v in wake_list.drain(..) {
-                wake_flag[v] = false;
-                if inboxes[v].is_empty() {
-                    to_run.push(v);
-                }
-            }
-            to_run.sort_unstable(); // deterministic execution order
-
-            for v in to_run.drain(..) {
-                let mut wake = false;
-                let mut ctx = Ctx {
-                    node: NodeId(v as u32),
-                    round,
-                    heads: g.heads(NodeId(v as u32)),
-                    edges: g.edge_ids(NodeId(v as u32)),
-                    outbox: &mut outbox,
-                    rng: &mut rngs[v],
-                    wake: &mut wake,
-                };
-                programs[v].on_round(&mut ctx, &inboxes[v]);
-                inboxes[v].clear();
-                if wake && !wake_flag[v] {
-                    wake_flag[v] = true;
-                    wake_list.push(v);
-                }
-                delivery.flush_outbox(g, v, &mut outbox, round, bandwidth, &mut metrics);
-            }
-            receivers = to_run;
+        let (shards, metrics) = if shards.len() == 1 {
+            drive_seq(
+                &self.config,
+                g,
+                topo,
+                bandwidth,
+                delivery,
+                shards,
+                metrics,
+                seq,
+                wakes,
+            )
+        } else {
+            parallel::drive_par(
+                &self.config,
+                g,
+                topo,
+                bandwidth,
+                delivery,
+                shards,
+                metrics,
+                seq,
+                wakes,
+            )
+        };
+        RunOutcome {
+            programs: shards.into_iter().flat_map(Shard::into_programs).collect(),
+            metrics,
         }
+    }
+}
 
-        RunOutcome { programs, metrics }
+/// The inline round loop used at `threads = 1` (no pools, no barriers).
+///
+/// Structurally the parallel loop with the worker phase run in place; both
+/// paths share [`flush_shard`] and the delivery backends, which is what
+/// keeps them metric-identical.
+#[allow(clippy::too_many_arguments)]
+fn drive_seq<P, D>(
+    config: &SimConfig,
+    g: &Graph,
+    topo: &Topology<'_>,
+    bandwidth: usize,
+    mut delivery: D,
+    mut shards: Vec<Shard<P>>,
+    mut metrics: RunMetrics,
+    mut seq: u64,
+    mut wakes: usize,
+) -> (Vec<Shard<P>>, RunMetrics)
+where
+    P: NodeProgram,
+    D: Delivery<P::Msg>,
+{
+    let mut staging: Vec<Vec<(u32, P::Msg)>> = (0..shards.len()).map(|_| Vec::new()).collect();
+    loop {
+        if !delivery.inflight() && wakes == 0 {
+            metrics.terminated = shards.iter().all(Shard::all_done);
+            break;
+        }
+        if metrics.rounds >= config.max_rounds {
+            metrics.truncated = true;
+            break;
+        }
+        metrics.rounds += 1;
+        let round = metrics.rounds;
+        delivery.stage(round, topo, &mut staging, &mut metrics);
+        wakes = 0;
+        for (shard, staged) in shards.iter_mut().zip(staging.iter_mut()) {
+            std::mem::swap(&mut shard.inbound, staged);
+            shard.run_round(g, topo, round);
+            flush_shard(
+                shard,
+                &mut delivery,
+                topo,
+                round,
+                bandwidth,
+                &mut seq,
+                &mut metrics,
+            );
+            wakes += shard.pending_wakes();
+        }
+    }
+    (shards, metrics)
+}
+
+/// Merges one shard's outbox into the delivery backend: per-message
+/// bandwidth validation, global sequence numbering, and bit accounting —
+/// always on the coordinating thread, always in shard order.
+pub(crate) fn flush_shard<P, D>(
+    shard: &mut Shard<P>,
+    delivery: &mut D,
+    topo: &Topology<'_>,
+    round: u64,
+    bandwidth: usize,
+    seq: &mut u64,
+    metrics: &mut RunMetrics,
+) where
+    P: NodeProgram,
+    D: Delivery<P::Msg>,
+{
+    for (dir, priority, msg) in shard.outbox.drain(..) {
+        let bits = msg.size_bits();
+        assert!(
+            bits <= bandwidth,
+            "message of {bits} bits exceeds the {bandwidth}-bit CONGEST bandwidth"
+        );
+        metrics.bits += bits as u64;
+        *seq += 1;
+        delivery.push(dir, priority, *seq, msg, round, topo);
     }
 }
 
@@ -854,5 +708,114 @@ mod tests {
         let a = sim.run(|v, _| MaxFlood { best: v.0 });
         let b = sim.run(|v, _| MaxFlood { best: v.0 });
         assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_metrics_or_results() {
+        let g = gen::grid(7, 9);
+        let baseline = Simulator::new(&g, SimConfig::default()).run(|v, _| MaxFlood { best: v.0 });
+        for threads in [2, 3, 4, 7] {
+            let sim = Simulator::new(
+                &g,
+                SimConfig {
+                    threads,
+                    ..SimConfig::default()
+                },
+            );
+            let run = sim.run(|v, _| MaxFlood { best: v.0 });
+            assert_eq!(run.metrics, baseline.metrics, "threads={threads}");
+            assert!(run.programs.iter().all(|p| p.best == 62));
+        }
+    }
+
+    #[test]
+    fn queued_mode_is_thread_count_invariant() {
+        struct Burst;
+        impl NodeProgram for Burst {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                for port in 0..ctx.degree() {
+                    for k in 0..3u32 {
+                        ctx.send_with_priority(port, k, u64::from(3 - k));
+                    }
+                }
+            }
+            fn on_round(&mut self, _: &mut Ctx<'_, u32>, _: &[Incoming<u32>]) {}
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = gen::torus(4, 4);
+        let run_with = |threads| {
+            Simulator::new(
+                &g,
+                SimConfig {
+                    mode: SimMode::Queued,
+                    threads,
+                    ..SimConfig::default()
+                },
+            )
+            .run(|_, _| Burst)
+            .metrics
+        };
+        let t1 = run_with(1);
+        assert_eq!(t1.max_queue, 3);
+        for threads in [2, 4, 5] {
+            assert_eq!(run_with(threads), t1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        #[derive(Debug)]
+        struct Bomb;
+        impl NodeProgram for Bomb {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                ctx.wake_next_round();
+            }
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, _: &[Incoming<u32>]) {
+                if ctx.node() == NodeId(5) {
+                    panic!("protocol bug on node 5");
+                }
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = gen::path(8);
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                threads: 4,
+                ..SimConfig::default()
+            },
+        );
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run(|_, _| Bomb)));
+        let payload = result.expect_err("the worker panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("protocol bug on node 5"), "got: {msg}");
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_host_parallelism() {
+        let g = gen::grid(4, 4);
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                threads: 0,
+                ..SimConfig::default()
+            },
+        );
+        assert!(sim.effective_threads() >= 1);
+        let run = sim.run(|v, _| MaxFlood { best: v.0 });
+        let base = Simulator::new(&g, SimConfig::default()).run(|v, _| MaxFlood { best: v.0 });
+        assert_eq!(run.metrics, base.metrics);
     }
 }

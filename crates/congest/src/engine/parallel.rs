@@ -1,0 +1,194 @@
+//! The sharded parallel round executor.
+//!
+//! One coordinator (the calling thread) plus `num_shards` scoped workers.
+//! Per round the coordinator stages deliveries into per-shard inbound
+//! buffers, releases the workers through a barrier, waits for them, then
+//! merges the shard outboxes — in shard order — into the delivery
+//! backend. All validation, sequence numbering, and metric accounting
+//! happens in that single-threaded merge, so the execution is bit-for-bit
+//! the sequential one; the workers only parallelize message delivery and
+//! the `on_round` callbacks.
+//!
+//! Rounds are microseconds long, so the barrier is a spin barrier
+//! (sense-reversing, built from two atomics) with a `yield_now` fallback
+//! for oversubscribed hosts. Worker panics are caught, parked until the
+//! barrier cycle completes (a raw unwind past a barrier would deadlock
+//! everyone else), and re-raised on the coordinator once the workers have
+//! been shut down — so a protocol assertion behaves exactly as in the
+//! sequential engine.
+
+use super::delivery::Delivery;
+use super::shard::Shard;
+use super::topology::Topology;
+use super::{flush_shard, NodeProgram, RunMetrics, SimConfig};
+use lcs_graph::Graph;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A sense-reversing spin barrier for `total` participants.
+///
+/// Spins briefly, then yields — on a loaded or single-core host the
+/// participants degrade to cooperative scheduling instead of burning the
+/// quantum.
+pub(crate) struct SpinBarrier {
+    total: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    pub fn new(total: usize) -> Self {
+        SpinBarrier {
+            total,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            // Last arrival: reset the count, then open the next generation.
+            // Every other participant is past its own increment (it read
+            // `gen` first), so the reset cannot race a stale arrival.
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins = spins.saturating_add(1);
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Runs the round loop with `shards.len()` worker threads. Returns the
+/// final metrics and the shards (for program extraction).
+///
+/// `metrics`, `seq`, and `wakes` carry the round-0 (`on_start`) state the
+/// caller already flushed.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive_par<P, D>(
+    config: &SimConfig,
+    g: &Graph,
+    topo: &Topology<'_>,
+    bandwidth: usize,
+    mut delivery: D,
+    shards: Vec<Shard<P>>,
+    mut metrics: RunMetrics,
+    mut seq: u64,
+    mut wakes: usize,
+) -> (Vec<Shard<P>>, RunMetrics)
+where
+    P: NodeProgram + Send,
+    P::Msg: Send,
+    D: Delivery<P::Msg>,
+{
+    let num_shards = shards.len();
+    let cells: Vec<Mutex<Shard<P>>> = shards.into_iter().map(Mutex::new).collect();
+    let barrier = SpinBarrier::new(num_shards + 1);
+    let stop = AtomicBool::new(false);
+    let round_now = AtomicU64::new(0);
+    let worker_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    let mut staging: Vec<Vec<(u32, P::Msg)>> = (0..num_shards).map(|_| Vec::new()).collect();
+
+    std::thread::scope(|scope| {
+        for cell in &cells {
+            let (barrier, stop, round_now) = (&barrier, &stop, &round_now);
+            let worker_panic = &worker_panic;
+            scope.spawn(move || loop {
+                barrier.wait(); // released by the coordinator once staged
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let round = round_now.load(Ordering::Acquire);
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let mut shard = lock(cell);
+                    shard.run_round(g, topo, round);
+                }));
+                if let Err(payload) = result {
+                    lock(worker_panic).get_or_insert(payload);
+                }
+                barrier.wait(); // round work done
+            });
+        }
+
+        // The coordinator loop must not unwind between barriers: a panic
+        // (bandwidth or strict-mode assertion during the merge) is caught,
+        // the workers — parked at the release barrier — are shut down, and
+        // the payload re-raised outside the scope.
+        let outcome = catch_unwind(AssertUnwindSafe(|| loop {
+            if !delivery.inflight() && wakes == 0 {
+                metrics.terminated = cells.iter().all(|c| lock(c).all_done());
+                break;
+            }
+            if metrics.rounds >= config.max_rounds {
+                metrics.truncated = true;
+                break;
+            }
+            metrics.rounds += 1;
+            let round = metrics.rounds;
+            round_now.store(round, Ordering::Release);
+
+            delivery.stage(round, topo, &mut staging, &mut metrics);
+            for (cell, staged) in cells.iter().zip(staging.iter_mut()) {
+                std::mem::swap(&mut lock(cell).inbound, staged);
+            }
+
+            barrier.wait(); // release the workers into the round
+            barrier.wait(); // wait for every shard to finish
+
+            if lock(&worker_panic).is_some() {
+                break; // re-raised below, after the workers are stopped
+            }
+
+            // Merge in shard order: the global send order equals the
+            // sequential engine's, so seq numbers and metrics match bit
+            // for bit.
+            wakes = 0;
+            for cell in &cells {
+                let mut shard = lock(cell);
+                flush_shard(
+                    &mut shard,
+                    &mut delivery,
+                    topo,
+                    round,
+                    bandwidth,
+                    &mut seq,
+                    &mut metrics,
+                );
+                wakes += shard.pending_wakes();
+            }
+        }));
+
+        // Shut the workers down (they are parked at the release barrier).
+        stop.store(true, Ordering::Release);
+        barrier.wait();
+        if let Err(payload) = outcome {
+            lock(&worker_panic).get_or_insert(payload);
+        }
+    });
+
+    if let Some(payload) = lock(&worker_panic).take() {
+        resume_unwind(payload);
+    }
+
+    let shards = cells
+        .into_iter()
+        .map(|c| c.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .collect();
+    (shards, metrics)
+}
+
+/// Locks ignoring poison: a poisoned shard only occurs on a worker panic,
+/// which the coordinator re-raises anyway.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}

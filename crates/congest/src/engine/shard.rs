@@ -1,0 +1,158 @@
+//! A contiguous node shard: the unit of work of the parallel round
+//! executor.
+//!
+//! Each shard exclusively owns its nodes' programs, RNG streams, inboxes,
+//! and wake bookkeeping, plus two message buffers: `inbound` (staged
+//! deliveries for the current round, filled by the delivery backend) and
+//! `outbox` (sends produced this round, drained by the coordinator's merge
+//! pass). A worker thread touches nothing outside its shard during a
+//! round, which is why no per-message synchronization exists anywhere.
+//!
+//! Determinism: within a shard, nodes run in ascending id order and each
+//! node's sends are appended in issue order; the coordinator merges shard
+//! outboxes in shard order. The resulting global send order is therefore
+//! identical to the sequential engine's (ascending node id), making
+//! sequence numbers — and with them every pinned metric — independent of
+//! the thread count.
+
+use super::topology::Topology;
+use super::{Ctx, Incoming, NodeProgram};
+use lcs_graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub(crate) struct Shard<P: NodeProgram> {
+    /// First node id owned by this shard.
+    lo: u32,
+    programs: Vec<P>,
+    rngs: Vec<SmallRng>,
+    inboxes: Vec<Vec<Incoming<P::Msg>>>,
+    wake_flag: Vec<bool>,
+    /// Nodes (global ids) that requested a wake-up for the next round.
+    wake_list: Vec<u32>,
+    /// Deliveries staged for this round: `(dir, msg)` with the receiver in
+    /// this shard. Swapped in by the coordinator, drained by `run_round`.
+    pub(crate) inbound: Vec<(u32, P::Msg)>,
+    /// Sends produced this round: `(dir, priority, msg)` in deterministic
+    /// node-then-issue order. Drained by the coordinator's merge pass.
+    pub(crate) outbox: Vec<(u32, u64, P::Msg)>,
+    /// Scratch: nodes to execute this round.
+    to_run: Vec<u32>,
+}
+
+impl<P: NodeProgram> Shard<P> {
+    pub fn new(
+        g: &Graph,
+        range: (u32, u32),
+        seed: u64,
+        init: &mut impl FnMut(NodeId, &Graph) -> P,
+    ) -> Self {
+        let (lo, hi) = range;
+        let len = (hi - lo) as usize;
+        Shard {
+            lo,
+            programs: (lo..hi).map(|v| init(NodeId(v), g)).collect(),
+            rngs: (lo..hi)
+                .map(|v| SmallRng::seed_from_u64(super::splitmix(seed, v)))
+                .collect(),
+            inboxes: (0..len).map(|_| Vec::new()).collect(),
+            wake_flag: vec![false; len],
+            wake_list: Vec::new(),
+            inbound: Vec::new(),
+            outbox: Vec::new(),
+            to_run: Vec::new(),
+        }
+    }
+
+    /// Runs `on_start` for every node of the shard (round 0).
+    pub fn run_start(&mut self, g: &Graph) {
+        for local in 0..self.programs.len() {
+            self.exec_node(g, self.lo + local as u32, 0, true);
+        }
+    }
+
+    /// One round: deliver the staged `inbound` messages into inboxes, pick
+    /// up pending wake-ups, and run the affected nodes in ascending order.
+    pub fn run_round(&mut self, g: &Graph, topo: &Topology<'_>, round: u64) {
+        self.to_run.clear();
+        for (dir, msg) in self.inbound.drain(..) {
+            let (recv, port) = topo.recv(dir);
+            let local = (recv - self.lo) as usize;
+            if self.inboxes[local].is_empty() {
+                self.to_run.push(recv);
+            }
+            self.inboxes[local].push(Incoming {
+                port: port as usize,
+                msg,
+            });
+        }
+        // Wake-ups requested last round join the receivers.
+        let mut wakes = std::mem::take(&mut self.wake_list);
+        for v in wakes.drain(..) {
+            let local = (v - self.lo) as usize;
+            self.wake_flag[local] = false;
+            if self.inboxes[local].is_empty() {
+                self.to_run.push(v);
+            }
+        }
+        self.wake_list = wakes;
+        self.to_run.sort_unstable(); // deterministic execution order
+
+        let to_run = std::mem::take(&mut self.to_run);
+        for &v in &to_run {
+            self.exec_node(g, v, round, false);
+        }
+        self.to_run = to_run;
+    }
+
+    /// Runs one node's callback and appends its sends (ports rewritten to
+    /// directed-edge ids) to the shard outbox.
+    fn exec_node(&mut self, g: &Graph, v: u32, round: u64, start: bool) {
+        let local = (v - self.lo) as usize;
+        let node = NodeId(v);
+        let outbox_from = self.outbox.len();
+        let mut wake = false;
+        {
+            let mut ctx = Ctx {
+                node,
+                round,
+                heads: g.heads(node),
+                edges: g.edge_ids(node),
+                outbox: &mut self.outbox,
+                rng: &mut self.rngs[local],
+                wake: &mut wake,
+            };
+            if start {
+                self.programs[local].on_start(&mut ctx);
+            } else {
+                self.programs[local].on_round(&mut ctx, &self.inboxes[local]);
+                self.inboxes[local].clear();
+            }
+        }
+        if wake && !self.wake_flag[local] {
+            self.wake_flag[local] = true;
+            self.wake_list.push(v);
+        }
+        // Ctx::send records the local port; rewrite to the global directed
+        // edge id (the CSR slot) now that the sender is known.
+        let base = g.first_out()[v as usize];
+        for entry in &mut self.outbox[outbox_from..] {
+            debug_assert!((entry.0 as usize) < g.degree(node));
+            entry.0 += base;
+        }
+    }
+
+    /// Wake-ups pending for the next round.
+    pub fn pending_wakes(&self) -> usize {
+        self.wake_list.len()
+    }
+
+    /// Whether every program of the shard reports local termination.
+    pub fn all_done(&self) -> bool {
+        self.programs.iter().all(NodeProgram::is_done)
+    }
+
+    pub fn into_programs(self) -> Vec<P> {
+        self.programs
+    }
+}

@@ -5,6 +5,14 @@
 //! (Section 2 of the paper assumes them implicitly). Each protocol is a
 //! [`NodeProgram`](crate::NodeProgram) plus an extraction helper that turns
 //! the final node states into whole-network knowledge for the next layer.
+//!
+//! All protocols run unchanged on the sharded parallel executor
+//! ([`SimConfig::threads`](crate::SimConfig::threads)): node callbacks only
+//! touch their own state and `Ctx`, so shard workers can execute them
+//! concurrently while the engine guarantees thread-count-invariant metrics.
+
+#[cfg(test)]
+mod parallel_tests;
 
 mod bfs_tree;
 mod broadcast;

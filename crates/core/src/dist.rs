@@ -31,7 +31,6 @@ use lcs_congest::{
 };
 use lcs_graph::minor::MinorWitness;
 use lcs_graph::{EdgeId, Graph, NodeId, PartId, RootedTree};
-use std::collections::HashSet;
 
 /// How the detection phase represents the part sets it convergecasts.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -59,7 +58,9 @@ pub struct DistConfig {
     pub mode: DistMode,
     /// Simulator settings. The detection phase forces
     /// [`SimMode::Queued`](lcs_congest::SimMode::Queued) since set streaming
-    /// sends several messages per edge.
+    /// sends several messages per edge. [`SimConfig::threads`] selects the
+    /// sharded executor's worker count for both phases; the construction —
+    /// cut set, shortcut, and metrics — is identical at any thread count.
     pub sim: SimConfig,
 }
 
@@ -200,20 +201,35 @@ impl MessageSize for DetectMsg {
     }
 }
 
+/// Exact-mode part-set accumulator: a plain `Vec` on the ingest hot path
+/// (every received part id is an O(1) push — no hashing), normalized by one
+/// `sort + dedup` pass at finalization, right before the set is sized
+/// against the threshold and streamed upward. Duplicates are bounded by the
+/// messages received, so the buffer never exceeds the node's inbound
+/// traffic.
+#[derive(Clone, Debug, Default)]
+struct VecSet {
+    items: Vec<u32>,
+}
+
+impl VecSet {
+    fn insert(&mut self, part: u32) {
+        self.items.push(part);
+    }
+
+    /// Sorts, dedups, and returns the set contents (ascending).
+    fn normalize(&mut self) -> &[u32] {
+        self.items.sort_unstable();
+        self.items.dedup();
+        &self.items
+    }
+}
+
 /// Per-node accumulator of the convergecast.
 #[derive(Clone, Debug)]
 enum SetAcc {
-    Exact(HashSet<u32>),
+    Exact(VecSet),
     Sketch(KmvSketch),
-}
-
-impl SetAcc {
-    fn estimate(&self, cut_factor: f64) -> f64 {
-        match self {
-            SetAcc::Exact(set) => set.len() as f64,
-            SetAcc::Sketch(s) => s.estimate() * cut_factor,
-        }
-    }
 }
 
 /// The detection-phase program of one node.
@@ -242,21 +258,25 @@ impl DetectProgram {
     fn finalize(&mut self, ctx: &mut Ctx<'_, DetectMsg>) {
         if let Some(p) = self.own_part {
             match &mut self.acc {
-                SetAcc::Exact(set) => {
-                    set.insert(p);
-                }
+                SetAcc::Exact(set) => set.insert(p),
                 SetAcc::Sketch(s) => s.insert(splitmix(self.hash_seed, p)),
             }
         }
         if let Some(port) = self.parent_port {
-            if self.acc.estimate(self.cut_factor) >= f64::from(self.threshold) {
+            // Size the accumulated set against the threshold, then either
+            // cut the parent edge or stream the set upward. Exact mode
+            // normalizes (sort + dedup) here — once per node — and streams
+            // the already-sorted result.
+            let estimate = match &mut self.acc {
+                SetAcc::Exact(set) => set.normalize().len() as f64,
+                SetAcc::Sketch(s) => s.estimate() * self.cut_factor,
+            };
+            if estimate >= f64::from(self.threshold) {
                 self.cut = true;
             } else {
                 match &self.acc {
                     SetAcc::Exact(set) => {
-                        let mut parts: Vec<u32> = set.iter().copied().collect();
-                        parts.sort_unstable();
-                        for p in parts {
+                        for &p in &set.items {
                             ctx.send(port, DetectMsg::Part(p));
                         }
                     }
@@ -367,7 +387,7 @@ fn run_detection(
             None
         };
         let (acc, cut_factor, hash_seed) = match dist.mode {
-            DistMode::Exact => (SetAcc::Exact(HashSet::new()), 1.0, 0),
+            DistMode::Exact => (SetAcc::Exact(VecSet::default()), 1.0, 0),
             DistMode::Sketch {
                 t,
                 hash_seed,

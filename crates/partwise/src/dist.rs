@@ -21,7 +21,9 @@ pub struct PartwiseConfig {
     pub seed: u64,
     /// Simulator settings; the mode is forced to
     /// [`Queued`](lcs_congest::SimMode::Queued) because several protocol
-    /// instances share edges.
+    /// instances share edges. [`SimConfig::threads`] flows through to the
+    /// sharded round executor — results and metrics are identical at any
+    /// thread count.
     pub sim: SimConfig,
 }
 
@@ -553,6 +555,40 @@ mod tests {
         );
         assert!(out.all_members_informed);
         assert!(out.results.iter().all(|&r| r == Some(18)));
+    }
+
+    /// The heaviest queued-mode consumer (many instances, mixed random-delay
+    /// priorities) must be invisible to the thread count: same results,
+    /// same metrics.
+    #[test]
+    fn partwise_is_thread_count_invariant() {
+        let (g, partition, shortcut) = grid_setup(8);
+        let values: Vec<u64> = (0..g.num_nodes() as u64).map(|x| x * 7 % 31).collect();
+        let run_with = |threads| {
+            solve_partwise(
+                &g,
+                &partition,
+                &shortcut,
+                &values,
+                AggOp::Sum,
+                None,
+                &PartwiseConfig {
+                    delay_range: 12,
+                    sim: SimConfig {
+                        threads,
+                        ..SimConfig::default()
+                    },
+                    ..PartwiseConfig::default()
+                },
+            )
+        };
+        let t1 = run_with(1);
+        assert!(t1.all_members_informed);
+        for threads in [2, 4] {
+            let t = run_with(threads);
+            assert_eq!(t.results, t1.results, "threads={threads}");
+            assert_eq!(t.metrics, t1.metrics, "threads={threads}");
+        }
     }
 
     #[test]

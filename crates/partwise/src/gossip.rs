@@ -123,6 +123,9 @@ impl NodeProgram for GossipProgram {
 /// Solves part-wise aggregation for an idempotent operator without leaders,
 /// by flooding over `G[P_i] + H_i`.
 ///
+/// `sim.threads` flows through to the sharded round executor; outcomes and
+/// metrics are identical at any thread count.
+///
 /// # Panics
 ///
 /// Panics if `values.len() != g.num_nodes()` or the shortcut's shape

@@ -25,7 +25,8 @@ pub struct UnicastConfig {
     pub delay_range: u32,
     /// Seed for delays and priorities.
     pub seed: u64,
-    /// Simulator settings (mode forced to queued).
+    /// Simulator settings (mode forced to queued;
+    /// [`SimConfig::threads`] selects the sharded executor's worker count).
     pub sim: SimConfig,
 }
 

@@ -18,6 +18,16 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+/// Simulator thread count for the distributed property tests. CI runs this
+/// suite under both `LCS_SIM_THREADS=1` and `=4`; the bounds must hold —
+/// and the executions be identical — either way.
+fn env_threads() -> usize {
+    std::env::var("LCS_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 /// Congestion must stay within `C_CONG · δ̂ · D · (log₂ n + 1)`.
 ///
 /// The per-sweep threshold is `8δ̂D` and the doubling search executes at
@@ -98,15 +108,23 @@ proptest! {
     fn distributed_bounds_on_minor_free_families(
         (g, parts, family) in arb_minor_free(),
     ) {
+        use low_congestion_shortcuts::congest::SimConfig;
         use low_congestion_shortcuts::core::dist::{distributed_full_shortcut, DistConfig};
 
         let partition = Partition::from_parts(&g, parts).unwrap();
+        let dist = DistConfig {
+            sim: SimConfig {
+                threads: env_threads(),
+                ..SimConfig::default()
+            },
+            ..DistConfig::default()
+        };
         let res = distributed_full_shortcut(
             &g,
             NodeId(0),
             &partition,
             &ShortcutConfig::default(),
-            &DistConfig::default(),
+            &dist,
         );
         let tree = bfs::bfs_tree(&g, NodeId(0));
         let d = f64::from(tree.depth_of_tree().max(1));

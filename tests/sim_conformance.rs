@@ -12,6 +12,11 @@
 //! strict-mode rewrite; the repo's protocols are arrival-order
 //! independent, which is exactly why the pinned metrics stay identical.
 //!
+//! The corpus runs at `threads = 1` **and** `threads = 4`: the sharded
+//! executor merges shard outboxes in shard order, so every pinned number
+//! must be independent of the thread count. `LCS_SIM_THREADS` (used by CI)
+//! additionally overrides the thread count of the env-driven run.
+//!
 //! [`Incoming`]: low_congestion_shortcuts::congest::Incoming
 
 use low_congestion_shortcuts::congest::protocols::BfsTreeProgram;
@@ -46,11 +51,25 @@ fn row(case: &str, m: &RunMetrics) -> (String, u64, u64, u64, u64) {
     (case.to_string(), m.rounds, m.messages, m.bits, m.max_queue)
 }
 
-fn bfs_metrics(case: &str, g: &Graph, mode: SimMode) -> (String, u64, u64, u64, u64) {
+/// Thread-count override for the env-driven conformance run (CI sets it).
+fn env_threads() -> usize {
+    std::env::var("LCS_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+fn bfs_metrics(
+    case: &str,
+    g: &Graph,
+    mode: SimMode,
+    threads: usize,
+) -> (String, u64, u64, u64, u64) {
     let sim = Simulator::new(
         g,
         SimConfig {
             mode,
+            threads,
             ..SimConfig::default()
         },
     );
@@ -63,14 +82,21 @@ fn partial_metrics(
     case: &str,
     g: &Graph,
     parts: Vec<Vec<NodeId>>,
+    threads: usize,
 ) -> Vec<(String, u64, u64, u64, u64)> {
     let partition = Partition::from_parts(g, parts).unwrap();
     let cfg = ShortcutConfig {
         witness_mode: WitnessMode::Skip,
         ..ShortcutConfig::default()
     };
-    let res =
-        distributed_partial_shortcut(g, NodeId(0), &partition, 1, &cfg, &DistConfig::default());
+    let dist = DistConfig {
+        sim: SimConfig {
+            threads,
+            ..SimConfig::default()
+        },
+        ..DistConfig::default()
+    };
+    let res = distributed_partial_shortcut(g, NodeId(0), &partition, 1, &cfg, &dist);
     assert!(res.metrics_bfs.terminated && res.metrics_shortcut.terminated);
     vec![
         row(&format!("{case}/bfs"), &res.metrics_bfs),
@@ -78,24 +104,39 @@ fn partial_metrics(
     ]
 }
 
-fn run_corpus() -> Vec<(String, u64, u64, u64, u64)> {
+fn run_corpus(threads: usize) -> Vec<(String, u64, u64, u64, u64)> {
     let mut rows = vec![
-        bfs_metrics("bfs/grid8x8", &gen::grid(8, 8), SimMode::Strict),
-        bfs_metrics("bfs/grid20x20", &gen::grid(20, 20), SimMode::Strict),
-        bfs_metrics("bfs/grid8x8_queued", &gen::grid(8, 8), SimMode::Queued),
-        bfs_metrics("bfs/torus10x10", &gen::torus(10, 10), SimMode::Strict),
-        bfs_metrics("bfs/path50", &gen::path(50), SimMode::Strict),
-        bfs_metrics("bfs/star33", &gen::star(33), SimMode::Strict),
+        bfs_metrics("bfs/grid8x8", &gen::grid(8, 8), SimMode::Strict, threads),
+        bfs_metrics(
+            "bfs/grid20x20",
+            &gen::grid(20, 20),
+            SimMode::Strict,
+            threads,
+        ),
+        bfs_metrics(
+            "bfs/grid8x8_queued",
+            &gen::grid(8, 8),
+            SimMode::Queued,
+            threads,
+        ),
+        bfs_metrics(
+            "bfs/torus10x10",
+            &gen::torus(10, 10),
+            SimMode::Strict,
+            threads,
+        ),
+        bfs_metrics("bfs/path50", &gen::path(50), SimMode::Strict, threads),
+        bfs_metrics("bfs/star33", &gen::star(33), SimMode::Strict, threads),
     ];
     {
         let mut rng = SmallRng::seed_from_u64(11);
         let g = gen::gnm_connected(200, 400, &mut rng);
-        rows.push(bfs_metrics("bfs/gnm200", &g, SimMode::Strict));
+        rows.push(bfs_metrics("bfs/gnm200", &g, SimMode::Strict, threads));
     }
     {
         let mut rng = SmallRng::seed_from_u64(3);
         let g = gen::ktree(150, 3, &mut rng);
-        rows.push(bfs_metrics("bfs/ktree150", &g, SimMode::Strict));
+        rows.push(bfs_metrics("bfs/ktree150", &g, SimMode::Strict, threads));
     }
 
     let g = gen::grid(8, 8);
@@ -103,25 +144,30 @@ fn run_corpus() -> Vec<(String, u64, u64, u64, u64)> {
         "partial/grid8x8_singletons",
         &g,
         gen::singleton_parts(&g),
+        threads,
     ));
     {
         let t = gen::torus(8, 8);
         let mut rng = SmallRng::seed_from_u64(2);
         let parts = gen::random_connected_parts(&t, 12, &mut rng);
-        rows.extend(partial_metrics("partial/torus8x8_voronoi", &t, parts));
+        rows.extend(partial_metrics(
+            "partial/torus8x8_voronoi",
+            &t,
+            parts,
+            threads,
+        ));
     }
     {
         let mut rng = SmallRng::seed_from_u64(0);
         let g = gen::gnm_connected(120, 240, &mut rng);
         let parts = gen::random_connected_parts(&g, 30, &mut rng);
-        rows.extend(partial_metrics("partial/gnm120", &g, parts));
+        rows.extend(partial_metrics("partial/gnm120", &g, parts, threads));
     }
     rows
 }
 
-#[test]
-fn metrics_match_pinned_seed_corpus() {
-    let actual = run_corpus();
+fn assert_corpus_matches(threads: usize) {
+    let actual = run_corpus(threads);
     if PINNED.is_empty() {
         for (case, rounds, messages, bits, max_queue) in &actual {
             println!("    (\"{case}\", {rounds}, {messages}, {bits}, {max_queue}),");
@@ -136,9 +182,21 @@ fn metrics_match_pinned_seed_corpus() {
         assert_eq!(
             (rounds, messages, bits, max_queue),
             (&pr, &pm, &pb, &pq),
-            "{case}: metrics drifted from the pinned seed-engine corpus"
+            "{case} (threads={threads}): metrics drifted from the pinned seed-engine corpus"
         );
     }
+}
+
+#[test]
+fn metrics_match_pinned_seed_corpus() {
+    assert_corpus_matches(env_threads());
+}
+
+/// The sharded executor must be invisible in the metrics: the same pinned
+/// corpus, four worker shards.
+#[test]
+fn metrics_match_pinned_seed_corpus_threads4() {
+    assert_corpus_matches(4);
 }
 
 /// Strict mode must keep rejecting a double send over one directed edge in
@@ -231,4 +289,72 @@ fn queued_mode_preserves_priority_then_fifo_order() {
     // round-1 sends then join the queue, so: 20 (priority 1), then the
     // priority-4 class in FIFO order 40, 41, 42.
     assert_eq!(r.0, vec![10, 20, 40, 41, 42]);
+}
+
+/// Far-future-priority case: one round enqueues a backlog far deeper than
+/// the calendar-queue horizon (64 rounds), so most deliveries are scheduled
+/// through the overflow ring. The CONGEST queue discipline is unchanged by
+/// the scheduling structure: exactly one delivery per round in ascending
+/// `(priority, seq)` order, and the metrics are the analytically pinned
+/// ones (`rounds = messages = max_queue = backlog`, one u32 per message).
+/// Run at both thread counts — scheduling is coordinator-side either way.
+#[test]
+fn queued_mode_drains_deep_backlogs_in_slot_order() {
+    const BACKLOG: u32 = 100;
+    struct Sender;
+    struct Recorder(Vec<u32>);
+    enum P {
+        S(Sender),
+        R(Recorder),
+    }
+    impl NodeProgram for P {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if let P::S(_) = self {
+                // Send values 1..=BACKLOG with *descending* priorities, so
+                // the delivery order (ascending priority) reverses the send
+                // order — every insert preempts the queued backlog.
+                for v in 1..=BACKLOG {
+                    ctx.send_with_priority(0, v, u64::from(BACKLOG - v + 1));
+                }
+            }
+        }
+        fn on_round(&mut self, _: &mut Ctx<'_, u32>, inbox: &[Incoming<u32>]) {
+            if let P::R(r) = self {
+                assert!(inbox.len() <= 1, "one delivery per directed edge per round");
+                r.0.extend(inbox.iter().map(|m| m.msg));
+            }
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+    for threads in [1, 4] {
+        let g = gen::path(2);
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                mode: SimMode::Queued,
+                threads,
+                ..SimConfig::default()
+            },
+        );
+        let run = sim.run(|v, _| {
+            if v == NodeId(0) {
+                P::S(Sender)
+            } else {
+                P::R(Recorder(Vec::new()))
+            }
+        });
+        assert!(run.metrics.terminated);
+        assert_eq!(run.metrics.rounds, u64::from(BACKLOG));
+        assert_eq!(run.metrics.messages, u64::from(BACKLOG));
+        assert_eq!(run.metrics.bits, u64::from(BACKLOG) * 32);
+        assert_eq!(run.metrics.max_queue, u64::from(BACKLOG));
+        let P::R(r) = &run.programs[1] else {
+            panic!("node 1 records");
+        };
+        let expect: Vec<u32> = (1..=BACKLOG).rev().collect();
+        assert_eq!(r.0, expect, "threads={threads}");
+    }
 }
