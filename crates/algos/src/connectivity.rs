@@ -5,7 +5,8 @@
 //! unit weights, the MST machinery computes a spanning forest, and fragment
 //! ids at fixpoint are component labels, in `Õ(δD)` rounds per phase.
 
-use crate::mst::{distributed_mst, BoruvkaConfig, MstReport};
+use crate::mst::{boruvka_config_of, distributed_mst, BoruvkaConfig, MstReport};
+use lcs_core::session::{OpReport, PartwiseOp, ShortcutSession};
 use lcs_graph::weights::EdgeWeights;
 use lcs_graph::{Graph, NodeId, UnionFind};
 
@@ -47,6 +48,31 @@ pub fn distributed_components(g: &Graph, root: NodeId, cfg: &BoruvkaConfig) -> C
         label,
         count: next as usize,
         mst,
+    }
+}
+
+/// Connected components as a session-drivable operation ([`PartwiseOp`]):
+/// unit-weight Boruvka over the session's root and backend-derived
+/// shortcut provider.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ComponentsOp;
+
+impl PartwiseOp for ComponentsOp {
+    type Output = ComponentsReport;
+
+    fn run(self, session: &mut ShortcutSession<'_>) -> OpReport<ComponentsReport> {
+        let cfg = boruvka_config_of(session);
+        let report = distributed_components(session.graph(), session.root(), &cfg);
+        let (threads, bandwidth_bits) = crate::mst::exec_config(session.graph(), cfg.partwise.sim);
+        OpReport {
+            rounds: report.mst.rounds.total(),
+            messages: report.mst.messages,
+            bits: report.mst.bits,
+            quality: None,
+            threads,
+            bandwidth_bits,
+            result: report,
+        }
     }
 }
 

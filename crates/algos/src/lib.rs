@@ -15,3 +15,6 @@
 pub mod connectivity;
 pub mod mincut;
 pub mod mst;
+pub mod session_ops;
+
+pub use session_ops::SessionAlgoOps;

@@ -19,11 +19,13 @@
 //! deg-sum half is simulated and whose LCA-token half is computed centrally
 //! (charged as zero; `O(D + load)` rounds in theory).
 
-use crate::mst::{distributed_mst, BoruvkaConfig, MstRounds};
+use crate::mst::{boruvka_config_of, distributed_mst, BoruvkaConfig, MstRounds};
 use lcs_congest::protocols::{AggOp, ConvergecastProgram, TreeKnowledge};
 use lcs_congest::Simulator;
+use lcs_core::session::{OpReport, PartwiseOp, ShortcutSession};
 use lcs_graph::weights::EdgeWeights;
 use lcs_graph::{bfs, components, EdgeId, Graph, NodeId};
+use serde::{Deserialize, Serialize};
 
 /// Exact minimum cut by Stoer–Wagner (`O(n³)`); returns 0 for disconnected
 /// graphs. Unit edge weights (edge connectivity).
@@ -89,7 +91,7 @@ pub fn stoer_wagner_weighted(g: &Graph, weights: &EdgeWeights) -> u64 {
 }
 
 /// Configuration of [`approx_mincut_distributed`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct MincutConfig {
     /// Number of trees to pack; `None` = `min(min_degree, 2·⌈ln n⌉ + 4)`.
     pub trees: Option<usize>,
@@ -108,6 +110,10 @@ pub struct MincutReport {
     pub rounds: MstRounds,
     /// Additional simulated rounds of the evaluation convergecasts.
     pub eval_rounds: u64,
+    /// Total simulated messages (tree constructions + evaluations).
+    pub messages: u64,
+    /// Total simulated bits.
+    pub bits: u64,
 }
 
 /// Distributed (simulated) min-cut approximation by greedy tree packing +
@@ -128,6 +134,8 @@ pub fn approx_mincut_distributed(g: &Graph, root: NodeId, cfg: &MincutConfig) ->
     let mut loads = EdgeWeights::from_vec(g, vec![1; g.num_edges()]);
     let mut rounds = MstRounds::default();
     let mut eval_rounds = 0u64;
+    let mut messages = 0u64;
+    let mut bits = 0u64;
     let mut best = u64::MAX;
 
     for _ in 0..q {
@@ -136,6 +144,8 @@ pub fn approx_mincut_distributed(g: &Graph, root: NodeId, cfg: &MincutConfig) ->
         rounds.construction += report.rounds.construction;
         rounds.aggregation += report.rounds.aggregation;
         rounds.notification += report.rounds.notification;
+        messages += report.messages;
+        bits += report.bits;
 
         // Orient the packed tree and evaluate its 1-respecting cuts.
         let tree = tree_from_edges(g, &report.edges, root);
@@ -147,6 +157,8 @@ pub fn approx_mincut_distributed(g: &Graph, root: NodeId, cfg: &MincutConfig) ->
         let sim = Simulator::new(g, cfg.boruvka.partwise.sim);
         let run = sim.run(|v, _| ConvergecastProgram::new(&tk, v, AggOp::Sum, g.degree(v) as u64));
         eval_rounds += run.metrics.rounds;
+        messages += run.metrics.messages;
+        bits += run.metrics.bits;
 
         // Increase loads along the tree.
         for &e in &report.edges {
@@ -159,6 +171,44 @@ pub fn approx_mincut_distributed(g: &Graph, root: NodeId, cfg: &MincutConfig) ->
         trees: q,
         rounds,
         eval_rounds,
+        messages,
+        bits,
+    }
+}
+
+/// The min-cut approximation as a session-drivable operation
+/// ([`PartwiseOp`]): greedy tree packing over the session's root and
+/// backend-derived shortcut provider.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MincutOp;
+
+impl PartwiseOp for MincutOp {
+    type Output = MincutReport;
+
+    fn run(self, session: &mut ShortcutSession<'_>) -> OpReport<MincutReport> {
+        let boruvka = boruvka_config_of(session);
+        let cfg = MincutConfig {
+            trees: session.config().mincut.trees,
+            boruvka: BoruvkaConfig {
+                partwise: lcs_partwise::PartwiseConfig {
+                    sim: session.config().mincut_sim(),
+                    ..boruvka.partwise
+                },
+                ..boruvka
+            },
+        };
+        let report = approx_mincut_distributed(session.graph(), session.root(), &cfg);
+        let (threads, bandwidth_bits) =
+            crate::mst::exec_config(session.graph(), cfg.boruvka.partwise.sim);
+        OpReport {
+            rounds: report.rounds.total() + report.eval_rounds,
+            messages: report.messages,
+            bits: report.bits,
+            quality: None,
+            threads,
+            bandwidth_bits,
+            result: report,
+        }
     }
 }
 

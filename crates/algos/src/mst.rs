@@ -10,8 +10,10 @@
 //! second aggregation wave. All MWOEs are safe by the cut property under
 //! the (weight, edge-id) tie-break, so the edge set is exact.
 
+use lcs_congest::id_bits;
 use lcs_congest::protocols::AggOp;
-use lcs_core::dist::{distributed_full_shortcut, DistConfig};
+use lcs_core::dist::{distributed_full_shortcut, DistConfig, DistMode};
+use lcs_core::session::{Backend, OpReport, PartwiseOp, ShortcutSession};
 use lcs_core::{full_shortcut, Partition, Shortcut, ShortcutConfig};
 use lcs_graph::weights::EdgeWeights;
 use lcs_graph::{EdgeId, Graph, NodeId, PartId, UnionFind};
@@ -40,7 +42,7 @@ pub fn kruskal(g: &Graph, weights: &EdgeWeights) -> Vec<EdgeId> {
 }
 
 /// How each Boruvka phase obtains its shortcuts.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ShortcutProvider {
     /// Centralized Theorem 1.2 construction ("oracle" — construction rounds
     /// are not charged; use to isolate aggregation cost).
@@ -56,7 +58,7 @@ pub enum ShortcutProvider {
 }
 
 /// Configuration of [`distributed_mst`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BoruvkaConfig {
     /// Shortcut provider per phase.
     pub provider: ShortcutProvider,
@@ -118,6 +120,9 @@ pub struct MstReport {
     pub rounds: MstRounds,
     /// Total simulated messages.
     pub messages: u64,
+    /// Total simulated bits (id-aware accounting; id exchanges are billed
+    /// at `id_bits(n)` per message).
+    pub bits: u64,
 }
 
 /// Builds shortcuts for the parts living inside the BFS tree's component;
@@ -133,6 +138,7 @@ fn provide_shortcuts(
     skip_small: bool,
     rounds: &mut MstRounds,
     messages: &mut u64,
+    bits: &mut u64,
 ) -> Shortcut {
     let k = partition.num_parts();
     match provider {
@@ -176,6 +182,7 @@ fn provide_shortcuts(
             let res = distributed_full_shortcut(g, root, &sub, sc, dc);
             rounds.construction += res.rounds;
             *messages += res.messages;
+            *bits += res.bits;
             res.shortcut
         }
         _ => unreachable!("handled above"),
@@ -230,6 +237,7 @@ pub fn distributed_mst(
     let mut mst: Vec<EdgeId> = Vec::new();
     let mut rounds = MstRounds::default();
     let mut messages = 0u64;
+    let mut bits = 0u64;
     let mut phases = 0usize;
 
     loop {
@@ -248,6 +256,8 @@ pub fn distributed_mst(
         // Distributedly this needs one round of neighbor id exchange.
         rounds.exchange += 1;
         messages += 2 * g.num_edges() as u64;
+        // Fragment ids are id payloads: one id per directed edge.
+        bits += 2 * g.num_edges() as u64 * id_bits(n) as u64;
         let mut local: Vec<u64> = vec![u64::MAX; n];
         let mut any_outgoing = false;
         for v in g.nodes() {
@@ -278,6 +288,7 @@ pub fn distributed_mst(
             cfg.skip_small_fragments,
             &mut rounds,
             &mut messages,
+            &mut bits,
         );
 
         // MWOE aggregation per fragment.
@@ -292,6 +303,7 @@ pub fn distributed_mst(
         );
         rounds.aggregation += agg.metrics.rounds;
         messages += agg.metrics.messages;
+        bits += agg.metrics.bits;
         debug_assert!(agg.all_members_informed);
 
         // Coin flips and merge decisions (tail -> head).
@@ -344,6 +356,7 @@ pub fn distributed_mst(
         );
         rounds.notification += note.metrics.rounds;
         messages += note.metrics.messages;
+        bits += note.metrics.bits;
 
         // Apply merges.
         for (i, fid) in frag_ids.iter().enumerate() {
@@ -367,6 +380,79 @@ pub fn distributed_mst(
         phases,
         rounds,
         messages,
+        bits,
+    }
+}
+
+/// Distributed Boruvka MST as a session-drivable operation
+/// ([`PartwiseOp`]): the session supplies graph, root, and the shortcut
+/// provider matching its backend (centralized oracle for
+/// [`Backend::Centralized`], the simulated Theorem 1.5 construction for
+/// [`Backend::Distributed`] / [`Backend::Sketch`]); per-phase fragment
+/// partitions are built by the algorithm itself.
+#[derive(Clone, Copy, Debug)]
+pub struct MstOp<'a> {
+    /// Edge weights (`< 2³¹`).
+    pub weights: &'a EdgeWeights,
+}
+
+impl PartwiseOp for MstOp<'_> {
+    type Output = MstReport;
+
+    fn run(self, session: &mut ShortcutSession<'_>) -> OpReport<MstReport> {
+        let cfg = boruvka_config_of(session);
+        let report = distributed_mst(session.graph(), self.weights, session.root(), &cfg);
+        op_report(session.graph(), &cfg, report)
+    }
+}
+
+/// Assembles the legacy [`BoruvkaConfig`] from a session's backend and
+/// [`SessionConfig`](lcs_core::session::SessionConfig) knobs.
+pub fn boruvka_config_of(session: &ShortcutSession<'_>) -> BoruvkaConfig {
+    let sc = session.config();
+    let provider = match session.backend() {
+        Backend::Centralized => ShortcutProvider::MinorSweepOracle(sc.shortcut),
+        Backend::Distributed(sim) => ShortcutProvider::MinorSweepDistributed(
+            sc.shortcut,
+            DistConfig {
+                mode: DistMode::Exact,
+                sim: *sim,
+            },
+        ),
+        Backend::Sketch(dist) => ShortcutProvider::MinorSweepDistributed(sc.shortcut, *dist),
+    };
+    BoruvkaConfig {
+        provider,
+        partwise: PartwiseConfig {
+            delay_range: sc.aggregate.delay_range,
+            seed: sc.aggregate.seed,
+            sim: sc.mst_sim(),
+        },
+        seed: sc.mst.seed,
+        max_phases: sc.mst.max_phases,
+        skip_small_fragments: sc.mst.skip_small_fragments,
+    }
+}
+
+/// Resolves `(effective threads, bandwidth bits)` — the execution
+/// configuration an [`OpReport`] records — for a simulator setting on `g`.
+pub(crate) fn exec_config(g: &Graph, sim: lcs_congest::SimConfig) -> (usize, usize) {
+    let s = lcs_congest::Simulator::new(g, sim);
+    (s.effective_threads(), s.bandwidth_bits())
+}
+
+/// Wraps an [`MstReport`] into the uniform [`OpReport`], resolving the
+/// execution configuration from the Boruvka simulator settings.
+pub(crate) fn op_report(g: &Graph, cfg: &BoruvkaConfig, report: MstReport) -> OpReport<MstReport> {
+    let (threads, bandwidth_bits) = exec_config(g, cfg.partwise.sim);
+    OpReport {
+        rounds: report.rounds.total(),
+        messages: report.messages,
+        bits: report.bits,
+        quality: None,
+        threads,
+        bandwidth_bits,
+        result: report,
     }
 }
 

@@ -1,0 +1,64 @@
+//! The algorithms half of the [`ShortcutSession`] operation surface:
+//! method-call sugar over [`PartwiseOp`] for MST, connectivity, and
+//! min-cut.
+//!
+//! [`PartwiseOp`]: lcs_core::session::PartwiseOp
+//! [`ShortcutSession`]: lcs_core::session::ShortcutSession
+
+use crate::connectivity::{ComponentsOp, ComponentsReport};
+use crate::mincut::{MincutOp, MincutReport};
+use crate::mst::{MstOp, MstReport};
+use lcs_core::session::{OpReport, ShortcutSession};
+use lcs_graph::weights::EdgeWeights;
+
+/// Shortcut-based distributed algorithms served by a
+/// [`ShortcutSession`]. The shortcut provider of every Boruvka phase is
+/// derived from the session's backend: the centralized Theorem 1.2 oracle
+/// for `Backend::Centralized`, the simulated Theorem 1.5 construction for
+/// `Backend::Distributed` / `Backend::Sketch`.
+///
+/// ```
+/// use lcs_algos::SessionAlgoOps;
+/// use lcs_core::session::Session;
+/// use lcs_graph::{gen, weights::EdgeWeights};
+///
+/// let g = gen::grid(5, 5);
+/// let mut session = Session::on(&g).build()?;
+/// let weights = EdgeWeights::unit(&g);
+/// let mst = session.mst(&weights);
+/// assert_eq!(mst.result.edges.len(), 24);
+/// let comps = session.components();
+/// assert_eq!(comps.result.count, 1);
+/// # Ok::<(), lcs_core::PartitionError>(())
+/// ```
+pub trait SessionAlgoOps {
+    /// Exact minimum spanning forest by shortcut-based Boruvka
+    /// (Corollary 1.6; [`distributed_mst`](crate::mst::distributed_mst)
+    /// semantics).
+    fn mst(&mut self, weights: &EdgeWeights) -> OpReport<MstReport>;
+
+    /// Connected components by unit-weight Boruvka
+    /// ([`distributed_components`](crate::connectivity::distributed_components)
+    /// semantics).
+    fn components(&mut self) -> OpReport<ComponentsReport>;
+
+    /// Min-cut upper bound by greedy tree packing + 1-respecting cuts
+    /// (Corollary 1.7;
+    /// [`approx_mincut_distributed`](crate::mincut::approx_mincut_distributed)
+    /// semantics).
+    fn mincut(&mut self) -> OpReport<MincutReport>;
+}
+
+impl SessionAlgoOps for ShortcutSession<'_> {
+    fn mst(&mut self, weights: &EdgeWeights) -> OpReport<MstReport> {
+        self.run(MstOp { weights })
+    }
+
+    fn components(&mut self) -> OpReport<ComponentsReport> {
+        self.run(ComponentsOp)
+    }
+
+    fn mincut(&mut self) -> OpReport<MincutReport> {
+        self.run(MincutOp)
+    }
+}

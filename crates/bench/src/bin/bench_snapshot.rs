@@ -12,6 +12,12 @@
 //! detection); the full run covers n ∈ {1e3, 1e4, 1e5} with the median of
 //! three repetitions per entry.
 //!
+//! The partial-construction sweep and the `facade_overhead` row run
+//! through the `ShortcutSession` facade; `facade_overhead` compares served
+//! aggregation queries (warm session, cached shortcut) against the direct
+//! free-call path and **asserts** the ratio stays ≤ 1.05× — the builder
+//! and cache layer must be zero-cost.
+//!
 //! Every entry carries the wall time measured by this run (`wall_ms`) next
 //! to the pinned pre-CSR baseline (`wall_ms_before`, measured at the seed
 //! engine commit on the same instance; `null` for instances the seed engine
@@ -29,11 +35,13 @@
 //! cargo run --release -p lcs_bench --bin bench_snapshot -- --out .
 //! ```
 
-use lcs_congest::protocols::BfsTreeProgram;
+use lcs_congest::protocols::{AggOp, BfsTreeProgram};
 use lcs_congest::{SimConfig, SimMode, Simulator};
-use lcs_core::dist::{distributed_partial_shortcut, DistConfig, DistMode};
-use lcs_core::{Partition, ShortcutConfig, SweepOutcome, WitnessMode};
+use lcs_core::dist::{DistConfig, DistMode};
+use lcs_core::session::{Backend, Session, SessionConfig, TreeSource};
+use lcs_core::{full_shortcut, Partition, ShortcutConfig, SweepOutcome, WitnessMode};
 use lcs_graph::{bfs, gen, Graph, NodeId};
+use lcs_partwise::{solve_partwise, PartwiseConfig, SessionPartwiseOps};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -94,6 +102,9 @@ struct Entry {
     min_cut_load_ratio: Option<f64>,
     /// Sketch entries: `(sketch cuts, exact cuts)` edge counts.
     cut_edges: Option<(usize, usize)>,
+    /// `facade_overhead` entry: session wall time / direct-call wall time.
+    /// The builder+cache layer must be zero-cost: asserted <= 1.05.
+    overhead_vs_direct: Option<f64>,
     terminated: bool,
     truncated: bool,
 }
@@ -155,6 +166,7 @@ fn sim_entry(
             .flatten(),
         min_cut_load_ratio: None,
         cut_edges: None,
+        overhead_vs_direct: None,
         terminated,
         truncated,
     }
@@ -197,27 +209,58 @@ fn partial_entry(
         witness_mode: WitnessMode::Skip,
         ..ShortcutConfig::default()
     };
-    let (mode_name, dist) = match kind {
-        DetectKind::Exact => ("exact", DistConfig::default()),
+    let session_config = SessionConfig {
+        shortcut: cfg,
+        ..SessionConfig::default()
+    };
+    // The construction benchmark runs through the facade: one fresh session
+    // per repetition (caching would defeat a construction benchmark), with
+    // the backend selecting the detection mode.
+    let (mode_name, backend) = match kind {
+        DetectKind::Exact => ("exact", Backend::Distributed(SimConfig::default())),
         DetectKind::Sketch => (
             "sketch",
-            DistConfig {
+            Backend::Sketch(DistConfig {
                 mode: sketch_mode(),
                 ..DistConfig::default()
-            },
+            }),
         ),
     };
-    let mut data = None;
+    // Sessions are pre-built outside the timed region (build() is lazy and
+    // free, but the partition clone is O(n) and must not pollute the
+    // construction timing); the timed closure only runs `partial(1)`.
+    let mut sessions: Vec<_> = (0..reps)
+        .map(|_| {
+            Session::on(g)
+                .tree(TreeSource::Bfs(NodeId(0)))
+                .partition_object(partition.clone())
+                .backend(backend.clone())
+                .config(session_config.clone())
+                .build()
+                .expect("partition already validated")
+        })
+        .collect();
+    let mut last_session = None;
     let (wall_ms, (rounds, messages, terminated, truncated)) = median_ms(reps, || {
-        let res = distributed_partial_shortcut(g, NodeId(0), &partition, 1, &cfg, &dist);
-        data = Some(res.data);
-        (
-            res.metrics_bfs.rounds + res.metrics_shortcut.rounds,
-            res.metrics_bfs.messages + res.metrics_shortcut.messages,
-            res.metrics_bfs.terminated && res.metrics_shortcut.terminated,
-            res.metrics_bfs.truncated || res.metrics_shortcut.truncated,
-        )
+        let mut session = sessions.pop().expect("one fresh session per rep");
+        let res = session.partial(1);
+        let (bfs_m, det_m) = (
+            res.metrics_bfs.as_ref().expect("distributed backend"),
+            res.metrics_detect.as_ref().expect("distributed backend"),
+        );
+        let stats = (
+            bfs_m.rounds + det_m.rounds,
+            bfs_m.messages + det_m.messages,
+            bfs_m.terminated && det_m.terminated,
+            bfs_m.truncated || det_m.truncated,
+        );
+        last_session = Some(session);
+        stats
     });
+    // Pull the sweep data from the last rep's cache after the clock stopped.
+    let data = last_session
+        .as_mut()
+        .map(|session| session.partial(1).data.clone());
     assert!(
         terminated && !truncated,
         "{family}/{mode_name}: detection benchmark must quiesce"
@@ -268,8 +311,123 @@ fn partial_entry(
         wall_ms_before: baseline_ms("partial", family, g.num_nodes() as u64, mode_name),
         min_cut_load_ratio,
         cut_edges,
+        overhead_vs_direct: None,
         terminated,
         truncated,
+    }
+}
+
+/// Maximum session-over-direct wall-time ratio the facade may cost. The
+/// builder and cache layer add only artifact lookups to a served call, so
+/// anything beyond noise-level indicates a regression.
+const MAX_FACADE_OVERHEAD: f64 = 1.05;
+
+/// The zero-cost-facade guard: `K` aggregation queries served by a warm
+/// `ShortcutSession` versus the same queries through the direct free-call
+/// path with prebuilt artifacts. Asserts the ratio stays ≤
+/// [`MAX_FACADE_OVERHEAD`] and emits it as a `facade_overhead` row.
+///
+/// Noise hardening for the CI smoke: both paths get one untimed warm-up,
+/// samples are minima over ≥ 5 repetitions, the two paths are measured in
+/// interleaved rounds (so load drift hits both), and a ratio over budget
+/// is re-measured once before the assert fires.
+fn facade_overhead_entry(reps: usize) -> Entry {
+    const QUERIES: usize = 4;
+    let side = 32;
+    let g = gen::grid(side, side);
+    let partition =
+        Partition::from_parts(&g, gen::rows_of_grid(side, side)).expect("valid partition");
+    let values: Vec<u64> = (0..g.num_nodes() as u64).map(|x| (x * 37) % 1009).collect();
+
+    // Direct path: artifacts prebuilt, K solve_partwise calls per sample.
+    let tree = bfs::bfs_tree(&g, NodeId(0));
+    let built = full_shortcut(&g, &tree, &partition, &ShortcutConfig::default());
+    let pw = PartwiseConfig::default();
+    let run_direct = |g: &Graph, partition: &Partition| {
+        for _ in 0..QUERIES {
+            let out = solve_partwise(
+                g,
+                partition,
+                &built.shortcut,
+                &values,
+                AggOp::Sum,
+                None,
+                &pw,
+            );
+            assert!(out.all_members_informed);
+        }
+    };
+
+    // Facade path: a warm session (construction outside the timed region —
+    // it is cached, which is the whole point), K aggregate calls per sample.
+    let mut session = Session::on(&g)
+        .partition_object(partition.clone())
+        .build()
+        .expect("partition already validated");
+    session.prepare();
+
+    let measure = |session: &mut lcs_core::session::ShortcutSession<'_>| {
+        let samples = reps.max(5);
+        let mut last = (0u64, 0u64, false, false);
+        let (mut direct_ms, mut facade_ms) = (f64::INFINITY, f64::INFINITY);
+        // Interleave the two paths so slow periods penalize both equally.
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            run_direct(&g, &partition);
+            direct_ms = direct_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            let t1 = Instant::now();
+            for _ in 0..QUERIES {
+                let report = session.aggregate(&values, AggOp::Sum);
+                assert!(report.result.all_members_informed);
+                last = (
+                    report.rounds,
+                    report.messages,
+                    report.result.metrics.terminated,
+                    report.result.metrics.truncated,
+                );
+            }
+            facade_ms = facade_ms.min(t1.elapsed().as_secs_f64() * 1e3);
+        }
+        (direct_ms, facade_ms, last)
+    };
+
+    // Untimed warm-up of both paths (first-touch allocation, cache fill).
+    run_direct(&g, &partition);
+    let _ = session.aggregate(&values, AggOp::Sum);
+
+    let (mut direct_ms, mut facade_ms, mut last) = measure(&mut session);
+    let mut ratio = facade_ms / direct_ms.max(1e-9);
+    if ratio > MAX_FACADE_OVERHEAD {
+        // One re-measure before failing: a single noisy window must not
+        // turn the smoke red.
+        (direct_ms, facade_ms, last) = measure(&mut session);
+        ratio = facade_ms / direct_ms.max(1e-9);
+    }
+    assert_eq!(
+        session.constructions(),
+        1,
+        "the session must serve from cache"
+    );
+    assert!(
+        ratio <= MAX_FACADE_OVERHEAD,
+        "facade overhead {ratio:.3}x exceeds the {MAX_FACADE_OVERHEAD}x budget \
+         (session {facade_ms:.2} ms vs direct {direct_ms:.2} ms)"
+    );
+    Entry {
+        family: "facade_overhead".to_string(),
+        n: g.num_nodes() as u64,
+        m: g.num_edges() as u64,
+        mode: "aggregate".to_string(),
+        threads: 1,
+        rounds: last.0,
+        messages: last.1,
+        wall_ms: facade_ms,
+        wall_ms_before: None,
+        min_cut_load_ratio: None,
+        cut_edges: None,
+        overhead_vs_direct: Some(ratio),
+        terminated: last.2,
+        truncated: last.3,
     }
 }
 
@@ -313,7 +471,7 @@ fn render(schema: &str, entries: &[Entry]) -> String {
             "    {{\"family\": \"{}\", \"n\": {}, \"m\": {}, \"mode\": \"{}\", \
              \"threads\": {}, \"rounds\": {}, \"messages\": {}, \"wall_ms\": {:.2}, \
              \"wall_ms_before\": {}, \"speedup\": {}, \"speedup_vs_t1\": {}, \
-             \"min_cut_load_ratio\": {}, \"cut_edges\": {}, \
+             \"min_cut_load_ratio\": {}, \"cut_edges\": {}, \"overhead_vs_direct\": {}, \
              \"terminated\": {}, \"truncated\": {}}}",
             e.family,
             e.n,
@@ -328,6 +486,7 @@ fn render(schema: &str, entries: &[Entry]) -> String {
             vs_t1,
             load_ratio,
             cuts,
+            fmt_opt(e.overhead_vs_direct),
             e.terminated,
             e.truncated,
         );
@@ -366,6 +525,9 @@ fn main() {
         sim_entries.push(sim_entry("sim", "grid", &g, SimMode::Strict, 4, reps));
         sim_entries.push(sim_entry("sim", "grid", &g, SimMode::Queued, 4, reps));
     }
+    // The zero-cost-facade guard (asserts <= MAX_FACADE_OVERHEAD; the CI
+    // smoke greps for this row).
+    sim_entries.push(facade_overhead_entry(reps));
 
     let mut partial_entries = Vec::new();
     let partial_sides: &[usize] = if fast { &[32] } else { &[32, 100] };
@@ -409,8 +571,8 @@ fn main() {
         ));
     }
 
-    let sim_json = render("bench_sim/v2", &sim_entries);
-    let partial_json = render("bench_partial/v2", &partial_entries);
+    let sim_json = render("bench_sim/v3", &sim_entries);
+    let partial_json = render("bench_partial/v3", &partial_entries);
     std::fs::write(format!("{out_dir}/BENCH_sim.json"), &sim_json).expect("write BENCH_sim.json");
     std::fs::write(format!("{out_dir}/BENCH_partial.json"), &partial_json)
         .expect("write BENCH_partial.json");

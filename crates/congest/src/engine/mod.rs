@@ -35,11 +35,12 @@ use crate::{MessageSize, RunMetrics};
 use delivery::{CalendarDelivery, Delivery, StrictDelivery};
 use lcs_graph::{EdgeId, Graph, NodeId};
 use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
 use shard::Shard;
 use topology::Topology;
 
 /// How the engine treats sends beyond one message per edge per round.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum SimMode {
     /// Pure CONGEST: a second send over the same directed edge in one round
     /// is a protocol bug and panics.
@@ -53,7 +54,7 @@ pub enum SimMode {
 }
 
 /// Simulator configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Send discipline.
     pub mode: SimMode,
@@ -304,7 +305,11 @@ impl<'g> Simulator<'g> {
     {
         let g = self.graph;
         let bandwidth = self.bandwidth_bits();
-        let mut metrics = RunMetrics::default();
+        let mut metrics = RunMetrics {
+            threads: self.effective_threads(),
+            bandwidth_bits: bandwidth,
+            ..RunMetrics::default()
+        };
         let mut seq = 0u64;
         let mut wakes = 0usize;
 
@@ -412,7 +417,9 @@ where
 
 /// Merges one shard's outbox into the delivery backend: per-message
 /// bandwidth validation, global sequence numbering, and bit accounting —
-/// always on the coordinating thread, always in shard order.
+/// always on the coordinating thread, always in shard order. Sizing is
+/// `n`-aware ([`MessageSize::size_bits_in`]): id payloads are billed at
+/// `O(log n)` bits, as the CONGEST model assumes.
 pub(crate) fn flush_shard<P, D>(
     shard: &mut Shard<P>,
     delivery: &mut D,
@@ -425,8 +432,9 @@ pub(crate) fn flush_shard<P, D>(
     P: NodeProgram,
     D: Delivery<P::Msg>,
 {
+    let n = topo.num_nodes();
     for (dir, priority, msg) in shard.outbox.drain(..) {
-        let bits = msg.size_bits();
+        let bits = msg.size_bits_in(n);
         assert!(
             bits <= bandwidth,
             "message of {bits} bits exceeds the {bandwidth}-bit CONGEST bandwidth"
@@ -723,7 +731,12 @@ mod tests {
                 },
             );
             let run = sim.run(|v, _| MaxFlood { best: v.0 });
-            assert_eq!(run.metrics, baseline.metrics, "threads={threads}");
+            assert_eq!(
+                run.metrics.counts(),
+                baseline.metrics.counts(),
+                "threads={threads}"
+            );
+            assert_eq!(run.metrics.threads, threads, "execution config recorded");
             assert!(run.programs.iter().all(|p| p.best == 62));
         }
     }
@@ -761,7 +774,7 @@ mod tests {
         let t1 = run_with(1);
         assert_eq!(t1.max_queue, 3);
         for threads in [2, 4, 5] {
-            assert_eq!(run_with(threads), t1, "threads={threads}");
+            assert_eq!(run_with(threads).counts(), t1.counts(), "threads={threads}");
         }
     }
 
@@ -816,6 +829,7 @@ mod tests {
         assert!(sim.effective_threads() >= 1);
         let run = sim.run(|v, _| MaxFlood { best: v.0 });
         let base = Simulator::new(&g, SimConfig::default()).run(|v, _| MaxFlood { best: v.0 });
-        assert_eq!(run.metrics, base.metrics);
+        assert_eq!(run.metrics.counts(), base.metrics.counts());
+        assert_eq!(run.metrics.threads, sim.effective_threads());
     }
 }

@@ -69,6 +69,14 @@ impl<'g> Topology<'g> {
         self.dir_recv.len()
     }
 
+    /// Number of nodes in the simulated network — the `n` the id-aware
+    /// message sizing ([`MessageSize::size_bits_in`]) is billed against.
+    ///
+    /// [`MessageSize::size_bits_in`]: crate::MessageSize::size_bits_in
+    pub fn num_nodes(&self) -> usize {
+        self.g.num_nodes()
+    }
+
     /// Number of shards the node-id space is split into.
     pub fn num_shards(&self) -> usize {
         self.starts.len() - 1

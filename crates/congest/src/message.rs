@@ -1,15 +1,78 @@
 //! Message size accounting for the CONGEST bandwidth limit.
 
+/// Bits needed to address one of `n` entities (nodes, parts, edges): the
+/// `⌈log₂(n+1)⌉` of the CONGEST model's `O(log n)`-bit id assumption. At
+/// least 1 even for degenerate networks.
+///
+/// ```
+/// use lcs_congest::id_bits;
+/// assert_eq!(id_bits(1), 1);
+/// assert_eq!(id_bits(64), 7);
+/// assert_eq!(id_bits(1 << 20), 21);
+/// ```
+pub fn id_bits(n: usize) -> usize {
+    let n = n.max(1) as u64;
+    (u64::BITS - n.leading_zeros()) as usize
+}
+
 /// Types that can report their wire size in bits.
 ///
 /// The simulator checks every sent message against the per-round bandwidth
-/// (`O(log n)` bits by default). Implementations should account for what a
-/// reasonable binary encoding would use — exact bit-packing is not required,
-/// but sizes must scale correctly (a message carrying two node ids must
-/// report roughly `2·log n`, not a constant).
+/// (`O(log n)` bits by default) and bills [`RunMetrics::bits`] accordingly.
+/// Implementations should account for what a reasonable binary encoding
+/// would use — exact bit-packing is not required, but sizes must scale
+/// correctly: a message carrying two node ids must report roughly
+/// `2·log n`, not a constant.
+///
+/// Sizing comes in two flavors:
+///
+/// * [`size_bits`](MessageSize::size_bits) — the network-size-independent
+///   estimate, used when `n` is unknown (raw payloads such as `u64`
+///   aggregates are billed at their full width).
+/// * [`size_bits_in`](MessageSize::size_bits_in) — the `n`-aware size the
+///   **simulator actually bills**: id payloads (node / part / fragment ids)
+///   should report [`id_bits`]`(n)` here so bits-metrics scale as
+///   `O(log n)` like the model assumes. The default forwards to
+///   `size_bits`, which is correct for value payloads.
+///
+/// For protocols whose whole message is one bare id, use the ready-made
+/// [`NodeIdMsg`] wrapper instead of `u32` (which bills a fixed 32 bits
+/// regardless of `n`).
+///
+/// [`RunMetrics::bits`]: crate::RunMetrics::bits
 pub trait MessageSize {
-    /// Size of this message in bits.
+    /// Size of this message in bits, when the network size is unknown.
     fn size_bits(&self) -> usize;
+
+    /// Size of this message in bits in an `n`-node network. Id payloads
+    /// scale as [`id_bits`]`(n)`; value payloads keep their fixed width.
+    fn size_bits_in(&self, n: usize) -> usize {
+        let _ = n;
+        self.size_bits()
+    }
+}
+
+/// A message that is exactly one id (node, part, fragment, …), billed at
+/// [`id_bits`]`(n)` by the simulator — the `O(log n)`-scaling counterpart
+/// of sending a raw `u32` (which always bills 32 bits).
+///
+/// ```
+/// use lcs_congest::{id_bits, MessageSize, NodeIdMsg};
+/// let m = NodeIdMsg(17);
+/// assert_eq!(m.size_bits(), 32);            // n unknown: full width
+/// assert_eq!(m.size_bits_in(100), id_bits(100)); // n known: 7 bits
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NodeIdMsg(pub u32);
+
+impl MessageSize for NodeIdMsg {
+    fn size_bits(&self) -> usize {
+        32
+    }
+
+    fn size_bits_in(&self, n: usize) -> usize {
+        id_bits(n)
+    }
 }
 
 impl MessageSize for () {
@@ -24,12 +87,16 @@ impl MessageSize for bool {
     }
 }
 
+/// Raw 32-bit payload: billed at full width regardless of `n`. For id
+/// payloads use [`NodeIdMsg`] (or an `n`-aware [`MessageSize::size_bits_in`]
+/// impl) so the bits-metric scales as `O(log n)`.
 impl MessageSize for u32 {
     fn size_bits(&self) -> usize {
         32
     }
 }
 
+/// Raw 64-bit payload (aggregate values, hashes): billed at full width.
 impl MessageSize for u64 {
     fn size_bits(&self) -> usize {
         64
@@ -40,11 +107,19 @@ impl<A: MessageSize, B: MessageSize> MessageSize for (A, B) {
     fn size_bits(&self) -> usize {
         self.0.size_bits() + self.1.size_bits()
     }
+
+    fn size_bits_in(&self, n: usize) -> usize {
+        self.0.size_bits_in(n) + self.1.size_bits_in(n)
+    }
 }
 
 impl<T: MessageSize> MessageSize for Option<T> {
     fn size_bits(&self) -> usize {
         1 + self.as_ref().map_or(0, MessageSize::size_bits)
+    }
+
+    fn size_bits_in(&self, n: usize) -> usize {
+        1 + self.as_ref().map_or(0, |m| m.size_bits_in(n))
     }
 }
 
@@ -58,6 +133,9 @@ mod tests {
         assert_eq!(true.size_bits(), 1);
         assert_eq!(7u32.size_bits(), 32);
         assert_eq!(7u64.size_bits(), 64);
+        // Raw payloads are n-independent.
+        assert_eq!(7u32.size_bits_in(1000), 32);
+        assert_eq!(7u64.size_bits_in(1000), 64);
     }
 
     #[test]
@@ -65,5 +143,27 @@ mod tests {
         assert_eq!((1u32, 2u32).size_bits(), 64);
         assert_eq!(Some(1u32).size_bits(), 33);
         assert_eq!(None::<u32>.size_bits(), 1);
+        // Composites forward the n-aware sizing to their components.
+        assert_eq!((NodeIdMsg(1), 2u64).size_bits_in(64), 7 + 64);
+        assert_eq!(Some(NodeIdMsg(1)).size_bits_in(64), 1 + 7);
+    }
+
+    #[test]
+    fn id_bits_is_ceil_log2() {
+        assert_eq!(id_bits(0), 1);
+        assert_eq!(id_bits(1), 1);
+        assert_eq!(id_bits(2), 2);
+        assert_eq!(id_bits(3), 2);
+        assert_eq!(id_bits(4), 3);
+        assert_eq!(id_bits(255), 8);
+        assert_eq!(id_bits(256), 9);
+        assert_eq!(id_bits(100_000), 17);
+    }
+
+    #[test]
+    fn node_id_msg_scales_with_n() {
+        assert_eq!(NodeIdMsg(5).size_bits(), 32);
+        assert_eq!(NodeIdMsg(5).size_bits_in(2), 2);
+        assert_eq!(NodeIdMsg(5).size_bits_in(1024), 11);
     }
 }

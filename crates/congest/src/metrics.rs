@@ -2,16 +2,19 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Exact counts from one simulated execution.
+/// Exact counts from one simulated execution, plus the execution
+/// configuration they were measured under.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunMetrics {
     /// Rounds executed until quiescence (or the round cap).
     pub rounds: u64,
     /// Total messages delivered.
     pub messages: u64,
-    /// Total bits delivered (per the senders' [`MessageSize`] accounting).
+    /// Total bits delivered (per the senders' [`MessageSize`] accounting;
+    /// id payloads are billed at [`id_bits`]`(n)`).
     ///
     /// [`MessageSize`]: crate::MessageSize
+    /// [`id_bits`]: crate::id_bits
     pub bits: u64,
     /// Largest backlog observed on any directed edge queue (1 in strict
     /// mode; larger values indicate multiplexing pressure in queued mode).
@@ -25,6 +28,22 @@ pub struct RunMetrics {
     ///
     /// [`SimConfig::max_rounds`]: crate::SimConfig::max_rounds
     pub truncated: bool,
+    /// Worker threads the sharded executor actually ran with (the resolved
+    /// [`SimConfig::threads`]). Execution configuration, not a measurement:
+    /// every counter above is identical at any thread count.
+    ///
+    /// Schema note: `threads` and `bandwidth_bits` were added to the serde
+    /// surface in the facade PR; payloads serialized before then no longer
+    /// deserialize (the vendored serde shim has no `#[serde(default)]`).
+    /// No such payloads are persisted in this repository.
+    ///
+    /// [`SimConfig::threads`]: crate::SimConfig::threads
+    pub threads: usize,
+    /// The per-message bandwidth limit (bits) the run enforced — the
+    /// resolved [`SimConfig::bandwidth_bits`].
+    ///
+    /// [`SimConfig::bandwidth_bits`]: crate::SimConfig::bandwidth_bits
+    pub bandwidth_bits: usize,
 }
 
 impl RunMetrics {
@@ -35,6 +54,22 @@ impl RunMetrics {
         } else {
             self.messages as f64 / self.rounds as f64
         }
+    }
+
+    /// The measurement counters alone, without the execution configuration
+    /// (`threads`, `bandwidth_bits`): `(rounds, messages, bits, max_queue,
+    /// terminated, truncated)`. This is the tuple that must be identical
+    /// across thread counts — compare it (not whole `RunMetrics` values)
+    /// when asserting thread-count invariance.
+    pub fn counts(&self) -> (u64, u64, u64, u64, bool, bool) {
+        (
+            self.rounds,
+            self.messages,
+            self.bits,
+            self.max_queue,
+            self.terminated,
+            self.truncated,
+        )
     }
 }
 
@@ -52,5 +87,25 @@ mod tests {
             ..RunMetrics::default()
         };
         assert_eq!(m.messages_per_round(), 2.5);
+    }
+
+    #[test]
+    fn counts_drops_the_execution_configuration() {
+        let a = RunMetrics {
+            rounds: 3,
+            messages: 7,
+            bits: 99,
+            max_queue: 2,
+            terminated: true,
+            truncated: false,
+            threads: 1,
+            bandwidth_bits: 160,
+        };
+        let b = RunMetrics {
+            threads: 4,
+            ..a.clone()
+        };
+        assert_ne!(a, b);
+        assert_eq!(a.counts(), b.counts());
     }
 }

@@ -20,6 +20,15 @@ impl MessageSize for BfsMsg {
             BfsMsg::Adopt => 1,
         }
     }
+
+    /// BFS distances are bounded by `n`, so they are id-sized payloads:
+    /// `O(log n)` bits, as the CONGEST model assumes.
+    fn size_bits_in(&self, n: usize) -> usize {
+        match self {
+            BfsMsg::Dist(_) => 1 + crate::id_bits(n),
+            BfsMsg::Adopt => 1,
+        }
+    }
 }
 
 /// Per-node BFS program: builds a BFS tree rooted at the initiator in

@@ -23,6 +23,11 @@ impl MessageSize for IntervalMsg {
     fn size_bits(&self) -> usize {
         1 + 64
     }
+
+    /// Subtree sizes and interval starts are bounded by `n`: id-sized.
+    fn size_bits_in(&self, n: usize) -> usize {
+        1 + crate::id_bits(n)
+    }
 }
 
 /// Per-node interval-labeling program over a known tree.

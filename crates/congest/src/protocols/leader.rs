@@ -1,6 +1,6 @@
 //! Leader election by maximum-id flooding.
 
-use crate::{Ctx, Incoming, NodeProgram};
+use crate::{Ctx, Incoming, NodeIdMsg, NodeProgram};
 
 /// Max-id flooding: every node learns the maximum node id in its component
 /// in `O(D)` rounds and `O(m·D)` messages (each improvement floods once).
@@ -34,19 +34,21 @@ impl LeaderElectProgram {
 }
 
 impl NodeProgram for LeaderElectProgram {
-    type Msg = u32;
+    // The message *is* a node id, so the [`NodeIdMsg`] wrapper bills it at
+    // `id_bits(n)` rather than a fixed 32 bits.
+    type Msg = NodeIdMsg;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NodeIdMsg>) {
         let b = self.best;
-        ctx.broadcast(b);
+        ctx.broadcast(NodeIdMsg(b));
     }
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[Incoming<u32>]) {
-        let incoming_max = inbox.iter().map(|m| m.msg).max().unwrap_or(0);
+    fn on_round(&mut self, ctx: &mut Ctx<'_, NodeIdMsg>, inbox: &[Incoming<NodeIdMsg>]) {
+        let incoming_max = inbox.iter().map(|m| m.msg.0).max().unwrap_or(0);
         if incoming_max > self.best {
             self.best = incoming_max;
             let b = self.best;
-            ctx.broadcast(b);
+            ctx.broadcast(NodeIdMsg(b));
         }
     }
 

@@ -27,13 +27,15 @@ use crate::sweep::{build_shortcut, case_one_accepts, finish_sweep, sweep_core, C
 use crate::{Partition, Shortcut, ShortcutConfig, SweepData};
 use lcs_congest::protocols::{extract_tree, BfsTreeProgram};
 use lcs_congest::{
-    splitmix, Ctx, Incoming, MessageSize, NodeProgram, RunMetrics, SimConfig, SimMode, Simulator,
+    id_bits, splitmix, Ctx, Incoming, MessageSize, NodeProgram, RunMetrics, SimConfig, SimMode,
+    Simulator,
 };
 use lcs_graph::minor::MinorWitness;
 use lcs_graph::{EdgeId, Graph, NodeId, PartId, RootedTree};
+use serde::{Deserialize, Serialize};
 
 /// How the detection phase represents the part sets it convergecasts.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum DistMode {
     /// Stream the exact part sets (one id per message). Deterministic and
     /// guaranteed to reproduce the centralized cut set; `O(|set|)` messages
@@ -52,12 +54,12 @@ pub enum DistMode {
 }
 
 /// Configuration of the distributed construction.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DistConfig {
     /// Detection mode.
     pub mode: DistMode,
     /// Simulator settings. The detection phase forces
-    /// [`SimMode::Queued`](lcs_congest::SimMode::Queued) since set streaming
+    /// [`SimMode::Queued`] since set streaming
     /// sends several messages per edge. [`SimConfig::threads`] selects the
     /// sharded executor's worker count for both phases; the construction —
     /// cut set, shortcut, and metrics — is identical at any thread count.
@@ -176,6 +178,8 @@ pub struct DistFullShortcut {
     pub rounds: u64,
     /// Total simulated messages.
     pub messages: u64,
+    /// Total simulated bits (id-aware [`MessageSize`] accounting).
+    pub bits: u64,
     /// Metrics of the (single) BFS phase.
     pub metrics_bfs: RunMetrics,
 }
@@ -195,6 +199,16 @@ impl MessageSize for DetectMsg {
     fn size_bits(&self) -> usize {
         match self {
             DetectMsg::Part(_) => 2 + 32,
+            DetectMsg::SketchVal(_) => 2 + 64,
+            DetectMsg::Done => 2,
+        }
+    }
+
+    /// Part ids are id payloads (`O(log n)` bits); sketch hash values are
+    /// genuine 64-bit payloads and keep their full width.
+    fn size_bits_in(&self, n: usize) -> usize {
+        match self {
+            DetectMsg::Part(_) => 2 + id_bits(n),
             DetectMsg::SketchVal(_) => 2 + 64,
             DetectMsg::Done => 2,
         }
@@ -518,12 +532,14 @@ pub fn distributed_full_shortcut(
     assert_parts_in_tree(&tree, partition);
     let mut rounds = metrics_bfs.rounds;
     let mut messages = metrics_bfs.messages;
+    let mut bits = metrics_bfs.bits;
 
     let res = run_doubling_search(g.num_nodes(), partition, config, |active, delta_hat| {
         let (data, o_mark, served, metrics) =
             detect_and_sweep(g, &tree, partition, active, delta_hat, config, dist);
         rounds += metrics.rounds;
         messages += metrics.messages;
+        bits += metrics.bits;
         finish_sweep(
             g,
             &tree,
@@ -542,6 +558,7 @@ pub fn distributed_full_shortcut(
         best_witness: res.best_witness,
         rounds,
         messages,
+        bits,
         metrics_bfs,
     }
 }

@@ -1,7 +1,41 @@
 //! Low-congestion shortcuts for graphs excluding dense minors — the core
-//! construction of Ghaffari & Haeupler (PODC 2021).
+//! construction of Ghaffari & Haeupler (PODC 2021), fronted by the
+//! [`ShortcutSession`] facade.
 //!
-//! The crate implements, centrally and distributedly:
+//! # The session facade
+//!
+//! A shortcut is built once per topology and *served* to many part-wise
+//! operations — that serving shape is the [`session`] module:
+//! [`Session::on(&graph)`](Session::on) starts a typed builder
+//! (`.tree(..)`, `.partition(..)`, `.backend(..)`, `.config(..)`), and the
+//! resulting [`ShortcutSession`] lazily computes and caches the BFS tree,
+//! diameter bounds, the full shortcut (with quality report and dense-minor
+//! certificate), and per-`δ̂` partial sweeps. Construction runs on one of
+//! three pluggable [`Backend`]s — centralized Theorem 1.2, the simulated
+//! exact Theorem 1.5 protocol, or KMV-sketch detection — and every
+//! operation ([`PartwiseOp`] impls in `lcs_partwise` / `lcs_algos`)
+//! returns a uniform [`OpReport`]. All knobs live in one serde-able
+//! [`SessionConfig`].
+//!
+//! ```
+//! use lcs_core::session::{Backend, Session, TreeSource};
+//! use lcs_graph::{gen, NodeId};
+//!
+//! let g = gen::grid(8, 8);
+//! let mut session = Session::on(&g)
+//!     .tree(TreeSource::Bfs(NodeId(0)))
+//!     .partition(gen::rows_of_grid(8, 8))
+//!     .backend(Backend::Centralized)
+//!     .build()?;
+//! let q = session.quality().clone();                 // constructs + caches
+//! assert!(q.max_blocks <= 8 * session.delta_hat() + 1);
+//! assert_eq!(session.constructions(), 1);            // …and stays cached
+//! # Ok::<(), lcs_core::PartitionError>(())
+//! ```
+//!
+//! # The underlying machinery
+//!
+//! The construction itself is implemented, centrally and distributedly, by:
 //!
 //! * [`Partition`] / [`Shortcut`]: the objects of Definition 2.1/2.2,
 //! * [`partial_shortcut_or_witness`]: the Theorem 3.1 sweep — either a
@@ -18,20 +52,9 @@
 //! * [`dist`]: the distributed `Õ(δD)`-round construction of Theorem 1.5 on
 //!   the CONGEST simulator.
 //!
-//! # Example
-//!
-//! ```
-//! use lcs_core::{full_shortcut, measure_quality, Partition, ShortcutConfig};
-//! use lcs_graph::{bfs, gen, NodeId};
-//!
-//! let g = gen::grid(8, 8);
-//! let parts = Partition::from_parts(&g, gen::rows_of_grid(8, 8))?;
-//! let tree = bfs::bfs_tree(&g, NodeId(0));
-//! let built = full_shortcut(&g, &tree, &parts, &ShortcutConfig::default());
-//! let q = measure_quality(&g, &parts, &tree, &built.shortcut);
-//! assert!(q.max_blocks <= 8 * built.delta_hat + 1);
-//! # Ok::<(), lcs_core::PartitionError>(())
-//! ```
+//! These free functions remain the explicit-artifact surface (and what the
+//! session drives internally); prefer the session for anything that
+//! queries one topology more than once.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,11 +69,16 @@ mod sweep;
 mod witness;
 
 pub mod dist;
+pub mod session;
 
 pub use config::{ShortcutConfig, WitnessMode};
 pub use full::{full_shortcut, FullShortcutResult, RoundLog};
 pub use partition::{Partition, PartitionError};
 pub use quality::{measure_quality, PartQuality, QualityReport};
+pub use session::{
+    Backend, OpReport, PartwiseOp, Session, SessionBuilder, SessionConfig, ShortcutSession,
+    TreeSource,
+};
 pub use shortcut::Shortcut;
 pub use sweep::{partial_shortcut_or_witness, OverEdge, PartialShortcut, SweepData, SweepOutcome};
 pub use witness::{extract_witness_derandomized, extract_witness_sampled};

@@ -1,0 +1,951 @@
+//! The `ShortcutSession` facade: build once, serve many operations.
+//!
+//! The whole point of the shortcut framework (and of this paper) is that
+//! one object — the shortcut — is *prepared once* for a topology and then
+//! *served* to many part-wise operations: aggregation, gossip, unicast
+//! routing, MST, connectivity, min-cut. This module is the API that says
+//! so. A [`ShortcutSession`] is built via the [`Session`] builder:
+//!
+//! ```
+//! use lcs_core::session::{Backend, Session, TreeSource};
+//! use lcs_graph::{gen, NodeId};
+//!
+//! let g = gen::grid(8, 8);
+//! let mut session = Session::on(&g)
+//!     .tree(TreeSource::Bfs(NodeId(0)))
+//!     .partition(gen::rows_of_grid(8, 8))
+//!     .backend(Backend::Centralized)
+//!     .build()?;
+//! // Artifacts are computed lazily and cached: the first access constructs,
+//! // every later access reuses.
+//! let delta_hat = session.delta_hat();
+//! assert_eq!(session.constructions(), 1);
+//! let _ = session.shortcut(); // cached — no second construction
+//! assert_eq!(session.constructions(), 1);
+//! # Ok::<(), lcs_core::PartitionError>(())
+//! ```
+//!
+//! The session lazily computes and caches the BFS tree, diameter bounds,
+//! the full shortcut (with quality report and dense-minor certificate),
+//! and per-`δ̂` partial shortcuts, over one of three pluggable backends:
+//!
+//! * [`Backend::Centralized`] — the Theorem 1.2 construction in plain Rust,
+//! * [`Backend::Distributed`] — the Theorem 1.5 exact-streaming protocol on
+//!   the CONGEST simulator,
+//! * [`Backend::Sketch`] — Theorem 1.5 with KMV-sketch detection.
+//!
+//! Operations plug in through the [`PartwiseOp`] trait (implemented by
+//! `lcs_partwise` and `lcs_algos`; the umbrella crate's `facade` module
+//! re-exports the method-call surface `session.aggregate(..)`,
+//! `session.mst(..)`, …). Every operation returns a uniform [`OpReport`].
+//! All knobs live in one serde-able [`SessionConfig`] with per-op
+//! overrides.
+
+use crate::dist::{distributed_full_shortcut, distributed_partial_shortcut, DistConfig, DistMode};
+use crate::{
+    full_shortcut, measure_quality, partial_shortcut_or_witness, Partition, PartitionError,
+    QualityReport, Shortcut, ShortcutConfig, SweepData, SweepOutcome,
+};
+use lcs_congest::{RunMetrics, SimConfig};
+use lcs_graph::diameter::{diameter_bounds, DiameterBounds};
+use lcs_graph::minor::MinorWitness;
+use lcs_graph::{bfs, Graph, NodeId, PartId, RootedTree};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Where the session's spanning tree comes from.
+#[derive(Clone, Debug)]
+pub enum TreeSource {
+    /// Run BFS from this root (the canonical min-id-parent rule, identical
+    /// to what the distributed BFS protocol builds).
+    Bfs(NodeId),
+    /// Use a caller-provided rooted tree (e.g. deserialized from a prior
+    /// run, or a non-BFS tree for experiments). Note: the distributed
+    /// backends run the Theorem 1.5 protocol, which builds its own BFS
+    /// tree — they accept a provided tree only if it equals that canonical
+    /// tree (asserted at construction time); arbitrary trees require
+    /// [`Backend::Centralized`].
+    Provided(RootedTree),
+}
+
+/// The execution backend shortcut construction runs on.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Backend {
+    /// Centralized Theorem 1.2 construction (no simulated rounds charged).
+    Centralized,
+    /// Distributed Theorem 1.5 construction with exact set streaming on the
+    /// CONGEST simulator, using this simulator configuration. Reproduces
+    /// the centralized cut set edge-for-edge.
+    Distributed(SimConfig),
+    /// Distributed Theorem 1.5 construction with the given detection
+    /// configuration — typically [`DistMode::Sketch`], which caps per-edge
+    /// traffic at `t + 1` messages and makes `n = 10⁵` affordable.
+    Sketch(DistConfig),
+}
+
+/// Per-op overrides for leader-based aggregation (absorbs the legacy
+/// `PartwiseConfig` knobs).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AggregateOpts {
+    /// Leaders delay their start uniformly in `[0, delay_range)` rounds;
+    /// `0` disables the random-delays smoothing.
+    pub delay_range: u32,
+    /// Seed for the delays.
+    pub seed: u64,
+    /// Simulator override for this op; `None` uses [`SessionConfig::sim`].
+    pub sim: Option<SimConfig>,
+}
+
+impl Default for AggregateOpts {
+    fn default() -> Self {
+        AggregateOpts {
+            delay_range: 0,
+            seed: 0xde1af,
+            sim: None,
+        }
+    }
+}
+
+/// Per-op overrides for multi-unicast routing (absorbs the legacy
+/// `UnicastConfig` knobs).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UnicastOpts {
+    /// Packets start after a uniform random delay in `[0, delay_range)`.
+    pub delay_range: u32,
+    /// Seed for delays and queue priorities.
+    pub seed: u64,
+    /// Simulator override for this op; `None` uses [`SessionConfig::sim`].
+    pub sim: Option<SimConfig>,
+}
+
+impl Default for UnicastOpts {
+    fn default() -> Self {
+        UnicastOpts {
+            delay_range: 0,
+            seed: 0x0417,
+            sim: None,
+        }
+    }
+}
+
+/// Per-op overrides for Boruvka MST / connectivity (absorbs the legacy
+/// `BoruvkaConfig` knobs; the shortcut provider is derived from the
+/// session's [`Backend`]).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MstOpts {
+    /// Seed for the merge coin flips.
+    pub seed: u64,
+    /// Safety cap on phases; `None` = `4·log₂ n + 16`.
+    pub max_phases: Option<usize>,
+    /// Skip shortcutting fragments of at most `2D + 1` nodes (their own
+    /// diameter already meets the dilation bound).
+    pub skip_small_fragments: bool,
+    /// Simulator override for this op; `None` uses [`SessionConfig::sim`].
+    pub sim: Option<SimConfig>,
+}
+
+impl Default for MstOpts {
+    fn default() -> Self {
+        MstOpts {
+            seed: 0xb0_aa_12,
+            max_phases: None,
+            skip_small_fragments: true,
+            sim: None,
+        }
+    }
+}
+
+/// Per-op overrides for the min-cut approximation (absorbs the legacy
+/// `MincutConfig` knobs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MincutOpts {
+    /// Number of trees to pack; `None` = `min(min_degree, 2·⌈ln n⌉ + 4)`.
+    pub trees: Option<usize>,
+    /// Simulator override for this op; `None` uses [`SessionConfig::sim`].
+    pub sim: Option<SimConfig>,
+}
+
+/// Every knob of the facade in one serde-able struct: shortcut-construction
+/// parameters, the session-wide simulator configuration, and per-op
+/// override blocks. This collapses the legacy `PartwiseConfig` /
+/// `UnicastConfig` / `BoruvkaConfig` / `MincutConfig` constellation into a
+/// single value a service can load from disk.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Theorem 3.1 construction constants and witness policy.
+    pub shortcut: ShortcutConfig,
+    /// Simulator settings every op inherits (ops force the queue mode they
+    /// need; [`SimConfig::threads`] selects the sharded executor).
+    pub sim: SimConfig,
+    /// Aggregation overrides.
+    pub aggregate: AggregateOpts,
+    /// Unicast overrides.
+    pub unicast: UnicastOpts,
+    /// MST / connectivity overrides.
+    pub mst: MstOpts,
+    /// Min-cut overrides.
+    pub mincut: MincutOpts,
+}
+
+impl SessionConfig {
+    /// The simulator configuration for aggregation/gossip ops.
+    pub fn aggregate_sim(&self) -> SimConfig {
+        self.aggregate.sim.unwrap_or(self.sim)
+    }
+
+    /// The simulator configuration for unicast routing.
+    pub fn unicast_sim(&self) -> SimConfig {
+        self.unicast.sim.unwrap_or(self.sim)
+    }
+
+    /// The simulator configuration for MST / connectivity.
+    pub fn mst_sim(&self) -> SimConfig {
+        self.mst.sim.unwrap_or(self.sim)
+    }
+
+    /// The simulator configuration for min-cut.
+    pub fn mincut_sim(&self) -> SimConfig {
+        self.mincut.sim.unwrap_or(self.sim)
+    }
+}
+
+/// Simulated cost of constructing the session's cached artifacts (zero for
+/// the centralized backend, which charges no simulated rounds).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstructionStats {
+    /// Total simulated rounds.
+    pub rounds: u64,
+    /// Total simulated messages.
+    pub messages: u64,
+    /// Total simulated bits.
+    pub bits: u64,
+}
+
+/// The cached full-shortcut artifact (Theorem 1.2 / 1.5 output).
+#[derive(Clone, Debug)]
+pub struct FullArtifact {
+    /// The union shortcut serving every part.
+    pub shortcut: Shortcut,
+    /// Final `δ̂` of the doubling search (0 for a caller-provided shortcut,
+    /// whose construction parameters are unknown).
+    pub delta_hat: u32,
+    /// Densest dense-minor certificate from failed sweeps, if any.
+    pub witness: Option<MinorWitness>,
+    /// Simulated construction cost (zero for centralized / provided).
+    pub construction: ConstructionStats,
+}
+
+/// The cached per-`δ̂` partial-shortcut artifact (one Theorem 3.1 sweep).
+#[derive(Clone, Debug)]
+pub struct PartialArtifact {
+    /// The assembled partial shortcut (empty edge lists for unserved
+    /// parts).
+    pub shortcut: Shortcut,
+    /// Parts served by the sweep, sorted.
+    pub served: Vec<PartId>,
+    /// Whether at least half the parts were served (Case (I)).
+    pub case_one: bool,
+    /// The sweep bookkeeping (cut set with true crossing loads, thresholds,
+    /// `B`-degrees).
+    pub data: SweepData,
+    /// Case (II) certificate, when the backend extracts one (centralized
+    /// only).
+    pub witness: Option<MinorWitness>,
+    /// BFS-phase metrics (distributed backends only).
+    pub metrics_bfs: Option<RunMetrics>,
+    /// Detection-phase metrics (distributed backends only).
+    pub metrics_detect: Option<RunMetrics>,
+}
+
+/// The uniform result wrapper every session operation returns: the op's
+/// typed result plus the simulated cost and the execution configuration it
+/// was measured under.
+#[derive(Clone, Debug)]
+pub struct OpReport<T> {
+    /// The operation's own outcome (aggregates, routed packets, MST
+    /// edges, …).
+    pub result: T,
+    /// Simulated rounds of the operation (construction rounds of cached
+    /// artifacts are *not* re-charged — that is the point of the session).
+    pub rounds: u64,
+    /// Simulated messages.
+    pub messages: u64,
+    /// Simulated bits (id-aware accounting).
+    pub bits: u64,
+    /// Quality of the served shortcut, when the op ran over the session's
+    /// partition (`None` for fragment-based ops like MST, whose partitions
+    /// change per phase).
+    pub quality: Option<QualityReport>,
+    /// Worker threads the simulator ran with.
+    pub threads: usize,
+    /// Per-message bandwidth limit (bits) the run enforced.
+    pub bandwidth_bits: usize,
+}
+
+impl<T> OpReport<T> {
+    /// Wraps an op result measured by a single simulator run.
+    pub fn from_metrics(result: T, metrics: &RunMetrics, quality: Option<QualityReport>) -> Self {
+        OpReport {
+            result,
+            rounds: metrics.rounds,
+            messages: metrics.messages,
+            bits: metrics.bits,
+            quality,
+            threads: metrics.threads,
+            bandwidth_bits: metrics.bandwidth_bits,
+        }
+    }
+
+    /// Maps the result, keeping the measurements.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> OpReport<U> {
+        OpReport {
+            result: f(self.result),
+            rounds: self.rounds,
+            messages: self.messages,
+            bits: self.bits,
+            quality: self.quality,
+            threads: self.threads,
+            bandwidth_bits: self.bandwidth_bits,
+        }
+    }
+}
+
+/// An operation the session can drive: part-wise aggregation, gossip,
+/// unicast routing, MST, connectivity, min-cut. Implementations live next
+/// to their protocols (`lcs_partwise`, `lcs_algos`); the session supplies
+/// the cached artifacts and collects the uniform [`OpReport`].
+pub trait PartwiseOp {
+    /// The operation's typed result.
+    type Output;
+
+    /// Runs the operation over the session's cached artifacts.
+    fn run(self, session: &mut ShortcutSession<'_>) -> OpReport<Self::Output>;
+}
+
+/// Entry point of the builder: `Session::on(&graph)`.
+pub struct Session;
+
+impl Session {
+    /// Starts building a session over `g`.
+    pub fn on(g: &Graph) -> SessionBuilder<'_> {
+        SessionBuilder {
+            g,
+            tree: None,
+            parts: None,
+            partition: None,
+            backend: Backend::Centralized,
+            config: SessionConfig::default(),
+            provided_shortcut: None,
+        }
+    }
+}
+
+/// Builder for [`ShortcutSession`]. Construction is free: no tree, no
+/// diameter, no shortcut is computed until an accessor or operation first
+/// needs it.
+pub struct SessionBuilder<'g> {
+    g: &'g Graph,
+    tree: Option<TreeSource>,
+    parts: Option<Vec<Vec<NodeId>>>,
+    partition: Option<Partition>,
+    backend: Backend,
+    config: SessionConfig,
+    provided_shortcut: Option<Shortcut>,
+}
+
+impl<'g> SessionBuilder<'g> {
+    /// Sets the tree source (default: BFS from `NodeId(0)`).
+    pub fn tree(mut self, source: TreeSource) -> Self {
+        self.tree = Some(source);
+        self
+    }
+
+    /// Sets the partition from raw node lists (validated at
+    /// [`build`](Self::build)).
+    pub fn partition(mut self, parts: Vec<Vec<NodeId>>) -> Self {
+        self.parts = Some(parts);
+        self.partition = None;
+        self
+    }
+
+    /// Sets an already-validated partition.
+    pub fn partition_object(mut self, partition: Partition) -> Self {
+        self.partition = Some(partition);
+        self.parts = None;
+        self
+    }
+
+    /// Sets the construction backend (default: [`Backend::Centralized`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the session configuration (default: [`SessionConfig::default`]).
+    pub fn config(mut self, config: SessionConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Seeds the shortcut cache with an externally built shortcut (e.g.
+    /// deserialized from a prior run, or a baseline for comparison). The
+    /// session serves it as-is and charges zero constructions.
+    pub fn shortcut(mut self, shortcut: Shortcut) -> Self {
+        self.provided_shortcut = Some(shortcut);
+        self
+    }
+
+    /// Finishes the builder. Validates the partition (if given as raw node
+    /// lists); everything else stays lazy.
+    pub fn build(self) -> Result<ShortcutSession<'g>, PartitionError> {
+        let partition = match (self.partition, self.parts) {
+            (Some(p), _) => Some(p),
+            (None, Some(lists)) => Some(Partition::from_parts(self.g, lists)?),
+            (None, None) => None,
+        };
+        let source = self.tree.unwrap_or(TreeSource::Bfs(NodeId(0)));
+        let (root, tree) = match source {
+            TreeSource::Bfs(r) => (r, None),
+            TreeSource::Provided(t) => (t.root(), Some(t)),
+        };
+        let tree_provided = tree.is_some();
+        let full = self.provided_shortcut.map(|shortcut| FullArtifact {
+            shortcut,
+            delta_hat: 0,
+            witness: None,
+            construction: ConstructionStats::default(),
+        });
+        Ok(ShortcutSession {
+            g: self.g,
+            root,
+            partition,
+            backend: self.backend,
+            config: self.config,
+            tree,
+            tree_provided,
+            diam: None,
+            full,
+            quality: None,
+            partials: BTreeMap::new(),
+            constructions: 0,
+        })
+    }
+}
+
+/// A prepared-topology session: one graph, one tree, one partition, one
+/// backend — artifacts computed lazily, cached forever, and served to any
+/// number of operations. See the [module docs](self) for the full story.
+pub struct ShortcutSession<'g> {
+    g: &'g Graph,
+    root: NodeId,
+    partition: Option<Partition>,
+    backend: Backend,
+    config: SessionConfig,
+    tree: Option<RootedTree>,
+    /// Whether `tree` came from [`TreeSource::Provided`] (the distributed
+    /// backends must verify it matches the protocol's own BFS tree).
+    tree_provided: bool,
+    diam: Option<DiameterBounds>,
+    full: Option<FullArtifact>,
+    quality: Option<QualityReport>,
+    partials: BTreeMap<u32, PartialArtifact>,
+    constructions: usize,
+}
+
+impl<'g> ShortcutSession<'g> {
+    /// The graph this session serves.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// The tree root.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The construction backend.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (between operations).
+    pub fn config_mut(&mut self) -> &mut SessionConfig {
+        &mut self.config
+    }
+
+    /// Whether a partition was configured.
+    pub fn has_partition(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// The session partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was built without one (partition-based ops
+    /// require `.partition(..)` on the builder).
+    pub fn partition(&self) -> &Partition {
+        self.partition
+            .as_ref()
+            .expect("this session has no partition — pass .partition(..) to the builder")
+    }
+
+    /// Number of shortcut constructions this session actually performed.
+    /// Repeated operations on the same session reuse the cache, so this
+    /// stays at 1 (full) plus one per distinct partial `δ̂` — the metric the
+    /// serving scenario cares about.
+    pub fn constructions(&self) -> usize {
+        self.constructions
+    }
+
+    /// The session's spanning tree (computed on first access).
+    pub fn tree(&mut self) -> &RootedTree {
+        if self.tree.is_none() {
+            self.tree = Some(bfs::bfs_tree(self.g, self.root));
+        }
+        self.tree.as_ref().expect("just set")
+    }
+
+    /// Two-sided diameter bounds of the root's component (double-sweep;
+    /// computed on first access).
+    pub fn diameter(&mut self) -> DiameterBounds {
+        if self.diam.is_none() {
+            self.diam = Some(diameter_bounds(self.g, self.root));
+        }
+        self.diam.expect("just set")
+    }
+
+    /// The full-shortcut artifact (constructed on first access via the
+    /// session backend).
+    pub fn full_artifact(&mut self) -> &FullArtifact {
+        self.ensure_full();
+        self.full.as_ref().expect("just built")
+    }
+
+    /// The served full shortcut.
+    pub fn shortcut(&mut self) -> &Shortcut {
+        &self.full_artifact().shortcut
+    }
+
+    /// Final `δ̂` of the doubling search (0 for provided shortcuts).
+    pub fn delta_hat(&mut self) -> u32 {
+        self.full_artifact().delta_hat
+    }
+
+    /// The densest dense-minor certificate collected during construction.
+    pub fn witness(&mut self) -> Option<&MinorWitness> {
+        self.ensure_full();
+        self.full.as_ref().and_then(|f| f.witness.as_ref())
+    }
+
+    /// Simulated cost of constructing the cached full shortcut.
+    pub fn construction_stats(&mut self) -> ConstructionStats {
+        self.full_artifact().construction
+    }
+
+    /// Quality report of the full shortcut against the session tree and
+    /// partition (measured once, cached).
+    pub fn quality(&mut self) -> &QualityReport {
+        if self.quality.is_none() {
+            self.ensure_full();
+            self.tree();
+            let q = measure_quality(
+                self.g,
+                self.partition(),
+                self.tree.as_ref().expect("ensured"),
+                &self.full.as_ref().expect("ensured").shortcut,
+            );
+            self.quality = Some(q);
+        }
+        self.quality.as_ref().expect("just set")
+    }
+
+    /// Clone of the cached quality report, if the session has a partition
+    /// (measuring it on first use); `None` otherwise.
+    pub fn quality_cloned(&mut self) -> Option<QualityReport> {
+        if self.partition.is_some() {
+            Some(self.quality().clone())
+        } else {
+            None
+        }
+    }
+
+    /// Ensures tree and full shortcut (and quality, when a partition
+    /// exists) are built — the preparation step ops call once before
+    /// taking shared references.
+    pub fn prepare(&mut self) {
+        self.tree();
+        if self.partition.is_some() {
+            self.ensure_full();
+            self.quality();
+        }
+    }
+
+    /// Shared reference to the cached shortcut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the artifact was not built yet (call
+    /// [`prepare`](Self::prepare) or [`shortcut`](Self::shortcut) first).
+    pub fn shortcut_ref(&self) -> &Shortcut {
+        &self
+            .full
+            .as_ref()
+            .expect("shortcut not prepared — call prepare() first")
+            .shortcut
+    }
+
+    /// Shared reference to the cached tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`shortcut_ref`](Self::shortcut_ref).
+    pub fn tree_ref(&self) -> &RootedTree {
+        self.tree
+            .as_ref()
+            .expect("tree not prepared — call prepare() first")
+    }
+
+    /// The per-`δ̂` partial shortcut (one Theorem 3.1 sweep over all parts),
+    /// constructed on first access and cached per `δ̂`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `δ̂ = 0` or the session has no partition.
+    pub fn partial(&mut self, delta_hat: u32) -> &PartialArtifact {
+        assert!(delta_hat >= 1, "δ̂ must be at least 1");
+        if !self.partials.contains_key(&delta_hat) {
+            let artifact = self.build_partial(delta_hat);
+            self.constructions += 1;
+            self.partials.insert(delta_hat, artifact);
+        }
+        self.partials.get(&delta_hat).expect("just inserted")
+    }
+
+    /// Drives one operation over the cached artifacts. Equivalent to the
+    /// named methods of the facade (`session.aggregate(..)`,
+    /// `session.mst(..)`, …), which are extension-trait sugar over this.
+    pub fn run<O: PartwiseOp>(&mut self, op: O) -> OpReport<O::Output> {
+        op.run(self)
+    }
+
+    fn ensure_full(&mut self) {
+        if self.full.is_some() {
+            return;
+        }
+        let artifact = match self.backend.clone() {
+            Backend::Centralized => {
+                self.tree();
+                let res = full_shortcut(
+                    self.g,
+                    self.tree.as_ref().expect("ensured"),
+                    self.partition(),
+                    &self.config.shortcut,
+                );
+                FullArtifact {
+                    shortcut: res.shortcut,
+                    delta_hat: res.delta_hat,
+                    witness: res.best_witness,
+                    construction: ConstructionStats::default(),
+                }
+            }
+            Backend::Distributed(sim) => {
+                let dist = DistConfig {
+                    mode: DistMode::Exact,
+                    sim,
+                };
+                self.full_from_dist(&dist)
+            }
+            Backend::Sketch(dist) => self.full_from_dist(&dist),
+        };
+        self.constructions += 1;
+        self.full = Some(artifact);
+    }
+
+    /// The distributed backends run the Theorem 1.5 protocol, whose first
+    /// phase builds its *own* BFS tree from the root (the canonical
+    /// min-id-parent rule). A provided tree is honored only if it IS that
+    /// tree — otherwise the shortcut would be restricted to one tree while
+    /// quality measurement and unicast routing use another, silently. Fail
+    /// loudly instead.
+    fn assert_provided_tree_is_canonical(&self) {
+        if !self.tree_provided {
+            return;
+        }
+        let provided = self.tree.as_ref().expect("provided tree stored at build");
+        let canonical = bfs::bfs_tree(self.g, self.root);
+        for v in self.g.nodes() {
+            assert!(
+                provided.parent(v) == canonical.parent(v),
+                "Backend::Distributed/Sketch construct over the canonical BFS tree of root \
+                 {:?} (the simulated protocol builds it itself), but the provided tree \
+                 differs at node {v:?} — use Backend::Centralized for non-BFS trees",
+                self.root
+            );
+        }
+    }
+
+    fn full_from_dist(&mut self, dist: &DistConfig) -> FullArtifact {
+        self.assert_provided_tree_is_canonical();
+        let res = distributed_full_shortcut(
+            self.g,
+            self.root,
+            self.partition
+                .as_ref()
+                .expect("this session has no partition — pass .partition(..) to the builder"),
+            &self.config.shortcut,
+            dist,
+        );
+        FullArtifact {
+            shortcut: res.shortcut,
+            delta_hat: res.delta_hat,
+            witness: res.best_witness,
+            construction: ConstructionStats {
+                rounds: res.rounds,
+                messages: res.messages,
+                bits: res.bits,
+            },
+        }
+    }
+
+    fn build_partial(&mut self, delta_hat: u32) -> PartialArtifact {
+        match self.backend.clone() {
+            Backend::Centralized => {
+                self.tree();
+                let outcome = partial_shortcut_or_witness(
+                    self.g,
+                    self.tree.as_ref().expect("ensured"),
+                    self.partition(),
+                    delta_hat,
+                    &self.config.shortcut,
+                );
+                match outcome {
+                    SweepOutcome::Shortcut(ps) => PartialArtifact {
+                        shortcut: ps.shortcut,
+                        served: ps.served,
+                        case_one: true,
+                        data: ps.data,
+                        witness: None,
+                        metrics_bfs: None,
+                        metrics_detect: None,
+                    },
+                    SweepOutcome::DenseMinor { witness, data } => PartialArtifact {
+                        shortcut: Shortcut::empty(self.partition().num_parts()),
+                        served: Vec::new(),
+                        case_one: false,
+                        data,
+                        witness,
+                        metrics_bfs: None,
+                        metrics_detect: None,
+                    },
+                }
+            }
+            Backend::Distributed(sim) => self.partial_from_dist(
+                delta_hat,
+                &DistConfig {
+                    mode: DistMode::Exact,
+                    sim,
+                },
+            ),
+            Backend::Sketch(dist) => self.partial_from_dist(delta_hat, &dist),
+        }
+    }
+
+    fn partial_from_dist(&mut self, delta_hat: u32, dist: &DistConfig) -> PartialArtifact {
+        self.assert_provided_tree_is_canonical();
+        let res = distributed_partial_shortcut(
+            self.g,
+            self.root,
+            self.partition
+                .as_ref()
+                .expect("this session has no partition — pass .partition(..) to the builder"),
+            delta_hat,
+            &self.config.shortcut,
+            dist,
+        );
+        PartialArtifact {
+            shortcut: res.shortcut,
+            served: res.served,
+            case_one: res.case_one,
+            data: res.data,
+            witness: None,
+            metrics_bfs: Some(res.metrics_bfs),
+            metrics_detect: Some(res.metrics_shortcut),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_graph::gen;
+
+    fn grid_session(side: usize) -> ShortcutSession<'static> {
+        // Leak the graph for 'static test sessions (tests only).
+        let g = Box::leak(Box::new(gen::grid(side, side)));
+        Session::on(g)
+            .tree(TreeSource::Bfs(NodeId(0)))
+            .partition(gen::rows_of_grid(side, side))
+            .build()
+            .expect("grid rows are valid parts")
+    }
+
+    #[test]
+    fn builder_is_lazy_and_artifacts_cache() {
+        let mut s = grid_session(8);
+        assert_eq!(s.constructions(), 0, "build() must not construct");
+        let dh = s.delta_hat();
+        assert_eq!(dh, 1);
+        assert_eq!(s.constructions(), 1);
+        // Every later access is served from the cache.
+        let edges_a = s.shortcut().total_edges();
+        let edges_b = s.shortcut().total_edges();
+        assert_eq!(edges_a, edges_b);
+        let _ = s.quality();
+        let _ = s.witness();
+        assert_eq!(s.constructions(), 1);
+    }
+
+    #[test]
+    fn tree_and_diameter_are_cached() {
+        let mut s = grid_session(6);
+        let d1 = s.tree().depth_of_tree();
+        let d2 = s.tree().depth_of_tree();
+        assert_eq!(d1, d2);
+        let db = s.diameter();
+        assert!(db.lower <= db.upper);
+        assert_eq!(s.constructions(), 0, "tree/diameter are not constructions");
+    }
+
+    #[test]
+    fn partials_cache_per_delta_hat() {
+        let mut s = grid_session(8);
+        let served1 = s.partial(1).served.len();
+        assert_eq!(s.constructions(), 1);
+        let served1_again = s.partial(1).served.len();
+        assert_eq!(served1, served1_again);
+        assert_eq!(s.constructions(), 1, "same δ̂ reuses the cache");
+        let _ = s.partial(2);
+        assert_eq!(s.constructions(), 2, "a new δ̂ constructs once");
+    }
+
+    #[test]
+    fn distributed_backend_matches_centralized_shortcut() {
+        let g = gen::grid(8, 8);
+        let parts = gen::rows_of_grid(8, 8);
+        let mut central = Session::on(&g)
+            .partition(parts.clone())
+            .backend(Backend::Centralized)
+            .build()
+            .unwrap();
+        let mut dist = Session::on(&g)
+            .partition(parts)
+            .backend(Backend::Distributed(SimConfig::default()))
+            .build()
+            .unwrap();
+        // Exact streaming reproduces the centralized construction.
+        assert_eq!(central.shortcut(), dist.shortcut());
+        assert_eq!(central.delta_hat(), dist.delta_hat());
+        // The distributed backend charges simulated construction cost.
+        let stats = dist.construction_stats();
+        assert!(stats.rounds > 0 && stats.messages > 0 && stats.bits > 0);
+        assert_eq!(central.construction_stats(), ConstructionStats::default());
+    }
+
+    #[test]
+    fn provided_shortcut_is_served_without_construction() {
+        let g = gen::grid(6, 6);
+        let parts = gen::rows_of_grid(6, 6);
+        let mut built = Session::on(&g).partition(parts.clone()).build().unwrap();
+        let sc = built.shortcut().clone();
+        let mut served = Session::on(&g)
+            .partition(parts)
+            .shortcut(sc.clone())
+            .build()
+            .unwrap();
+        assert_eq!(served.shortcut(), &sc);
+        assert_eq!(served.delta_hat(), 0, "provided shortcuts have unknown δ̂");
+        assert_eq!(served.constructions(), 0);
+    }
+
+    #[test]
+    fn distributed_backend_accepts_the_canonical_provided_tree() {
+        let g = gen::grid(5, 5);
+        let tree = bfs::bfs_tree(&g, NodeId(3));
+        let mut s = Session::on(&g)
+            .tree(TreeSource::Provided(tree))
+            .partition(gen::rows_of_grid(5, 5))
+            .backend(Backend::Distributed(SimConfig::default()))
+            .build()
+            .unwrap();
+        let _ = s.shortcut(); // the provided tree IS the protocol's tree
+        assert_eq!(s.constructions(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "differs at node")]
+    fn distributed_backend_rejects_non_canonical_trees() {
+        // On a cycle, the path tree (parent(i) = i-1) is a valid spanning
+        // tree rooted at 0 but NOT the BFS tree (BFS splits both ways).
+        let g = gen::cycle(6);
+        let n = 6u32;
+        let parent: Vec<_> = (0..n)
+            .map(|i| {
+                (i > 0).then(|| {
+                    let p = NodeId(i - 1);
+                    let e = g.find_edge(p, NodeId(i)).expect("cycle edge");
+                    (p, e)
+                })
+            })
+            .collect();
+        let dist: Vec<u32> = (0..n).collect();
+        let order: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let path_tree = lcs_graph::RootedTree::from_parents(&g, NodeId(0), &parent, &dist, &order);
+        let mut sess = Session::on(&g)
+            .tree(TreeSource::Provided(path_tree))
+            .partition(vec![vec![NodeId(0), NodeId(1)]])
+            .backend(Backend::Distributed(SimConfig::default()))
+            .build()
+            .unwrap();
+        let _ = sess.shortcut();
+    }
+
+    #[test]
+    fn provided_tree_sets_the_root() {
+        let g = gen::grid(5, 5);
+        let tree = bfs::bfs_tree(&g, NodeId(12));
+        let mut s = Session::on(&g)
+            .tree(TreeSource::Provided(tree.clone()))
+            .build()
+            .unwrap();
+        assert_eq!(s.root(), NodeId(12));
+        assert_eq!(s.tree().parent(NodeId(0)), tree.parent(NodeId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no partition")]
+    fn partition_ops_demand_a_partition() {
+        let g = gen::path(4);
+        let mut s = Session::on(&g).build().unwrap();
+        let _ = s.shortcut();
+    }
+
+    #[test]
+    fn config_sim_overrides_resolve() {
+        let mut cfg = SessionConfig::default();
+        assert_eq!(cfg.aggregate_sim(), cfg.sim);
+        let over = SimConfig {
+            threads: 4,
+            ..SimConfig::default()
+        };
+        cfg.unicast.sim = Some(over);
+        assert_eq!(cfg.unicast_sim(), over);
+        assert_eq!(cfg.mst_sim(), cfg.sim);
+        assert_eq!(cfg.mincut_sim(), cfg.sim);
+    }
+}

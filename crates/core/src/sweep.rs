@@ -87,7 +87,7 @@ pub enum SweepOutcome {
 
 /// Runs one Theorem 3.1 sweep on all parts of `partition` with guess `δ̂`.
 ///
-/// See [`sweep_active`] for the variant restricted to a sub-collection of
+/// See `sweep_active` for the variant restricted to a sub-collection of
 /// parts (used by the Observation 2.7 loop).
 ///
 /// # Panics

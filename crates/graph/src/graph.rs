@@ -66,7 +66,7 @@ impl EdgeRef {
 /// Construct via [`GraphBuilder`]. Nodes are `0..n`, edges are `0..m`;
 /// adjacency lists are sorted by neighbor id. Self-loops and parallel edges
 /// are rejected at build time, matching the simple network graphs of the
-/// CONGEST model. See the [module docs](self) for the flat
+/// CONGEST model. See the module docs for the flat
 /// `first_out`/`head`/`edge_id` layout.
 ///
 /// # Example

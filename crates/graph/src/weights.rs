@@ -2,7 +2,7 @@
 //!
 //! Graphs in this workspace are unweighted topologies (the CONGEST network);
 //! algorithms that need weights (MST, min-cut packing loads) carry an
-//! [`EdgeWeights`] alongside the [`Graph`](crate::Graph).
+//! [`EdgeWeights`] alongside the [`Graph`].
 
 use crate::{EdgeId, Graph};
 use rand::Rng;

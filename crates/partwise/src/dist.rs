@@ -3,16 +3,18 @@
 use crate::centralized::identity;
 use lcs_congest::protocols::AggOp;
 use lcs_congest::{
-    Ctx, Incoming, MessageSize, NodeProgram, RunMetrics, SimConfig, SimMode, Simulator,
+    id_bits, Ctx, Incoming, MessageSize, NodeProgram, RunMetrics, SimConfig, SimMode, Simulator,
 };
+use lcs_core::session::{OpReport, PartwiseOp, ShortcutSession};
 use lcs_core::{Partition, Shortcut};
 use lcs_graph::{Graph, NodeId, PartId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Configuration of the distributed solver.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PartwiseConfig {
     /// Leaders delay their start uniformly in `[0, delay_range)` rounds —
     /// the random-delays smoothing; `0` disables delays.
@@ -50,6 +52,45 @@ pub struct PartwiseOutcome {
     pub metrics: RunMetrics,
 }
 
+/// Per node, per part, the participating ports — the subgraph
+/// `G[P_i] + H_i` every part-wise protocol runs over. An edge participates
+/// in part `i` iff it is in `H_i` or both endpoints lie in `P_i`
+/// (Definition 2.1); this rule is shared by the leader-based solver and
+/// the gossip solver, so it lives in exactly one place.
+pub(crate) fn participation_map(
+    g: &Graph,
+    partition: &Partition,
+    shortcut: &Shortcut,
+) -> Vec<HashMap<u32, Vec<usize>>> {
+    let mut participation: Vec<HashMap<u32, Vec<usize>>> = vec![HashMap::new(); g.num_nodes()];
+    let mut register = |part: u32, u: NodeId, v: NodeId| {
+        let pu = g.port_to(u, v).expect("edge endpoints adjacent");
+        participation[u.index()].entry(part).or_default().push(pu);
+    };
+    for (pid, _) in partition.iter() {
+        for &e in shortcut.edges_for(pid) {
+            let (u, v) = g.endpoints(e);
+            register(pid.0, u, v);
+            register(pid.0, v, u);
+        }
+    }
+    for er in g.edges() {
+        if let (Some(a), Some(b)) = (partition.part_of(er.u), partition.part_of(er.v)) {
+            if a == b && !shortcut.contains(a, er.id) {
+                register(a.0, er.u, er.v);
+                register(a.0, er.v, er.u);
+            }
+        }
+    }
+    for lists in &mut participation {
+        for ports in lists.values_mut() {
+            ports.sort_unstable();
+            ports.dedup();
+        }
+    }
+    participation
+}
+
 #[derive(Clone, Copy, Debug)]
 enum PaMsg {
     /// BFS-offer wave for a part.
@@ -69,6 +110,15 @@ impl MessageSize for PaMsg {
         match self {
             PaMsg::Offer(_) | PaMsg::Adopt(_) | PaMsg::Decline(_) => 3 + 32,
             PaMsg::Up(..) | PaMsg::Down(..) => 3 + 32 + 64,
+        }
+    }
+
+    /// Part ids are id payloads (`O(log n)` bits); aggregate values keep
+    /// their full 64-bit width.
+    fn size_bits_in(&self, n: usize) -> usize {
+        match self {
+            PaMsg::Offer(_) | PaMsg::Adopt(_) | PaMsg::Decline(_) => 3 + id_bits(n),
+            PaMsg::Up(..) | PaMsg::Down(..) => 3 + id_bits(n) + 64,
         }
     }
 }
@@ -234,7 +284,186 @@ impl NodeProgram for PaProgram {
     }
 }
 
-/// Solves part-wise aggregation distributedly over `G[P_i] + H_i`.
+/// Part-wise aggregation as a session-drivable operation ([`PartwiseOp`]):
+/// every node of part `P_i` learns the aggregate of its part's values,
+/// computed by one echo protocol per part over `G[P_i] + H_i`.
+///
+/// Used in two ways: `session.run(AggregateOp { .. })` (or the facade's
+/// `session.aggregate(..)` sugar) serves it from the session's cached
+/// shortcut; the legacy [`solve_partwise`] free function runs it over
+/// explicitly supplied artifacts.
+#[derive(Clone, Copy, Debug)]
+pub struct AggregateOp<'a> {
+    /// One value per node.
+    pub values: &'a [u64],
+    /// The aggregation operator.
+    pub op: AggOp,
+    /// Explicit per-part leaders; `None` elects the minimum-id member.
+    pub leaders: Option<&'a [NodeId]>,
+}
+
+impl PartwiseOp for AggregateOp<'_> {
+    type Output = PartwiseOutcome;
+
+    fn run(self, session: &mut ShortcutSession<'_>) -> OpReport<PartwiseOutcome> {
+        session.prepare();
+        let quality = session.quality_cloned();
+        let sc = session.config();
+        let cfg = PartwiseConfig {
+            delay_range: sc.aggregate.delay_range,
+            seed: sc.aggregate.seed,
+            sim: sc.aggregate_sim(),
+        };
+        let out = self.run_on(
+            session.graph(),
+            session.partition(),
+            session.shortcut_ref(),
+            &cfg,
+        );
+        let metrics = out.metrics.clone();
+        OpReport::from_metrics(out, &metrics, quality)
+    }
+}
+
+impl AggregateOp<'_> {
+    /// Runs the protocol over explicit artifacts (the non-session path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.values.len() != g.num_nodes()`, a leader is not a
+    /// member of its part, or the shortcut's shape differs from the
+    /// partition's.
+    pub fn run_on(
+        &self,
+        g: &Graph,
+        partition: &Partition,
+        shortcut: &Shortcut,
+        cfg: &PartwiseConfig,
+    ) -> PartwiseOutcome {
+        let (values, op, leaders) = (self.values, self.op, self.leaders);
+        assert_eq!(values.len(), g.num_nodes(), "one value per node");
+        assert_eq!(
+            shortcut.num_parts(),
+            partition.num_parts(),
+            "shortcut and partition shapes differ"
+        );
+        let k = partition.num_parts();
+        let default_leaders: Vec<NodeId> = partition
+            .iter()
+            .map(|(_, nodes)| *nodes.iter().min().expect("parts are non-empty"))
+            .collect();
+        let leaders = leaders.unwrap_or(&default_leaders);
+        assert_eq!(leaders.len(), k, "one leader per part");
+        for (i, &l) in leaders.iter().enumerate() {
+            assert_eq!(
+                partition.part_of(l),
+                Some(PartId(i as u32)),
+                "leader {l:?} is not a member of part {i}"
+            );
+        }
+
+        let participation = participation_map(g, partition, shortcut);
+
+        // Random delays per part.
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let delays: Vec<u32> = (0..k)
+            .map(|_| {
+                if cfg.delay_range == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..cfg.delay_range)
+                }
+            })
+            .collect();
+
+        let sim_cfg = SimConfig {
+            mode: SimMode::Queued,
+            ..cfg.sim
+        };
+        let sim = Simulator::new(g, sim_cfg);
+        let run = sim.run(|v, _| {
+            let mut states = HashMap::new();
+            let mut priority = HashMap::new();
+            let mut node_delays = Vec::new();
+            // States for parts this node participates in (as relay or member).
+            let mut parts: Vec<u32> = participation[v.index()].keys().copied().collect();
+            if let Some(pid) = partition.part_of(v) {
+                if !parts.contains(&pid.0) {
+                    parts.push(pid.0); // singleton part without edges
+                }
+            }
+            for part in parts {
+                let is_member = partition.part_of(v) == Some(PartId(part));
+                let is_leader = leaders[part as usize] == v;
+                let ports = participation[v.index()]
+                    .get(&part)
+                    .cloned()
+                    .unwrap_or_default();
+                states.insert(
+                    part,
+                    PartState {
+                        ports,
+                        parent: None,
+                        started: false,
+                        awaiting_replies: 0,
+                        children: Vec::new(),
+                        pending_up: 0,
+                        acc: if is_member {
+                            values[v.index()]
+                        } else {
+                            identity(op)
+                        },
+                        is_leader,
+                        up_sent: false,
+                        result: None,
+                    },
+                );
+                priority.insert(part, u64::from(delays[part as usize]));
+                if is_leader {
+                    node_delays.push((part, delays[part as usize]));
+                }
+            }
+            PaProgram {
+                op,
+                states,
+                delays: node_delays,
+                priority,
+            }
+        });
+
+        // Collect results.
+        let mut results: Vec<Option<u64>> = vec![None; k];
+        let mut all_informed = true;
+        for (i, &leader) in leaders.iter().enumerate() {
+            let part = i as u32;
+            results[i] = run.programs[leader.index()]
+                .states
+                .get(&part)
+                .and_then(|st| st.result);
+            for &member in partition.part(PartId(part)) {
+                let informed = run.programs[member.index()]
+                    .states
+                    .get(&part)
+                    .map(|st| st.result.is_some())
+                    .unwrap_or(false);
+                if !informed {
+                    all_informed = false;
+                }
+            }
+        }
+
+        PartwiseOutcome {
+            results,
+            all_members_informed: all_informed,
+            metrics: run.metrics,
+        }
+    }
+}
+
+/// Solves part-wise aggregation distributedly over `G[P_i] + H_i` —
+/// the legacy free-function surface, now a one-line wrapper over
+/// [`AggregateOp::run_on`]. For repeated queries on one topology prefer a
+/// [`ShortcutSession`], which caches the shortcut between calls.
 ///
 /// `leaders[i]`, when given, must be a member of part `i`; by default the
 /// minimum-id member leads. Every part's subgraph must be connected for the
@@ -254,151 +483,12 @@ pub fn solve_partwise(
     leaders: Option<&[NodeId]>,
     cfg: &PartwiseConfig,
 ) -> PartwiseOutcome {
-    assert_eq!(values.len(), g.num_nodes(), "one value per node");
-    assert_eq!(
-        shortcut.num_parts(),
-        partition.num_parts(),
-        "shortcut and partition shapes differ"
-    );
-    let k = partition.num_parts();
-    let default_leaders: Vec<NodeId> = partition
-        .iter()
-        .map(|(_, nodes)| *nodes.iter().min().expect("parts are non-empty"))
-        .collect();
-    let leaders = leaders.unwrap_or(&default_leaders);
-    assert_eq!(leaders.len(), k, "one leader per part");
-    for (i, &l) in leaders.iter().enumerate() {
-        assert_eq!(
-            partition.part_of(l),
-            Some(PartId(i as u32)),
-            "leader {l:?} is not a member of part {i}"
-        );
+    AggregateOp {
+        values,
+        op,
+        leaders,
     }
-
-    // Participation: per node, per part, the participating ports.
-    // An edge participates in part i iff it is in H_i or both endpoints lie
-    // in P_i.
-    let mut participation: Vec<HashMap<u32, Vec<usize>>> = vec![HashMap::new(); g.num_nodes()];
-    let mut register = |part: u32, u: NodeId, v: NodeId| {
-        let pu = g.port_to(u, v).expect("edge endpoints adjacent");
-        participation[u.index()].entry(part).or_default().push(pu);
-    };
-    for (pid, _) in partition.iter() {
-        for &e in shortcut.edges_for(pid) {
-            let (u, v) = g.endpoints(e);
-            register(pid.0, u, v);
-            register(pid.0, v, u);
-        }
-    }
-    for er in g.edges() {
-        let (pu, pv) = (partition.part_of(er.u), partition.part_of(er.v));
-        if let (Some(a), Some(b)) = (pu, pv) {
-            if a == b && !shortcut.contains(a, er.id) {
-                register(a.0, er.u, er.v);
-                register(a.0, er.v, er.u);
-            }
-        }
-    }
-    for lists in &mut participation {
-        for ports in lists.values_mut() {
-            ports.sort_unstable();
-            ports.dedup();
-        }
-    }
-
-    // Random delays per part.
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let delays: Vec<u32> = (0..k)
-        .map(|_| {
-            if cfg.delay_range == 0 {
-                0
-            } else {
-                rng.gen_range(0..cfg.delay_range)
-            }
-        })
-        .collect();
-
-    let sim_cfg = SimConfig {
-        mode: SimMode::Queued,
-        ..cfg.sim
-    };
-    let sim = Simulator::new(g, sim_cfg);
-    let run = sim.run(|v, _| {
-        let mut states = HashMap::new();
-        let mut priority = HashMap::new();
-        let mut node_delays = Vec::new();
-        // States for parts this node participates in (as relay or member).
-        let mut parts: Vec<u32> = participation[v.index()].keys().copied().collect();
-        if let Some(pid) = partition.part_of(v) {
-            if !parts.contains(&pid.0) {
-                parts.push(pid.0); // singleton part without edges
-            }
-        }
-        for part in parts {
-            let is_member = partition.part_of(v) == Some(PartId(part));
-            let is_leader = leaders[part as usize] == v;
-            let ports = participation[v.index()]
-                .get(&part)
-                .cloned()
-                .unwrap_or_default();
-            states.insert(
-                part,
-                PartState {
-                    ports,
-                    parent: None,
-                    started: false,
-                    awaiting_replies: 0,
-                    children: Vec::new(),
-                    pending_up: 0,
-                    acc: if is_member {
-                        values[v.index()]
-                    } else {
-                        identity(op)
-                    },
-                    is_leader,
-                    up_sent: false,
-                    result: None,
-                },
-            );
-            priority.insert(part, u64::from(delays[part as usize]));
-            if is_leader {
-                node_delays.push((part, delays[part as usize]));
-            }
-        }
-        PaProgram {
-            op,
-            states,
-            delays: node_delays,
-            priority,
-        }
-    });
-
-    // Collect results.
-    let mut results: Vec<Option<u64>> = vec![None; k];
-    let mut all_informed = true;
-    for (i, &leader) in leaders.iter().enumerate() {
-        let part = i as u32;
-        results[i] = run.programs[leader.index()]
-            .states
-            .get(&part)
-            .and_then(|st| st.result);
-        for &member in partition.part(PartId(part)) {
-            let informed = run.programs[member.index()]
-                .states
-                .get(&part)
-                .map(|st| st.result.is_some())
-                .unwrap_or(false);
-            if !informed {
-                all_informed = false;
-            }
-        }
-    }
-
-    PartwiseOutcome {
-        results,
-        all_members_informed: all_informed,
-        metrics: run.metrics,
-    }
+    .run_on(g, partition, shortcut, cfg)
 }
 
 #[cfg(test)]
@@ -587,7 +677,7 @@ mod tests {
         for threads in [2, 4] {
             let t = run_with(threads);
             assert_eq!(t.results, t1.results, "threads={threads}");
-            assert_eq!(t.metrics, t1.metrics, "threads={threads}");
+            assert_eq!(t.metrics.counts(), t1.metrics.counts(), "threads={threads}");
         }
     }
 

@@ -13,10 +13,11 @@
 //! distinction via [`IdempotentOp`].
 
 use lcs_congest::{
-    Ctx, Incoming, MessageSize, NodeProgram, RunMetrics, SimConfig, SimMode, Simulator,
+    id_bits, Ctx, Incoming, MessageSize, NodeProgram, RunMetrics, SimConfig, SimMode, Simulator,
 };
+use lcs_core::session::{OpReport, PartwiseOp, ShortcutSession};
 use lcs_core::{Partition, Shortcut};
-use lcs_graph::{Graph, NodeId, PartId};
+use lcs_graph::{Graph, PartId};
 use std::collections::HashMap;
 
 /// Aggregates safe under re-application (gossip does not double-count).
@@ -65,6 +66,12 @@ struct GossipMsg {
 impl MessageSize for GossipMsg {
     fn size_bits(&self) -> usize {
         32 + 64
+    }
+
+    /// The part id scales as `O(log n)`; the gossiped value keeps its full
+    /// 64-bit width.
+    fn size_bits_in(&self, n: usize) -> usize {
+        id_bits(n) + 64
     }
 }
 
@@ -120,8 +127,129 @@ impl NodeProgram for GossipProgram {
     }
 }
 
+/// Leaderless idempotent aggregation as a session-drivable operation
+/// ([`PartwiseOp`]): flooding over `G[P_i] + H_i`, converging in
+/// `O(dilation)` rounds.
+///
+/// `session.run(GossipOp { .. })` (or the facade's `session.gossip(..)`)
+/// serves it from the cached shortcut; the legacy [`gossip_aggregate`]
+/// free function runs it over explicit artifacts.
+#[derive(Clone, Copy, Debug)]
+pub struct GossipOp<'a> {
+    /// One value per node.
+    pub values: &'a [u64],
+    /// The idempotent operator.
+    pub op: IdempotentOp,
+}
+
+impl PartwiseOp for GossipOp<'_> {
+    type Output = GossipOutcome;
+
+    fn run(self, session: &mut ShortcutSession<'_>) -> OpReport<GossipOutcome> {
+        session.prepare();
+        let quality = session.quality_cloned();
+        let sim = session.config().aggregate_sim();
+        let out = self.run_on(
+            session.graph(),
+            session.partition(),
+            session.shortcut_ref(),
+            sim,
+        );
+        let metrics = out.metrics.clone();
+        OpReport::from_metrics(out, &metrics, quality)
+    }
+}
+
+impl GossipOp<'_> {
+    /// Runs the flooding protocol over explicit artifacts (the non-session
+    /// path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.values.len() != g.num_nodes()` or the shortcut's
+    /// shape differs from the partition's.
+    pub fn run_on(
+        &self,
+        g: &Graph,
+        partition: &Partition,
+        shortcut: &Shortcut,
+        sim: SimConfig,
+    ) -> GossipOutcome {
+        let (values, op) = (self.values, self.op);
+        assert_eq!(values.len(), g.num_nodes(), "one value per node");
+        assert_eq!(
+            shortcut.num_parts(),
+            partition.num_parts(),
+            "shortcut and partition shapes differ"
+        );
+
+        let participation = crate::dist::participation_map(g, partition, shortcut);
+
+        let sim_cfg = SimConfig {
+            mode: SimMode::Queued,
+            ..sim
+        };
+        let simulator = Simulator::new(g, sim_cfg);
+        let run = simulator.run(|v, _| {
+            let mut states = HashMap::new();
+            let mut parts: Vec<u32> = participation[v.index()].keys().copied().collect();
+            if let Some(p) = partition.part_of(v) {
+                if !parts.contains(&p.0) {
+                    parts.push(p.0);
+                }
+            }
+            for part in parts {
+                let is_member = partition.part_of(v) == Some(PartId(part));
+                let ports = participation[v.index()]
+                    .get(&part)
+                    .cloned()
+                    .unwrap_or_default();
+                let init = if is_member {
+                    values[v.index()]
+                } else {
+                    op.identity()
+                };
+                states.insert(part, (ports, init));
+            }
+            GossipProgram { op, states }
+        });
+
+        // Collect and verify convergence.
+        let expect: Vec<u64> = partition
+            .iter()
+            .map(|(_, nodes)| {
+                nodes
+                    .iter()
+                    .map(|v| values[v.index()])
+                    .fold(op.identity(), |a, b| op.apply(a, b))
+            })
+            .collect();
+        let mut results = vec![None; partition.num_parts()];
+        let mut converged = true;
+        for (pid, nodes) in partition.iter() {
+            let mut part_value = None;
+            for &v in nodes {
+                let held = run.programs[v.index()].states.get(&pid.0).map(|s| s.1);
+                if held != Some(expect[pid.index()]) {
+                    converged = false;
+                }
+                part_value = held;
+            }
+            results[pid.index()] = part_value;
+        }
+
+        GossipOutcome {
+            results,
+            converged,
+            metrics: run.metrics,
+        }
+    }
+}
+
 /// Solves part-wise aggregation for an idempotent operator without leaders,
-/// by flooding over `G[P_i] + H_i`.
+/// by flooding over `G[P_i] + H_i` — the legacy free-function surface, now
+/// a one-line wrapper over [`GossipOp::run_on`]. For repeated queries on
+/// one topology prefer a [`ShortcutSession`].
 ///
 /// `sim.threads` flows through to the sharded round executor; outcomes and
 /// metrics are identical at any thread count.
@@ -138,105 +266,14 @@ pub fn gossip_aggregate(
     op: IdempotentOp,
     sim: SimConfig,
 ) -> GossipOutcome {
-    assert_eq!(values.len(), g.num_nodes(), "one value per node");
-    assert_eq!(
-        shortcut.num_parts(),
-        partition.num_parts(),
-        "shortcut and partition shapes differ"
-    );
-
-    // Participation map, as in the leader-based solver.
-    let mut participation: Vec<HashMap<u32, Vec<usize>>> = vec![HashMap::new(); g.num_nodes()];
-    let mut register = |part: u32, u: NodeId, v: NodeId| {
-        let pu = g.port_to(u, v).expect("edge endpoints adjacent");
-        participation[u.index()].entry(part).or_default().push(pu);
-    };
-    for (pid, _) in partition.iter() {
-        for &e in shortcut.edges_for(pid) {
-            let (u, v) = g.endpoints(e);
-            register(pid.0, u, v);
-            register(pid.0, v, u);
-        }
-    }
-    for er in g.edges() {
-        if let (Some(a), Some(b)) = (partition.part_of(er.u), partition.part_of(er.v)) {
-            if a == b && !shortcut.contains(a, er.id) {
-                register(a.0, er.u, er.v);
-                register(a.0, er.v, er.u);
-            }
-        }
-    }
-    for lists in &mut participation {
-        for ports in lists.values_mut() {
-            ports.sort_unstable();
-            ports.dedup();
-        }
-    }
-
-    let sim_cfg = SimConfig {
-        mode: SimMode::Queued,
-        ..sim
-    };
-    let simulator = Simulator::new(g, sim_cfg);
-    let run = simulator.run(|v, _| {
-        let mut states = HashMap::new();
-        let mut parts: Vec<u32> = participation[v.index()].keys().copied().collect();
-        if let Some(p) = partition.part_of(v) {
-            if !parts.contains(&p.0) {
-                parts.push(p.0);
-            }
-        }
-        for part in parts {
-            let is_member = partition.part_of(v) == Some(PartId(part));
-            let ports = participation[v.index()]
-                .get(&part)
-                .cloned()
-                .unwrap_or_default();
-            let init = if is_member {
-                values[v.index()]
-            } else {
-                op.identity()
-            };
-            states.insert(part, (ports, init));
-        }
-        GossipProgram { op, states }
-    });
-
-    // Collect and verify convergence.
-    let expect: Vec<u64> = partition
-        .iter()
-        .map(|(_, nodes)| {
-            nodes
-                .iter()
-                .map(|v| values[v.index()])
-                .fold(op.identity(), |a, b| op.apply(a, b))
-        })
-        .collect();
-    let mut results = vec![None; partition.num_parts()];
-    let mut converged = true;
-    for (pid, nodes) in partition.iter() {
-        let mut part_value = None;
-        for &v in nodes {
-            let held = run.programs[v.index()].states.get(&pid.0).map(|s| s.1);
-            if held != Some(expect[pid.index()]) {
-                converged = false;
-            }
-            part_value = held;
-        }
-        results[pid.index()] = part_value;
-    }
-
-    GossipOutcome {
-        results,
-        converged,
-        metrics: run.metrics,
-    }
+    GossipOp { values, op }.run_on(g, partition, shortcut, sim)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use lcs_core::{baseline, full_shortcut, ShortcutConfig};
+    use lcs_graph::NodeId;
     use lcs_graph::{bfs, gen};
 
     #[test]

@@ -38,9 +38,11 @@
 mod centralized;
 mod dist;
 pub mod gossip;
+pub mod session_ops;
 pub mod unicast;
 
 pub use centralized::centralized_aggregate;
-pub use dist::{solve_partwise, PartwiseConfig, PartwiseOutcome};
-pub use gossip::{gossip_aggregate, GossipOutcome, IdempotentOp};
-pub use unicast::{route_multiple_unicasts, UnicastConfig, UnicastOutcome};
+pub use dist::{solve_partwise, AggregateOp, PartwiseConfig, PartwiseOutcome};
+pub use gossip::{gossip_aggregate, GossipOp, GossipOutcome, IdempotentOp};
+pub use session_ops::SessionPartwiseOps;
+pub use unicast::{route_multiple_unicasts, UnicastConfig, UnicastOp, UnicastOutcome};

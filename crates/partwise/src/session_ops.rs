@@ -1,0 +1,91 @@
+//! The part-wise half of the [`ShortcutSession`] operation surface:
+//! method-call sugar over [`PartwiseOp`] for aggregation, gossip, and
+//! unicast routing.
+//!
+//! [`PartwiseOp`]: lcs_core::session::PartwiseOp
+
+use crate::{
+    AggregateOp, GossipOp, GossipOutcome, IdempotentOp, PartwiseOutcome, UnicastOp, UnicastOutcome,
+};
+use lcs_congest::protocols::AggOp;
+use lcs_core::session::{OpReport, ShortcutSession};
+use lcs_graph::NodeId;
+
+/// Part-wise communication primitives served by a [`ShortcutSession`].
+///
+/// Implemented for [`ShortcutSession`]; bring the trait into scope (e.g.
+/// via the umbrella crate's `facade` module or prelude) and call the
+/// methods directly:
+///
+/// ```
+/// use lcs_congest::protocols::AggOp;
+/// use lcs_core::session::Session;
+/// use lcs_graph::gen;
+/// use lcs_partwise::SessionPartwiseOps;
+///
+/// let g = gen::grid(6, 6);
+/// let mut session = Session::on(&g)
+///     .partition(gen::rows_of_grid(6, 6))
+///     .build()?;
+/// let values: Vec<u64> = (0..36).collect();
+/// let report = session.aggregate(&values, AggOp::Max);
+/// assert_eq!(report.result.results[0], Some(5));
+/// // The second call reuses the cached shortcut.
+/// let again = session.aggregate(&values, AggOp::Sum);
+/// assert!(again.result.all_members_informed);
+/// assert_eq!(session.constructions(), 1);
+/// # Ok::<(), lcs_core::PartitionError>(())
+/// ```
+pub trait SessionPartwiseOps {
+    /// Leader-based part-wise aggregation over the cached shortcut
+    /// ([`solve_partwise`](crate::solve_partwise) semantics).
+    fn aggregate(&mut self, values: &[u64], op: AggOp) -> OpReport<PartwiseOutcome>;
+
+    /// Aggregation with explicit per-part leaders.
+    fn aggregate_with_leaders(
+        &mut self,
+        values: &[u64],
+        op: AggOp,
+        leaders: &[NodeId],
+    ) -> OpReport<PartwiseOutcome>;
+
+    /// Leaderless idempotent aggregation by flooding
+    /// ([`gossip_aggregate`](crate::gossip_aggregate) semantics).
+    fn gossip(&mut self, values: &[u64], op: IdempotentOp) -> OpReport<GossipOutcome>;
+
+    /// Multi-unicast routing along the cached tree
+    /// ([`route_multiple_unicasts`](crate::route_multiple_unicasts)
+    /// semantics).
+    fn unicast(&mut self, demands: &[(NodeId, NodeId)]) -> OpReport<UnicastOutcome>;
+}
+
+impl SessionPartwiseOps for ShortcutSession<'_> {
+    fn aggregate(&mut self, values: &[u64], op: AggOp) -> OpReport<PartwiseOutcome> {
+        self.run(AggregateOp {
+            values,
+            op,
+            leaders: None,
+        })
+    }
+
+    fn aggregate_with_leaders(
+        &mut self,
+        values: &[u64],
+        op: AggOp,
+        leaders: &[NodeId],
+    ) -> OpReport<PartwiseOutcome> {
+        self.run(AggregateOp {
+            values,
+            op,
+            leaders: Some(leaders),
+        })
+    }
+
+    fn gossip(&mut self, values: &[u64], op: IdempotentOp) -> OpReport<GossipOutcome> {
+        self.run(GossipOp { values, op })
+    }
+
+    fn unicast(&mut self, demands: &[(NodeId, NodeId)]) -> OpReport<UnicastOutcome> {
+        self.run(UnicastOp { demands })
+    }
+}

@@ -11,13 +11,15 @@
 use lcs_congest::{
     Ctx, Incoming, MessageSize, NodeProgram, RunMetrics, SimConfig, SimMode, Simulator,
 };
+use lcs_core::session::{OpReport, PartwiseOp, ShortcutSession};
 use lcs_graph::{Graph, NodeId, RootedTree};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Configuration for [`route_multiple_unicasts`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct UnicastConfig {
     /// Packets start after a uniform random delay in `[0, delay_range)`
     /// (0 disables delays; the per-packet queue priority still randomizes
@@ -134,8 +136,134 @@ impl NodeProgram for RouterProgram {
     }
 }
 
+/// Multi-unicast routing as a session-drivable operation ([`PartwiseOp`]):
+/// one packet per `(source, target)` demand, store-and-forward along the
+/// unique tree paths under random-delay scheduling.
+///
+/// `session.run(UnicastOp { .. })` (or the facade's `session.unicast(..)`)
+/// routes over the session's cached tree; the legacy
+/// [`route_multiple_unicasts`] free function takes an explicit tree.
+#[derive(Clone, Copy, Debug)]
+pub struct UnicastOp<'a> {
+    /// The `(source, target)` demand pairs.
+    pub demands: &'a [(NodeId, NodeId)],
+}
+
+impl PartwiseOp for UnicastOp<'_> {
+    type Output = UnicastOutcome;
+
+    fn run(self, session: &mut ShortcutSession<'_>) -> OpReport<UnicastOutcome> {
+        let sc = session.config();
+        let cfg = UnicastConfig {
+            delay_range: sc.unicast.delay_range,
+            seed: sc.unicast.seed,
+            sim: sc.unicast_sim(),
+        };
+        let g = session.graph();
+        // Routing needs only the tree — it must not force a shortcut
+        // construction on sessions used purely for unicast serving.
+        let out = self.run_on(g, session.tree(), &cfg);
+        let metrics = out.metrics.clone();
+        OpReport::from_metrics(out, &metrics, None)
+    }
+}
+
+impl UnicastOp<'_> {
+    /// Routes over an explicit tree (the non-session path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some endpoint lies outside the tree's component, or a
+    /// source equals its target.
+    pub fn run_on(&self, g: &Graph, tree: &RootedTree, cfg: &UnicastConfig) -> UnicastOutcome {
+        let pairs = self.demands;
+        // Tree paths (up to the LCA, then down) with per-edge load counting.
+        let mut load = vec![0u32; g.num_edges()];
+        let mut dilation = 0u32;
+        // forward tables: node -> (packet -> port).
+        let mut forward: Vec<HashMap<u32, usize>> = vec![HashMap::new(); g.num_nodes()];
+        for (i, &(s, t)) in pairs.iter().enumerate() {
+            assert!(s != t, "source equals target for packet {i}");
+            assert!(
+                tree.contains(s) && tree.contains(t),
+                "unicast endpoints must be in the tree"
+            );
+            let path = tree_path(tree, s, t);
+            dilation = dilation.max(path.len() as u32);
+            let mut cur = s;
+            for &next in &path {
+                let port = g.port_to(cur, next).expect("tree path steps along edges");
+                let edge = g.edge_ids(cur)[port];
+                load[edge.index()] += 1;
+                forward[cur.index()].insert(i as u32, port);
+                cur = next;
+            }
+        }
+        let congestion = load.iter().copied().max().unwrap_or(0);
+
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let delays: Vec<u32> = pairs
+            .iter()
+            .map(|_| {
+                if cfg.delay_range == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..cfg.delay_range)
+                }
+            })
+            .collect();
+        let priorities: Vec<u64> = pairs.iter().map(|_| rng.gen()).collect();
+
+        let sim_cfg = SimConfig {
+            mode: SimMode::Queued,
+            ..cfg.sim
+        };
+        let sim = Simulator::new(g, sim_cfg);
+        let run = sim.run(|v, _| {
+            let mut priority = HashMap::new();
+            let fwd = forward[v.index()].clone();
+            for &id in fwd.keys() {
+                priority.insert(id, priorities[id as usize]);
+            }
+            let inject: Vec<(u32, u32)> = pairs
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(s, _))| s == v)
+                .map(|(i, _)| (i as u32, delays[i]))
+                .collect();
+            for &(id, _) in &inject {
+                priority.insert(id, priorities[id as usize]);
+            }
+            let expect: Vec<u32> = pairs
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(_, t))| t == v)
+                .map(|(i, _)| i as u32)
+                .collect();
+            RouterProgram {
+                forward: fwd,
+                inject,
+                expect,
+                received: Vec::new(),
+                priority,
+            }
+        });
+
+        let delivered = run.programs.iter().map(|p| p.received.len()).sum::<usize>();
+        UnicastOutcome {
+            delivered,
+            congestion,
+            dilation,
+            metrics: run.metrics,
+        }
+    }
+}
+
 /// Routes one packet per `(source, target)` pair along its unique tree path,
-/// all pairs concurrently, under random-delay scheduling.
+/// all pairs concurrently, under random-delay scheduling — the legacy
+/// free-function surface, now a one-line wrapper over [`UnicastOp::run_on`].
+/// For repeated routing on one topology prefer a [`ShortcutSession`], which
+/// caches the tree between calls.
 ///
 /// # Panics
 ///
@@ -147,85 +275,7 @@ pub fn route_multiple_unicasts(
     pairs: &[(NodeId, NodeId)],
     cfg: &UnicastConfig,
 ) -> UnicastOutcome {
-    // Tree paths (up to the LCA, then down) with per-edge load counting.
-    let mut load = vec![0u32; g.num_edges()];
-    let mut dilation = 0u32;
-    // forward tables: node -> (packet -> port).
-    let mut forward: Vec<HashMap<u32, usize>> = vec![HashMap::new(); g.num_nodes()];
-    for (i, &(s, t)) in pairs.iter().enumerate() {
-        assert!(s != t, "source equals target for packet {i}");
-        assert!(
-            tree.contains(s) && tree.contains(t),
-            "unicast endpoints must be in the tree"
-        );
-        let path = tree_path(tree, s, t);
-        dilation = dilation.max(path.len() as u32);
-        let mut cur = s;
-        for &next in &path {
-            let port = g.port_to(cur, next).expect("tree path steps along edges");
-            let edge = g.edge_ids(cur)[port];
-            load[edge.index()] += 1;
-            forward[cur.index()].insert(i as u32, port);
-            cur = next;
-        }
-    }
-    let congestion = load.iter().copied().max().unwrap_or(0);
-
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let delays: Vec<u32> = pairs
-        .iter()
-        .map(|_| {
-            if cfg.delay_range == 0 {
-                0
-            } else {
-                rng.gen_range(0..cfg.delay_range)
-            }
-        })
-        .collect();
-    let priorities: Vec<u64> = pairs.iter().map(|_| rng.gen()).collect();
-
-    let sim_cfg = SimConfig {
-        mode: SimMode::Queued,
-        ..cfg.sim
-    };
-    let sim = Simulator::new(g, sim_cfg);
-    let run = sim.run(|v, _| {
-        let mut priority = HashMap::new();
-        let fwd = forward[v.index()].clone();
-        for &id in fwd.keys() {
-            priority.insert(id, priorities[id as usize]);
-        }
-        let inject: Vec<(u32, u32)> = pairs
-            .iter()
-            .enumerate()
-            .filter(|&(_, &(s, _))| s == v)
-            .map(|(i, _)| (i as u32, delays[i]))
-            .collect();
-        for &(id, _) in &inject {
-            priority.insert(id, priorities[id as usize]);
-        }
-        let expect: Vec<u32> = pairs
-            .iter()
-            .enumerate()
-            .filter(|&(_, &(_, t))| t == v)
-            .map(|(i, _)| i as u32)
-            .collect();
-        RouterProgram {
-            forward: fwd,
-            inject,
-            expect,
-            received: Vec::new(),
-            priority,
-        }
-    });
-
-    let delivered = run.programs.iter().map(|p| p.received.len()).sum::<usize>();
-    UnicastOutcome {
-        delivered,
-        congestion,
-        dilation,
-        metrics: run.metrics,
-    }
+    UnicastOp { demands: pairs }.run_on(g, tree, cfg)
 }
 
 /// The node sequence from `s` to `t` along the tree (excluding `s`,

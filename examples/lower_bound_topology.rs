@@ -1,7 +1,7 @@
 //! Lemma 3.2 (Figure 3.2): on the lower-bound topology, any shortcut for the
-//! row parts has quality Ω(δ′D′). This example constructs the topology,
-//! builds our (near-optimal) shortcut, and shows the measured quality lands
-//! between the lemma's lower bound and Theorem 1.2's upper bound.
+//! row parts has quality Ω(δ′D′). This example builds one `ShortcutSession`
+//! per instance and shows the measured quality lands between the lemma's
+//! lower bound and Theorem 1.2's upper bound.
 //!
 //! Run with: `cargo run --release --example lower_bound_topology`
 
@@ -14,23 +14,26 @@ fn main() {
     );
     for (dp, dd) in [(5u32, 24u32), (5, 36), (6, 36), (7, 48)] {
         let lb = gen::lower_bound_topology(dp, dd);
-        let parts = Partition::from_parts(&lb.graph, lb.rows.clone())
+        let mut session = Session::on(&lb.graph)
+            .tree(TreeSource::Bfs(lb.top_path[0]))
+            .partition(lb.rows.clone())
+            .build()
             .expect("rows are disjoint connected paths");
-        let tree = bfs::bfs_tree(&lb.graph, lb.top_path[0]);
-        let built = full_shortcut(&lb.graph, &tree, &parts, &ShortcutConfig::default());
-        let q = measure_quality(&lb.graph, &parts, &tree, &built.shortcut);
 
-        let d = tree.depth_of_tree();
+        let delta_hat = session.delta_hat();
+        let d = session.tree().depth_of_tree();
+        let q = session.quality().clone();
+
         let n = lb.graph.num_nodes() as f64;
         // Theorem 1.2: congestion O(δD log n) + dilation O(δD).
-        let upper = f64::from(8 * built.delta_hat * d) * n.log2()
-            + f64::from((8 * built.delta_hat + 1) * (2 * d + 1));
+        let upper =
+            f64::from(8 * delta_hat * d) * n.log2() + f64::from((8 * delta_hat + 1) * (2 * d + 1));
         println!(
             "{:>4} {:>5} {:>7} {:>7} {:>10} {:>12.1} {:>12.0}",
             dp,
             dd,
             lb.graph.num_nodes(),
-            built.delta_hat,
+            delta_hat,
             q.quality(),
             lb.internal_lower_bound(),
             upper

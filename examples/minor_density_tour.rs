@@ -72,4 +72,29 @@ fn main() {
         println!("  {name:<12} exact = {exact:.3}   greedy = {greedy:.3}");
         assert!(greedy <= exact + 1e-9);
     }
+
+    // Low minor density is what the shortcut framework exploits: a
+    // `ShortcutSession` on a sparse family serves the corollary algorithms
+    // (components, min-cut) from one prepared topology.
+    println!("\nserving the corollaries on sparse families via ShortcutSession:");
+    for (name, g) in [
+        ("grid 6x6", gen::grid(6, 6)),
+        ("torus 5x5", gen::torus(5, 5)),
+    ] {
+        let mut session = Session::on(&g).build().expect("no partition needed");
+        let comps = session.components();
+        let cut = session.mincut();
+        let exact = low_congestion_shortcuts::algos::mincut::stoer_wagner(&g);
+        assert_eq!(
+            cut.result.estimate, exact,
+            "{name}: small cuts found exactly"
+        );
+        println!(
+            "  {name:<10} components = {}, mincut = {} (exact {exact}), \
+             {} simulated rounds total",
+            comps.result.count,
+            cut.result.estimate,
+            comps.rounds + cut.rounds
+        );
+    }
 }

@@ -1,6 +1,6 @@
 //! Distributed MST on a planar network (Corollary 1.6): shortcut-based
-//! Boruvka versus the `D+√n` baseline and the no-shortcut strawman, checked
-//! against Kruskal.
+//! Boruvka driven by a `ShortcutSession` versus the `D+√n` baseline and the
+//! no-shortcut strawman, checked against Kruskal.
 //!
 //! Run with: `cargo run --release --example mst_planar`
 
@@ -30,11 +30,23 @@ fn main() {
         "provider", "phases", "rounds", "exact?"
     );
 
+    // The real pipeline: a session whose backend supplies the Boruvka
+    // phases with minor-sweep shortcuts (centralized oracle here; switch
+    // the backend to Distributed/Sketch for the simulated construction).
+    let mut session = Session::on(&g)
+        .tree(TreeSource::Bfs(NodeId(0)))
+        .backend(Backend::Centralized)
+        .build()
+        .expect("builder cannot fail without a partition");
+    let report = session.mst(&weights);
+    assert_eq!(report.result.edges, reference, "session MST must be exact");
+    println!(
+        "{:<22} {:>8} {:>10} {:>8}",
+        "minor-sweep (session)", report.result.phases, report.rounds, "yes"
+    );
+
+    // The strawmen keep the legacy free-function surface.
     for (name, provider) in [
-        (
-            "minor-sweep (oracle)",
-            ShortcutProvider::MinorSweepOracle(ShortcutConfig::default()),
-        ),
         ("baseline D+sqrt(n)", ShortcutProvider::Baseline),
         ("no shortcuts", ShortcutProvider::None),
     ] {

@@ -1,5 +1,6 @@
-//! Quickstart: construct a tree-restricted shortcut on a planar grid and
-//! check it against the paper's bounds.
+//! Quickstart: prepare a `ShortcutSession` on a planar grid, check the
+//! construction against the paper's bounds, then serve aggregation queries
+//! from the cached shortcut.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -10,38 +11,56 @@ fn main() {
     // the parts of a part-wise aggregation instance.
     let side = 32;
     let g = gen::grid(side, side);
-    let parts = Partition::from_parts(&g, gen::rows_of_grid(side, side))
+    let mut session = Session::on(&g)
+        .tree(TreeSource::Bfs(NodeId(0)))
+        .partition(gen::rows_of_grid(side, side))
+        .backend(Backend::Centralized)
+        .build()
         .expect("grid rows are disjoint connected paths");
-    let tree = bfs::bfs_tree(&g, NodeId(0));
-    let d = tree.depth_of_tree();
 
+    let d = session.tree().depth_of_tree();
     println!(
         "graph: n = {}, m = {}, tree depth D = {d}",
         g.num_nodes(),
         g.num_edges()
     );
 
-    // Theorem 1.2 machinery: doubling search + Observation 2.7 loop.
-    let built = full_shortcut(&g, &tree, &parts, &ShortcutConfig::default());
-    let q = measure_quality(&g, &parts, &tree, &built.shortcut);
-
+    // Theorem 1.2 machinery runs once, on first access, and is cached.
+    let delta_hat = session.delta_hat();
+    let q = session.quality().clone();
     println!(
-        "construction: δ̂ = {}, rounds = {}",
-        built.delta_hat, built.successful_rounds
+        "construction: δ̂ = {delta_hat} (constructions: {})",
+        session.constructions()
     );
     println!(
         "measured:  congestion = {:>4}   dilation <= {:>4}   blocks = {}",
         q.max_congestion, q.max_dilation_upper, q.max_blocks
     );
     println!(
-        "bounds:    congestion <= {:>3}   dilation <= {:>4}   blocks <= {}",
-        8 * built.delta_hat * d * built.successful_rounds as u32,
-        (8 * built.delta_hat + 1) * (2 * d + 1),
-        8 * built.delta_hat + 1
+        "bounds:    congestion <= {:>3}·rounds   dilation <= {:>4}   blocks <= {}",
+        8 * delta_hat * d,
+        (8 * delta_hat + 1) * (2 * d + 1),
+        8 * delta_hat + 1
     );
     assert!(q.tree_restricted && q.all_connected());
-    assert!(q.max_blocks <= 8 * built.delta_hat + 1);
+    assert!(q.max_blocks <= 8 * delta_hat + 1);
 
     // The quality governs part-wise aggregation: Q = c + d.
     println!("shortcut quality Q = c + d = {}", q.quality());
+
+    // Serve queries: every call reuses the cached shortcut.
+    let values: Vec<u64> = (0..g.num_nodes() as u64).collect();
+    for op in [AggOp::Min, AggOp::Max, AggOp::Sum] {
+        let report = session.aggregate(&values, op);
+        println!(
+            "serve {op:?}: rounds = {:>4}, messages = {:>6}, bits = {:>7}, part 0 -> {:?}",
+            report.rounds, report.messages, report.bits, report.result.results[0]
+        );
+        assert!(report.result.all_members_informed);
+    }
+    assert_eq!(
+        session.constructions(),
+        1,
+        "three queries, one construction — the serving scenario"
+    );
 }

@@ -3,11 +3,13 @@
 //! aggregation inside the part alone needs Θ(n) rounds; with a shortcut
 //! through the hub it needs O(1)·D.
 //!
+//! Both sides run through `ShortcutSession`s over the same topology: one
+//! builds the real shortcut, the other is seeded with the empty shortcut
+//! (the strawman) via the builder's `.shortcut(..)` hook.
+//!
 //! Run with: `cargo run --release --example wheel_aggregation`
 
-use low_congestion_shortcuts::congest::protocols::AggOp;
 use low_congestion_shortcuts::core::baseline;
-use low_congestion_shortcuts::partwise::{solve_partwise, PartwiseConfig};
 use low_congestion_shortcuts::prelude::*;
 
 fn main() {
@@ -19,37 +21,29 @@ fn main() {
         let n = 1 << exp;
         let g = gen::wheel(n);
         let rim: Vec<NodeId> = (1..n as u32).map(NodeId).collect();
-        let parts = Partition::from_parts(&g, vec![rim]).expect("rim is connected");
-        let tree = bfs::bfs_tree(&g, NodeId(0));
-        let built = full_shortcut(&g, &tree, &parts, &ShortcutConfig::default());
+        let partition = Partition::from_parts(&g, vec![rim]).expect("rim is connected");
         let values: Vec<u64> = (0..n as u64).collect();
 
-        let with = solve_partwise(
-            &g,
-            &parts,
-            &built.shortcut,
-            &values,
-            AggOp::Max,
-            None,
-            &PartwiseConfig::default(),
-        );
-        let without = solve_partwise(
-            &g,
-            &parts,
-            &baseline::no_shortcut(&parts),
-            &values,
-            AggOp::Max,
-            None,
-            &PartwiseConfig::default(),
-        );
-        assert_eq!(with.results[0], Some(n as u64 - 1));
-        assert_eq!(without.results[0], Some(n as u64 - 1));
+        let mut with = Session::on(&g)
+            .partition_object(partition.clone())
+            .build()
+            .expect("partition is valid");
+        let mut without = Session::on(&g)
+            .partition_object(partition.clone())
+            .shortcut(baseline::no_shortcut(&partition))
+            .build()
+            .expect("partition is valid");
+
+        let fast = with.aggregate(&values, AggOp::Max);
+        let slow = without.aggregate(&values, AggOp::Max);
+        assert_eq!(fast.result.results[0], Some(n as u64 - 1));
+        assert_eq!(slow.result.results[0], Some(n as u64 - 1));
         println!(
             "{:>6} {:>16} {:>18} {:>7.1}x",
             n,
-            without.metrics.rounds,
-            with.metrics.rounds,
-            without.metrics.rounds as f64 / with.metrics.rounds as f64
+            slow.rounds,
+            fast.rounds,
+            slow.rounds as f64 / fast.rounds as f64
         );
     }
 }

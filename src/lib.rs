@@ -8,23 +8,40 @@
 //! * [`congest`] — CONGEST-model simulator ([`lcs_congest`]),
 //! * [`core`] — the shortcut construction and certificates ([`lcs_core`]),
 //! * [`partwise`] — part-wise aggregation ([`lcs_partwise`]),
-//! * [`algos`] — shortcut-based distributed algorithms ([`lcs_algos`]).
+//! * [`algos`] — shortcut-based distributed algorithms ([`lcs_algos`]),
+//!
+//! and assembles the [`facade`]: the [`ShortcutSession`] API that builds
+//! the shortcut once and serves it to every operation.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use low_congestion_shortcuts::prelude::*;
 //!
-//! // A 16x16 planar grid with its rows as parts.
+//! // A 16x16 planar grid with its rows as parts, prepared once.
 //! let g = gen::grid(16, 16);
-//! let parts = Partition::from_parts(&g, gen::rows_of_grid(16, 16)).unwrap();
-//! let tree = bfs::bfs_tree(&g, NodeId(0));
+//! let mut session = Session::on(&g)
+//!     .tree(TreeSource::Bfs(NodeId(0)))
+//!     .partition(gen::rows_of_grid(16, 16))
+//!     .backend(Backend::Centralized)
+//!     .build()
+//!     .unwrap();
 //!
-//! // Construct a full tree-restricted shortcut (Theorem 1.2 machinery).
-//! let built = full_shortcut(&g, &tree, &parts, &ShortcutConfig::default());
-//! let quality = measure_quality(&g, &parts, &tree, &built.shortcut);
-//! assert!(quality.max_congestion >= 1);
+//! // Serve operations from the cached artifacts: the shortcut is
+//! // constructed on the first call and reused afterwards.
+//! let values: Vec<u64> = (0..256).collect();
+//! let max = session.aggregate(&values, AggOp::Max);
+//! assert_eq!(max.result.results[0], Some(15));
+//! let sum = session.aggregate(&values, AggOp::Sum);
+//! assert!(sum.result.all_members_informed);
+//! assert_eq!(session.constructions(), 1);
+//!
+//! // The quality report rides along in every OpReport.
+//! let q = max.quality.expect("partition ops carry quality");
+//! assert!(q.max_congestion >= 1);
 //! ```
+//!
+//! [`ShortcutSession`]: facade::ShortcutSession
 
 pub use lcs_algos as algos;
 pub use lcs_congest as congest;
@@ -32,8 +49,64 @@ pub use lcs_core as core;
 pub use lcs_graph as graph;
 pub use lcs_partwise as partwise;
 
+/// The unified serving API: [`Session`](facade::Session) builder,
+/// [`ShortcutSession`](facade::ShortcutSession) with cached artifacts over
+/// pluggable backends, and the operation extension traits.
+///
+/// One import gives the whole surface:
+///
+/// ```
+/// use low_congestion_shortcuts::facade::*;
+/// # use low_congestion_shortcuts::prelude::{gen, NodeId};
+/// # use low_congestion_shortcuts::congest::protocols::AggOp;
+/// let g = gen::grid(4, 4);
+/// let mut session = Session::on(&g)
+///     .partition(gen::rows_of_grid(4, 4))
+///     .build()
+///     .unwrap();
+/// let values = vec![7u64; 16];
+/// assert_eq!(session.aggregate(&values, AggOp::Sum).result.results[0], Some(28));
+/// ```
+///
+/// Migration from the legacy free functions (which remain available as
+/// thin wrappers):
+///
+/// | Legacy call | Session method |
+/// |---|---|
+/// | `solve_partwise(g, parts, shortcut, values, op, None, cfg)` | `session.aggregate(values, op)` |
+/// | `solve_partwise(.., Some(leaders), ..)` | `session.aggregate_with_leaders(values, op, leaders)` |
+/// | `gossip_aggregate(g, parts, shortcut, values, op, sim)` | `session.gossip(values, op)` |
+/// | `route_multiple_unicasts(g, tree, pairs, cfg)` | `session.unicast(pairs)` |
+/// | `distributed_mst(g, weights, root, cfg)` | `session.mst(weights)` |
+/// | `distributed_components(g, root, cfg)` | `session.components()` |
+/// | `approx_mincut_distributed(g, root, cfg)` | `session.mincut()` |
+/// | `full_shortcut(g, tree, parts, cfg)` | `session.shortcut()` / `session.full_artifact()` |
+/// | `distributed_full_shortcut(g, root, parts, cfg, dist)` | `Backend::Distributed` / `Backend::Sketch` + `session.shortcut()` |
+/// | `partial_shortcut_or_witness(g, tree, parts, δ̂, cfg)` | `session.partial(δ̂)` |
+/// | `bfs::bfs_tree(g, root)` | `session.tree()` |
+/// | `measure_quality(g, parts, tree, shortcut)` | `session.quality()` |
+pub mod facade {
+    pub use lcs_algos::session_ops::SessionAlgoOps;
+    pub use lcs_algos::{
+        connectivity::ComponentsOp,
+        mincut::MincutOp,
+        mst::{boruvka_config_of, MstOp},
+    };
+    pub use lcs_core::session::{
+        AggregateOpts, Backend, ConstructionStats, FullArtifact, MincutOpts, MstOpts, OpReport,
+        PartialArtifact, PartwiseOp, Session, SessionBuilder, SessionConfig, ShortcutSession,
+        TreeSource, UnicastOpts,
+    };
+    pub use lcs_partwise::{AggregateOp, GossipOp, SessionPartwiseOps, UnicastOp};
+}
+
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
+    pub use crate::facade::{
+        Backend, OpReport, Session, SessionAlgoOps, SessionConfig, SessionPartwiseOps,
+        ShortcutSession, TreeSource,
+    };
+    pub use lcs_congest::protocols::AggOp;
     pub use lcs_core::{
         full_shortcut, measure_quality, partial_shortcut_or_witness, Partition, Shortcut,
         ShortcutConfig,

@@ -84,6 +84,8 @@ fn weights_and_metrics_roundtrip() {
         max_queue: 3,
         terminated: true,
         truncated: false,
+        threads: 4,
+        bandwidth_bits: 160,
     };
     let m2: lcs_congest::RunMetrics = roundtrip(&metrics);
     assert_eq!(m2, metrics);

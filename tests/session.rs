@@ -1,0 +1,312 @@
+//! The `ShortcutSession` facade: cached-artifact reuse, backend
+//! equivalence, and the unified `SessionConfig`.
+//!
+//! The serving scenario the facade exists for: prepare one topology, then
+//! answer many queries. These tests pin (a) that repeated operations reuse
+//! the cached shortcut (counted constructions), (b) that `session.aggregate`
+//! matches `centralized_aggregate` on the 50-seed × 3-family differential
+//! corpus on **all three backends**, and (c) that `SessionConfig` and the
+//! legacy config structs it absorbs survive serde round trips, with a
+//! pinned JSON snapshot of the defaults.
+
+use lcs_graph::weights::EdgeWeights;
+use low_congestion_shortcuts::algos::mst::kruskal;
+use low_congestion_shortcuts::congest::{SimConfig, SimMode};
+use low_congestion_shortcuts::core::dist::{DistConfig, DistMode};
+use low_congestion_shortcuts::core::WitnessMode;
+use low_congestion_shortcuts::facade::*;
+use low_congestion_shortcuts::partwise::centralized_aggregate;
+use low_congestion_shortcuts::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn fast_config() -> SessionConfig {
+    SessionConfig {
+        shortcut: ShortcutConfig {
+            witness_mode: WitnessMode::Skip,
+            ..ShortcutConfig::default()
+        },
+        ..SessionConfig::default()
+    }
+}
+
+/// Acceptance criterion of the facade: the second aggregate call on the
+/// same session must reuse the cached shortcut.
+#[test]
+fn second_aggregate_reuses_cached_shortcut() {
+    let g = gen::grid(8, 8);
+    let mut session = Session::on(&g)
+        .tree(TreeSource::Bfs(NodeId(0)))
+        .partition(gen::rows_of_grid(8, 8))
+        .backend(Backend::Centralized)
+        .build()
+        .unwrap();
+    assert_eq!(session.constructions(), 0, "build is lazy");
+
+    let values: Vec<u64> = (0..64).collect();
+    let first = session.aggregate(&values, AggOp::Max);
+    assert_eq!(session.constructions(), 1, "first call constructs");
+    let second = session.aggregate(&values, AggOp::Sum);
+    let third = session.gossip(
+        &values,
+        low_congestion_shortcuts::partwise::IdempotentOp::Min,
+    );
+    assert_eq!(
+        session.constructions(),
+        1,
+        "later ops must reuse the cached shortcut"
+    );
+    assert!(first.result.all_members_informed);
+    assert!(second.result.all_members_informed);
+    assert!(third.result.converged);
+    // The uniform report carries cost and execution configuration.
+    assert!(first.rounds > 0 && first.messages > 0 && first.bits > 0);
+    assert_eq!(first.threads, 1);
+    assert!(first.bandwidth_bits > 0);
+    let q = first
+        .quality
+        .expect("partition ops carry the quality report");
+    assert!(q.tree_restricted);
+}
+
+fn backends() -> Vec<(&'static str, Backend)> {
+    vec![
+        ("centralized", Backend::Centralized),
+        ("distributed", Backend::Distributed(SimConfig::default())),
+        (
+            "sketch",
+            Backend::Sketch(DistConfig {
+                mode: DistMode::Sketch {
+                    t: 8,
+                    hash_seed: 0xbeef,
+                    cut_factor: 1.0,
+                },
+                sim: SimConfig::default(),
+            }),
+        ),
+    ]
+}
+
+fn assert_session_matches_centralized(g: &Graph, parts: Vec<Vec<NodeId>>, label: &str) {
+    let partition = Partition::from_parts(g, parts).unwrap();
+    let values: Vec<u64> = (0..g.num_nodes() as u64).map(|x| (x * 131) % 997).collect();
+    let expect = centralized_aggregate(&partition, &values, AggOp::Sum);
+    for (name, backend) in backends() {
+        let mut session = Session::on(g)
+            .partition_object(partition.clone())
+            .backend(backend)
+            .config(fast_config())
+            .build()
+            .unwrap();
+        let out = session.aggregate(&values, AggOp::Sum);
+        assert!(
+            out.result.all_members_informed,
+            "{label}/{name}: all members informed"
+        );
+        let got: Vec<u64> = out.result.results.iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, expect, "{label}/{name}: aggregate differs");
+        assert_eq!(session.constructions(), 1, "{label}/{name}");
+    }
+}
+
+const DIFFERENTIAL_SEEDS: u64 = 50;
+
+#[test]
+fn session_aggregate_matches_centralized_on_gnm_all_backends() {
+    for seed in 0..DIFFERENTIAL_SEEDS {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = gen::gnm_connected(120, 240, &mut rng);
+        let parts = gen::random_connected_parts(&g, 30, &mut rng);
+        assert_session_matches_centralized(&g, parts, &format!("gnm seed {seed}"));
+    }
+}
+
+#[test]
+fn session_aggregate_matches_centralized_on_tori_all_backends() {
+    for seed in 0..DIFFERENTIAL_SEEDS {
+        let mut rng = SmallRng::seed_from_u64(1000 + seed);
+        let rows = 4 + (seed as usize % 5);
+        let cols = 4 + ((seed as usize / 5) % 5);
+        let g = gen::torus(rows, cols);
+        let k = 1 + (seed as usize % (g.num_nodes() / 2));
+        let parts = gen::random_connected_parts(&g, k, &mut rng);
+        assert_session_matches_centralized(&g, parts, &format!("torus seed {seed}"));
+    }
+}
+
+#[test]
+fn session_aggregate_matches_centralized_on_ktrees_all_backends() {
+    for seed in 0..DIFFERENTIAL_SEEDS {
+        let mut rng = SmallRng::seed_from_u64(2000 + seed);
+        let n = 40 + (seed as usize % 80);
+        let g = gen::ktree(n, 3, &mut rng);
+        let k = 1 + (seed as usize % (n / 4));
+        let parts = gen::random_connected_parts(&g, k, &mut rng);
+        assert_session_matches_centralized(&g, parts, &format!("ktree seed {seed}"));
+    }
+}
+
+/// The algorithm surface: MST ≡ Kruskal, components ≡ centralized count,
+/// mincut ≥ exact, all driven through one session without a partition.
+#[test]
+fn algorithm_ops_run_through_the_session() {
+    let g = gen::grid(6, 6);
+    let mut rng = SmallRng::seed_from_u64(9);
+    let weights = EdgeWeights::random_unique(&g, &mut rng);
+    let mut session = Session::on(&g).build().unwrap();
+
+    let mst = session.mst(&weights);
+    assert_eq!(mst.result.edges, kruskal(&g, &weights));
+    assert!(mst.rounds > 0 && mst.messages > 0 && mst.bits > 0);
+    assert!(mst.quality.is_none(), "fragment ops carry no quality");
+
+    let comps = session.components();
+    assert_eq!(comps.result.count, 1);
+
+    let cut = session.mincut();
+    let exact = low_congestion_shortcuts::algos::mincut::stoer_wagner(&g);
+    assert!(cut.result.estimate >= exact);
+    assert_eq!(cut.result.estimate, exact, "grid cuts are found exactly");
+    assert!(cut.messages > 0 && cut.bits > 0);
+}
+
+/// Unicast rides on the cached tree only — it must not trigger a shortcut
+/// construction.
+#[test]
+fn unicast_uses_the_tree_without_constructing_shortcuts() {
+    let g = gen::grid(8, 8);
+    let mut session = Session::on(&g)
+        .partition(gen::rows_of_grid(8, 8))
+        .build()
+        .unwrap();
+    let demands: Vec<(NodeId, NodeId)> = (0..16).map(|i| (NodeId(i), NodeId(63 - i))).collect();
+    let out = session.unicast(&demands);
+    assert_eq!(out.result.delivered, 16);
+    assert_eq!(
+        session.constructions(),
+        0,
+        "routing must not build shortcuts"
+    );
+}
+
+/// A provided shortcut (e.g. deserialized from a prior run) is served
+/// as-is — the production serving path.
+#[test]
+fn deserialized_shortcut_serves_a_fresh_session() {
+    let g = gen::grid(6, 6);
+    let parts = gen::rows_of_grid(6, 6);
+    let mut builder_session = Session::on(&g).partition(parts.clone()).build().unwrap();
+    let json = serde_json::to_string(builder_session.shortcut()).unwrap();
+
+    let restored: Shortcut = serde_json::from_str(&json).unwrap();
+    let mut serving = Session::on(&g)
+        .partition(parts)
+        .shortcut(restored)
+        .build()
+        .unwrap();
+    let values = vec![1u64; 36];
+    let out = serving.aggregate(&values, AggOp::Sum);
+    assert_eq!(out.result.results, vec![Some(6); 6]);
+    assert_eq!(
+        serving.constructions(),
+        0,
+        "served from the provided artifact"
+    );
+}
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn session_config_roundtrips_and_default_snapshot_is_pinned() {
+    let mut cfg = SessionConfig::default();
+    cfg.shortcut.witness_mode = WitnessMode::Sampled { attempts: 3 };
+    cfg.sim.mode = SimMode::Queued;
+    cfg.sim.threads = 4;
+    cfg.aggregate.delay_range = 9;
+    cfg.aggregate.sim = Some(SimConfig {
+        threads: 2,
+        ..SimConfig::default()
+    });
+    cfg.mst.max_phases = Some(12);
+    cfg.mincut.trees = Some(5);
+    assert_eq!(roundtrip(&cfg), cfg);
+
+    // Pinned snapshot of the defaults: changing any default or renaming a
+    // field is a config-compatibility break and must be deliberate.
+    let snapshot = serde_json::to_string(&SessionConfig::default()).unwrap();
+    assert_eq!(snapshot, SNAPSHOT, "SessionConfig default schema drifted");
+}
+
+/// The serialized `SessionConfig::default()` — the on-disk schema a
+/// serving deployment would persist.
+const SNAPSHOT: &str = "{\"shortcut\":{\"initial_delta_hat\":1,\"congestion_factor\":8,\
+\"block_factor\":8,\"witness_mode\":\"Derandomized\",\"seed\":1554098974},\
+\"sim\":{\"mode\":\"Strict\",\"bandwidth_bits\":null,\"max_rounds\":1000000,\
+\"seed\":12648430,\"threads\":1},\
+\"aggregate\":{\"delay_range\":0,\"seed\":909743,\"sim\":null},\
+\"unicast\":{\"delay_range\":0,\"seed\":1047,\"sim\":null},\
+\"mst\":{\"seed\":11577874,\"max_phases\":null,\"skip_small_fragments\":true,\"sim\":null},\
+\"mincut\":{\"trees\":null,\"sim\":null}}";
+
+#[test]
+fn legacy_configs_roundtrip() {
+    use low_congestion_shortcuts::algos::mincut::MincutConfig;
+    use low_congestion_shortcuts::algos::mst::{BoruvkaConfig, ShortcutProvider};
+    use low_congestion_shortcuts::partwise::{PartwiseConfig, UnicastConfig};
+
+    let pw = PartwiseConfig {
+        delay_range: 7,
+        seed: 123,
+        sim: SimConfig {
+            mode: SimMode::Queued,
+            threads: 3,
+            ..SimConfig::default()
+        },
+    };
+    assert_eq!(roundtrip(&pw), pw);
+
+    let uc = UnicastConfig {
+        delay_range: 4,
+        seed: 99,
+        sim: SimConfig::default(),
+    };
+    assert_eq!(roundtrip(&uc), uc);
+
+    for provider in [
+        ShortcutProvider::MinorSweepOracle(ShortcutConfig::default()),
+        ShortcutProvider::MinorSweepDistributed(
+            ShortcutConfig::default(),
+            DistConfig {
+                mode: DistMode::Sketch {
+                    t: 16,
+                    hash_seed: 1,
+                    cut_factor: 1.25,
+                },
+                sim: SimConfig::default(),
+            },
+        ),
+        ShortcutProvider::Baseline,
+        ShortcutProvider::None,
+    ] {
+        let bc = BoruvkaConfig {
+            provider,
+            partwise: pw,
+            seed: 5,
+            max_phases: Some(40),
+            skip_small_fragments: false,
+        };
+        assert_eq!(roundtrip(&bc), bc);
+
+        let mc = MincutConfig {
+            trees: Some(6),
+            boruvka: bc.clone(),
+        };
+        assert_eq!(roundtrip(&mc), mc);
+    }
+}
