@@ -8,9 +8,16 @@
 //!
 //! `--fast` restricts the sweep to the n ≈ 1e3 instances with a single
 //! repetition (the CI smoke configuration — it still covers every backend:
-//! strict, queued/calendar, the 4-thread sharded executor, and sketch-mode
-//! detection); the full run covers n ∈ {1e3, 1e4, 1e5} with the median of
-//! three repetitions per entry.
+//! strict, queued/calendar, the 4-thread sharded executor, sketch-mode
+//! detection, and the packed `message_packing = 8` rows); the full run
+//! covers n ∈ {1e3, 1e4, 1e5} with the median of three repetitions per
+//! entry.
+//!
+//! Packed rows (`"packing": 8`) carry `rounds_vs_unpacked`, their round
+//! count relative to the same instance's unpacked row from this run. The
+//! binary asserts the packed sketch pipeline cuts rounds at all (< 1.0),
+//! detects the identical cut set, and — on the full-size n = 1e5 instance
+//! — meets the ≥ 2× reduction bar.
 //!
 //! The partial-construction sweep and the `facade_overhead` row run
 //! through the `ShortcutSession` facade; `facade_overhead` compares served
@@ -81,6 +88,12 @@ const BASELINE_MS: &[(&str, &str, u64, &str, f64)] = &[
 const MIN_CUT_LOAD_RATIO: f64 = 0.5;
 const MAX_CUT_COUNT_RATIO: f64 = 4.0;
 
+/// `SimConfig::message_packing` of the packed bench rows (matches the CI
+/// packing-conformance matrix). With the default `O(log n)` bandwidth the
+/// effective batch size is budget-limited below 8 for 64-bit sketch
+/// payloads and packing-limited at 8 for id payloads.
+const PACKING: usize = 8;
+
 fn baseline_ms(bench: &str, family: &str, n: u64, mode: &str) -> Option<f64> {
     BASELINE_MS
         .iter()
@@ -94,6 +107,8 @@ struct Entry {
     m: u64,
     mode: String,
     threads: usize,
+    /// `SimConfig::message_packing` the entry ran with (1 = unpacked).
+    packing: usize,
     rounds: u64,
     messages: u64,
     wall_ms: f64,
@@ -158,6 +173,7 @@ fn sim_entry(
         m: g.num_edges() as u64,
         mode: mode_name.to_string(),
         threads,
+        packing: 1,
         rounds,
         messages,
         wall_ms,
@@ -202,27 +218,33 @@ fn partial_entry(
     g: &Graph,
     parts: Vec<Vec<NodeId>>,
     kind: DetectKind,
+    packing: usize,
     reps: usize,
-) -> Entry {
+) -> (Entry, Vec<u64>) {
     let partition = Partition::from_parts(g, parts).expect("valid partition");
     let cfg = ShortcutConfig {
         witness_mode: WitnessMode::Skip,
         ..ShortcutConfig::default()
     };
+    let sim_config = SimConfig {
+        message_packing: packing,
+        ..SimConfig::default()
+    };
     let session_config = SessionConfig {
         shortcut: cfg,
+        sim: sim_config,
         ..SessionConfig::default()
     };
     // The construction benchmark runs through the facade: one fresh session
     // per repetition (caching would defeat a construction benchmark), with
     // the backend selecting the detection mode.
     let (mode_name, backend) = match kind {
-        DetectKind::Exact => ("exact", Backend::Distributed(SimConfig::default())),
+        DetectKind::Exact => ("exact", Backend::Distributed(sim_config)),
         DetectKind::Sketch => (
             "sketch",
             Backend::Sketch(DistConfig {
                 mode: sketch_mode(),
-                ..DistConfig::default()
+                sim: sim_config,
             }),
         ),
     };
@@ -260,7 +282,15 @@ fn partial_entry(
     // Pull the sweep data from the last rep's cache after the clock stopped.
     let data = last_session
         .as_mut()
-        .map(|session| session.partial(1).data.clone());
+        .map(|session| session.partial(1).data.clone())
+        .expect("at least one repetition ran");
+    // The detected cut set, for packed-vs-unpacked identity checks.
+    let mut detected_cuts: Vec<u64> = data
+        .over_edges
+        .iter()
+        .map(|oe| oe.edge.index() as u64)
+        .collect();
+    detected_cuts.sort_unstable();
     assert!(
         terminated && !truncated,
         "{family}/{mode_name}: detection benchmark must quiesce"
@@ -271,7 +301,6 @@ fn partial_entry(
             // Accuracy: the re-derived SweepData carries the *true* crossing
             // set of every edge the sketch protocol cut, so each cut's real
             // load is directly comparable against the threshold.
-            let data = data.expect("at least one repetition ran");
             let threshold = f64::from(data.congestion_threshold);
             assert!(
                 !data.over_edges.is_empty(),
@@ -299,22 +328,26 @@ fn partial_entry(
             (Some(min_ratio), Some((data.over_edges.len(), exact)))
         }
     };
-    Entry {
+    let entry = Entry {
         family: family.to_string(),
         n: g.num_nodes() as u64,
         m: g.num_edges() as u64,
         mode: mode_name.to_string(),
         threads: 1,
+        packing,
         rounds,
         messages,
         wall_ms,
-        wall_ms_before: baseline_ms("partial", family, g.num_nodes() as u64, mode_name),
+        wall_ms_before: (packing == 1)
+            .then(|| baseline_ms("partial", family, g.num_nodes() as u64, mode_name))
+            .flatten(),
         min_cut_load_ratio,
         cut_edges,
         overhead_vs_direct: None,
         terminated,
         truncated,
-    }
+    };
+    (entry, detected_cuts)
 }
 
 /// Maximum session-over-direct wall-time ratio the facade may cost. The
@@ -419,6 +452,7 @@ fn facade_overhead_entry(reps: usize) -> Entry {
         m: g.num_edges() as u64,
         mode: "aggregate".to_string(),
         threads: 1,
+        packing: 1,
         rounds: last.0,
         messages: last.1,
         wall_ms: facade_ms,
@@ -455,9 +489,32 @@ fn render(schema: &str, entries: &[Entry]) -> String {
                     entries
                         .iter()
                         .find(|t| {
-                            t.threads == 1 && t.family == e.family && t.n == e.n && t.mode == e.mode
+                            t.threads == 1
+                                && t.family == e.family
+                                && t.n == e.n
+                                && t.mode == e.mode
+                                && t.packing == e.packing
                         })
                         .map(|t| t.wall_ms / e.wall_ms.max(1e-9))
+                })
+                .flatten(),
+        );
+        // Packed rows report their round count relative to the same
+        // instance's packing = 1 row from this run (< 1.0 means packing
+        // cut rounds; the CI smoke greps this for the sketch family).
+        let vs_unpacked = fmt_opt(
+            (e.packing > 1)
+                .then(|| {
+                    entries
+                        .iter()
+                        .find(|t| {
+                            t.packing == 1
+                                && t.family == e.family
+                                && t.n == e.n
+                                && t.mode == e.mode
+                                && t.threads == e.threads
+                        })
+                        .map(|t| e.rounds as f64 / (t.rounds as f64).max(1e-9))
                 })
                 .flatten(),
         );
@@ -469,8 +526,9 @@ fn render(schema: &str, entries: &[Entry]) -> String {
         let _ = write!(
             out,
             "    {{\"family\": \"{}\", \"n\": {}, \"m\": {}, \"mode\": \"{}\", \
-             \"threads\": {}, \"rounds\": {}, \"messages\": {}, \"wall_ms\": {:.2}, \
-             \"wall_ms_before\": {}, \"speedup\": {}, \"speedup_vs_t1\": {}, \
+             \"threads\": {}, \"packing\": {}, \"rounds\": {}, \"messages\": {}, \
+             \"wall_ms\": {:.2}, \"wall_ms_before\": {}, \"speedup\": {}, \
+             \"speedup_vs_t1\": {}, \"rounds_vs_unpacked\": {}, \
              \"min_cut_load_ratio\": {}, \"cut_edges\": {}, \"overhead_vs_direct\": {}, \
              \"terminated\": {}, \"truncated\": {}}}",
             e.family,
@@ -478,12 +536,14 @@ fn render(schema: &str, entries: &[Entry]) -> String {
             e.m,
             e.mode,
             e.threads,
+            e.packing,
             e.rounds,
             e.messages,
             e.wall_ms,
             fmt_opt(e.wall_ms_before),
             speedup,
             vs_t1,
+            vs_unpacked,
             load_ratio,
             cuts,
             fmt_opt(e.overhead_vs_direct),
@@ -531,48 +591,107 @@ fn main() {
 
     let mut partial_entries = Vec::new();
     let partial_sides: &[usize] = if fast { &[32] } else { &[32, 100] };
+    let mut grid_rows_largest_cuts = Vec::new();
     for &side in partial_sides {
         let g = gen::grid(side, side);
-        partial_entries.push(partial_entry(
+        let (entry, cuts) = partial_entry(
             "grid_rows",
             &g,
             gen::rows_of_grid(side, side),
             DetectKind::Exact,
+            1,
             reps,
-        ));
+        );
+        partial_entries.push(entry);
+        grid_rows_largest_cuts = cuts;
     }
     {
         let t = gen::torus(32, 32);
         let mut rng = SmallRng::seed_from_u64(42);
         let parts = gen::random_connected_parts(&t, 32, &mut rng);
-        partial_entries.push(partial_entry(
-            "torus_voronoi",
-            &t,
-            parts,
+        partial_entries
+            .push(partial_entry("torus_voronoi", &t, parts, DetectKind::Exact, 1, reps).0);
+    }
+    // Multi-value packing on the exact part-id streams: a packed twin of
+    // the sweep's largest grid_rows instance. `rounds_vs_unpacked` relates
+    // it to the packing = 1 row above; the detected cut set must be
+    // identical.
+    {
+        let side = *partial_sides.last().expect("non-empty sweep");
+        let g = gen::grid(side, side);
+        let (packed, cuts_packed) = partial_entry(
+            "grid_rows",
+            &g,
+            gen::rows_of_grid(side, side),
             DetectKind::Exact,
+            PACKING,
             reps,
-        ));
+        );
+        assert_eq!(
+            cuts_packed, grid_rows_largest_cuts,
+            "grid_rows: packed exact detection must cut the identical edge set"
+        );
+        partial_entries.push(packed);
     }
     // Sketch-mode detection: the n = 1e5 workload (exact streaming would
     // need ~n·k messages; the KMV sketch caps per-edge traffic at t + 1).
     // Singleton parts make the detection non-trivial — edges do get cut —
     // and the accuracy assertion compares against the centralized exact
-    // cut set. The CI smoke runs the same family at n = 1e3.
+    // cut set. The CI smoke runs the same family at n = 1e3. The instance
+    // is emitted unpacked and at packing = 8; the packed run must detect
+    // the identical cut set with a reduced round count (the
+    // `rounds_vs_unpacked` column, asserted ≥ 2× on the full-size
+    // instance).
     {
         let side = if fast { 32 } else { 316 };
         let g = gen::grid(side, side);
         let parts = gen::singleton_parts(&g);
-        partial_entries.push(partial_entry(
+        let (unpacked, cuts_unpacked) = partial_entry(
+            "grid_singletons",
+            &g,
+            parts.clone(),
+            DetectKind::Sketch,
+            1,
+            reps,
+        );
+        let (packed, cuts_packed) = partial_entry(
             "grid_singletons",
             &g,
             parts,
             DetectKind::Sketch,
+            PACKING,
             reps,
-        ));
+        );
+        assert_eq!(
+            cuts_packed, cuts_unpacked,
+            "grid_singletons: packed sketch detection must cut the identical edge set"
+        );
+        let ratio = packed.rounds as f64 / (unpacked.rounds as f64).max(1e-9);
+        assert!(
+            ratio < 1.0,
+            "sketch packing = {PACKING} must reduce pipeline rounds \
+             ({} packed vs {} unpacked)",
+            packed.rounds,
+            unpacked.rounds
+        );
+        if !fast {
+            // Acceptance bar of the packing work: ≥ 2× fewer rounds on the
+            // n = 1e5 sketch partial pipeline (BFS + detection).
+            assert!(
+                ratio <= 0.5,
+                "n = 1e5 sketch pipeline: packing = {PACKING} cut rounds only \
+                 {:.2}× ({} vs {}), below the 2× bar",
+                1.0 / ratio,
+                packed.rounds,
+                unpacked.rounds
+            );
+        }
+        partial_entries.push(unpacked);
+        partial_entries.push(packed);
     }
 
-    let sim_json = render("bench_sim/v3", &sim_entries);
-    let partial_json = render("bench_partial/v3", &partial_entries);
+    let sim_json = render("bench_sim/v4", &sim_entries);
+    let partial_json = render("bench_partial/v4", &partial_entries);
     std::fs::write(format!("{out_dir}/BENCH_sim.json"), &sim_json).expect("write BENCH_sim.json");
     std::fs::write(format!("{out_dir}/BENCH_partial.json"), &partial_json)
         .expect("write BENCH_partial.json");

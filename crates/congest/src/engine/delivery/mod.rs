@@ -15,6 +15,13 @@
 //! Because staging happens on one thread in a fixed order, the metrics a
 //! backend reports (`messages`, `max_queue`) are bit-identical regardless
 //! of how many worker threads later drain the staged lists.
+//!
+//! Backends are generic over the wire message type; the engine
+//! instantiates them with [`PackedMsg`]`<P::Msg>` envelopes, so one queue
+//! slot / one delivery / one `messages` tick corresponds to one (possibly
+//! multi-value) CONGEST message regardless of the packing factor.
+//!
+//! [`PackedMsg`]: crate::PackedMsg
 
 mod queued;
 mod strict;

@@ -31,7 +31,7 @@ mod parallel;
 mod shard;
 mod topology;
 
-use crate::{MessageSize, RunMetrics};
+use crate::{MessageSize, PackedMsg, RunMetrics};
 use delivery::{CalendarDelivery, Delivery, StrictDelivery};
 use lcs_graph::{EdgeId, Graph, NodeId};
 use rand::rngs::SmallRng;
@@ -42,8 +42,12 @@ use topology::Topology;
 /// How the engine treats sends beyond one message per edge per round.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum SimMode {
-    /// Pure CONGEST: a second send over the same directed edge in one round
-    /// is a protocol bug and panics.
+    /// Pure CONGEST: a second message over the same directed edge in one
+    /// round is a protocol bug and panics. With
+    /// [`SimConfig::message_packing`]` = k > 1`, up to `k` *consecutive*
+    /// same-port sends coalesce into one message first, so a short burst
+    /// that fits one packed envelope is legal; only a second envelope on
+    /// the same edge panics.
     #[default]
     Strict,
     /// Sends are queued per directed edge and drained one per round in
@@ -75,6 +79,33 @@ pub struct SimConfig {
     /// outboxes are merged in shard order, so rounds, messages, bits, and
     /// max_queue never depend on the thread count.
     pub threads: usize,
+    /// Multi-value message packing factor. `1` (the default) is the
+    /// unpacked engine: every send is its own message, metrics are
+    /// bit-identical to every prior engine version. At `k > 1` the engine
+    /// coalesces up to `k` **consecutive** same-port, same-priority sends
+    /// of one node-round into one [`PackedMsg`] batch, greedily while the
+    /// batch's true packed width (first value full-size, later values at
+    /// their [`MessageSize::size_bits_packed_in`] marginal cost) fits the
+    /// per-message bandwidth budget. A batch is one CONGEST message — one
+    /// `messages` tick, one queue slot, one delivery round — which is how
+    /// the `O(log n)`-bit bandwidth carries `k` values of `O(log n / k)`
+    /// bits each and streaming convergecasts drop their round counts ~`k`×.
+    /// Receivers observe the identical value sequence at every packing
+    /// level (batches unpack into individual [`Incoming`] entries in issue
+    /// order), so protocol *results* never depend on this knob. `0` is
+    /// treated as `1`.
+    ///
+    /// Schema note: like `threads`/`bandwidth_bits` before it (see
+    /// [`RunMetrics::threads`]), adding this field is a deliberate
+    /// config-schema break — the vendored serde shim has no
+    /// `#[serde(default)]`, so `SimConfig`/`SessionConfig` payloads
+    /// serialized before this field existed no longer deserialize. No such
+    /// payloads are persisted in this repository; the pinned default-JSON
+    /// snapshot in `tests/session.rs` records the break.
+    ///
+    /// [`PackedMsg`]: crate::PackedMsg
+    /// [`RunMetrics::threads`]: crate::RunMetrics::threads
+    pub message_packing: usize,
 }
 
 impl Default for SimConfig {
@@ -85,6 +116,7 @@ impl Default for SimConfig {
             max_rounds: 1_000_000,
             seed: 0xc0ffee,
             threads: 1,
+            message_packing: 1,
         }
     }
 }
@@ -181,6 +213,12 @@ impl<M> Ctx<'_, M> {
     }
 
     /// Sends `msg` over `port` with default priority 0.
+    ///
+    /// With [`SimConfig::message_packing`]` > 1`, consecutive sends to the
+    /// same port with the same priority within one callback are coalesced
+    /// into one multi-value message (up to the packing factor and the
+    /// bandwidth budget) — burst-style senders get this for free; keep a
+    /// stream's sends adjacent to maximize it.
     pub fn send(&mut self, port: usize, msg: M) {
         self.send_with_priority(port, msg, 0);
     }
@@ -261,6 +299,12 @@ impl<'g> Simulator<'g> {
         t.clamp(1, 64).min(self.graph.num_nodes().max(1))
     }
 
+    /// The packing factor [`SimConfig::message_packing`] resolves to
+    /// (`0` is treated as `1`).
+    pub fn effective_packing(&self) -> usize {
+        self.config.message_packing.max(1)
+    }
+
     /// Runs one program per node (constructed by `init`) to quiescence or
     /// the round cap.
     ///
@@ -278,8 +322,18 @@ impl<'g> Simulator<'g> {
     {
         let g = self.graph;
         let topo = Topology::build(g, self.effective_threads());
+        let (pack, budget) = (self.effective_packing(), self.bandwidth_bits());
         let shards: Vec<Shard<P>> = (0..topo.num_shards())
-            .map(|s| Shard::new(g, topo.shard_range(s), self.config.seed, &mut init))
+            .map(|s| {
+                Shard::new(
+                    g,
+                    topo.shard_range(s),
+                    self.config.seed,
+                    pack,
+                    budget,
+                    &mut init,
+                )
+            })
             .collect();
         match self.config.mode {
             SimMode::Strict => self.drive(
@@ -301,13 +355,14 @@ impl<'g> Simulator<'g> {
     where
         P: NodeProgram + Send,
         P::Msg: Send,
-        D: Delivery<P::Msg>,
+        D: Delivery<PackedMsg<P::Msg>>,
     {
         let g = self.graph;
         let bandwidth = self.bandwidth_bits();
         let mut metrics = RunMetrics {
             threads: self.effective_threads(),
             bandwidth_bits: bandwidth,
+            packing: self.effective_packing(),
             ..RunMetrics::default()
         };
         let mut seq = 0u64;
@@ -381,9 +436,10 @@ fn drive_seq<P, D>(
 ) -> (Vec<Shard<P>>, RunMetrics)
 where
     P: NodeProgram,
-    D: Delivery<P::Msg>,
+    D: Delivery<PackedMsg<P::Msg>>,
 {
-    let mut staging: Vec<Vec<(u32, P::Msg)>> = (0..shards.len()).map(|_| Vec::new()).collect();
+    let mut staging: Vec<Vec<(u32, PackedMsg<P::Msg>)>> =
+        (0..shards.len()).map(|_| Vec::new()).collect();
     loop {
         if !delivery.inflight() && wakes == 0 {
             metrics.terminated = shards.iter().all(Shard::all_done);
@@ -419,7 +475,9 @@ where
 /// bandwidth validation, global sequence numbering, and bit accounting —
 /// always on the coordinating thread, always in shard order. Sizing is
 /// `n`-aware ([`MessageSize::size_bits_in`]): id payloads are billed at
-/// `O(log n)` bits, as the CONGEST model assumes.
+/// `O(log n)` bits, as the CONGEST model assumes; a packed envelope bills
+/// its true multi-value width (see [`PackedMsg`]) and must fit the budget
+/// like any other message.
 pub(crate) fn flush_shard<P, D>(
     shard: &mut Shard<P>,
     delivery: &mut D,
@@ -430,7 +488,7 @@ pub(crate) fn flush_shard<P, D>(
     metrics: &mut RunMetrics,
 ) where
     P: NodeProgram,
-    D: Delivery<P::Msg>,
+    D: Delivery<PackedMsg<P::Msg>>,
 {
     let n = topo.num_nodes();
     for (dir, priority, msg) in shard.outbox.drain(..) {
@@ -814,6 +872,204 @@ mod tests {
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_default();
         assert!(msg.contains("protocol bug on node 5"), "got: {msg}");
+    }
+
+    /// Node 0 bursts `count` u32 values at node 1 in one callback; node 1
+    /// records arrivals per round.
+    struct BurstSender {
+        count: u32,
+    }
+    struct BurstRecorder {
+        values: Vec<u32>,
+        per_round: Vec<usize>,
+    }
+    enum BurstP {
+        S(BurstSender),
+        R(BurstRecorder),
+    }
+    impl NodeProgram for BurstP {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if let BurstP::S(s) = self {
+                for k in 0..s.count {
+                    ctx.send(0, k);
+                }
+            }
+        }
+        fn on_round(&mut self, _: &mut Ctx<'_, u32>, inbox: &[Incoming<u32>]) {
+            if let BurstP::R(r) = self {
+                r.per_round.push(inbox.len());
+                r.values.extend(inbox.iter().map(|m| m.msg));
+            }
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    fn run_burst(mode: SimMode, packing: usize, count: u32) -> (RunMetrics, Vec<u32>, Vec<usize>) {
+        let g = gen::path(2);
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                mode,
+                message_packing: packing,
+                ..SimConfig::default()
+            },
+        );
+        let run = sim.run(|v, _| {
+            if v == NodeId(0) {
+                BurstP::S(BurstSender { count })
+            } else {
+                BurstP::R(BurstRecorder {
+                    values: Vec::new(),
+                    per_round: Vec::new(),
+                })
+            }
+        });
+        let BurstP::R(r) = &run.programs[1] else {
+            panic!("node 1 records");
+        };
+        (run.metrics, r.values.clone(), r.per_round.clone())
+    }
+
+    #[test]
+    fn packing_coalesces_queued_bursts_and_cuts_rounds() {
+        let (unpacked, base_vals, _) = run_burst(SimMode::Queued, 1, 12);
+        assert_eq!(unpacked.rounds, 12);
+        assert_eq!(unpacked.messages, 12);
+        let (packed, vals, per_round) = run_burst(SimMode::Queued, 4, 12);
+        // 12 values in envelopes of 4 → 3 messages, 3 rounds, same payload.
+        assert_eq!(packed.rounds, 3);
+        assert_eq!(packed.messages, 3);
+        assert_eq!(packed.max_queue, 3);
+        assert_eq!(vals, base_vals, "payload sequence is packing-invariant");
+        assert_eq!(per_round, vec![4, 4, 4]);
+        // Plain u32 has no shared framing: bits are exactly invariant.
+        assert_eq!(packed.bits, unpacked.bits);
+        assert_eq!(packed.packing, 4);
+        assert_eq!(unpacked.packing, 1);
+    }
+
+    #[test]
+    fn strict_mode_admits_bursts_within_one_packed_envelope() {
+        // 3 consecutive sends at packing 4 fit one envelope: legal strict
+        // traffic (one message on the edge), delivered in one round.
+        let (m, vals, _) = run_burst(SimMode::Strict, 4, 3);
+        assert_eq!(m.messages, 1);
+        assert_eq!(m.rounds, 1);
+        assert_eq!(vals, vec![0, 1, 2]);
+        // 5 sends overflow into a second envelope → strict double-send.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_burst(SimMode::Strict, 4, 5)
+        }));
+        assert!(result.is_err(), "a second envelope must still panic");
+    }
+
+    #[test]
+    fn packing_respects_the_bandwidth_budget() {
+        // Budget 70 bits fits two 32-bit values but not three, whatever the
+        // packing factor says.
+        let g = gen::path(2);
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                mode: SimMode::Queued,
+                bandwidth_bits: Some(70),
+                message_packing: 8,
+                ..SimConfig::default()
+            },
+        );
+        let run = sim.run(|v, _| {
+            if v == NodeId(0) {
+                BurstP::S(BurstSender { count: 6 })
+            } else {
+                BurstP::R(BurstRecorder {
+                    values: Vec::new(),
+                    per_round: Vec::new(),
+                })
+            }
+        });
+        assert_eq!(run.metrics.messages, 3, "6 values / 2 per 70-bit envelope");
+        let BurstP::R(r) = &run.programs[1] else {
+            panic!("node 1 records");
+        };
+        assert_eq!(r.per_round, vec![2, 2, 2]);
+        assert_eq!(r.values, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn packing_only_coalesces_same_priority_runs() {
+        struct MixedPrio;
+        struct Rec(Vec<u32>);
+        enum P {
+            S(MixedPrio),
+            R(Rec),
+        }
+        impl NodeProgram for P {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                if let P::S(_) = self {
+                    ctx.send_with_priority(0, 1, 5);
+                    ctx.send_with_priority(0, 2, 5);
+                    ctx.send_with_priority(0, 3, 0); // priority break
+                }
+            }
+            fn on_round(&mut self, _: &mut Ctx<'_, u32>, inbox: &[Incoming<u32>]) {
+                if let P::R(r) = self {
+                    r.0.extend(inbox.iter().map(|m| m.msg));
+                }
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = gen::path(2);
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                mode: SimMode::Queued,
+                message_packing: 8,
+                ..SimConfig::default()
+            },
+        );
+        let run = sim.run(|v, _| {
+            if v == NodeId(0) {
+                P::S(MixedPrio)
+            } else {
+                P::R(Rec(Vec::new()))
+            }
+        });
+        // Two envelopes: [1, 2] at priority 5 and [3] at priority 0; the
+        // lower priority value still drains first.
+        assert_eq!(run.metrics.messages, 2);
+        assert_eq!(run.metrics.rounds, 2);
+        let P::R(r) = &run.programs[1] else {
+            panic!("node 1 records");
+        };
+        assert_eq!(r.0, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn packed_metrics_are_thread_count_invariant() {
+        let g = gen::grid(6, 6);
+        let run_with = |threads| {
+            Simulator::new(
+                &g,
+                SimConfig {
+                    mode: SimMode::Queued,
+                    threads,
+                    message_packing: 4,
+                    ..SimConfig::default()
+                },
+            )
+            .run(|v, _| MaxFlood { best: v.0 })
+            .metrics
+        };
+        let t1 = run_with(1);
+        for threads in [2, 4] {
+            assert_eq!(run_with(threads).counts(), t1.counts(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ use super::delivery::Delivery;
 use super::shard::Shard;
 use super::topology::Topology;
 use super::{flush_shard, NodeProgram, RunMetrics, SimConfig};
+use crate::PackedMsg;
 use lcs_graph::Graph;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -88,7 +89,7 @@ pub(crate) fn drive_par<P, D>(
 where
     P: NodeProgram + Send,
     P::Msg: Send,
-    D: Delivery<P::Msg>,
+    D: Delivery<PackedMsg<P::Msg>>,
 {
     let num_shards = shards.len();
     let cells: Vec<Mutex<Shard<P>>> = shards.into_iter().map(Mutex::new).collect();
@@ -97,7 +98,8 @@ where
     let round_now = AtomicU64::new(0);
     let worker_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
-    let mut staging: Vec<Vec<(u32, P::Msg)>> = (0..num_shards).map(|_| Vec::new()).collect();
+    let mut staging: Vec<Vec<(u32, PackedMsg<P::Msg>)>> =
+        (0..num_shards).map(|_| Vec::new()).collect();
 
     std::thread::scope(|scope| {
         for cell in &cells {

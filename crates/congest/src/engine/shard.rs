@@ -4,19 +4,33 @@
 //! Each shard exclusively owns its nodes' programs, RNG streams, inboxes,
 //! and wake bookkeeping, plus two message buffers: `inbound` (staged
 //! deliveries for the current round, filled by the delivery backend) and
-//! `outbox` (sends produced this round, drained by the coordinator's merge
-//! pass). A worker thread touches nothing outside its shard during a
-//! round, which is why no per-message synchronization exists anywhere.
+//! `outbox` (wire envelopes produced this round, drained by the
+//! coordinator's merge pass). A worker thread touches nothing outside its
+//! shard during a round, which is why no per-message synchronization
+//! exists anywhere.
+//!
+//! The shard is also where **multi-value message packing** happens: a
+//! node's raw sends land in a scratch buffer during its callback, and
+//! [`Shard::exec_node`] coalesces consecutive same-port, same-priority
+//! runs into [`PackedMsg`] envelopes — up to [`SimConfig::message_packing`]
+//! values and the bandwidth budget per envelope. At packing 1 every send
+//! becomes a `PackedMsg::One` with the exact bit cost of the raw message,
+//! so the wire stream (and every metric) is identical to the unpacked
+//! engine. Packing on the shard keeps the coalescing work parallel and
+//! the coordinator's merge pass unchanged.
 //!
 //! Determinism: within a shard, nodes run in ascending id order and each
-//! node's sends are appended in issue order; the coordinator merges shard
-//! outboxes in shard order. The resulting global send order is therefore
-//! identical to the sequential engine's (ascending node id), making
-//! sequence numbers — and with them every pinned metric — independent of
-//! the thread count.
+//! node's envelopes are appended in issue order; the coordinator merges
+//! shard outboxes in shard order. The resulting global send order is
+//! therefore identical to the sequential engine's (ascending node id),
+//! making sequence numbers — and with them every pinned metric —
+//! independent of the thread count.
+//!
+//! [`SimConfig::message_packing`]: super::SimConfig::message_packing
 
 use super::topology::Topology;
 use super::{Ctx, Incoming, NodeProgram};
+use crate::{MessageSize, PackedMsg};
 use lcs_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -30,14 +44,29 @@ pub(crate) struct Shard<P: NodeProgram> {
     wake_flag: Vec<bool>,
     /// Nodes (global ids) that requested a wake-up for the next round.
     wake_list: Vec<u32>,
-    /// Deliveries staged for this round: `(dir, msg)` with the receiver in
-    /// this shard. Swapped in by the coordinator, drained by `run_round`.
-    pub(crate) inbound: Vec<(u32, P::Msg)>,
-    /// Sends produced this round: `(dir, priority, msg)` in deterministic
-    /// node-then-issue order. Drained by the coordinator's merge pass.
-    pub(crate) outbox: Vec<(u32, u64, P::Msg)>,
+    /// Deliveries staged for this round: `(dir, envelope)` with the
+    /// receiver in this shard. Swapped in by the coordinator, unpacked and
+    /// drained by `run_round`.
+    pub(crate) inbound: Vec<(u32, PackedMsg<P::Msg>)>,
+    /// Wire envelopes produced this round: `(dir, priority, envelope)` in
+    /// deterministic node-then-issue order. Drained by the coordinator's
+    /// merge pass.
+    pub(crate) outbox: Vec<(u32, u64, PackedMsg<P::Msg>)>,
+    /// Scratch: one node's raw sends `(port, priority, msg)` during its
+    /// callback, coalesced into `outbox` envelopes afterwards.
+    raw: Vec<(u32, u64, P::Msg)>,
+    /// Scratch: envelope lengths of the current node's packing pass.
+    batch_lens: Vec<u32>,
     /// Scratch: nodes to execute this round.
     to_run: Vec<u32>,
+    /// Resolved [`SimConfig::message_packing`]: max values per envelope.
+    ///
+    /// [`SimConfig::message_packing`]: super::SimConfig::message_packing
+    pack: usize,
+    /// Per-message bandwidth budget in bits (envelopes must fit it).
+    budget: usize,
+    /// Network size the id-aware message sizing is billed against.
+    n: usize,
 }
 
 impl<P: NodeProgram> Shard<P> {
@@ -45,6 +74,8 @@ impl<P: NodeProgram> Shard<P> {
         g: &Graph,
         range: (u32, u32),
         seed: u64,
+        pack: usize,
+        budget: usize,
         init: &mut impl FnMut(NodeId, &Graph) -> P,
     ) -> Self {
         let (lo, hi) = range;
@@ -60,7 +91,12 @@ impl<P: NodeProgram> Shard<P> {
             wake_list: Vec::new(),
             inbound: Vec::new(),
             outbox: Vec::new(),
+            raw: Vec::new(),
+            batch_lens: Vec::new(),
             to_run: Vec::new(),
+            pack: pack.max(1),
+            budget,
+            n: g.num_nodes(),
         }
     }
 
@@ -71,19 +107,22 @@ impl<P: NodeProgram> Shard<P> {
         }
     }
 
-    /// One round: deliver the staged `inbound` messages into inboxes, pick
+    /// One round: unpack the staged `inbound` envelopes into inboxes, pick
     /// up pending wake-ups, and run the affected nodes in ascending order.
     pub fn run_round(&mut self, g: &Graph, topo: &Topology<'_>, round: u64) {
         self.to_run.clear();
-        for (dir, msg) in self.inbound.drain(..) {
+        for (dir, env) in self.inbound.drain(..) {
             let (recv, port) = topo.recv(dir);
             let local = (recv - self.lo) as usize;
             if self.inboxes[local].is_empty() {
                 self.to_run.push(recv);
             }
-            self.inboxes[local].push(Incoming {
-                port: port as usize,
-                msg,
+            let inbox = &mut self.inboxes[local];
+            env.for_each(|msg| {
+                inbox.push(Incoming {
+                    port: port as usize,
+                    msg,
+                });
             });
         }
         // Wake-ups requested last round join the receivers.
@@ -105,20 +144,22 @@ impl<P: NodeProgram> Shard<P> {
         self.to_run = to_run;
     }
 
-    /// Runs one node's callback and appends its sends (ports rewritten to
-    /// directed-edge ids) to the shard outbox.
+    /// Runs one node's callback, coalesces its raw sends into wire
+    /// envelopes (consecutive same-port, same-priority runs of up to
+    /// `pack` values within the bit budget), and appends them — ports
+    /// rewritten to directed-edge ids — to the shard outbox.
     fn exec_node(&mut self, g: &Graph, v: u32, round: u64, start: bool) {
         let local = (v - self.lo) as usize;
         let node = NodeId(v);
-        let outbox_from = self.outbox.len();
         let mut wake = false;
+        debug_assert!(self.raw.is_empty());
         {
             let mut ctx = Ctx {
                 node,
                 round,
                 heads: g.heads(node),
                 edges: g.edge_ids(node),
-                outbox: &mut self.outbox,
+                outbox: &mut self.raw,
                 rng: &mut self.rngs[local],
                 wake: &mut wake,
             };
@@ -133,13 +174,67 @@ impl<P: NodeProgram> Shard<P> {
             self.wake_flag[local] = true;
             self.wake_list.push(v);
         }
-        // Ctx::send records the local port; rewrite to the global directed
-        // edge id (the CSR slot) now that the sender is known.
+        // Ctx::send recorded the local port; the CSR base rewrites it to
+        // the global directed edge id now that the sender is known.
         let base = g.first_out()[v as usize];
-        for entry in &mut self.outbox[outbox_from..] {
-            debug_assert!((entry.0 as usize) < g.degree(node));
-            entry.0 += base;
+        if self.pack == 1 {
+            // Unpacked fast path: every send is its own envelope, in issue
+            // order — the exact wire stream of the pre-packing engine.
+            for (port, priority, msg) in self.raw.drain(..) {
+                debug_assert!((port as usize) < g.degree(node));
+                self.outbox
+                    .push((base + port, priority, PackedMsg::One(msg)));
+            }
+            return;
         }
+
+        // Pass 1 (by reference): split the raw sends into maximal packable
+        // runs. A run extends while the next send targets the same port
+        // with the same priority, the value count stays below `pack`, and
+        // the packed width (first value full-size, later values at their
+        // marginal cost) stays within the budget.
+        self.batch_lens.clear();
+        let raw = &self.raw;
+        let mut i = 0;
+        while i < raw.len() {
+            let (port, priority, ref head) = raw[i];
+            let mut cost = head.size_bits_in(self.n);
+            let mut j = i + 1;
+            while j < raw.len() && j - i < self.pack {
+                let (p2, prio2, ref m2) = raw[j];
+                if p2 != port || prio2 != priority {
+                    break;
+                }
+                let marginal = m2.size_bits_packed_in(&raw[j - 1].2, self.n);
+                if cost + marginal > self.budget {
+                    break;
+                }
+                cost += marginal;
+                j += 1;
+            }
+            self.batch_lens.push((j - i) as u32);
+            i = j;
+        }
+
+        // Pass 2 (by value): drain the raw sends into envelopes.
+        let mut it = self.raw.drain(..);
+        for &len in &self.batch_lens {
+            let (port, priority, msg) = it.next().expect("length computed from this buffer");
+            debug_assert!((port as usize) < g.degree(node));
+            let env = if len == 1 {
+                PackedMsg::One(msg)
+            } else {
+                let mut values = Vec::with_capacity(len as usize);
+                values.push(msg);
+                for _ in 1..len {
+                    values.push(it.next().expect("length computed from this buffer").2);
+                }
+                PackedMsg::Batch(values)
+            };
+            self.outbox.push((base + port, priority, env));
+        }
+        debug_assert!(it.next().is_none());
+        drop(it);
     }
 
     /// Wake-ups pending for the next round.

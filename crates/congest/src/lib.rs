@@ -44,5 +44,5 @@ mod metrics;
 pub mod protocols;
 
 pub use engine::{splitmix, Ctx, Incoming, NodeProgram, RunOutcome, SimConfig, SimMode, Simulator};
-pub use message::{id_bits, MessageSize, NodeIdMsg};
+pub use message::{id_bits, MessageSize, NodeIdMsg, PackedMsg};
 pub use metrics::RunMetrics;

@@ -50,6 +50,121 @@ pub trait MessageSize {
         let _ = n;
         self.size_bits()
     }
+
+    /// The *marginal* cost in bits of appending this message to a
+    /// [`PackedMsg`] batch whose previous element is `prev` — the
+    /// multi-value-message compression hook of [`SimConfig::message_packing`].
+    ///
+    /// The default is the full [`size_bits_in`](MessageSize::size_bits_in)
+    /// (no shared framing). Enum message types whose variants carry a
+    /// discriminant tag should drop the tag when `prev` has the same
+    /// discriminant: a run of same-variant values is encoded as one tag
+    /// followed by the fixed-width payloads, which is exactly how k values
+    /// of `O(log n / k)` bits ride one `O(log n)`-bit CONGEST message.
+    ///
+    /// Implementations must never report more than `size_bits_in` here —
+    /// packing may only compress, or the batch billing of [`PackedMsg`]
+    /// would exceed the sum of its parts.
+    ///
+    /// [`SimConfig::message_packing`]: crate::SimConfig::message_packing
+    fn size_bits_packed_in(&self, prev: &Self, n: usize) -> usize {
+        let _ = prev;
+        self.size_bits_in(n)
+    }
+}
+
+/// The wire envelope of the engine: either a single protocol message (the
+/// unpacked fast path, billed exactly like the raw message) or a coalesced
+/// batch of values that one directed edge carries in one round.
+///
+/// With [`SimConfig::message_packing`]` = k > 1` the engine coalesces up to
+/// `k` *consecutive* same-port, same-priority sends of one node-round into
+/// one `Batch`, greedily while the batch stays within the per-message
+/// bandwidth budget. A batch counts as **one** CONGEST message (one
+/// `messages` tick, one queue slot, one delivery round) and
+/// [`size_bits_in`](MessageSize::size_bits_in) bills its true packed width:
+/// the first value at full size plus each later value at its
+/// [`size_bits_packed_in`](MessageSize::size_bits_packed_in) marginal cost.
+///
+/// Receivers never see this type — the shard unpacks a batch into
+/// individual [`Incoming`] entries (same port, original send order), so
+/// protocol results are identical at every packing level.
+///
+/// [`SimConfig::message_packing`]: crate::SimConfig::message_packing
+/// [`Incoming`]: crate::Incoming
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PackedMsg<M> {
+    /// A single unpacked value; the wire format (and exact bit cost) of a
+    /// `message_packing = 1` send.
+    One(M),
+    /// Two or more values coalesced for one edge-round. Invariant
+    /// (maintained by the engine's packer): `len >= 2`, all values were
+    /// issued consecutively to one port with one priority, and the packed
+    /// width fits the bandwidth budget.
+    Batch(Vec<M>),
+}
+
+impl<M> PackedMsg<M> {
+    /// Number of protocol-level values carried.
+    pub fn len(&self) -> usize {
+        match self {
+            PackedMsg::One(_) => 1,
+            PackedMsg::Batch(vs) => vs.len(),
+        }
+    }
+
+    /// Whether the envelope is empty (never true for engine-built
+    /// envelopes; present for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The carried values, in issue order.
+    pub fn iter(&self) -> std::slice::Iter<'_, M> {
+        match self {
+            PackedMsg::One(m) => std::slice::from_ref(m).iter(),
+            PackedMsg::Batch(vs) => vs.iter(),
+        }
+    }
+
+    /// Unpacks into the carried values, applying `f` to each in issue
+    /// order — the receiver-side delivery loop.
+    pub fn for_each(self, mut f: impl FnMut(M)) {
+        match self {
+            PackedMsg::One(m) => f(m),
+            PackedMsg::Batch(vs) => vs.into_iter().for_each(&mut f),
+        }
+    }
+}
+
+impl<M: MessageSize> MessageSize for PackedMsg<M> {
+    fn size_bits(&self) -> usize {
+        match self {
+            PackedMsg::One(m) => m.size_bits(),
+            PackedMsg::Batch(vs) => vs.iter().map(MessageSize::size_bits).sum(),
+        }
+    }
+
+    /// The true packed width: first value at full size, every later value
+    /// at its marginal [`size_bits_packed_in`](MessageSize::size_bits_packed_in)
+    /// cost (shared framing billed once per run).
+    fn size_bits_in(&self, n: usize) -> usize {
+        match self {
+            PackedMsg::One(m) => m.size_bits_in(n),
+            PackedMsg::Batch(vs) => {
+                let mut bits = 0;
+                let mut prev: Option<&M> = None;
+                for m in vs {
+                    bits += match prev {
+                        None => m.size_bits_in(n),
+                        Some(p) => m.size_bits_packed_in(p, n),
+                    };
+                    prev = Some(m);
+                }
+                bits
+            }
+        }
+    }
 }
 
 /// A message that is exactly one id (node, part, fragment, …), billed at
@@ -165,5 +280,69 @@ mod tests {
         assert_eq!(NodeIdMsg(5).size_bits(), 32);
         assert_eq!(NodeIdMsg(5).size_bits_in(2), 2);
         assert_eq!(NodeIdMsg(5).size_bits_in(1024), 11);
+    }
+
+    /// A test message with a 3-bit tag whose marginal cost drops the tag
+    /// for same-variant runs — the shape real protocol enums use.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum Tagged {
+        Id(u32),
+        Val(u64),
+    }
+
+    impl MessageSize for Tagged {
+        fn size_bits(&self) -> usize {
+            match self {
+                Tagged::Id(_) => 3 + 32,
+                Tagged::Val(_) => 3 + 64,
+            }
+        }
+
+        fn size_bits_in(&self, n: usize) -> usize {
+            match self {
+                Tagged::Id(_) => 3 + id_bits(n),
+                Tagged::Val(_) => 3 + 64,
+            }
+        }
+
+        fn size_bits_packed_in(&self, prev: &Self, n: usize) -> usize {
+            if std::mem::discriminant(self) == std::mem::discriminant(prev) {
+                self.size_bits_in(n) - 3
+            } else {
+                self.size_bits_in(n)
+            }
+        }
+    }
+
+    #[test]
+    fn packed_one_bills_exactly_the_inner_message() {
+        let one = PackedMsg::One(NodeIdMsg(9));
+        assert_eq!(one.size_bits(), NodeIdMsg(9).size_bits());
+        assert_eq!(one.size_bits_in(100), NodeIdMsg(9).size_bits_in(100));
+        assert_eq!(one.len(), 1);
+        assert!(!one.is_empty());
+    }
+
+    #[test]
+    fn packed_batch_bills_marginal_costs_after_the_first() {
+        // Homogeneous run: one 3-bit tag + three id payloads.
+        let b = PackedMsg::Batch(vec![Tagged::Id(1), Tagged::Id(2), Tagged::Id(3)]);
+        assert_eq!(b.size_bits_in(64), (3 + 7) + 7 + 7);
+        // A variant switch restarts the tag.
+        let mixed = PackedMsg::Batch(vec![Tagged::Id(1), Tagged::Id(2), Tagged::Val(9)]);
+        assert_eq!(mixed.size_bits_in(64), (3 + 7) + 7 + (3 + 64));
+        // Default marginal (no compression): batch = sum of parts.
+        let plain = PackedMsg::Batch(vec![7u32, 8, 9]);
+        assert_eq!(plain.size_bits_in(1000), 96);
+        assert_eq!(plain.size_bits(), 96);
+    }
+
+    #[test]
+    fn packed_unpacking_preserves_issue_order() {
+        let b = PackedMsg::Batch(vec![10u32, 20, 30]);
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![10, 20, 30]);
+        let mut got = Vec::new();
+        b.for_each(|m| got.push(m));
+        assert_eq!(got, vec![10, 20, 30]);
     }
 }

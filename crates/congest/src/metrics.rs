@@ -44,6 +44,14 @@ pub struct RunMetrics {
     ///
     /// [`SimConfig::bandwidth_bits`]: crate::SimConfig::bandwidth_bits
     pub bandwidth_bits: usize,
+    /// The multi-value packing factor the run coalesced sends with — the
+    /// resolved [`SimConfig::message_packing`] (1 = unpacked). Execution
+    /// configuration like `threads`: at `packing = 1` every counter equals
+    /// the unpacked engine's; at `packing > 1` rounds/messages/bits may
+    /// (and should) drop while protocol results stay identical.
+    ///
+    /// [`SimConfig::message_packing`]: crate::SimConfig::message_packing
+    pub packing: usize,
 }
 
 impl RunMetrics {
@@ -57,7 +65,7 @@ impl RunMetrics {
     }
 
     /// The measurement counters alone, without the execution configuration
-    /// (`threads`, `bandwidth_bits`): `(rounds, messages, bits, max_queue,
+    /// (`threads`, `bandwidth_bits`, `packing`): `(rounds, messages, bits, max_queue,
     /// terminated, truncated)`. This is the tuple that must be identical
     /// across thread counts — compare it (not whole `RunMetrics` values)
     /// when asserting thread-count invariance.
@@ -100,9 +108,11 @@ mod tests {
             truncated: false,
             threads: 1,
             bandwidth_bits: 160,
+            packing: 1,
         };
         let b = RunMetrics {
             threads: 4,
+            packing: 8,
             ..a.clone()
         };
         assert_ne!(a, b);

@@ -63,6 +63,11 @@ pub struct DistConfig {
     /// sends several messages per edge. [`SimConfig::threads`] selects the
     /// sharded executor's worker count for both phases; the construction —
     /// cut set, shortcut, and metrics — is identical at any thread count.
+    /// [`SimConfig::message_packing`]` = k > 1` coalesces each node's
+    /// upward stream (part ids / sketch values, closed by the `Done`
+    /// marker) into multi-value messages, cutting detection rounds ~`k`×
+    /// (bandwidth permitting) while leaving the cut set — and therefore
+    /// the shortcut — bit-identical.
     pub sim: SimConfig,
 }
 
@@ -213,6 +218,23 @@ impl MessageSize for DetectMsg {
             DetectMsg::Done => 2,
         }
     }
+
+    /// The convergecast streams are runs of one variant (parts or sketch
+    /// values) closed by a `Done`, so a packed batch bills the 2-bit
+    /// variant tag once per run and each further value at its bare payload
+    /// width — this is what lets [`SimConfig::message_packing`] fit 3
+    /// sketch hashes (or a whole `message_packing`-sized run of part ids)
+    /// into one `O(log n)`-bit message and cut detection rounds
+    /// accordingly.
+    ///
+    /// [`SimConfig::message_packing`]: lcs_congest::SimConfig::message_packing
+    fn size_bits_packed_in(&self, prev: &Self, n: usize) -> usize {
+        if std::mem::discriminant(self) == std::mem::discriminant(prev) {
+            self.size_bits_in(n) - 2
+        } else {
+            self.size_bits_in(n)
+        }
+    }
 }
 
 /// Exact-mode part-set accumulator: a plain `Vec` on the ingest hot path
@@ -280,7 +302,10 @@ impl DetectProgram {
             // Size the accumulated set against the threshold, then either
             // cut the parent edge or stream the set upward. Exact mode
             // normalizes (sort + dedup) here — once per node — and streams
-            // the already-sorted result.
+            // the already-sorted result. The whole stream (values, then
+            // the closing Done) is issued consecutively on one port in one
+            // callback, which is exactly the shape the engine's
+            // message-packing coalesces into multi-value batches.
             let estimate = match &mut self.acc {
                 SetAcc::Exact(set) => set.normalize().len() as f64,
                 SetAcc::Sketch(s) => s.estimate() * self.cut_factor,

@@ -51,7 +51,9 @@ use lcs_graph::diameter::{diameter_bounds, DiameterBounds};
 use lcs_graph::minor::MinorWitness;
 use lcs_graph::{bfs, Graph, NodeId, PartId, RootedTree};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::any::{Any, TypeId};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Where the session's spanning tree comes from.
 #[derive(Clone, Debug)]
@@ -175,7 +177,11 @@ pub struct SessionConfig {
     /// Theorem 3.1 construction constants and witness policy.
     pub shortcut: ShortcutConfig,
     /// Simulator settings every op inherits (ops force the queue mode they
-    /// need; [`SimConfig::threads`] selects the sharded executor).
+    /// need; [`SimConfig::threads`] selects the sharded executor and
+    /// [`SimConfig::message_packing`] the multi-value packing factor —
+    /// `k > 1` coalesces burst sends into multi-value CONGEST messages,
+    /// cutting rounds on streaming workloads like the sketch construction
+    /// while leaving every result bit-identical).
     pub sim: SimConfig,
     /// Aggregation overrides.
     pub aggregate: AggregateOpts,
@@ -274,8 +280,11 @@ pub struct OpReport<T> {
     pub bits: u64,
     /// Quality of the served shortcut, when the op ran over the session's
     /// partition (`None` for fragment-based ops like MST, whose partitions
-    /// change per phase).
-    pub quality: Option<QualityReport>,
+    /// change per phase). Shared via [`Arc`] with the session's cache — the
+    /// report is measured once per session and every `OpReport` holds the
+    /// same allocation instead of a per-call deep clone of its O(k)
+    /// per-part vectors.
+    pub quality: Option<Arc<QualityReport>>,
     /// Worker threads the simulator ran with.
     pub threads: usize,
     /// Per-message bandwidth limit (bits) the run enforced.
@@ -284,7 +293,11 @@ pub struct OpReport<T> {
 
 impl<T> OpReport<T> {
     /// Wraps an op result measured by a single simulator run.
-    pub fn from_metrics(result: T, metrics: &RunMetrics, quality: Option<QualityReport>) -> Self {
+    pub fn from_metrics(
+        result: T,
+        metrics: &RunMetrics,
+        quality: Option<Arc<QualityReport>>,
+    ) -> Self {
         OpReport {
             result,
             rounds: metrics.rounds,
@@ -427,6 +440,7 @@ impl<'g> SessionBuilder<'g> {
             full,
             quality: None,
             partials: BTreeMap::new(),
+            op_artifacts: HashMap::new(),
             constructions: 0,
         })
     }
@@ -447,8 +461,12 @@ pub struct ShortcutSession<'g> {
     tree_provided: bool,
     diam: Option<DiameterBounds>,
     full: Option<FullArtifact>,
-    quality: Option<QualityReport>,
+    quality: Option<Arc<QualityReport>>,
     partials: BTreeMap<u32, PartialArtifact>,
+    /// Per-op-type derived artifacts (e.g. the partwise participation
+    /// map), keyed by the artifact's [`TypeId`] and shared via [`Arc`].
+    /// See [`op_artifact`](ShortcutSession::op_artifact).
+    op_artifacts: HashMap<TypeId, Arc<dyn Any + Send + Sync>>,
     constructions: usize,
 }
 
@@ -560,19 +578,63 @@ impl<'g> ShortcutSession<'g> {
                 self.tree.as_ref().expect("ensured"),
                 &self.full.as_ref().expect("ensured").shortcut,
             );
-            self.quality = Some(q);
+            self.quality = Some(Arc::new(q));
         }
         self.quality.as_ref().expect("just set")
     }
 
-    /// Clone of the cached quality report, if the session has a partition
-    /// (measuring it on first use); `None` otherwise.
-    pub fn quality_cloned(&mut self) -> Option<QualityReport> {
+    /// Shared handle to the cached quality report, if the session has a
+    /// partition (measuring it on first use); `None` otherwise. Ops attach
+    /// this to their [`OpReport`]s — every report shares one allocation
+    /// instead of deep-cloning the O(k) per-part vectors per call.
+    pub fn quality_shared(&mut self) -> Option<Arc<QualityReport>> {
         if self.partition.is_some() {
-            Some(self.quality().clone())
+            self.quality();
+            self.quality.clone()
         } else {
             None
         }
+    }
+
+    /// The per-op-type derived-artifact cache: returns the artifact of
+    /// type `T`, building it with `build` from the graph, partition, and
+    /// cached full shortcut on first access and serving the same
+    /// [`Arc`] afterwards.
+    ///
+    /// This is where ops park preprocessing that depends only on the
+    /// session's immutable artifacts — e.g. the partwise O(n + m)
+    /// participation map, which the session previously rebuilt on every
+    /// aggregate/gossip call. Keyed by [`TypeId`], so each artifact type
+    /// has exactly one slot per session; the cache is never invalidated
+    /// because graph, partition, and full shortcut are themselves
+    /// immutable once built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has no partition (like every partition op).
+    pub fn op_artifact<T, F>(&mut self, build: F) -> Arc<T>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce(&Graph, &Partition, &Shortcut) -> T,
+    {
+        let key = TypeId::of::<T>();
+        if !self.op_artifacts.contains_key(&key) {
+            self.prepare();
+            let built = build(
+                self.g,
+                self.partition
+                    .as_ref()
+                    .expect("this session has no partition — pass .partition(..) to the builder"),
+                &self.full.as_ref().expect("prepared").shortcut,
+            );
+            self.op_artifacts.insert(key, Arc::new(built));
+        }
+        self.op_artifacts
+            .get(&key)
+            .cloned()
+            .expect("just inserted")
+            .downcast::<T>()
+            .unwrap_or_else(|_| unreachable!("slot is keyed by this TypeId"))
     }
 
     /// Ensures tree and full shortcut (and quality, when a partition
@@ -933,6 +995,32 @@ mod tests {
         let g = gen::path(4);
         let mut s = Session::on(&g).build().unwrap();
         let _ = s.shortcut();
+    }
+
+    #[test]
+    fn op_artifacts_build_once_and_share_one_allocation() {
+        struct Expensive(usize);
+        let mut s = grid_session(6);
+        let mut builds = 0;
+        let a = s.op_artifact(|g, partition, shortcut| {
+            builds += 1;
+            Expensive(g.num_nodes() + partition.num_parts() + shortcut.num_parts())
+        });
+        let b = s.op_artifact(|_, _, _| -> Expensive { unreachable!("cached after first build") });
+        assert_eq!(builds, 1);
+        assert!(Arc::ptr_eq(&a, &b), "one shared allocation");
+        assert_eq!(a.0, 36 + 6 + 6);
+        // Accessing the artifact forced the full shortcut exactly once.
+        assert_eq!(s.constructions(), 1);
+    }
+
+    #[test]
+    fn quality_is_shared_not_cloned() {
+        let mut s = grid_session(6);
+        let a = s.quality_shared().expect("session has a partition");
+        let b = s.quality_shared().expect("session has a partition");
+        assert!(Arc::ptr_eq(&a, &b), "reports share the cached allocation");
+        assert_eq!(s.constructions(), 1);
     }
 
     #[test]

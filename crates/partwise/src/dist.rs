@@ -57,38 +57,66 @@ pub struct PartwiseOutcome {
 /// in part `i` iff it is in `H_i` or both endpoints lie in `P_i`
 /// (Definition 2.1); this rule is shared by the leader-based solver and
 /// the gossip solver, so it lives in exactly one place.
-pub(crate) fn participation_map(
-    g: &Graph,
-    partition: &Partition,
-    shortcut: &Shortcut,
-) -> Vec<HashMap<u32, Vec<usize>>> {
-    let mut participation: Vec<HashMap<u32, Vec<usize>>> = vec![HashMap::new(); g.num_nodes()];
-    let mut register = |part: u32, u: NodeId, v: NodeId| {
-        let pu = g.port_to(u, v).expect("edge endpoints adjacent");
-        participation[u.index()].entry(part).or_default().push(pu);
-    };
-    for (pid, _) in partition.iter() {
-        for &e in shortcut.edges_for(pid) {
-            let (u, v) = g.endpoints(e);
-            register(pid.0, u, v);
-            register(pid.0, v, u);
-        }
-    }
-    for er in g.edges() {
-        if let (Some(a), Some(b)) = (partition.part_of(er.u), partition.part_of(er.v)) {
-            if a == b && !shortcut.contains(a, er.id) {
-                register(a.0, er.u, er.v);
-                register(a.0, er.v, er.u);
+///
+/// Building the map is O(n + m) — per-query cost a serving deployment
+/// should not pay twice. The session-driven ops cache one instance in the
+/// session's derived-artifact store
+/// ([`ShortcutSession::op_artifact`]), keyed by this type, and every later
+/// aggregate/gossip call reuses it; the legacy free functions build a
+/// fresh one per call.
+#[derive(Clone, Debug)]
+pub struct ParticipationMap {
+    per_node: Vec<HashMap<u32, Vec<usize>>>,
+}
+
+impl ParticipationMap {
+    /// Derives the map from a graph, partition, and shortcut (the
+    /// signature [`ShortcutSession::op_artifact`] expects).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shortcut's shape differs from the partition's.
+    pub fn build(g: &Graph, partition: &Partition, shortcut: &Shortcut) -> Self {
+        assert_eq!(
+            shortcut.num_parts(),
+            partition.num_parts(),
+            "shortcut and partition shapes differ"
+        );
+        let mut participation: Vec<HashMap<u32, Vec<usize>>> = vec![HashMap::new(); g.num_nodes()];
+        let mut register = |part: u32, u: NodeId, v: NodeId| {
+            let pu = g.port_to(u, v).expect("edge endpoints adjacent");
+            participation[u.index()].entry(part).or_default().push(pu);
+        };
+        for (pid, _) in partition.iter() {
+            for &e in shortcut.edges_for(pid) {
+                let (u, v) = g.endpoints(e);
+                register(pid.0, u, v);
+                register(pid.0, v, u);
             }
         }
-    }
-    for lists in &mut participation {
-        for ports in lists.values_mut() {
-            ports.sort_unstable();
-            ports.dedup();
+        for er in g.edges() {
+            if let (Some(a), Some(b)) = (partition.part_of(er.u), partition.part_of(er.v)) {
+                if a == b && !shortcut.contains(a, er.id) {
+                    register(a.0, er.u, er.v);
+                    register(a.0, er.v, er.u);
+                }
+            }
+        }
+        for lists in &mut participation {
+            for ports in lists.values_mut() {
+                ports.sort_unstable();
+                ports.dedup();
+            }
+        }
+        ParticipationMap {
+            per_node: participation,
         }
     }
-    participation
+
+    /// The `part id -> participating ports` lists of one node.
+    pub(crate) fn at(&self, v: NodeId) -> &HashMap<u32, Vec<usize>> {
+        &self.per_node[v.index()]
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -147,21 +175,44 @@ struct PaProgram {
     /// Per-part scheduling priority (the part's random delay, reused as a
     /// queue priority so late-starting parts also yield edge access).
     priority: HashMap<u32, u64>,
+    /// Sends buffered during one callback, flushed grouped by
+    /// `(port, priority)` at the callback's end so same-edge traffic of
+    /// different parts is issued consecutively — the shape
+    /// [`SimConfig::message_packing`] coalesces into multi-value messages.
+    pending: Vec<(usize, u64, PaMsg)>,
 }
 
 impl PaProgram {
-    fn start_part(&mut self, part: u32, ctx: &mut Ctx<'_, PaMsg>) {
+    fn queue(&mut self, port: usize, msg: PaMsg, prio: u64) {
+        self.pending.push((port, prio, msg));
+    }
+
+    /// Flushes the callback's buffered sends, stable-sorted by
+    /// `(port, priority)`: per-edge order of equal-priority messages is
+    /// preserved (FIFO semantics unchanged), while runs on one shared edge
+    /// become adjacent and thus packable.
+    fn flush_pending(&mut self, ctx: &mut Ctx<'_, PaMsg>) {
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.sort_by_key(|&(port, prio, _)| (port, prio));
+        for (port, prio, msg) in pending.drain(..) {
+            ctx.send_with_priority(port, msg, prio);
+        }
+        self.pending = pending;
+    }
+
+    fn start_part(&mut self, part: u32) {
         let prio = self.priority[&part];
         let st = self.states.get_mut(&part).expect("leader state exists");
         st.started = true;
         st.awaiting_replies = st.ports.len();
-        for &p in &st.ports {
-            ctx.send_with_priority(p, PaMsg::Offer(part), prio);
+        let ports = st.ports.clone();
+        for p in ports {
+            self.queue(p, PaMsg::Offer(part), prio);
         }
-        self.maybe_up(part, ctx);
+        self.maybe_up(part);
     }
 
-    fn maybe_up(&mut self, part: u32, ctx: &mut Ctx<'_, PaMsg>) {
+    fn maybe_up(&mut self, part: u32) {
         let prio = self.priority[&part];
         let st = self.states.get_mut(&part).expect("state exists");
         if st.up_sent || !st.started || st.awaiting_replies > 0 || st.pending_up > 0 {
@@ -173,12 +224,12 @@ impl PaProgram {
             let acc = st.acc;
             let children = st.children.clone();
             for p in children {
-                ctx.send_with_priority(p, PaMsg::Down(part, acc), prio);
+                self.queue(p, PaMsg::Down(part, acc), prio);
             }
         } else {
             let parent = st.parent.expect("non-leader has a parent once started");
             let acc = st.acc;
-            ctx.send_with_priority(parent, PaMsg::Up(part, acc), prio);
+            self.queue(parent, PaMsg::Up(part, acc), prio);
         }
     }
 }
@@ -195,11 +246,12 @@ impl NodeProgram for PaProgram {
             .collect();
         self.delays.retain(|&(_, d)| d > 0);
         for part in immediate {
-            self.start_part(part, ctx);
+            self.start_part(part);
         }
         if !self.delays.is_empty() {
             ctx.wake_next_round();
         }
+        self.flush_pending(ctx);
     }
 
     fn on_round(&mut self, ctx: &mut Ctx<'_, PaMsg>, inbox: &[Incoming<PaMsg>]) {
@@ -214,7 +266,7 @@ impl NodeProgram for PaProgram {
             }
             self.delays.retain(|&(_, d)| d > 0);
             for part in ready {
-                self.start_part(part, ctx);
+                self.start_part(part);
             }
             if !self.delays.is_empty() {
                 ctx.wake_next_round();
@@ -230,19 +282,19 @@ impl NodeProgram for PaProgram {
                         .get_mut(&part)
                         .expect("offer only travels participating edges");
                     if st.started {
-                        ctx.send_with_priority(m.port, PaMsg::Decline(part), prio);
+                        self.queue(m.port, PaMsg::Decline(part), prio);
                     } else {
                         st.started = true;
                         st.parent = Some(m.port);
                         st.awaiting_replies = st.ports.len() - 1;
-                        ctx.send_with_priority(m.port, PaMsg::Adopt(part), prio);
                         let ports = st.ports.clone();
+                        self.queue(m.port, PaMsg::Adopt(part), prio);
                         for p in ports {
                             if p != m.port {
-                                ctx.send_with_priority(p, PaMsg::Offer(part), prio);
+                                self.queue(p, PaMsg::Offer(part), prio);
                             }
                         }
-                        self.maybe_up(part, ctx);
+                        self.maybe_up(part);
                     }
                 }
                 PaMsg::Adopt(part) => {
@@ -250,19 +302,19 @@ impl NodeProgram for PaProgram {
                     st.children.push(m.port);
                     st.pending_up += 1;
                     st.awaiting_replies -= 1;
-                    self.maybe_up(part, ctx);
+                    self.maybe_up(part);
                 }
                 PaMsg::Decline(part) => {
                     let st = self.states.get_mut(&part).expect("state exists");
                     st.awaiting_replies -= 1;
-                    self.maybe_up(part, ctx);
+                    self.maybe_up(part);
                 }
                 PaMsg::Up(part, val) => {
                     let op = self.op;
                     let st = self.states.get_mut(&part).expect("state exists");
                     st.acc = op.apply(st.acc, val);
                     st.pending_up -= 1;
-                    self.maybe_up(part, ctx);
+                    self.maybe_up(part);
                 }
                 PaMsg::Down(part, val) => {
                     let prio = self.priority[&part];
@@ -271,12 +323,13 @@ impl NodeProgram for PaProgram {
                         st.result = Some(val);
                         let children = st.children.clone();
                         for p in children {
-                            ctx.send_with_priority(p, PaMsg::Down(part, val), prio);
+                            self.queue(p, PaMsg::Down(part, val), prio);
                         }
                     }
                 }
             }
         }
+        self.flush_pending(ctx);
     }
 
     fn is_done(&self) -> bool {
@@ -307,19 +360,17 @@ impl PartwiseOp for AggregateOp<'_> {
 
     fn run(self, session: &mut ShortcutSession<'_>) -> OpReport<PartwiseOutcome> {
         session.prepare();
-        let quality = session.quality_cloned();
+        let quality = session.quality_shared();
+        // The O(n + m) participation map is a session artifact: built on
+        // the first aggregate/gossip call, reused by every later one.
+        let participation = session.op_artifact(ParticipationMap::build);
         let sc = session.config();
         let cfg = PartwiseConfig {
             delay_range: sc.aggregate.delay_range,
             seed: sc.aggregate.seed,
             sim: sc.aggregate_sim(),
         };
-        let out = self.run_on(
-            session.graph(),
-            session.partition(),
-            session.shortcut_ref(),
-            &cfg,
-        );
+        let out = self.run_with(session.graph(), session.partition(), &cfg, &participation);
         let metrics = out.metrics.clone();
         OpReport::from_metrics(out, &metrics, quality)
     }
@@ -340,13 +391,21 @@ impl AggregateOp<'_> {
         shortcut: &Shortcut,
         cfg: &PartwiseConfig,
     ) -> PartwiseOutcome {
+        let participation = ParticipationMap::build(g, partition, shortcut);
+        self.run_with(g, partition, cfg, &participation)
+    }
+
+    /// Runs the protocol over a prebuilt [`ParticipationMap`] — the path
+    /// the session ops take with the cached map.
+    fn run_with(
+        &self,
+        g: &Graph,
+        partition: &Partition,
+        cfg: &PartwiseConfig,
+        participation: &ParticipationMap,
+    ) -> PartwiseOutcome {
         let (values, op, leaders) = (self.values, self.op, self.leaders);
         assert_eq!(values.len(), g.num_nodes(), "one value per node");
-        assert_eq!(
-            shortcut.num_parts(),
-            partition.num_parts(),
-            "shortcut and partition shapes differ"
-        );
         let k = partition.num_parts();
         let default_leaders: Vec<NodeId> = partition
             .iter()
@@ -361,8 +420,6 @@ impl AggregateOp<'_> {
                 "leader {l:?} is not a member of part {i}"
             );
         }
-
-        let participation = participation_map(g, partition, shortcut);
 
         // Random delays per part.
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
@@ -386,7 +443,7 @@ impl AggregateOp<'_> {
             let mut priority = HashMap::new();
             let mut node_delays = Vec::new();
             // States for parts this node participates in (as relay or member).
-            let mut parts: Vec<u32> = participation[v.index()].keys().copied().collect();
+            let mut parts: Vec<u32> = participation.at(v).keys().copied().collect();
             if let Some(pid) = partition.part_of(v) {
                 if !parts.contains(&pid.0) {
                     parts.push(pid.0); // singleton part without edges
@@ -395,10 +452,7 @@ impl AggregateOp<'_> {
             for part in parts {
                 let is_member = partition.part_of(v) == Some(PartId(part));
                 let is_leader = leaders[part as usize] == v;
-                let ports = participation[v.index()]
-                    .get(&part)
-                    .cloned()
-                    .unwrap_or_default();
+                let ports = participation.at(v).get(&part).cloned().unwrap_or_default();
                 states.insert(
                     part,
                     PartState {
@@ -428,6 +482,7 @@ impl AggregateOp<'_> {
                 states,
                 delays: node_delays,
                 priority,
+                pending: Vec::new(),
             }
         });
 

@@ -12,6 +12,7 @@
 //! [`solve_partwise`](crate::solve_partwise); the type system enforces the
 //! distinction via [`IdempotentOp`].
 
+use crate::dist::ParticipationMap;
 use lcs_congest::{
     id_bits, Ctx, Incoming, MessageSize, NodeProgram, RunMetrics, SimConfig, SimMode, Simulator,
 };
@@ -81,21 +82,34 @@ struct GossipProgram {
     states: HashMap<u32, (Vec<usize>, u64)>,
 }
 
+impl GossipProgram {
+    /// Emits one `GossipMsg` per `(part, port)` pair, **grouped by port**
+    /// (ties broken by part id): a node relaying several parts over one
+    /// shared edge issues those sends consecutively, which is the shape
+    /// [`SimConfig::message_packing`] coalesces into multi-value messages.
+    /// The grouping also makes the send order fully deterministic
+    /// (independent of the state map's iteration order).
+    fn send_grouped_by_port(&self, parts: Vec<u32>, ctx: &mut Ctx<'_, GossipMsg>) {
+        let mut sends: Vec<(usize, u32, u64)> = Vec::new();
+        for part in parts {
+            let (ports, value) = &self.states[&part];
+            for &p in ports {
+                sends.push((p, part, *value));
+            }
+        }
+        sends.sort_unstable_by_key(|&(p, part, _)| (p, part));
+        for (p, part, value) in sends {
+            ctx.send(p, GossipMsg { part, value });
+        }
+    }
+}
+
 impl NodeProgram for GossipProgram {
     type Msg = GossipMsg;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, GossipMsg>) {
-        for (&part, (ports, value)) in &self.states {
-            for &p in ports {
-                ctx.send(
-                    p,
-                    GossipMsg {
-                        part,
-                        value: *value,
-                    },
-                );
-            }
-        }
+        let parts: Vec<u32> = self.states.keys().copied().collect();
+        self.send_grouped_by_port(parts, ctx);
     }
 
     fn on_round(&mut self, ctx: &mut Ctx<'_, GossipMsg>, inbox: &[Incoming<GossipMsg>]) {
@@ -113,13 +127,7 @@ impl NodeProgram for GossipProgram {
                 }
             }
         }
-        for part in improved {
-            let (ports, value) = &self.states[&part];
-            let value = *value;
-            for p in ports.clone() {
-                ctx.send(p, GossipMsg { part, value });
-            }
-        }
+        self.send_grouped_by_port(improved, ctx);
     }
 
     fn is_done(&self) -> bool {
@@ -147,14 +155,12 @@ impl PartwiseOp for GossipOp<'_> {
 
     fn run(self, session: &mut ShortcutSession<'_>) -> OpReport<GossipOutcome> {
         session.prepare();
-        let quality = session.quality_cloned();
+        let quality = session.quality_shared();
+        // Reuses the session-cached participation map (shared with the
+        // leader-based aggregation — same artifact type, same slot).
+        let participation = session.op_artifact(ParticipationMap::build);
         let sim = session.config().aggregate_sim();
-        let out = self.run_on(
-            session.graph(),
-            session.partition(),
-            session.shortcut_ref(),
-            sim,
-        );
+        let out = self.run_with(session.graph(), session.partition(), sim, &participation);
         let metrics = out.metrics.clone();
         OpReport::from_metrics(out, &metrics, quality)
     }
@@ -175,15 +181,21 @@ impl GossipOp<'_> {
         shortcut: &Shortcut,
         sim: SimConfig,
     ) -> GossipOutcome {
+        let participation = ParticipationMap::build(g, partition, shortcut);
+        self.run_with(g, partition, sim, &participation)
+    }
+
+    /// Runs the flooding protocol over a prebuilt [`ParticipationMap`] —
+    /// the path the session ops take with the cached map.
+    fn run_with(
+        &self,
+        g: &Graph,
+        partition: &Partition,
+        sim: SimConfig,
+        participation: &ParticipationMap,
+    ) -> GossipOutcome {
         let (values, op) = (self.values, self.op);
         assert_eq!(values.len(), g.num_nodes(), "one value per node");
-        assert_eq!(
-            shortcut.num_parts(),
-            partition.num_parts(),
-            "shortcut and partition shapes differ"
-        );
-
-        let participation = crate::dist::participation_map(g, partition, shortcut);
 
         let sim_cfg = SimConfig {
             mode: SimMode::Queued,
@@ -192,7 +204,7 @@ impl GossipOp<'_> {
         let simulator = Simulator::new(g, sim_cfg);
         let run = simulator.run(|v, _| {
             let mut states = HashMap::new();
-            let mut parts: Vec<u32> = participation[v.index()].keys().copied().collect();
+            let mut parts: Vec<u32> = participation.at(v).keys().copied().collect();
             if let Some(p) = partition.part_of(v) {
                 if !parts.contains(&p.0) {
                     parts.push(p.0);
@@ -200,10 +212,7 @@ impl GossipOp<'_> {
             }
             for part in parts {
                 let is_member = partition.part_of(v) == Some(PartId(part));
-                let ports = participation[v.index()]
-                    .get(&part)
-                    .cloned()
-                    .unwrap_or_default();
+                let ports = participation.at(v).get(&part).cloned().unwrap_or_default();
                 let init = if is_member {
                     values[v.index()]
                 } else {

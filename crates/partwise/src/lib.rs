@@ -42,7 +42,7 @@ pub mod session_ops;
 pub mod unicast;
 
 pub use centralized::centralized_aggregate;
-pub use dist::{solve_partwise, AggregateOp, PartwiseConfig, PartwiseOutcome};
+pub use dist::{solve_partwise, AggregateOp, ParticipationMap, PartwiseConfig, PartwiseOutcome};
 pub use gossip::{gossip_aggregate, GossipOp, GossipOutcome, IdempotentOp};
 pub use session_ops::SessionPartwiseOps;
 pub use unicast::{route_multiple_unicasts, UnicastConfig, UnicastOp, UnicastOutcome};

@@ -28,6 +28,16 @@ fn env_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Simulator packing factor for the distributed property tests. CI runs
+/// the suite under `LCS_SIM_PACKING=8` as well: multi-value packing must
+/// leave every construction — and with it every bound below — unchanged.
+fn env_packing() -> usize {
+    std::env::var("LCS_SIM_PACKING")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 /// Congestion must stay within `C_CONG · δ̂ · D · (log₂ n + 1)`.
 ///
 /// The per-sweep threshold is `8δ̂D` and the doubling search executes at
@@ -115,6 +125,7 @@ proptest! {
         let dist = DistConfig {
             sim: SimConfig {
                 threads: env_threads(),
+                message_packing: env_packing(),
                 ..SimConfig::default()
             },
             ..DistConfig::default()

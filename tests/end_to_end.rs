@@ -97,16 +97,34 @@ fn pipeline_on_lower_bound_topology() {
     pipeline(&lb.graph, lb.rows, 5);
 }
 
+/// Simulator packing factor for the differential corpus. CI also runs the
+/// 50-seed suites under `LCS_SIM_PACKING=8`: the multi-value packed
+/// construction must reproduce the centralized cut set exactly like the
+/// unpacked one.
+fn env_packing() -> usize {
+    std::env::var("LCS_SIM_PACKING")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 /// Differential check: `DistMode::Exact` must reproduce the centralized
 /// sweep's cut set edge-for-edge on `g` with the given partition.
 fn assert_distributed_matches_centralized(g: &Graph, parts: Vec<Vec<NodeId>>, label: &str) {
+    use low_congestion_shortcuts::congest::SimConfig;
     let partition = Partition::from_parts(g, parts).unwrap();
     let cfg = ShortcutConfig {
         witness_mode: WitnessMode::Skip,
         ..ShortcutConfig::default()
     };
-    let dist =
-        distributed_partial_shortcut(g, NodeId(0), &partition, 1, &cfg, &DistConfig::default());
+    let dist_cfg = DistConfig {
+        sim: SimConfig {
+            message_packing: env_packing(),
+            ..SimConfig::default()
+        },
+        ..DistConfig::default()
+    };
+    let dist = distributed_partial_shortcut(g, NodeId(0), &partition, 1, &cfg, &dist_cfg);
     let tree = bfs::bfs_tree(g, NodeId(0));
     let central = partial_shortcut_or_witness(g, &tree, &partition, 1, &cfg);
     let central_cuts: Vec<_> = match &central {

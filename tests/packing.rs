@@ -1,0 +1,353 @@
+//! Packing-invariance properties of the multi-value message engine.
+//!
+//! [`SimConfig::message_packing`] is a pure scheduling/wire optimization:
+//! it may coalesce, it must never change what a protocol computes. This
+//! suite pins the contract across **both** delivery backends (strict and
+//! queued) and thread counts {1, 4}:
+//!
+//! * **Result identity** — BFS trees, detection cut sets, assembled
+//!   shortcuts, and part-wise aggregates are bit-identical at every
+//!   packing level.
+//! * **Monotone cost** — rounds, messages, and bits never increase as
+//!   `message_packing` grows (batches only merge, and the packed width
+//!   never exceeds the sum of the parts).
+//! * **Exact bits accounting** — every envelope fits the per-edge-round
+//!   bandwidth budget `B`: a receiver never gets more payload bits over
+//!   one edge in one round than `B` allows.
+//!
+//! [`SimConfig::message_packing`]: low_congestion_shortcuts::congest::SimConfig::message_packing
+
+use low_congestion_shortcuts::congest::protocols::{AggOp, BfsTreeProgram};
+use low_congestion_shortcuts::congest::{
+    Ctx, Incoming, NodeProgram, SimConfig, SimMode, Simulator,
+};
+use low_congestion_shortcuts::core::dist::{
+    distributed_partial_shortcut, DistConfig, DistMode, DistPartialShortcut,
+};
+use low_congestion_shortcuts::core::{Partition, ShortcutConfig, WitnessMode};
+use low_congestion_shortcuts::partwise::{solve_partwise, PartwiseConfig};
+use low_congestion_shortcuts::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const PACKING_LEVELS: [usize; 4] = [1, 2, 4, 8];
+const THREADS: [usize; 2] = [1, 4];
+
+fn sim(mode: SimMode, threads: usize, packing: usize) -> SimConfig {
+    SimConfig {
+        mode,
+        threads,
+        message_packing: packing,
+        ..SimConfig::default()
+    }
+}
+
+/// Asserts the three monotone cost counters never increase from `base`
+/// (the previous, smaller packing level) to `next`.
+fn assert_monotone(label: &str, base: (u64, u64, u64), next: (u64, u64, u64)) {
+    assert!(
+        next.0 <= base.0 && next.1 <= base.1 && next.2 <= base.2,
+        "{label}: (rounds, messages, bits) grew from {base:?} to {next:?} — \
+         packing must only coalesce"
+    );
+}
+
+/// BFS on both backends: identical trees, non-increasing cost, at every
+/// packing level and thread count.
+#[test]
+fn bfs_results_are_packing_invariant() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let graphs = [
+        ("grid", gen::grid(9, 11)),
+        ("torus", gen::torus(8, 8)),
+        ("gnm", gen::gnm_connected(150, 300, &mut rng)),
+    ];
+    for (family, g) in &graphs {
+        for mode in [SimMode::Strict, SimMode::Queued] {
+            for threads in THREADS {
+                let mut reference: Option<Vec<Option<u32>>> = None;
+                let mut prev_cost: Option<(u64, u64, u64)> = None;
+                for packing in PACKING_LEVELS {
+                    let run = Simulator::new(g, sim(mode, threads, packing))
+                        .run(|v, _| BfsTreeProgram::new(v == NodeId(0)));
+                    assert!(run.metrics.terminated);
+                    let dists: Vec<Option<u32>> =
+                        run.programs.iter().map(BfsTreeProgram::dist).collect();
+                    let cost = (run.metrics.rounds, run.metrics.messages, run.metrics.bits);
+                    let label = format!("{family}/{mode:?}/t{threads}/p{packing}");
+                    match &reference {
+                        None => reference = Some(dists),
+                        Some(ref_dists) => {
+                            assert_eq!(&dists, ref_dists, "{label}: BFS distances drifted");
+                        }
+                    }
+                    if let Some(prev) = prev_cost {
+                        assert_monotone(&label, prev, cost);
+                    }
+                    prev_cost = Some(cost);
+                }
+            }
+        }
+    }
+}
+
+fn run_detection(
+    g: &Graph,
+    partition: &Partition,
+    mode: DistMode,
+    threads: usize,
+    packing: usize,
+) -> DistPartialShortcut {
+    let cfg = ShortcutConfig {
+        witness_mode: WitnessMode::Skip,
+        ..ShortcutConfig::default()
+    };
+    let dist = DistConfig {
+        mode,
+        sim: SimConfig {
+            threads,
+            message_packing: packing,
+            ..SimConfig::default()
+        },
+    };
+    distributed_partial_shortcut(g, NodeId(0), partition, 1, &cfg, &dist)
+}
+
+/// The two hot convergecast producers — exact part streams and KMV sketch
+/// streams — must detect the identical cut set at every packing level,
+/// with strictly monotone cost and a genuine round cut at packing 8.
+#[test]
+fn detection_cut_sets_are_packing_invariant() {
+    let g = gen::grid(12, 12);
+    let partition = Partition::from_parts(&g, gen::singleton_parts(&g)).unwrap();
+    let modes = [
+        ("exact", DistMode::Exact),
+        (
+            "sketch",
+            DistMode::Sketch {
+                t: 8,
+                hash_seed: 0xbeef,
+                cut_factor: 1.0,
+            },
+        ),
+    ];
+    for (mode_name, mode) in modes {
+        for threads in THREADS {
+            let mut reference: Option<DistPartialShortcut> = None;
+            let mut prev: Option<(u64, u64, u64)> = None;
+            let mut unpacked_rounds = 0;
+            let mut packed8_rounds = 0;
+            for packing in PACKING_LEVELS {
+                let res = run_detection(&g, &partition, mode, threads, packing);
+                let label = format!("{mode_name}/t{threads}/p{packing}");
+                let m = &res.metrics_shortcut;
+                let cost = (m.rounds, m.messages, m.bits);
+                if packing == 1 {
+                    unpacked_rounds = m.rounds;
+                }
+                if packing == 8 {
+                    packed8_rounds = m.rounds;
+                }
+                match &reference {
+                    None => reference = Some(res),
+                    Some(base) => {
+                        assert_eq!(res.over_edges, base.over_edges, "{label}: cut set drifted");
+                        assert_eq!(res.shortcut, base.shortcut, "{label}: shortcut drifted");
+                        assert_eq!(res.served, base.served, "{label}: served parts drifted");
+                    }
+                }
+                if let Some(p) = prev {
+                    assert_monotone(&label, p, cost);
+                }
+                prev = Some(cost);
+            }
+            // Streams are multi-message per edge here, so packing must
+            // genuinely compress the detection phase, not just tie.
+            assert!(
+                packed8_rounds < unpacked_rounds,
+                "{mode_name}/t{threads}: packing 8 left detection rounds at \
+                 {packed8_rounds} (unpacked {unpacked_rounds})"
+            );
+        }
+    }
+}
+
+/// Part-wise aggregation (the queued, multi-instance, random-delay
+/// workload) returns identical aggregates at every packing level.
+#[test]
+fn partwise_aggregates_are_packing_invariant() {
+    let g = gen::grid(8, 8);
+    let partition = Partition::from_parts(&g, gen::rows_of_grid(8, 8)).unwrap();
+    let tree = bfs::bfs_tree(&g, NodeId(0));
+    let built = full_shortcut(&g, &tree, &partition, &ShortcutConfig::default());
+    let values: Vec<u64> = (0..g.num_nodes() as u64).map(|x| (x * 37) % 101).collect();
+    for threads in THREADS {
+        for delay_range in [0, 8] {
+            let mut reference: Option<Vec<Option<u64>>> = None;
+            for packing in PACKING_LEVELS {
+                let out = solve_partwise(
+                    &g,
+                    &partition,
+                    &built.shortcut,
+                    &values,
+                    AggOp::Sum,
+                    None,
+                    &PartwiseConfig {
+                        delay_range,
+                        sim: SimConfig {
+                            threads,
+                            message_packing: packing,
+                            ..SimConfig::default()
+                        },
+                        ..PartwiseConfig::default()
+                    },
+                );
+                assert!(out.all_members_informed, "t{threads}/p{packing}");
+                match &reference {
+                    None => reference = Some(out.results),
+                    Some(r) => assert_eq!(
+                        &out.results, r,
+                        "t{threads}/d{delay_range}/p{packing}: aggregate drifted"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Exact bits accounting: a receiver never observes more than
+/// `floor(B / value_bits)` values over one edge in one round — the packed
+/// envelope respects the bandwidth budget `B` exactly, regardless of how
+/// large `message_packing` is set.
+#[test]
+fn per_edge_round_delivery_respects_the_bit_budget() {
+    const VALUE_BITS: usize = 32; // u32 payloads
+    const BUDGET: usize = 100; // fits 3 values, not 4
+    struct Sender;
+    struct Recorder(Vec<usize>);
+    enum P {
+        S(Sender),
+        R(Recorder),
+    }
+    impl NodeProgram for P {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if let P::S(_) = self {
+                for k in 0..20u32 {
+                    ctx.send(0, k);
+                }
+            }
+        }
+        fn on_round(&mut self, _: &mut Ctx<'_, u32>, inbox: &[Incoming<u32>]) {
+            if let P::R(r) = self {
+                r.0.push(inbox.len());
+            }
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+    let g = gen::path(2);
+    let cap = BUDGET / VALUE_BITS;
+    for packing in [2, 8, 64] {
+        let run = Simulator::new(
+            &g,
+            SimConfig {
+                mode: SimMode::Queued,
+                bandwidth_bits: Some(BUDGET),
+                message_packing: packing,
+                ..SimConfig::default()
+            },
+        )
+        .run(|v, _| {
+            if v == NodeId(0) {
+                P::S(Sender)
+            } else {
+                P::R(Recorder(Vec::new()))
+            }
+        });
+        assert!(run.metrics.terminated);
+        let P::R(r) = &run.programs[1] else {
+            panic!("node 1 records");
+        };
+        let max_per_round = r.0.iter().copied().max().unwrap_or(0);
+        assert!(
+            max_per_round <= cap.min(packing),
+            "packing {packing}: {max_per_round} values crossed one edge in one round \
+             (budget {BUDGET} bits allows {cap})"
+        );
+        assert_eq!(r.0.iter().sum::<usize>(), 20, "no value lost or duplicated");
+        // Every billed envelope fits the budget: total bits never exceed
+        // messages × budget (the engine asserts per-envelope internally).
+        assert!(run.metrics.bits <= run.metrics.messages * BUDGET as u64);
+    }
+}
+
+/// `messages` counts envelopes: the wire-level message count a packed run
+/// reports matches `ceil(stream / per-envelope capacity)` on a clean
+/// single-stream instance.
+#[test]
+fn envelope_counting_matches_the_packed_schedule() {
+    struct Sender;
+    impl NodeProgram for Sender {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if ctx.node() == NodeId(0) {
+                for k in 0..10u32 {
+                    ctx.send(0, k);
+                }
+            }
+        }
+        fn on_round(&mut self, _: &mut Ctx<'_, u32>, _: &[Incoming<u32>]) {}
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+    let g = gen::path(2);
+    for (packing, expect_messages) in [(1usize, 10u64), (2, 5), (4, 3), (8, 2), (16, 1)] {
+        let run = Simulator::new(
+            &g,
+            SimConfig {
+                mode: SimMode::Queued,
+                // Roomy budget: the packing factor is the only limit.
+                bandwidth_bits: Some(1 << 12),
+                message_packing: packing,
+                ..SimConfig::default()
+            },
+        )
+        .run(|_, _| Sender);
+        assert_eq!(
+            run.metrics.messages, expect_messages,
+            "packing {packing}: envelope count"
+        );
+        assert_eq!(
+            run.metrics.rounds, expect_messages,
+            "queued mode drains one envelope per round"
+        );
+        assert_eq!(run.metrics.bits, 10 * 32, "u32 payload bits are invariant");
+    }
+}
+
+/// The pack-aware `MessageSize::size_bits_packed_in` of the detection
+/// stream shares the variant tag across a run: packed sketch detection
+/// must bill strictly fewer bits than unpacked (tag amortization), while
+/// exact payload content stays the same.
+#[test]
+fn sketch_stream_compression_reduces_billed_bits() {
+    let g = gen::grid(10, 10);
+    let partition = Partition::from_parts(&g, gen::singleton_parts(&g)).unwrap();
+    let mode = DistMode::Sketch {
+        t: 8,
+        hash_seed: 0xbeef,
+        cut_factor: 1.0,
+    };
+    let unpacked = run_detection(&g, &partition, mode, 1, 1);
+    let packed = run_detection(&g, &partition, mode, 1, 8);
+    assert!(
+        packed.metrics_shortcut.bits < unpacked.metrics_shortcut.bits,
+        "shared-tag batches must bill fewer bits ({} vs {})",
+        packed.metrics_shortcut.bits,
+        unpacked.metrics_shortcut.bits
+    );
+    assert_eq!(packed.over_edges, unpacked.over_edges);
+}

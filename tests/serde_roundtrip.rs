@@ -86,6 +86,7 @@ fn weights_and_metrics_roundtrip() {
         truncated: false,
         threads: 4,
         bandwidth_bits: 160,
+        packing: 8,
     };
     let m2: lcs_congest::RunMetrics = roundtrip(&metrics);
     assert_eq!(m2, metrics);

@@ -20,12 +20,29 @@ use low_congestion_shortcuts::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+/// Simulator packing factor for the differential corpus (CI also runs it
+/// at `LCS_SIM_PACKING=8`; results must be identical).
+fn env_packing() -> usize {
+    std::env::var("LCS_SIM_PACKING")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+fn env_sim() -> SimConfig {
+    SimConfig {
+        message_packing: env_packing(),
+        ..SimConfig::default()
+    }
+}
+
 fn fast_config() -> SessionConfig {
     SessionConfig {
         shortcut: ShortcutConfig {
             witness_mode: WitnessMode::Skip,
             ..ShortcutConfig::default()
         },
+        sim: env_sim(),
         ..SessionConfig::default()
     }
 }
@@ -72,7 +89,7 @@ fn second_aggregate_reuses_cached_shortcut() {
 fn backends() -> Vec<(&'static str, Backend)> {
     vec![
         ("centralized", Backend::Centralized),
-        ("distributed", Backend::Distributed(SimConfig::default())),
+        ("distributed", Backend::Distributed(env_sim())),
         (
             "sketch",
             Backend::Sketch(DistConfig {
@@ -81,7 +98,7 @@ fn backends() -> Vec<(&'static str, Backend)> {
                     hash_seed: 0xbeef,
                     cut_factor: 1.0,
                 },
-                sim: SimConfig::default(),
+                sim: env_sim(),
             }),
         ),
     ]
@@ -248,7 +265,7 @@ fn session_config_roundtrips_and_default_snapshot_is_pinned() {
 const SNAPSHOT: &str = "{\"shortcut\":{\"initial_delta_hat\":1,\"congestion_factor\":8,\
 \"block_factor\":8,\"witness_mode\":\"Derandomized\",\"seed\":1554098974},\
 \"sim\":{\"mode\":\"Strict\",\"bandwidth_bits\":null,\"max_rounds\":1000000,\
-\"seed\":12648430,\"threads\":1},\
+\"seed\":12648430,\"threads\":1,\"message_packing\":1},\
 \"aggregate\":{\"delay_range\":0,\"seed\":909743,\"sim\":null},\
 \"unicast\":{\"delay_range\":0,\"seed\":1047,\"sim\":null},\
 \"mst\":{\"seed\":11577874,\"max_phases\":null,\"skip_small_fragments\":true,\"sim\":null},\
