@@ -6,7 +6,7 @@
 //! ids at fixpoint are component labels, in `Õ(δD)` rounds per phase.
 
 use crate::mst::{boruvka_config_of, distributed_mst, BoruvkaConfig, MstReport};
-use lcs_core::session::{OpReport, PartwiseOp, ShortcutSession};
+use lcs_core::session::{deps, OpReport, PartwiseOp, ShortcutSession};
 use lcs_graph::weights::EdgeWeights;
 use lcs_graph::{Graph, NodeId, UnionFind};
 
@@ -61,8 +61,13 @@ impl PartwiseOp for ComponentsOp {
     type Output = ComponentsReport;
 
     fn run(self, session: &mut ShortcutSession<'_>) -> OpReport<ComponentsReport> {
+        // Purely topology-scoped: partition and weight churn keep the
+        // cached report alive.
+        let report = session.op_artifact_with(deps::TOPOLOGY_ONLY, |s| {
+            let cfg = boruvka_config_of(s);
+            distributed_components(s.graph(), s.root(), &cfg)
+        });
         let cfg = boruvka_config_of(session);
-        let report = distributed_components(session.graph(), session.root(), &cfg);
         let (threads, bandwidth_bits) = crate::mst::exec_config(session.graph(), cfg.partwise.sim);
         OpReport {
             rounds: report.mst.rounds.total(),
@@ -71,7 +76,7 @@ impl PartwiseOp for ComponentsOp {
             quality: None,
             threads,
             bandwidth_bits,
-            result: report,
+            result: (*report).clone(),
         }
     }
 }

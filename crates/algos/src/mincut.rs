@@ -22,7 +22,7 @@
 use crate::mst::{boruvka_config_of, distributed_mst, BoruvkaConfig, MstRounds};
 use lcs_congest::protocols::{AggOp, ConvergecastProgram, TreeKnowledge};
 use lcs_congest::Simulator;
-use lcs_core::session::{OpReport, PartwiseOp, ShortcutSession};
+use lcs_core::session::{deps, OpReport, PartwiseOp, ShortcutSession};
 use lcs_graph::weights::EdgeWeights;
 use lcs_graph::{bfs, components, EdgeId, Graph, NodeId};
 use serde::{Deserialize, Serialize};
@@ -186,18 +186,25 @@ impl PartwiseOp for MincutOp {
     type Output = MincutReport;
 
     fn run(self, session: &mut ShortcutSession<'_>) -> OpReport<MincutReport> {
-        let boruvka = boruvka_config_of(session);
-        let cfg = MincutConfig {
-            trees: session.config().mincut.trees,
-            boruvka: BoruvkaConfig {
-                partwise: lcs_partwise::PartwiseConfig {
-                    sim: session.config().mincut_sim(),
-                    ..boruvka.partwise
+        let mincut_config = |s: &ShortcutSession<'_>| {
+            let boruvka = boruvka_config_of(s);
+            MincutConfig {
+                trees: s.config().mincut.trees,
+                boruvka: BoruvkaConfig {
+                    partwise: lcs_partwise::PartwiseConfig {
+                        sim: s.config().mincut_sim(),
+                        ..boruvka.partwise
+                    },
+                    ..boruvka
                 },
-                ..boruvka
-            },
+            }
         };
-        let report = approx_mincut_distributed(session.graph(), session.root(), &cfg);
+        // Purely topology-scoped: partition and weight churn keep the
+        // cached report alive.
+        let report = session.op_artifact_with(deps::TOPOLOGY_ONLY, |s| {
+            approx_mincut_distributed(s.graph(), s.root(), &mincut_config(s))
+        });
+        let cfg = mincut_config(session);
         let (threads, bandwidth_bits) =
             crate::mst::exec_config(session.graph(), cfg.boruvka.partwise.sim);
         OpReport {
@@ -207,7 +214,7 @@ impl PartwiseOp for MincutOp {
             quality: None,
             threads,
             bandwidth_bits,
-            result: report,
+            result: (*report).clone(),
         }
     }
 }

@@ -13,7 +13,7 @@
 use lcs_congest::id_bits;
 use lcs_congest::protocols::AggOp;
 use lcs_core::dist::{distributed_full_shortcut, DistConfig, DistMode};
-use lcs_core::session::{Backend, OpReport, PartwiseOp, ShortcutSession};
+use lcs_core::session::{deps, Backend, OpReport, PartwiseOp, ShortcutSession};
 use lcs_core::{full_shortcut, Partition, Shortcut, ShortcutConfig};
 use lcs_graph::weights::EdgeWeights;
 use lcs_graph::{EdgeId, Graph, NodeId, PartId, UnionFind};
@@ -385,24 +385,30 @@ pub fn distributed_mst(
 }
 
 /// Distributed Boruvka MST as a session-drivable operation
-/// ([`PartwiseOp`]): the session supplies graph, root, and the shortcut
-/// provider matching its backend (centralized oracle for
-/// [`Backend::Centralized`], the simulated Theorem 1.5 construction for
-/// [`Backend::Distributed`] / [`Backend::Sketch`]); per-phase fragment
-/// partitions are built by the algorithm itself.
-#[derive(Clone, Copy, Debug)]
-pub struct MstOp<'a> {
-    /// Edge weights (`< 2³¹`).
-    pub weights: &'a EdgeWeights,
-}
+/// ([`PartwiseOp`]): the session supplies graph, root, the edge weights
+/// (the `Weights` input — set via the builder's `.weights(..)` or
+/// `session.set_weights(..)`), and the shortcut provider matching its
+/// backend (centralized oracle for [`Backend::Centralized`], the simulated
+/// Theorem 1.5 construction for [`Backend::Distributed`] /
+/// [`Backend::Sketch`]); per-phase fragment partitions are built by the
+/// algorithm itself.
+///
+/// The [`MstReport`] is cached as a weight-scoped session artifact
+/// (`deps::WEIGHTED`): repeated calls reuse it until the weights (or
+/// topology/sim config) change — partition churn does not evict it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MstOp;
 
-impl PartwiseOp for MstOp<'_> {
+impl PartwiseOp for MstOp {
     type Output = MstReport;
 
     fn run(self, session: &mut ShortcutSession<'_>) -> OpReport<MstReport> {
+        let report = session.op_artifact_with(deps::WEIGHTED, |s| {
+            let cfg = boruvka_config_of(s);
+            distributed_mst(s.graph(), s.weights(), s.root(), &cfg)
+        });
         let cfg = boruvka_config_of(session);
-        let report = distributed_mst(session.graph(), self.weights, session.root(), &cfg);
-        op_report(session.graph(), &cfg, report)
+        op_report(session.graph(), &cfg, (*report).clone())
     }
 }
 

@@ -34,7 +34,9 @@ use lcs_graph::weights::EdgeWeights;
 pub trait SessionAlgoOps {
     /// Exact minimum spanning forest by shortcut-based Boruvka
     /// (Corollary 1.6; [`distributed_mst`](crate::mst::distributed_mst)
-    /// semantics).
+    /// semantics). Stores `weights` as the session's `Weights` input (a
+    /// no-op when unchanged) and caches the report until that input — or
+    /// the topology / sim config — changes.
     fn mst(&mut self, weights: &EdgeWeights) -> OpReport<MstReport>;
 
     /// Connected components by unit-weight Boruvka
@@ -51,7 +53,8 @@ pub trait SessionAlgoOps {
 
 impl SessionAlgoOps for ShortcutSession<'_> {
     fn mst(&mut self, weights: &EdgeWeights) -> OpReport<MstReport> {
-        self.run(MstOp { weights })
+        self.set_weights(weights.clone());
+        self.run(MstOp)
     }
 
     fn components(&mut self) -> OpReport<ComponentsReport> {

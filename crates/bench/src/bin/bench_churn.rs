@@ -1,0 +1,239 @@
+//! Churn benchmark: incremental re-customization vs full rebuild. Emits
+//! `BENCH_churn.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_churn [--fast] [--out DIR]
+//! ```
+//!
+//! The serving scenario behind the session's epoch-tracked artifact graph:
+//! a long-lived `ShortcutSession` absorbs a stream of partition churn —
+//! each tick reassigns boundary nodes of ~5% of the parts — and must
+//! answer the next query without paying a full reconstruction. Each tick
+//! is timed twice:
+//!
+//! - **recustomize**: `reassign_parts` + `prepare()` on the live session —
+//!   the mini doubling search over the touched parts, the shortcut splice,
+//!   and the part-local quality patch;
+//! - **rebuild**: `build()` + `prepare()` of a fresh session on a clone of
+//!   the mutated partition — what a cache without incremental invalidation
+//!   would pay.
+//!
+//! The headline number is `recustomize_vs_rebuild` (total recustomize
+//! time / total rebuild time). The binary **asserts** it stays ≤ 0.2 (a
+//! ≥ 5× speedup) on the full-size instance — the acceptance bar of the
+//! artifact-graph refactor — re-measuring once before failing so a single
+//! noisy window cannot turn the run red. It also asserts, via
+//! `CacheStats`, that the live session performed zero full rebuilds after
+//! warm-up, and (in `--fast`) that the served aggregate results are
+//! bit-identical to the fresh session's every tick.
+//!
+//! `--fast` is the CI smoke configuration: a 32×32 grid, one mover, 20
+//! ticks. The full run uses the 316×316 grid (n = 99 856) with 316 row
+//! parts and 8 movers — 16 touched parts ≈ 5% per tick.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p lcs_bench --bin bench_churn -- --out .
+//! ```
+
+use lcs_congest::protocols::AggOp;
+use lcs_core::session::{Session, SessionConfig, ShortcutSession};
+use lcs_core::{ShortcutConfig, WitnessMode};
+use lcs_graph::{gen, Graph, NodeId, PartId};
+use lcs_partwise::SessionPartwiseOps;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Acceptance bar: incremental re-customization must be at least 5× faster
+/// than a fresh rebuild of the mutated partition.
+const MAX_RATIO: f64 = 0.2;
+
+fn config() -> SessionConfig {
+    SessionConfig {
+        shortcut: ShortcutConfig {
+            witness_mode: WitnessMode::Skip,
+            ..ShortcutConfig::default()
+        },
+        ..SessionConfig::default()
+    }
+}
+
+/// The churn pattern on a `side × side` grid with its rows as parts:
+/// `movers` rows `r` (spaced ≥ 2 apart so the touched part sets are
+/// disjoint), each toggling its first node `(r, 0)` between part `r` and
+/// part `r − 1` on alternating ticks. Every move keeps both parts
+/// connected (rows are paths; `(r,0)-(r−1,0)` is a grid edge), and each
+/// mover touches 2 parts per tick.
+fn mover_rows(side: usize, movers: usize) -> Vec<usize> {
+    let stride = (side - 1) / movers;
+    assert!(stride >= 2, "movers must touch disjoint part pairs");
+    (0..movers).map(|i| 1 + i * stride).collect()
+}
+
+fn moves_for_tick(side: usize, rows: &[usize], tick: usize) -> Vec<(NodeId, PartId)> {
+    rows.iter()
+        .map(|&r| {
+            let target = if tick.is_multiple_of(2) { r - 1 } else { r };
+            (NodeId((r * side) as u32), PartId(target as u32))
+        })
+        .collect()
+}
+
+struct Measurement {
+    recustomize_ms: f64,
+    rebuild_ms: f64,
+    touched_per_tick: usize,
+}
+
+/// Runs `ticks` churn ticks on one live session, timing the incremental
+/// path against a fresh rebuild of the same mutated partition each tick.
+fn measure(
+    g: &Graph,
+    side: usize,
+    rows: &[usize],
+    ticks: usize,
+    differential: bool,
+) -> Measurement {
+    let mut session = Session::on(g)
+        .partition(gen::rows_of_grid(side, side))
+        .config(config())
+        .build()
+        .expect("grid rows are valid parts");
+    session.prepare(); // untimed warm-up: the one full construction
+    assert_eq!(session.cache_stats().full.builds, 1);
+
+    let mut recustomize_ms = 0.0;
+    let mut rebuild_ms = 0.0;
+    let mut touched_per_tick = 0;
+    let values: Vec<u64> = if differential {
+        (0..g.num_nodes() as u64).collect()
+    } else {
+        Vec::new()
+    };
+
+    for tick in 0..ticks {
+        let moves = moves_for_tick(side, rows, tick);
+
+        let t0 = Instant::now();
+        let touched = session
+            .reassign_parts(&moves)
+            .expect("churn moves keep every part connected");
+        session.prepare();
+        recustomize_ms += t0.elapsed().as_secs_f64() * 1e3;
+        touched_per_tick = touched.len();
+
+        // The comparison rebuild works on a clone of the mutated
+        // partition, taken outside the timer.
+        let partition = session.partition().clone();
+        let t0 = Instant::now();
+        let mut fresh: ShortcutSession<'_> = Session::on(g)
+            .partition_object(partition)
+            .config(config())
+            .build()
+            .expect("clone of a valid partition");
+        fresh.prepare();
+        rebuild_ms += t0.elapsed().as_secs_f64() * 1e3;
+
+        assert!(
+            session.quality().all_connected(),
+            "tick {tick}: churned shortcut must keep every part connected"
+        );
+        if differential {
+            let live = session.aggregate(&values, AggOp::Sum);
+            let ref_run = fresh.aggregate(&values, AggOp::Sum);
+            assert_eq!(
+                live.result.results, ref_run.result.results,
+                "tick {tick}: served results must be bit-identical to a fresh build"
+            );
+        }
+    }
+
+    let stats = session.cache_stats();
+    assert_eq!(
+        stats.full.builds, 1,
+        "the live session must never pay a full rebuild after warm-up"
+    );
+    assert_eq!(stats.recustomizations as usize, ticks);
+    Measurement {
+        recustomize_ms,
+        rebuild_ms,
+        touched_per_tick,
+    }
+}
+
+fn render(
+    g: &Graph,
+    side: usize,
+    movers: usize,
+    ticks: usize,
+    m: &Measurement,
+    ratio: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"bench_churn/v1\",");
+    out.push_str(
+        "  \"note\": \"recustomize_vs_rebuild = total incremental reassign_parts+prepare time / \
+         total fresh build+prepare time over the churn ticks, asserted <= 0.2 in-binary; \
+         regenerate with `cargo run --release -p lcs_bench --bin bench_churn -- --out .`\",\n",
+    );
+    out.push_str("  \"entries\": [\n");
+    let _ = writeln!(
+        out,
+        "    {{\"family\": \"grid_rows\", \"n\": {}, \"m\": {}, \"parts\": {}, \
+         \"movers\": {}, \"touched_parts_per_tick\": {}, \"ticks\": {}, \
+         \"recustomize_ms\": {:.2}, \"rebuild_ms\": {:.2}, \
+         \"recustomize_vs_rebuild\": {:.3}}}",
+        g.num_nodes(),
+        g.num_edges(),
+        side,
+        movers,
+        m.touched_per_tick,
+        ticks,
+        m.recustomize_ms,
+        m.rebuild_ms,
+        ratio
+    );
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| ".".to_string());
+
+    // Full mode: the n = 1e5 corpus instance (316² grid, 316 row parts),
+    // 8 movers × 2 = 16 touched parts ≈ 5% per tick. Fast mode (CI smoke):
+    // 32² with one mover, plus the per-tick served-result differential.
+    let (side, movers, ticks) = if fast { (32, 1, 20) } else { (316, 8, 8) };
+    let g = gen::grid(side, side);
+    let rows = mover_rows(side, movers);
+
+    let mut m = measure(&g, side, &rows, ticks, fast);
+    let mut ratio = m.recustomize_ms / m.rebuild_ms.max(1e-9);
+    if ratio > MAX_RATIO {
+        // One re-measure before failing: a single noisy window must not
+        // turn the bench red.
+        m = measure(&g, side, &rows, ticks, fast);
+        ratio = m.recustomize_ms / m.rebuild_ms.max(1e-9);
+    }
+    assert!(
+        ratio <= MAX_RATIO,
+        "recustomize_vs_rebuild = {ratio:.3} exceeds the {MAX_RATIO} bar \
+         ({:.2} ms incremental vs {:.2} ms rebuilt over {ticks} ticks)",
+        m.recustomize_ms,
+        m.rebuild_ms
+    );
+
+    let json = render(&g, side, movers, ticks, &m, ratio);
+    std::fs::write(format!("{out_dir}/BENCH_churn.json"), &json).expect("write BENCH_churn.json");
+    print!("{json}");
+}

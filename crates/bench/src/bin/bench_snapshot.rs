@@ -437,7 +437,7 @@ fn facade_overhead_entry(reps: usize) -> Entry {
         ratio = facade_ms / direct_ms.max(1e-9);
     }
     assert_eq!(
-        session.constructions(),
+        session.cache_stats().full.builds,
         1,
         "the session must serve from cache"
     );

@@ -274,8 +274,14 @@ pub struct Simulator<'g> {
 }
 
 impl<'g> Simulator<'g> {
-    /// Creates a simulator over `graph`.
+    /// Creates a simulator over `graph`. The config is normalized here —
+    /// the single place `message_packing == 0` becomes `1` — so every
+    /// consumer downstream reads the stored value as-is.
     pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
+        let config = SimConfig {
+            message_packing: config.message_packing.max(1),
+            ..config
+        };
         Simulator { graph, config }
     }
 
@@ -300,9 +306,9 @@ impl<'g> Simulator<'g> {
     }
 
     /// The packing factor [`SimConfig::message_packing`] resolves to
-    /// (`0` is treated as `1`).
+    /// (`0` was normalized to `1` at construction).
     pub fn effective_packing(&self) -> usize {
-        self.config.message_packing.max(1)
+        self.config.message_packing
     }
 
     /// Runs one program per node (constructed by `init`) to quiescence or
@@ -550,6 +556,21 @@ mod tests {
         fn is_done(&self) -> bool {
             true // quiescence-detected
         }
+    }
+
+    #[test]
+    fn packing_zero_normalizes_at_construction() {
+        let g = gen::path(4);
+        let cfg = SimConfig {
+            message_packing: 0,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(&g, cfg);
+        assert_eq!(sim.effective_packing(), 1);
+        // ...and a packing-0 run behaves exactly like packing-1.
+        let run0 = sim.run(|v, _| MaxFlood { best: v.0 });
+        let run1 = Simulator::new(&g, SimConfig::default()).run(|v, _| MaxFlood { best: v.0 });
+        assert_eq!(run0.metrics.counts(), run1.metrics.counts());
     }
 
     #[test]

@@ -94,7 +94,7 @@ impl<P: NodeProgram> Shard<P> {
             raw: Vec::new(),
             batch_lens: Vec::new(),
             to_run: Vec::new(),
-            pack: pack.max(1),
+            pack,
             budget,
             n: g.num_nodes(),
         }

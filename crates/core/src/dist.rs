@@ -559,22 +559,30 @@ pub fn distributed_full_shortcut(
     let mut messages = metrics_bfs.messages;
     let mut bits = metrics_bfs.bits;
 
-    let res = run_doubling_search(g.num_nodes(), partition, config, |active, delta_hat| {
-        let (data, o_mark, served, metrics) =
-            detect_and_sweep(g, &tree, partition, active, delta_hat, config, dist);
-        rounds += metrics.rounds;
-        messages += metrics.messages;
-        bits += metrics.bits;
-        finish_sweep(
-            g,
-            &tree,
-            partition,
-            data,
-            |served| build_shortcut(g, &tree, partition, served, &o_mark, partition.num_parts()),
-            served,
-            config,
-        )
-    });
+    let res = run_doubling_search(
+        g.num_nodes(),
+        partition.num_parts(),
+        partition.part_ids().collect(),
+        config.initial_delta_hat,
+        |active, delta_hat| {
+            let (data, o_mark, served, metrics) =
+                detect_and_sweep(g, &tree, partition, active, delta_hat, config, dist);
+            rounds += metrics.rounds;
+            messages += metrics.messages;
+            bits += metrics.bits;
+            finish_sweep(
+                g,
+                &tree,
+                partition,
+                data,
+                |served| {
+                    build_shortcut(g, &tree, partition, served, &o_mark, partition.num_parts())
+                },
+                served,
+                config,
+            )
+        },
+    );
 
     DistFullShortcut {
         shortcut: res.shortcut,

@@ -76,9 +76,13 @@ pub fn full_shortcut(
     partition: &Partition,
     config: &ShortcutConfig,
 ) -> FullShortcutResult {
-    run_doubling_search(g.num_nodes(), partition, config, |active, delta_hat| {
-        sweep_active(g, tree, partition, active, delta_hat, config)
-    })
+    run_doubling_search(
+        g.num_nodes(),
+        partition.num_parts(),
+        partition.part_ids().collect(),
+        config.initial_delta_hat,
+        |active, delta_hat| sweep_active(g, tree, partition, active, delta_hat, config),
+    )
 }
 
 /// The Observation 2.7 driver shared by the centralized and distributed
@@ -87,20 +91,25 @@ pub fn full_shortcut(
 /// given active parts at the given `δ̂` — centrally ([`full_shortcut`]) or
 /// on the CONGEST simulator ([`crate::dist::distributed_full_shortcut`]).
 ///
+/// The search runs over `remaining` (any subset of the `num_parts` part
+/// ids — the full set for a from-scratch construction, just the touched
+/// parts for the session's incremental re-customization) and starts at
+/// `initial_delta_hat` (clamped to `>= 1`).
+///
 /// # Panics
 ///
 /// Panics if the doubling search exceeds `4·num_nodes` (a sweep at
 /// `δ̂ >= δ(G)` always succeeds, so this indicates a broken sweep).
 pub(crate) fn run_doubling_search(
     num_nodes: usize,
-    partition: &Partition,
-    config: &ShortcutConfig,
+    num_parts: usize,
+    remaining: Vec<PartId>,
+    initial_delta_hat: u32,
     mut sweep: impl FnMut(&[PartId], u32) -> SweepOutcome,
 ) -> FullShortcutResult {
-    let k = partition.num_parts();
-    let mut shortcut = Shortcut::empty(k);
-    let mut remaining: Vec<PartId> = partition.part_ids().collect();
-    let mut delta_hat = config.initial_delta_hat.max(1);
+    let mut shortcut = Shortcut::empty(num_parts);
+    let mut remaining = remaining;
+    let mut delta_hat = initial_delta_hat.max(1);
     let mut best_witness: Option<MinorWitness> = None;
     let mut round_log = Vec::new();
     let mut successful_rounds = 0usize;

@@ -29,9 +29,17 @@
 //!     .build()?;
 //! let q = session.quality().clone();                 // constructs + caches
 //! assert!(q.max_blocks <= 8 * session.delta_hat() + 1);
-//! assert_eq!(session.constructions(), 1);            // …and stays cached
+//! assert_eq!(session.cache_stats().full.builds, 1);  // …and stays cached
 //! # Ok::<(), lcs_core::PartitionError>(())
 //! ```
+//!
+//! Sessions are mutable: [`ShortcutSession::set_partition`] swaps the
+//! partition wholesale, [`ShortcutSession::reassign_parts`] moves nodes
+//! between parts and re-customizes only the touched parts, and
+//! [`ShortcutSession::update_weights`] mutates the weight input of MST.
+//! Each cached artifact declares which inputs it depends on and is
+//! invalidated precisely when one changes — see the [`session`] module
+//! docs for the epoch model.
 //!
 //! # The underlying machinery
 //!
@@ -76,8 +84,8 @@ pub use full::{full_shortcut, FullShortcutResult, RoundLog};
 pub use partition::{Partition, PartitionError};
 pub use quality::{measure_quality, PartQuality, QualityReport};
 pub use session::{
-    Backend, OpReport, PartwiseOp, Session, SessionBuilder, SessionConfig, ShortcutSession,
-    TreeSource,
+    ArtifactStats, Backend, CacheStats, Epochs, Input, OpReport, PartwiseOp, Session,
+    SessionBuilder, SessionConfig, ShortcutSession, TreeSource,
 };
 pub use shortcut::Shortcut;
 pub use sweep::{partial_shortcut_or_witness, OverEdge, PartialShortcut, SweepData, SweepOutcome};

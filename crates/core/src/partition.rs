@@ -132,6 +132,70 @@ impl Partition {
     pub fn assignment(&self) -> &[Option<PartId>] {
         &self.part_of
     }
+
+    /// Applies node-to-part `moves` and returns the resulting partition
+    /// together with the sorted ids of the touched parts (each moved
+    /// node's old part, if any, and its new part). Later moves see the
+    /// effect of earlier ones; moving a node to the part it is already in
+    /// is a no-op that touches nothing; uncovered nodes may be moved into
+    /// a part. `self` is untouched — validation failures cost nothing
+    /// (atomicity for callers).
+    ///
+    /// Only the touched parts are re-validated (they must stay non-empty
+    /// and induce connected subgraphs); untouched parts are valid by
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::OutOfRange`] for a bad node id,
+    /// [`PartitionError::EmptyPart`] /
+    /// [`PartitionError::Disconnected`] for a touched part left empty or
+    /// disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target [`PartId`] is out of range — parts cannot be
+    /// created or destroyed by reassignment.
+    pub fn reassign(
+        &self,
+        g: &Graph,
+        moves: &[(NodeId, PartId)],
+    ) -> Result<(Partition, Vec<PartId>), PartitionError> {
+        let k = self.parts.len();
+        let mut next = self.clone();
+        let mut touched = std::collections::BTreeSet::new();
+        for &(v, target) in moves {
+            if v.index() >= next.part_of.len() {
+                return Err(PartitionError::OutOfRange(v));
+            }
+            assert!(
+                target.index() < k,
+                "target part {target:?} out of range — reassignment cannot create parts"
+            );
+            let old = next.part_of[v.index()];
+            if old == Some(target) {
+                continue;
+            }
+            if let Some(old) = old {
+                let members = &mut next.parts[old.index()];
+                let pos = members.iter().position(|&u| u == v).expect("member list");
+                members.remove(pos);
+                touched.insert(old);
+            }
+            next.parts[target.index()].push(v);
+            next.part_of[v.index()] = Some(target);
+            touched.insert(target);
+        }
+        for &p in &touched {
+            if next.parts[p.index()].is_empty() {
+                return Err(PartitionError::EmptyPart(p.index()));
+            }
+            if !components::induces_connected(g, &next.parts[p.index()]) {
+                return Err(PartitionError::Disconnected(p.index()));
+            }
+        }
+        Ok((next, touched.into_iter().collect()))
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +261,56 @@ mod tests {
             Partition::from_parts(&g, vec![vec![NodeId(9)]]).unwrap_err(),
             PartitionError::OutOfRange(NodeId(9))
         );
+    }
+
+    #[test]
+    fn reassign_moves_nodes_and_reports_touched_parts() {
+        let g = gen::grid(3, 3);
+        let p = Partition::from_parts(&g, gen::rows_of_grid(3, 3)).unwrap();
+        // Move the first node of row 1 into row 0 (stays connected via the
+        // column edge).
+        let (next, touched) = p.reassign(&g, &[(NodeId(3), PartId(0))]).unwrap();
+        assert_eq!(touched, vec![PartId(0), PartId(1)]);
+        assert_eq!(next.part_of(NodeId(3)), Some(PartId(0)));
+        assert_eq!(next.part(PartId(1)), &[NodeId(4), NodeId(5)]);
+        // The original is untouched.
+        assert_eq!(p.part_of(NodeId(3)), Some(PartId(1)));
+    }
+
+    #[test]
+    fn reassign_noop_touches_nothing() {
+        let g = gen::grid(3, 3);
+        let p = Partition::from_parts(&g, gen::rows_of_grid(3, 3)).unwrap();
+        let (next, touched) = p.reassign(&g, &[(NodeId(4), PartId(1))]).unwrap();
+        assert!(touched.is_empty());
+        assert_eq!(next, p);
+    }
+
+    #[test]
+    fn reassign_rejects_disconnecting_moves() {
+        let g = gen::grid(3, 3);
+        let p = Partition::from_parts(&g, gen::rows_of_grid(3, 3)).unwrap();
+        // Taking the middle of row 1 splits it into {3} and {5}.
+        let err = p.reassign(&g, &[(NodeId(4), PartId(0))]).unwrap_err();
+        assert_eq!(err, PartitionError::Disconnected(1));
+    }
+
+    #[test]
+    fn reassign_rejects_emptying_a_part() {
+        let g = gen::path(4);
+        let p =
+            Partition::from_parts(&g, vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2)]]).unwrap();
+        let err = p.reassign(&g, &[(NodeId(2), PartId(0))]).unwrap_err();
+        assert_eq!(err, PartitionError::EmptyPart(1));
+    }
+
+    #[test]
+    fn reassign_covers_uncovered_nodes() {
+        let g = gen::path(4);
+        let p = Partition::from_parts(&g, vec![vec![NodeId(0), NodeId(1)]]).unwrap();
+        let (next, touched) = p.reassign(&g, &[(NodeId(2), PartId(0))]).unwrap();
+        assert_eq!(touched, vec![PartId(0)]);
+        assert_eq!(next.covered_nodes(), 3);
     }
 
     use lcs_graph::{NodeId, PartId};

@@ -2,7 +2,7 @@
 //! (Definitions 2.2/2.3, Observation 2.6).
 
 use crate::{Partition, Shortcut};
-use lcs_graph::{bfs, Graph, NodeId, RootedTree, UnionFind};
+use lcs_graph::{bfs, Graph, NodeId, PartId, RootedTree, UnionFind};
 use serde::{Deserialize, Serialize};
 
 /// Parts with at most this many nodes in `G[P_i] + H_i` get an exact
@@ -68,6 +68,29 @@ pub fn measure_quality(
     tree: &RootedTree,
     shortcut: &Shortcut,
 ) -> QualityReport {
+    let all: Vec<PartId> = partition.part_ids().collect();
+    let per_part = measure_parts(g, partition, shortcut, &all);
+
+    QualityReport {
+        max_congestion: shortcut.max_congestion(g),
+        max_blocks: per_part.iter().map(|p| p.blocks).max().unwrap_or(0),
+        max_dilation_lower: per_part.iter().map(|p| p.dilation_lower).max().unwrap_or(0),
+        max_dilation_upper: per_part.iter().map(|p| p.dilation_upper).max().unwrap_or(0),
+        tree_restricted: shortcut.is_tree_restricted(tree),
+        per_part,
+    }
+}
+
+/// Measures [`PartQuality`] rows for a subset of parts — the incremental
+/// counterpart of [`measure_quality`], used to patch only the touched rows
+/// of a cached report after partition churn. The returned rows are in the
+/// order of `parts`.
+pub(crate) fn measure_parts(
+    g: &Graph,
+    partition: &Partition,
+    shortcut: &Shortcut,
+    parts: &[PartId],
+) -> Vec<PartQuality> {
     assert_eq!(
         shortcut.num_parts(),
         partition.num_parts(),
@@ -77,9 +100,10 @@ pub fn measure_quality(
     // Per-part stamps to avoid clearing O(n)/O(m) arrays per part.
     let mut node_stamp = vec![0u32; n];
     let mut edge_stamp = vec![0u32; g.num_edges()];
-    let mut per_part = Vec::with_capacity(partition.num_parts());
+    let mut per_part = Vec::with_capacity(parts.len());
 
-    for (pid, nodes) in partition.iter() {
+    for &pid in parts {
+        let nodes = partition.part(pid);
         let stamp = pid.0 + 1;
         let h = shortcut.edges_for(pid);
         // Node set of G[P_i] + H_i.
@@ -148,14 +172,7 @@ pub fn measure_quality(
         });
     }
 
-    QualityReport {
-        max_congestion: shortcut.max_congestion(g),
-        max_blocks: per_part.iter().map(|p| p.blocks).max().unwrap_or(0),
-        max_dilation_lower: per_part.iter().map(|p| p.dilation_lower).max().unwrap_or(0),
-        max_dilation_upper: per_part.iter().map(|p| p.dilation_upper).max().unwrap_or(0),
-        tree_restricted: shortcut.is_tree_restricted(tree),
-        per_part,
-    }
+    per_part
 }
 
 #[cfg(test)]

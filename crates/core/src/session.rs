@@ -1,4 +1,5 @@
-//! The `ShortcutSession` facade: build once, serve many operations.
+//! The `ShortcutSession` facade: build once, serve many operations,
+//! mutate cheaply.
 //!
 //! The whole point of the shortcut framework (and of this paper) is that
 //! one object — the shortcut — is *prepared once* for a topology and then
@@ -19,20 +20,47 @@
 //! // Artifacts are computed lazily and cached: the first access constructs,
 //! // every later access reuses.
 //! let delta_hat = session.delta_hat();
-//! assert_eq!(session.constructions(), 1);
+//! assert_eq!(session.cache_stats().full.builds, 1);
 //! let _ = session.shortcut(); // cached — no second construction
-//! assert_eq!(session.constructions(), 1);
+//! assert_eq!(session.cache_stats().full.builds, 1);
 //! # Ok::<(), lcs_core::PartitionError>(())
 //! ```
 //!
-//! The session lazily computes and caches the BFS tree, diameter bounds,
-//! the full shortcut (with quality report and dense-minor certificate),
-//! and per-`δ̂` partial shortcuts, over one of three pluggable backends:
+//! # The artifact graph
 //!
-//! * [`Backend::Centralized`] — the Theorem 1.2 construction in plain Rust,
-//! * [`Backend::Distributed`] — the Theorem 1.5 exact-streaming protocol on
-//!   the CONGEST simulator,
-//! * [`Backend::Sketch`] — Theorem 1.5 with KMV-sketch detection.
+//! The session caches the BFS tree, diameter bounds, the full shortcut
+//! (with quality report and dense-minor certificate), per-`δ̂` partial
+//! shortcuts, and typed per-op artifacts. Each cached artifact declares
+//! which of the five session [`Input`]s it depends on (the constants in
+//! [`deps`]), and each input carries an epoch counter ([`Epochs`]): a
+//! cached value is served only while its recorded epochs agree with the
+//! current ones on every declared dependency, and is invalidated —
+//! precisely, lazily — when one of them bumps.
+//!
+//! # Mutating a live session
+//!
+//! Sessions are not frozen after the first construction; the mutation API
+//! bumps input epochs instead of requiring a rebuild-from-scratch:
+//!
+//! * [`set_partition`](ShortcutSession::set_partition) /
+//!   [`set_partition_object`](ShortcutSession::set_partition_object)
+//!   replace the partition wholesale — every partition-scoped artifact is
+//!   invalidated and rebuilt on next access;
+//! * [`reassign_parts`](ShortcutSession::reassign_parts) moves individual
+//!   nodes between existing parts and *re-customizes incrementally*: only
+//!   the touched parts' shortcut edges and quality rows are recomputed
+//!   (a mini doubling search over just those parts), everything
+//!   topology/tree-scoped survives byte-for-byte;
+//! * [`set_weights`](ShortcutSession::set_weights) /
+//!   [`update_weights`](ShortcutSession::update_weights) mutate the
+//!   `Weights` input read by weighted algorithms (MST) — the shortcut and
+//!   partition artifacts are weight-independent and survive.
+//!
+//! The preparation/customization split mirrors customizable contraction
+//! hierarchies: the metric- and partition-independent work (tree, diameter)
+//! is never repeated, and partition churn pays only for what it touched.
+//! [`CacheStats`] reports builds/hits/invalidations per artifact class so a
+//! serving process can watch the cache behave.
 //!
 //! Operations plug in through the [`PartwiseOp`] trait (implemented by
 //! `lcs_partwise` and `lcs_algos`; the umbrella crate's `facade` module
@@ -42,6 +70,9 @@
 //! overrides.
 
 use crate::dist::{distributed_full_shortcut, distributed_partial_shortcut, DistConfig, DistMode};
+use crate::full::run_doubling_search;
+use crate::quality::measure_parts;
+use crate::sweep::sweep_active;
 use crate::{
     full_shortcut, measure_quality, partial_shortcut_or_witness, Partition, PartitionError,
     QualityReport, Shortcut, ShortcutConfig, SweepData, SweepOutcome,
@@ -49,11 +80,16 @@ use crate::{
 use lcs_congest::{RunMetrics, SimConfig};
 use lcs_graph::diameter::{diameter_bounds, DiameterBounds};
 use lcs_graph::minor::MinorWitness;
-use lcs_graph::{bfs, Graph, NodeId, PartId, RootedTree};
+use lcs_graph::weights::EdgeWeights;
+use lcs_graph::{bfs, EdgeId, Graph, NodeId, PartId, RootedTree};
 use serde::{Deserialize, Serialize};
 use std::any::{Any, TypeId};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
+
+const NO_PARTITION: &str = "this session has no partition — pass .partition(..) to the builder";
+const NO_WEIGHTS: &str =
+    "this session has no weights — pass .weights(..) to the builder or call set_weights(..)";
 
 /// Where the session's spanning tree comes from.
 #[derive(Clone, Debug)]
@@ -84,6 +120,174 @@ pub enum Backend {
     /// traffic at `t + 1` messages and makes `n = 10⁵` affordable.
     Sketch(DistConfig),
 }
+
+/// The five mutable inputs of the session's artifact graph. Every cached
+/// artifact declares the subset it depends on (see [`deps`]); mutating an
+/// input bumps its epoch in [`Epochs`] and thereby invalidates exactly the
+/// artifacts that declared it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Input {
+    /// The graph topology (immutable today — the epoch is reserved).
+    Topology,
+    /// The spanning tree source (immutable today — the epoch is reserved).
+    Tree,
+    /// The partition, mutated by
+    /// [`set_partition`](ShortcutSession::set_partition) and
+    /// [`reassign_parts`](ShortcutSession::reassign_parts).
+    Partition,
+    /// The edge weights, mutated by
+    /// [`set_weights`](ShortcutSession::set_weights) and
+    /// [`update_weights`](ShortcutSession::update_weights).
+    Weights,
+    /// The construction/simulator configuration, conservatively bumped by
+    /// [`config_mut`](ShortcutSession::config_mut).
+    Sim,
+}
+
+/// Per-input epoch counters. A cached artifact records the epochs at build
+/// time; it is fresh while that stamp [`agrees_on`](Epochs::agrees_on) the
+/// artifact's declared dependencies with the session's current epochs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Epochs {
+    /// Epoch of the graph topology.
+    pub topology: u64,
+    /// Epoch of the spanning tree.
+    pub tree: u64,
+    /// Epoch of the partition input.
+    pub partition: u64,
+    /// Epoch of the edge-weights input.
+    pub weights: u64,
+    /// Epoch of the construction/simulator configuration.
+    pub sim: u64,
+}
+
+impl Epochs {
+    /// The counter of one input.
+    pub fn of(&self, input: Input) -> u64 {
+        match input {
+            Input::Topology => self.topology,
+            Input::Tree => self.tree,
+            Input::Partition => self.partition,
+            Input::Weights => self.weights,
+            Input::Sim => self.sim,
+        }
+    }
+
+    fn bump(&mut self, input: Input) {
+        let slot = match input {
+            Input::Topology => &mut self.topology,
+            Input::Tree => &mut self.tree,
+            Input::Partition => &mut self.partition,
+            Input::Weights => &mut self.weights,
+            Input::Sim => &mut self.sim,
+        };
+        *slot += 1;
+    }
+
+    /// Whether `self` and `other` agree on every input in `deps`.
+    pub fn agrees_on(&self, other: &Epochs, deps: &[Input]) -> bool {
+        deps.iter().all(|&d| self.of(d) == other.of(d))
+    }
+}
+
+/// Declared dependency sets of the session's artifact classes. Custom op
+/// artifacts pick one of these (or any `&'static [Input]`) when calling
+/// [`op_artifact_with`](ShortcutSession::op_artifact_with).
+pub mod deps {
+    use super::Input;
+
+    /// The spanning tree: topology and tree source only.
+    pub const TREE: &[Input] = &[Input::Topology, Input::Tree];
+    /// Diameter bounds: same scope as the tree.
+    pub const DIAMETER: &[Input] = &[Input::Topology, Input::Tree];
+    /// Shortcut-scoped artifacts — the full shortcut, its quality report,
+    /// per-`δ̂` partials, and the default for op artifacts (e.g. the
+    /// partwise participation map).
+    pub const SHORTCUT: &[Input] = &[Input::Topology, Input::Tree, Input::Partition, Input::Sim];
+    /// Weighted whole-graph algorithms (MST): weights but no partition.
+    pub const WEIGHTED: &[Input] = &[Input::Topology, Input::Weights, Input::Sim];
+    /// Unweighted whole-graph algorithms (connectivity, min-cut).
+    pub const TOPOLOGY_ONLY: &[Input] = &[Input::Topology, Input::Sim];
+}
+
+/// Build/hit/invalidation counters of one artifact class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArtifactStats {
+    /// Times the artifact was (re)built from scratch.
+    pub builds: u64,
+    /// Times a cached value was served.
+    pub hits: u64,
+    /// Times a cached value was discarded because a dependency epoch
+    /// bumped.
+    pub invalidations: u64,
+}
+
+/// Per-artifact-class cache observability: how often each artifact was
+/// built, served from cache, and invalidated — the serving-process view of
+/// the [module docs](self)' artifact graph. Serde-able, so a daemon can
+/// export it as-is.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// The spanning tree.
+    pub tree: ArtifactStats,
+    /// Diameter bounds.
+    pub diameter: ArtifactStats,
+    /// The full shortcut artifact.
+    pub full: ArtifactStats,
+    /// The quality report.
+    pub quality: ArtifactStats,
+    /// Per-`δ̂` partial artifacts (summed over `δ̂`).
+    pub partials: ArtifactStats,
+    /// Typed op artifacts (summed over artifact types).
+    pub op_artifacts: ArtifactStats,
+    /// Incremental re-customizations of the full shortcut performed by
+    /// [`reassign_parts`](ShortcutSession::reassign_parts) churn. These do
+    /// **not** count as `full.builds` — that is the point.
+    pub recustomizations: u64,
+    /// Total parts re-customized across all recustomizations.
+    pub recustomized_parts: u64,
+    /// Op artifacts refreshed incrementally via
+    /// [`op_artifact_patched`](ShortcutSession::op_artifact_patched)
+    /// instead of rebuilt.
+    pub op_artifact_patches: u64,
+}
+
+/// A cached artifact plus the input epochs it was built under.
+#[derive(Clone, Debug)]
+struct Slot<T> {
+    value: T,
+    stamp: Epochs,
+}
+
+impl<T> Slot<T> {
+    fn new(value: T, stamp: Epochs) -> Self {
+        Slot { value, stamp }
+    }
+
+    fn fresh(&self, now: &Epochs, deps: &[Input]) -> bool {
+        self.stamp.agrees_on(now, deps)
+    }
+}
+
+/// A typed op artifact with its declared dependency set.
+struct OpSlot {
+    value: Arc<dyn Any + Send + Sync>,
+    stamp: Epochs,
+    deps: &'static [Input],
+}
+
+/// One entry of the partition-mutation log: the partition epoch *after*
+/// the change, plus what changed.
+enum PartitionDelta {
+    /// Node moves touching exactly these parts.
+    Reassigned(Vec<PartId>),
+    /// A wholesale replacement — no incremental refresh possible across it.
+    Wholesale,
+}
+
+/// Mutations older than this fall off the log; artifacts stamped before
+/// the window rebuild from scratch instead of patching.
+const PARTITION_LOG_CAP: usize = 64;
 
 /// Per-op overrides for leader-based aggregation (absorbs the legacy
 /// `PartwiseConfig` knobs).
@@ -346,6 +550,7 @@ impl Session {
             tree: None,
             parts: None,
             partition: None,
+            weights: None,
             backend: Backend::Centralized,
             config: SessionConfig::default(),
             provided_shortcut: None,
@@ -361,6 +566,7 @@ pub struct SessionBuilder<'g> {
     tree: Option<TreeSource>,
     parts: Option<Vec<Vec<NodeId>>>,
     partition: Option<Partition>,
+    weights: Option<EdgeWeights>,
     backend: Backend,
     config: SessionConfig,
     provided_shortcut: Option<Shortcut>,
@@ -385,6 +591,20 @@ impl<'g> SessionBuilder<'g> {
     pub fn partition_object(mut self, partition: Partition) -> Self {
         self.partition = Some(partition);
         self.parts = None;
+        self
+    }
+
+    /// Sets the initial edge weights (the `Weights` input read by weighted
+    /// ops like MST; mutable later via
+    /// [`set_weights`](ShortcutSession::set_weights) /
+    /// [`update_weights`](ShortcutSession::update_weights)).
+    ///
+    /// # Panics
+    ///
+    /// [`build`](Self::build) panics if the length differs from the
+    /// graph's edge count.
+    pub fn weights(mut self, weights: EdgeWeights) -> Self {
+        self.weights = Some(weights);
         self
     }
 
@@ -416,58 +636,78 @@ impl<'g> SessionBuilder<'g> {
             (None, Some(lists)) => Some(Partition::from_parts(self.g, lists)?),
             (None, None) => None,
         };
+        if let Some(w) = &self.weights {
+            assert_eq!(w.len(), self.g.num_edges(), "one weight per edge required");
+        }
         let source = self.tree.unwrap_or(TreeSource::Bfs(NodeId(0)));
         let (root, tree) = match source {
             TreeSource::Bfs(r) => (r, None),
             TreeSource::Provided(t) => (t.root(), Some(t)),
         };
         let tree_provided = tree.is_some();
-        let full = self.provided_shortcut.map(|shortcut| FullArtifact {
-            shortcut,
-            delta_hat: 0,
-            witness: None,
-            construction: ConstructionStats::default(),
+        let stamp = Epochs::default();
+        let full = self.provided_shortcut.map(|shortcut| {
+            Slot::new(
+                FullArtifact {
+                    shortcut,
+                    delta_hat: 0,
+                    witness: None,
+                    construction: ConstructionStats::default(),
+                },
+                stamp,
+            )
         });
         Ok(ShortcutSession {
             g: self.g,
             root,
             partition,
+            weights: self.weights,
             backend: self.backend,
             config: self.config,
-            tree,
+            epochs: stamp,
+            tree: tree.map(|t| Slot::new(t, stamp)),
             tree_provided,
             diam: None,
             full,
             quality: None,
             partials: BTreeMap::new(),
             op_artifacts: HashMap::new(),
-            constructions: 0,
+            partition_log: VecDeque::new(),
+            stats: CacheStats::default(),
         })
     }
 }
 
-/// A prepared-topology session: one graph, one tree, one partition, one
-/// backend — artifacts computed lazily, cached forever, and served to any
-/// number of operations. See the [module docs](self) for the full story.
+/// A prepared-topology session: one graph, one tree, one backend — with a
+/// mutable partition and mutable weights. Artifacts are computed lazily,
+/// cached under per-input epoch stamps, invalidated precisely when a
+/// declared dependency changes, and served to any number of operations.
+/// See the [module docs](self) for the full story.
 pub struct ShortcutSession<'g> {
     g: &'g Graph,
     root: NodeId,
     partition: Option<Partition>,
+    weights: Option<EdgeWeights>,
     backend: Backend,
     config: SessionConfig,
-    tree: Option<RootedTree>,
+    /// Current epoch of each [`Input`].
+    epochs: Epochs,
+    tree: Option<Slot<RootedTree>>,
     /// Whether `tree` came from [`TreeSource::Provided`] (the distributed
     /// backends must verify it matches the protocol's own BFS tree).
     tree_provided: bool,
-    diam: Option<DiameterBounds>,
-    full: Option<FullArtifact>,
-    quality: Option<Arc<QualityReport>>,
-    partials: BTreeMap<u32, PartialArtifact>,
+    diam: Option<Slot<DiameterBounds>>,
+    full: Option<Slot<FullArtifact>>,
+    quality: Option<Slot<Arc<QualityReport>>>,
+    partials: BTreeMap<u32, Slot<PartialArtifact>>,
     /// Per-op-type derived artifacts (e.g. the partwise participation
     /// map), keyed by the artifact's [`TypeId`] and shared via [`Arc`].
-    /// See [`op_artifact`](ShortcutSession::op_artifact).
-    op_artifacts: HashMap<TypeId, Arc<dyn Any + Send + Sync>>,
-    constructions: usize,
+    /// See [`op_artifact_with`](ShortcutSession::op_artifact_with).
+    op_artifacts: HashMap<TypeId, OpSlot>,
+    /// Recent partition mutations: `(partition epoch after the change,
+    /// what changed)`, capped at [`PARTITION_LOG_CAP`] entries.
+    partition_log: VecDeque<(u64, PartitionDelta)>,
+    stats: CacheStats,
 }
 
 impl<'g> ShortcutSession<'g> {
@@ -492,7 +732,13 @@ impl<'g> ShortcutSession<'g> {
     }
 
     /// Mutable access to the configuration (between operations).
+    ///
+    /// Counts as a mutation of the [`Input::Sim`] input: the epoch is
+    /// bumped conservatively on every access, so construction- and
+    /// simulator-scoped artifacts rebuild the next time they are needed.
+    /// Read through [`config`](Self::config) when nothing changes.
     pub fn config_mut(&mut self) -> &mut SessionConfig {
+        self.epochs.bump(Input::Sim);
         &mut self.config
     }
 
@@ -508,41 +754,181 @@ impl<'g> ShortcutSession<'g> {
     /// Panics if the session was built without one (partition-based ops
     /// require `.partition(..)` on the builder).
     pub fn partition(&self) -> &Partition {
-        self.partition
-            .as_ref()
-            .expect("this session has no partition — pass .partition(..) to the builder")
+        self.partition.as_ref().expect(NO_PARTITION)
     }
 
-    /// Number of shortcut constructions this session actually performed.
-    /// Repeated operations on the same session reuse the cache, so this
-    /// stays at 1 (full) plus one per distinct partial `δ̂` — the metric the
-    /// serving scenario cares about.
+    /// Whether weights were configured.
+    pub fn has_weights(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// The session's edge weights (the `Weights` input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has no weights — pass `.weights(..)` to the
+    /// builder or call [`set_weights`](Self::set_weights).
+    pub fn weights(&self) -> &EdgeWeights {
+        self.weights.as_ref().expect(NO_WEIGHTS)
+    }
+
+    /// The current epoch of every input.
+    pub fn epochs(&self) -> Epochs {
+        self.epochs
+    }
+
+    /// Per-artifact cache counters: builds, hits, invalidations, and the
+    /// incremental-recustomization tallies.
+    pub fn cache_stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Number of shortcut constructions this session actually performed
+    /// (full builds plus one per distinct partial `δ̂`; incremental
+    /// re-customizations do not count).
+    #[deprecated(
+        note = "use cache_stats() — this equals cache_stats().full.builds + cache_stats().partials.builds"
+    )]
     pub fn constructions(&self) -> usize {
-        self.constructions
+        (self.stats.full.builds + self.stats.partials.builds) as usize
+    }
+
+    /// Replaces the partition wholesale, validating the raw node lists,
+    /// and bumps the [`Input::Partition`] epoch: every partition-scoped
+    /// artifact is invalidated (lazily) and rebuilt on next access.
+    ///
+    /// For small membership changes prefer
+    /// [`reassign_parts`](Self::reassign_parts), which re-customizes
+    /// incrementally instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error without changing the session.
+    pub fn set_partition(&mut self, parts: Vec<Vec<NodeId>>) -> Result<(), PartitionError> {
+        let partition = Partition::from_parts(self.g, parts)?;
+        self.set_partition_object(partition);
+        Ok(())
+    }
+
+    /// [`set_partition`](Self::set_partition) with an already-validated
+    /// partition.
+    pub fn set_partition_object(&mut self, partition: Partition) {
+        self.partition = Some(partition);
+        self.epochs.bump(Input::Partition);
+        self.log_partition_change(PartitionDelta::Wholesale);
+    }
+
+    /// Moves nodes between existing parts and re-customizes incrementally.
+    ///
+    /// Validation is atomic (see [`Partition::reassign`]): on error the
+    /// session is unchanged. On success the [`Input::Partition`] epoch
+    /// bumps, but the touched parts are remembered — when the full
+    /// shortcut (or quality report) is next needed and is stale *only*
+    /// because of such tracked reassignments, the session runs a mini
+    /// doubling search over just the touched parts and splices their
+    /// `H_i` into the cached shortcut instead of rebuilding everything.
+    /// Per-part quality rows are re-measured for the touched parts only.
+    /// Returns the sorted ids of the touched parts (old and new part of
+    /// every moved node); an effect-free move list returns an empty vector
+    /// without bumping any epoch.
+    ///
+    /// The re-customization sweep always runs the centralized Theorem 3.1
+    /// sweep over the session tree (a local patch with zero simulated
+    /// rounds charged, like a provided shortcut). For
+    /// [`Backend::Distributed`] this is cut-identical to what the protocol
+    /// would build; for [`Backend::Sketch`] the touched parts get the
+    /// exact rather than the sketched cut — still a valid tree-restricted
+    /// shortcut for the new partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`PartitionError`] of the first violated touched part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has no partition, or a target part id is out
+    /// of range.
+    pub fn reassign_parts(
+        &mut self,
+        moves: &[(NodeId, PartId)],
+    ) -> Result<Vec<PartId>, PartitionError> {
+        let current = self.partition.as_ref().expect(NO_PARTITION);
+        let (next, touched) = current.reassign(self.g, moves)?;
+        if touched.is_empty() {
+            return Ok(touched);
+        }
+        self.partition = Some(next);
+        self.epochs.bump(Input::Partition);
+        self.log_partition_change(PartitionDelta::Reassigned(touched.clone()));
+        Ok(touched)
+    }
+
+    /// Replaces the edge weights, bumping the [`Input::Weights`] epoch —
+    /// unless the new weights equal the current ones, in which case this
+    /// is a no-op (so repeated calls with the same metric keep weight-
+    /// scoped artifacts cached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the graph's edge count.
+    pub fn set_weights(&mut self, weights: EdgeWeights) {
+        assert_eq!(
+            weights.len(),
+            self.g.num_edges(),
+            "one weight per edge required"
+        );
+        if self.weights.as_ref() == Some(&weights) {
+            return;
+        }
+        self.weights = Some(weights);
+        self.epochs.bump(Input::Weights);
+    }
+
+    /// Applies sparse `(edge, new_weight)` updates to the session weights
+    /// and bumps the [`Input::Weights`] epoch (no-op for an empty list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has no weights, or an edge id is out of
+    /// range.
+    pub fn update_weights(&mut self, changes: &[(EdgeId, u64)]) {
+        let w = self.weights.as_mut().expect(NO_WEIGHTS);
+        if changes.is_empty() {
+            return;
+        }
+        w.update(changes);
+        self.epochs.bump(Input::Weights);
     }
 
     /// The session's spanning tree (computed on first access).
     pub fn tree(&mut self) -> &RootedTree {
-        if self.tree.is_none() {
-            self.tree = Some(bfs::bfs_tree(self.g, self.root));
-        }
-        self.tree.as_ref().expect("just set")
+        self.ensure_tree();
+        &self.tree.as_ref().expect("just ensured").value
     }
 
     /// Two-sided diameter bounds of the root's component (double-sweep;
     /// computed on first access).
     pub fn diameter(&mut self) -> DiameterBounds {
-        if self.diam.is_none() {
-            self.diam = Some(diameter_bounds(self.g, self.root));
+        let now = self.epochs;
+        if let Some(slot) = &self.diam {
+            if slot.fresh(&now, deps::DIAMETER) {
+                self.stats.diameter.hits += 1;
+                return slot.value;
+            }
+            self.stats.diameter.invalidations += 1;
         }
-        self.diam.expect("just set")
+        self.stats.diameter.builds += 1;
+        let slot = Slot::new(diameter_bounds(self.g, self.root), now);
+        let value = slot.value;
+        self.diam = Some(slot);
+        value
     }
 
     /// The full-shortcut artifact (constructed on first access via the
     /// session backend).
     pub fn full_artifact(&mut self) -> &FullArtifact {
         self.ensure_full();
-        self.full.as_ref().expect("just built")
+        &self.full.as_ref().expect("just built").value
     }
 
     /// The served full shortcut.
@@ -558,7 +944,7 @@ impl<'g> ShortcutSession<'g> {
     /// The densest dense-minor certificate collected during construction.
     pub fn witness(&mut self) -> Option<&MinorWitness> {
         self.ensure_full();
-        self.full.as_ref().and_then(|f| f.witness.as_ref())
+        self.full.as_ref().and_then(|f| f.value.witness.as_ref())
     }
 
     /// Simulated cost of constructing the cached full shortcut.
@@ -567,20 +953,12 @@ impl<'g> ShortcutSession<'g> {
     }
 
     /// Quality report of the full shortcut against the session tree and
-    /// partition (measured once, cached).
+    /// partition (measured once, cached; after
+    /// [`reassign_parts`](Self::reassign_parts) only the touched parts'
+    /// rows are re-measured).
     pub fn quality(&mut self) -> &QualityReport {
-        if self.quality.is_none() {
-            self.ensure_full();
-            self.tree();
-            let q = measure_quality(
-                self.g,
-                self.partition(),
-                self.tree.as_ref().expect("ensured"),
-                &self.full.as_ref().expect("ensured").shortcut,
-            );
-            self.quality = Some(Arc::new(q));
-        }
-        self.quality.as_ref().expect("just set")
+        self.ensure_quality();
+        &self.quality.as_ref().expect("just ensured").value
     }
 
     /// Shared handle to the cached quality report, if the session has a
@@ -589,25 +967,30 @@ impl<'g> ShortcutSession<'g> {
     /// instead of deep-cloning the O(k) per-part vectors per call.
     pub fn quality_shared(&mut self) -> Option<Arc<QualityReport>> {
         if self.partition.is_some() {
-            self.quality();
-            self.quality.clone()
+            self.ensure_quality();
+            self.quality.as_ref().map(|s| s.value.clone())
         } else {
             None
         }
     }
 
-    /// The per-op-type derived-artifact cache: returns the artifact of
-    /// type `T`, building it with `build` from the graph, partition, and
-    /// cached full shortcut on first access and serving the same
-    /// [`Arc`] afterwards.
+    /// The per-op-type derived-artifact cache with the default dependency
+    /// set [`deps::SHORTCUT`]: returns the artifact of type `T`, building
+    /// it with `build` from the graph, partition, and cached full shortcut
+    /// on first access and serving the same [`Arc`] afterwards.
     ///
     /// This is where ops park preprocessing that depends only on the
-    /// session's immutable artifacts — e.g. the partwise O(n + m)
+    /// session's shortcut-scoped artifacts — e.g. the partwise O(n + m)
     /// participation map, which the session previously rebuilt on every
     /// aggregate/gossip call. Keyed by [`TypeId`], so each artifact type
-    /// has exactly one slot per session; the cache is never invalidated
-    /// because graph, partition, and full shortcut are themselves
-    /// immutable once built.
+    /// has exactly one slot per session. The slot is wired into the
+    /// artifact graph: mutating the partition (or any other declared
+    /// dependency) invalidates it, and the next access rebuilds against
+    /// the refreshed shortcut. Use
+    /// [`op_artifact_with`](Self::op_artifact_with) to declare a different
+    /// dependency set, or
+    /// [`op_artifact_patched`](Self::op_artifact_patched) to refresh
+    /// incrementally under part churn.
     ///
     /// # Panics
     ///
@@ -617,34 +1000,136 @@ impl<'g> ShortcutSession<'g> {
         T: Any + Send + Sync,
         F: FnOnce(&Graph, &Partition, &Shortcut) -> T,
     {
+        self.op_artifact_with(deps::SHORTCUT, move |s| {
+            s.prepare();
+            build(
+                s.g,
+                s.partition.as_ref().expect(NO_PARTITION),
+                &s.full.as_ref().expect("prepared").value.shortcut,
+            )
+        })
+    }
+
+    /// [`op_artifact`](Self::op_artifact) with an explicit dependency set
+    /// and full session access in the builder: the artifact of type `T` is
+    /// cached under the current epochs and served while every input in
+    /// `deps` is unchanged; when one bumps, the slot is invalidated and
+    /// `build` runs again.
+    ///
+    /// `build` may drive the session (e.g. call
+    /// [`prepare`](Self::prepare) or read
+    /// [`weights`](Self::weights)) but must not mutate inputs.
+    pub fn op_artifact_with<T, F>(&mut self, deps: &'static [Input], build: F) -> Arc<T>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce(&mut ShortcutSession<'g>) -> T,
+    {
         let key = TypeId::of::<T>();
-        if !self.op_artifacts.contains_key(&key) {
-            self.prepare();
-            let built = build(
-                self.g,
-                self.partition
-                    .as_ref()
-                    .expect("this session has no partition — pass .partition(..) to the builder"),
-                &self.full.as_ref().expect("prepared").shortcut,
-            );
-            self.op_artifacts.insert(key, Arc::new(built));
+        let now = self.epochs;
+        if let Some(slot) = self.op_artifacts.get(&key) {
+            if slot.stamp.agrees_on(&now, slot.deps) {
+                self.stats.op_artifacts.hits += 1;
+                return slot
+                    .value
+                    .clone()
+                    .downcast::<T>()
+                    .unwrap_or_else(|_| unreachable!("slot is keyed by this TypeId"));
+            }
+            self.op_artifacts.remove(&key);
+            self.stats.op_artifacts.invalidations += 1;
         }
-        self.op_artifacts
-            .get(&key)
-            .cloned()
-            .expect("just inserted")
-            .downcast::<T>()
-            .unwrap_or_else(|_| unreachable!("slot is keyed by this TypeId"))
+        let built = Arc::new(build(self));
+        debug_assert_eq!(
+            self.epochs, now,
+            "op-artifact builders must not mutate session inputs"
+        );
+        self.stats.op_artifacts.builds += 1;
+        self.op_artifacts.insert(
+            key,
+            OpSlot {
+                value: built.clone(),
+                stamp: now,
+                deps,
+            },
+        );
+        built
+    }
+
+    /// [`op_artifact_with`](Self::op_artifact_with) plus an incremental
+    /// refresh path: when the cached artifact is stale *only* because of
+    /// tracked [`reassign_parts`](Self::reassign_parts) churn, the session
+    /// calls `patch(session, old, touched_parts)` instead of `build` —
+    /// letting the op recompute just the touched parts' contribution
+    /// (keyed off its cached value, e.g. the partwise participation map).
+    ///
+    /// `patch` runs after the session's own artifacts have been refreshed
+    /// for the same churn (so [`shortcut_ref`](Self::shortcut_ref) inside
+    /// `patch` sees the incrementally re-customized shortcut, in which
+    /// untouched parts' edge lists are unchanged). A wholesale partition
+    /// replacement, a pruned mutation log, or staleness in any other
+    /// declared dependency falls back to `build`.
+    pub fn op_artifact_patched<T, F, P>(
+        &mut self,
+        deps: &'static [Input],
+        build: F,
+        patch: P,
+    ) -> Arc<T>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce(&mut ShortcutSession<'g>) -> T,
+        P: FnOnce(&mut ShortcutSession<'g>, &T, &[PartId]) -> T,
+    {
+        let key = TypeId::of::<T>();
+        let now = self.epochs;
+        let cached = self.op_artifacts.get(&key).map(|s| (s.stamp, s.deps));
+        if let Some((stamp, slot_deps)) = cached {
+            if !stamp.agrees_on(&now, slot_deps) {
+                // Patchable iff the only stale dependency is the partition
+                // and every change since the stamp was a tracked
+                // reassignment.
+                let others: Vec<Input> = slot_deps
+                    .iter()
+                    .copied()
+                    .filter(|&d| d != Input::Partition)
+                    .collect();
+                let touched = if stamp.agrees_on(&now, &others) {
+                    self.parts_changed_since(stamp.partition)
+                } else {
+                    None
+                };
+                if let Some(touched) = touched {
+                    let old = self
+                        .op_artifacts
+                        .remove(&key)
+                        .expect("checked above")
+                        .value
+                        .downcast::<T>()
+                        .unwrap_or_else(|_| unreachable!("slot is keyed by this TypeId"));
+                    let patched = Arc::new(patch(self, &old, &touched));
+                    self.stats.op_artifact_patches += 1;
+                    self.op_artifacts.insert(
+                        key,
+                        OpSlot {
+                            value: patched.clone(),
+                            stamp: self.epochs,
+                            deps,
+                        },
+                    );
+                    return patched;
+                }
+            }
+        }
+        self.op_artifact_with(deps, build)
     }
 
     /// Ensures tree and full shortcut (and quality, when a partition
-    /// exists) are built — the preparation step ops call once before
-    /// taking shared references.
+    /// exists) are built and fresh — the preparation step ops call once
+    /// before taking shared references.
     pub fn prepare(&mut self) {
-        self.tree();
+        self.ensure_tree();
         if self.partition.is_some() {
             self.ensure_full();
-            self.quality();
+            self.ensure_quality();
         }
     }
 
@@ -653,13 +1138,20 @@ impl<'g> ShortcutSession<'g> {
     /// # Panics
     ///
     /// Panics if the artifact was not built yet (call
-    /// [`prepare`](Self::prepare) or [`shortcut`](Self::shortcut) first).
+    /// [`prepare`](Self::prepare) or [`shortcut`](Self::shortcut) first),
+    /// or if it went stale because an input was mutated since — references
+    /// obtained before a mutation must be re-fetched through
+    /// [`prepare`](Self::prepare).
     pub fn shortcut_ref(&self) -> &Shortcut {
-        &self
+        let slot = self
             .full
             .as_ref()
-            .expect("shortcut not prepared — call prepare() first")
-            .shortcut
+            .expect("shortcut not prepared — call prepare() first");
+        assert!(
+            slot.fresh(&self.epochs, deps::SHORTCUT),
+            "shortcut stale — an input changed since prepare(); call prepare() again"
+        );
+        &slot.value.shortcut
     }
 
     /// Shared reference to the cached tree.
@@ -668,25 +1160,43 @@ impl<'g> ShortcutSession<'g> {
     ///
     /// Panics like [`shortcut_ref`](Self::shortcut_ref).
     pub fn tree_ref(&self) -> &RootedTree {
-        self.tree
+        let slot = self
+            .tree
             .as_ref()
-            .expect("tree not prepared — call prepare() first")
+            .expect("tree not prepared — call prepare() first");
+        assert!(
+            slot.fresh(&self.epochs, deps::TREE),
+            "tree stale — an input changed since prepare(); call prepare() again"
+        );
+        &slot.value
     }
 
     /// The per-`δ̂` partial shortcut (one Theorem 3.1 sweep over all parts),
-    /// constructed on first access and cached per `δ̂`.
+    /// constructed on first access and cached per `δ̂` (invalidated like
+    /// the full shortcut when a declared dependency changes).
     ///
     /// # Panics
     ///
     /// Panics if `δ̂ = 0` or the session has no partition.
     pub fn partial(&mut self, delta_hat: u32) -> &PartialArtifact {
         assert!(delta_hat >= 1, "δ̂ must be at least 1");
+        let now = self.epochs;
+        let stale = self
+            .partials
+            .get(&delta_hat)
+            .is_some_and(|s| !s.fresh(&now, deps::SHORTCUT));
+        if stale {
+            self.partials.remove(&delta_hat);
+            self.stats.partials.invalidations += 1;
+        }
         if !self.partials.contains_key(&delta_hat) {
             let artifact = self.build_partial(delta_hat);
-            self.constructions += 1;
-            self.partials.insert(delta_hat, artifact);
+            self.stats.partials.builds += 1;
+            self.partials.insert(delta_hat, Slot::new(artifact, now));
+        } else {
+            self.stats.partials.hits += 1;
         }
-        self.partials.get(&delta_hat).expect("just inserted")
+        &self.partials.get(&delta_hat).expect("just inserted").value
     }
 
     /// Drives one operation over the cached artifacts. Equivalent to the
@@ -696,17 +1206,79 @@ impl<'g> ShortcutSession<'g> {
         op.run(self)
     }
 
+    fn ensure_tree(&mut self) {
+        let now = self.epochs;
+        if let Some(slot) = &self.tree {
+            if slot.fresh(&now, deps::TREE) {
+                self.stats.tree.hits += 1;
+                return;
+            }
+            self.stats.tree.invalidations += 1;
+        }
+        self.stats.tree.builds += 1;
+        self.tree = Some(Slot::new(bfs::bfs_tree(self.g, self.root), now));
+    }
+
+    /// The union of parts touched by reassignments between partition epoch
+    /// `since` and now, or `None` when the span contains a wholesale
+    /// replacement or reaches past the bounded mutation log.
+    fn parts_changed_since(&self, since: u64) -> Option<Vec<PartId>> {
+        if since >= self.epochs.partition {
+            return (since == self.epochs.partition).then(Vec::new);
+        }
+        let mut touched = BTreeSet::new();
+        let mut expected = since + 1;
+        for (epoch, delta) in &self.partition_log {
+            if *epoch <= since {
+                continue;
+            }
+            if *epoch != expected {
+                return None; // entries below `expected` fell off the log
+            }
+            expected += 1;
+            match delta {
+                PartitionDelta::Wholesale => return None,
+                PartitionDelta::Reassigned(parts) => touched.extend(parts.iter().copied()),
+            }
+        }
+        (expected == self.epochs.partition + 1).then(|| touched.into_iter().collect())
+    }
+
+    fn log_partition_change(&mut self, delta: PartitionDelta) {
+        self.partition_log.push_back((self.epochs.partition, delta));
+        if self.partition_log.len() > PARTITION_LOG_CAP {
+            self.partition_log.pop_front();
+        }
+    }
+
     fn ensure_full(&mut self) {
-        if self.full.is_some() {
-            return;
+        let now = self.epochs;
+        if let Some(slot) = &self.full {
+            if slot.fresh(&now, deps::SHORTCUT) {
+                self.stats.full.hits += 1;
+                return;
+            }
+            let stamp = slot.stamp;
+            let only_partition_moved =
+                stamp.topology == now.topology && stamp.tree == now.tree && stamp.sim == now.sim;
+            if only_partition_moved {
+                if let Some(touched) = self.parts_changed_since(stamp.partition) {
+                    // Non-empty: the slot is stale on the partition epoch,
+                    // so at least one tracked reassignment happened.
+                    self.recustomize(&touched);
+                    return;
+                }
+            }
+            self.stats.full.invalidations += 1;
+            self.full = None;
         }
         let artifact = match self.backend.clone() {
             Backend::Centralized => {
-                self.tree();
+                self.ensure_tree();
                 let res = full_shortcut(
                     self.g,
-                    self.tree.as_ref().expect("ensured"),
-                    self.partition(),
+                    &self.tree.as_ref().expect("ensured").value,
+                    self.partition.as_ref().expect(NO_PARTITION),
                     &self.config.shortcut,
                 );
                 FullArtifact {
@@ -725,8 +1297,119 @@ impl<'g> ShortcutSession<'g> {
             }
             Backend::Sketch(dist) => self.full_from_dist(&dist),
         };
-        self.constructions += 1;
-        self.full = Some(artifact);
+        self.stats.full.builds += 1;
+        self.full = Some(Slot::new(artifact, self.epochs));
+    }
+
+    /// Incremental re-customization: one mini doubling search over just
+    /// the `touched` parts, splicing their `H_i` into the cached full
+    /// shortcut and patching the cached quality report's touched rows.
+    /// Runs the centralized sweep over the session tree regardless of
+    /// backend (zero simulated rounds charged — see
+    /// [`reassign_parts`](Self::reassign_parts)).
+    fn recustomize(&mut self, touched: &[PartId]) {
+        self.ensure_tree();
+        let now = self.epochs;
+        let mut slot = self
+            .full
+            .take()
+            .expect("recustomize requires a cached full artifact");
+        // Quality can only be patched in lockstep with the shortcut it was
+        // measured on; a report from another artifact generation is
+        // dropped and re-measured in full instead.
+        let quality = match self.quality.take() {
+            Some(q) if q.stamp.agrees_on(&slot.stamp, deps::SHORTCUT) => Some(q),
+            Some(_) => {
+                self.stats.quality.invalidations += 1;
+                None
+            }
+            None => None,
+        };
+        {
+            let tree = &self.tree.as_ref().expect("just ensured").value;
+            let partition = self.partition.as_ref().expect(NO_PARTITION);
+            let config = &self.config.shortcut;
+            let full = &mut slot.value;
+            debug_assert_eq!(full.shortcut.num_parts(), partition.num_parts());
+            // Start where the cached construction ended: parts that were
+            // servable at the final δ̂ before the move usually still are.
+            let start = full.delta_hat.max(config.initial_delta_hat).max(1);
+            let res = run_doubling_search(
+                self.g.num_nodes(),
+                partition.num_parts(),
+                touched.to_vec(),
+                start,
+                |active, delta_hat| {
+                    sweep_active(self.g, tree, partition, active, delta_hat, config)
+                },
+            );
+            for &p in touched {
+                full.shortcut
+                    .set_edges(p, res.shortcut.edges_for(p).to_vec());
+            }
+            full.delta_hat = full.delta_hat.max(res.delta_hat);
+            if let Some(w) = res.best_witness {
+                let better = full
+                    .witness
+                    .as_ref()
+                    .map(|b| w.density() > b.density())
+                    .unwrap_or(true);
+                if better {
+                    full.witness = Some(w);
+                }
+            }
+            if let Some(qslot) = quality {
+                let rows = measure_parts(self.g, partition, &full.shortcut, touched);
+                let mut q = (*qslot.value).clone();
+                for (&p, row) in touched.iter().zip(rows) {
+                    q.per_part[p.index()] = row;
+                }
+                q.max_blocks = q.per_part.iter().map(|p| p.blocks).max().unwrap_or(0);
+                q.max_dilation_lower = q
+                    .per_part
+                    .iter()
+                    .map(|p| p.dilation_lower)
+                    .max()
+                    .unwrap_or(0);
+                q.max_dilation_upper = q
+                    .per_part
+                    .iter()
+                    .map(|p| p.dilation_upper)
+                    .max()
+                    .unwrap_or(0);
+                q.max_congestion = full.shortcut.max_congestion(self.g);
+                q.tree_restricted = full.shortcut.is_tree_restricted(tree);
+                self.quality = Some(Slot::new(Arc::new(q), now));
+            }
+        }
+        slot.stamp = now;
+        self.stats.recustomizations += 1;
+        self.stats.recustomized_parts += touched.len() as u64;
+        self.full = Some(slot);
+    }
+
+    fn ensure_quality(&mut self) {
+        // May itself patch the quality report in lockstep with an
+        // incremental re-customization.
+        self.ensure_full();
+        let now = self.epochs;
+        if let Some(slot) = &self.quality {
+            if slot.fresh(&now, deps::SHORTCUT) {
+                self.stats.quality.hits += 1;
+                return;
+            }
+            self.stats.quality.invalidations += 1;
+            self.quality = None;
+        }
+        self.ensure_tree();
+        let q = measure_quality(
+            self.g,
+            self.partition.as_ref().expect(NO_PARTITION),
+            &self.tree.as_ref().expect("ensured").value,
+            &self.full.as_ref().expect("ensured").value.shortcut,
+        );
+        self.stats.quality.builds += 1;
+        self.quality = Some(Slot::new(Arc::new(q), now));
     }
 
     /// The distributed backends run the Theorem 1.5 protocol, whose first
@@ -739,7 +1422,11 @@ impl<'g> ShortcutSession<'g> {
         if !self.tree_provided {
             return;
         }
-        let provided = self.tree.as_ref().expect("provided tree stored at build");
+        let provided = &self
+            .tree
+            .as_ref()
+            .expect("provided tree stored at build")
+            .value;
         let canonical = bfs::bfs_tree(self.g, self.root);
         for v in self.g.nodes() {
             assert!(
@@ -757,9 +1444,7 @@ impl<'g> ShortcutSession<'g> {
         let res = distributed_full_shortcut(
             self.g,
             self.root,
-            self.partition
-                .as_ref()
-                .expect("this session has no partition — pass .partition(..) to the builder"),
+            self.partition.as_ref().expect(NO_PARTITION),
             &self.config.shortcut,
             dist,
         );
@@ -778,11 +1463,11 @@ impl<'g> ShortcutSession<'g> {
     fn build_partial(&mut self, delta_hat: u32) -> PartialArtifact {
         match self.backend.clone() {
             Backend::Centralized => {
-                self.tree();
+                self.ensure_tree();
                 let outcome = partial_shortcut_or_witness(
                     self.g,
-                    self.tree.as_ref().expect("ensured"),
-                    self.partition(),
+                    &self.tree.as_ref().expect("ensured").value,
+                    self.partition.as_ref().expect(NO_PARTITION),
                     delta_hat,
                     &self.config.shortcut,
                 );
@@ -823,9 +1508,7 @@ impl<'g> ShortcutSession<'g> {
         let res = distributed_partial_shortcut(
             self.g,
             self.root,
-            self.partition
-                .as_ref()
-                .expect("this session has no partition — pass .partition(..) to the builder"),
+            self.partition.as_ref().expect(NO_PARTITION),
             delta_hat,
             &self.config.shortcut,
             dist,
@@ -844,6 +1527,8 @@ impl<'g> ShortcutSession<'g> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use lcs_graph::gen;
 
@@ -871,6 +1556,9 @@ mod tests {
         let _ = s.quality();
         let _ = s.witness();
         assert_eq!(s.constructions(), 1);
+        assert_eq!(s.cache_stats().full.builds, 1);
+        assert!(s.cache_stats().full.hits >= 3);
+        assert_eq!(s.cache_stats().full.invalidations, 0);
     }
 
     #[test]
@@ -882,6 +1570,9 @@ mod tests {
         let db = s.diameter();
         assert!(db.lower <= db.upper);
         assert_eq!(s.constructions(), 0, "tree/diameter are not constructions");
+        assert_eq!(s.cache_stats().tree.builds, 1);
+        assert_eq!(s.cache_stats().tree.hits, 1);
+        assert_eq!(s.cache_stats().diameter.builds, 1);
     }
 
     #[test]
@@ -894,6 +1585,8 @@ mod tests {
         assert_eq!(s.constructions(), 1, "same δ̂ reuses the cache");
         let _ = s.partial(2);
         assert_eq!(s.constructions(), 2, "a new δ̂ constructs once");
+        assert_eq!(s.cache_stats().partials.builds, 2);
+        assert_eq!(s.cache_stats().partials.hits, 1);
     }
 
     #[test]
@@ -1012,6 +1705,200 @@ mod tests {
         assert_eq!(a.0, 36 + 6 + 6);
         // Accessing the artifact forced the full shortcut exactly once.
         assert_eq!(s.constructions(), 1);
+        assert_eq!(s.cache_stats().op_artifacts.builds, 1);
+        assert_eq!(s.cache_stats().op_artifacts.hits, 1);
+    }
+
+    #[test]
+    fn op_artifacts_are_invalidated_by_partition_changes() {
+        // The pre-epoch cache served stale op artifacts across partition
+        // changes; pin the fix.
+        struct PartCount(usize);
+        let mut s = grid_session(4);
+        let a = s.op_artifact(|_, partition, _| PartCount(partition.num_parts()));
+        assert_eq!(a.0, 4);
+        let two_rows: Vec<Vec<NodeId>> =
+            vec![(0..8).map(NodeId).collect(), (8..16).map(NodeId).collect()];
+        s.set_partition(two_rows).unwrap();
+        let b = s.op_artifact(|_, partition, _| PartCount(partition.num_parts()));
+        assert_eq!(b.0, 2, "artifact must rebuild against the new partition");
+        assert_eq!(s.cache_stats().op_artifacts.builds, 2);
+        assert_eq!(s.cache_stats().op_artifacts.invalidations, 1);
+    }
+
+    #[test]
+    fn op_artifacts_respect_declared_dependency_sets() {
+        struct TreeScoped(#[allow(dead_code)] u32);
+        let mut s = grid_session(4);
+        let a = s.op_artifact_with(deps::TREE, |s| TreeScoped(s.tree().depth_of_tree()));
+        s.set_partition(gen::rows_of_grid(4, 4)).unwrap();
+        let b = s.op_artifact_with(deps::TREE, |_| -> TreeScoped {
+            unreachable!("tree-scoped artifacts survive partition churn")
+        });
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn reassign_recustomizes_incrementally() {
+        let mut s = grid_session(8);
+        let _ = s.quality();
+        assert_eq!(s.cache_stats().full.builds, 1);
+        // Move the first node of row 1 into row 0's part: both stay
+        // connected (rows are paths; (1,0)-(0,0) is a grid edge).
+        let touched = s
+            .reassign_parts(&[(NodeId(8), PartId(0))])
+            .expect("move keeps both parts connected");
+        assert_eq!(touched, vec![PartId(0), PartId(1)]);
+        assert_eq!(s.partition().part_of(NodeId(8)), Some(PartId(0)));
+        let q_patched = s.quality().clone();
+        // No full rebuild happened — one incremental re-customization did.
+        assert_eq!(s.cache_stats().full.builds, 1);
+        assert_eq!(s.cache_stats().full.invalidations, 0);
+        assert_eq!(s.cache_stats().recustomizations, 1);
+        assert_eq!(s.cache_stats().recustomized_parts, 2);
+        // The patched report is exactly what a fresh measurement of the
+        // mutated session's shortcut yields.
+        let tree = s.tree().clone();
+        let fresh = measure_quality(s.graph(), s.partition(), &tree, s.shortcut_ref());
+        assert_eq!(q_patched, fresh);
+        assert!(q_patched.all_connected());
+    }
+
+    #[test]
+    fn repeated_reassignments_accumulate_into_one_patch() {
+        let mut s = grid_session(8);
+        let _ = s.shortcut();
+        // Two mutations before the next artifact access: the refresh must
+        // cover the union of touched parts.
+        s.reassign_parts(&[(NodeId(8), PartId(0))]).unwrap();
+        s.reassign_parts(&[(NodeId(63), PartId(6))]).unwrap();
+        let _ = s.quality();
+        assert_eq!(s.cache_stats().full.builds, 1);
+        assert_eq!(s.cache_stats().recustomizations, 1);
+        assert_eq!(s.cache_stats().recustomized_parts, 4);
+        let tree = s.tree().clone();
+        let fresh = measure_quality(s.graph(), s.partition(), &tree, s.shortcut_ref());
+        assert_eq!(s.quality(), &fresh);
+    }
+
+    #[test]
+    fn reassign_error_leaves_the_session_untouched() {
+        let mut s = grid_session(6);
+        let _ = s.shortcut();
+        let before = s.epochs();
+        // Moving an interior row node away would disconnect its row.
+        let err = s.reassign_parts(&[(NodeId(9), PartId(0))]).unwrap_err();
+        assert!(matches!(err, PartitionError::Disconnected(1)));
+        assert_eq!(s.epochs(), before, "failed mutations must not bump epochs");
+        assert_eq!(s.partition().part_of(NodeId(9)), Some(PartId(1)));
+        let _ = s.shortcut();
+        assert_eq!(s.cache_stats().full.builds, 1);
+    }
+
+    #[test]
+    fn noop_reassignment_is_free() {
+        let mut s = grid_session(6);
+        let _ = s.shortcut();
+        let before = s.epochs();
+        let touched = s.reassign_parts(&[(NodeId(7), PartId(1))]).unwrap();
+        assert!(touched.is_empty(), "node already in its target part");
+        assert_eq!(s.epochs(), before);
+    }
+
+    #[test]
+    fn set_partition_invalidates_wholesale() {
+        let mut s = grid_session(6);
+        let _ = s.quality();
+        assert_eq!(s.cache_stats().full.builds, 1);
+        s.set_partition(gen::rows_of_grid(6, 6)).unwrap();
+        let _ = s.quality();
+        assert_eq!(s.cache_stats().full.builds, 2);
+        assert_eq!(s.cache_stats().full.invalidations, 1);
+        assert_eq!(s.cache_stats().quality.builds, 2);
+        assert_eq!(s.cache_stats().recustomizations, 0);
+    }
+
+    #[test]
+    fn config_mut_bumps_the_sim_epoch() {
+        let mut s = grid_session(6);
+        let _ = s.shortcut();
+        let _ = s.config_mut(); // conservative: any access may change knobs
+        let _ = s.shortcut();
+        assert_eq!(s.cache_stats().full.builds, 2);
+        assert_eq!(s.cache_stats().full.invalidations, 1);
+    }
+
+    #[test]
+    fn weights_input_is_epoch_tracked() {
+        struct TotalWeight(u64);
+        let g = gen::grid(4, 4);
+        let mut s = Session::on(&g)
+            .partition(gen::rows_of_grid(4, 4))
+            .weights(EdgeWeights::unit(&g))
+            .build()
+            .unwrap();
+        let before = s.epochs();
+        // Re-setting equal weights is a no-op.
+        s.set_weights(EdgeWeights::unit(&g));
+        assert_eq!(s.epochs(), before);
+        let a = s.op_artifact_with(deps::WEIGHTED, |s| {
+            TotalWeight(s.weights().total(s.graph().edges().map(|e| e.id)))
+        });
+        assert_eq!(a.0, g.num_edges() as u64);
+        // Weight-scoped artifacts survive partition churn...
+        s.set_partition(gen::rows_of_grid(4, 4)).unwrap();
+        let b = s.op_artifact_with(deps::WEIGHTED, |_| -> TotalWeight {
+            unreachable!("weight-scoped artifacts ignore the partition epoch")
+        });
+        assert!(Arc::ptr_eq(&a, &b));
+        // ...but not weight updates.
+        s.update_weights(&[(EdgeId(0), 11)]);
+        let c = s.op_artifact_with(deps::WEIGHTED, |s| {
+            TotalWeight(s.weights().total(s.graph().edges().map(|e| e.id)))
+        });
+        assert_eq!(c.0, g.num_edges() as u64 + 10);
+    }
+
+    #[test]
+    fn op_artifact_patched_takes_the_incremental_path() {
+        /// Tracks which parts were patched.
+        struct EdgesPerPart(Vec<usize>);
+        fn build(s: &mut ShortcutSession<'_>) -> EdgesPerPart {
+            s.prepare();
+            let sc = s.shortcut_ref();
+            EdgesPerPart(
+                (0..sc.num_parts())
+                    .map(|p| sc.edges_for(PartId(p as u32)).len())
+                    .collect(),
+            )
+        }
+        let mut s = grid_session(8);
+        let a = s.op_artifact_patched(deps::SHORTCUT, build, |_, _, _| {
+            unreachable!("first access builds")
+        });
+        s.reassign_parts(&[(NodeId(8), PartId(0))]).unwrap();
+        let b = s.op_artifact_patched(
+            deps::SHORTCUT,
+            |_| -> EdgesPerPart { unreachable!("tracked churn must patch, not rebuild") },
+            |s, old, touched| {
+                s.prepare();
+                let sc = s.shortcut_ref();
+                let mut v = old.0.clone();
+                for &p in touched {
+                    v[p.index()] = sc.edges_for(p).len();
+                }
+                EdgesPerPart(v)
+            },
+        );
+        assert_eq!(b.0, build(&mut s).0, "patched == rebuilt from scratch");
+        assert_eq!(s.cache_stats().op_artifact_patches, 1);
+        // A wholesale replacement falls back to build.
+        s.set_partition(gen::rows_of_grid(8, 8)).unwrap();
+        let c = s.op_artifact_patched(deps::SHORTCUT, build, |_, _, _| {
+            unreachable!("wholesale changes cannot be patched")
+        });
+        assert_eq!(c.0.len(), 8);
+        drop(a);
     }
 
     #[test]
@@ -1021,6 +1908,19 @@ mod tests {
         let b = s.quality_shared().expect("session has a partition");
         assert!(Arc::ptr_eq(&a, &b), "reports share the cached allocation");
         assert_eq!(s.constructions(), 1);
+    }
+
+    #[test]
+    fn constructions_wrapper_matches_cache_stats() {
+        let mut s = grid_session(8);
+        let _ = s.shortcut();
+        let _ = s.partial(1);
+        let _ = s.partial(2);
+        assert_eq!(
+            s.constructions() as u64,
+            s.cache_stats().full.builds + s.cache_stats().partials.builds
+        );
+        assert_eq!(s.constructions(), 3);
     }
 
     #[test]

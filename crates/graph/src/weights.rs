@@ -77,6 +77,18 @@ impl EdgeWeights {
         self.0.is_empty()
     }
 
+    /// Applies sparse `(edge, new_weight)` updates — the churn primitive
+    /// behind `ShortcutSession::update_weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge id is out of range.
+    pub fn update(&mut self, changes: &[(EdgeId, u64)]) {
+        for &(e, w) in changes {
+            self.0[e.index()] = w;
+        }
+    }
+
     /// Total weight of an edge set.
     pub fn total(&self, edges: impl IntoIterator<Item = EdgeId>) -> u64 {
         edges.into_iter().map(|e| self.weight(e)).sum()
@@ -122,6 +134,18 @@ mod tests {
         let mut w = EdgeWeights::unit(&g);
         *w.weight_mut(EdgeId(0)) = 10;
         assert_eq!(w.weight(EdgeId(0)), 10);
+    }
+
+    #[test]
+    fn sparse_update() {
+        let g = gen::path(4);
+        let mut w = EdgeWeights::unit(&g);
+        w.update(&[(EdgeId(0), 7), (EdgeId(2), 3)]);
+        assert_eq!(w.weight(EdgeId(0)), 7);
+        assert_eq!(w.weight(EdgeId(1)), 1);
+        assert_eq!(w.weight(EdgeId(2)), 3);
+        w.update(&[]);
+        assert_eq!(w.total(g.edges().map(|e| e.id)), 11);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use lcs_congest::protocols::AggOp;
 use lcs_congest::{
     id_bits, Ctx, Incoming, MessageSize, NodeProgram, RunMetrics, SimConfig, SimMode, Simulator,
 };
-use lcs_core::session::{OpReport, PartwiseOp, ShortcutSession};
+use lcs_core::session::{deps, OpReport, PartwiseOp, ShortcutSession};
 use lcs_core::{Partition, Shortcut};
 use lcs_graph::{Graph, NodeId, PartId};
 use rand::rngs::SmallRng;
@@ -61,9 +61,12 @@ pub struct PartwiseOutcome {
 /// Building the map is O(n + m) — per-query cost a serving deployment
 /// should not pay twice. The session-driven ops cache one instance in the
 /// session's derived-artifact store
-/// ([`ShortcutSession::op_artifact`]), keyed by this type, and every later
-/// aggregate/gossip call reuses it; the legacy free functions build a
-/// fresh one per call.
+/// ([`ShortcutSession::op_artifact_patched`]), keyed by this type: every
+/// later aggregate/gossip call reuses it while the partition and shortcut
+/// are unchanged, a tracked `reassign_parts` churn refreshes only the
+/// touched parts' entries via [`ParticipationMap::refreshed`], and a
+/// wholesale partition change rebuilds it. The legacy free functions build
+/// a fresh one per call.
 #[derive(Clone, Debug)]
 pub struct ParticipationMap {
     per_node: Vec<HashMap<u32, Vec<usize>>>,
@@ -106,6 +109,66 @@ impl ParticipationMap {
             for ports in lists.values_mut() {
                 ports.sort_unstable();
                 ports.dedup();
+            }
+        }
+        ParticipationMap {
+            per_node: participation,
+        }
+    }
+
+    /// An incrementally refreshed copy: the entries of the `touched` parts
+    /// are dropped everywhere and re-registered from the (new) partition
+    /// and shortcut; every other part's entries are carried over untouched.
+    /// Equals [`ParticipationMap::build`] on the same inputs, at
+    /// O(n·|touched| + Σ_{i ∈ touched} (|P_i| · deg + |H_i|)) instead of
+    /// O(n + m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shortcut's shape differs from the partition's.
+    pub fn refreshed(
+        &self,
+        g: &Graph,
+        partition: &Partition,
+        shortcut: &Shortcut,
+        touched: &[PartId],
+    ) -> Self {
+        assert_eq!(
+            shortcut.num_parts(),
+            partition.num_parts(),
+            "shortcut and partition shapes differ"
+        );
+        let mut participation = self.per_node.clone();
+        for lists in &mut participation {
+            for &p in touched {
+                lists.remove(&p.0);
+            }
+        }
+        for &pid in touched {
+            for &e in shortcut.edges_for(pid) {
+                let (u, v) = g.endpoints(e);
+                for (a, b) in [(u, v), (v, u)] {
+                    let pa = g.port_to(a, b).expect("edge endpoints adjacent");
+                    participation[a.index()].entry(pid.0).or_default().push(pa);
+                }
+            }
+            for &u in partition.part(pid) {
+                for (port, nb) in g.neighbors(u).enumerate() {
+                    if partition.part_of(nb.node) == Some(pid) && !shortcut.contains(pid, nb.edge) {
+                        participation[u.index()]
+                            .entry(pid.0)
+                            .or_default()
+                            .push(port);
+                    }
+                }
+            }
+        }
+        for lists in &mut participation {
+            for &p in touched {
+                if let Some(ports) = lists.get_mut(&p.0) {
+                    ports.sort_unstable();
+                    ports.dedup();
+                }
             }
         }
         ParticipationMap {
@@ -362,8 +425,15 @@ impl PartwiseOp for AggregateOp<'_> {
         session.prepare();
         let quality = session.quality_shared();
         // The O(n + m) participation map is a session artifact: built on
-        // the first aggregate/gossip call, reused by every later one.
-        let participation = session.op_artifact(ParticipationMap::build);
+        // the first aggregate/gossip call, reused by every later one, and
+        // refreshed only for the touched parts under reassign_parts churn.
+        let participation = session.op_artifact_patched(
+            deps::SHORTCUT,
+            |s| ParticipationMap::build(s.graph(), s.partition(), s.shortcut_ref()),
+            |s, old: &ParticipationMap, touched| {
+                old.refreshed(s.graph(), s.partition(), s.shortcut_ref(), touched)
+            },
+        );
         let sc = session.config();
         let cfg = PartwiseConfig {
             delay_range: sc.aggregate.delay_range,
@@ -733,6 +803,34 @@ mod tests {
             let t = run_with(threads);
             assert_eq!(t.results, t1.results, "threads={threads}");
             assert_eq!(t.metrics.counts(), t1.metrics.counts(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn refreshed_participation_matches_fresh_build() {
+        // Drive the real churn path: the session's incremental shortcut
+        // keeps untouched parts' H_i byte-identical, which is exactly the
+        // contract `refreshed` relies on.
+        use lcs_core::session::Session;
+        let g = gen::grid(6, 6);
+        let mut session = Session::on(&g)
+            .partition(gen::rows_of_grid(6, 6))
+            .build()
+            .unwrap();
+        session.prepare();
+        let old_map = ParticipationMap::build(&g, session.partition(), session.shortcut_ref());
+        let touched = session.reassign_parts(&[(NodeId(6), PartId(0))]).unwrap();
+        assert_eq!(touched, vec![PartId(0), PartId(1)]);
+        session.prepare(); // re-customizes the touched parts in place
+        let refreshed =
+            old_map.refreshed(&g, session.partition(), session.shortcut_ref(), &touched);
+        let fresh = ParticipationMap::build(&g, session.partition(), session.shortcut_ref());
+        for v in g.nodes() {
+            let mut a: Vec<_> = refreshed.at(v).iter().collect();
+            let mut b: Vec<_> = fresh.at(v).iter().collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "node {v:?}");
         }
     }
 

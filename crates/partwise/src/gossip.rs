@@ -16,7 +16,7 @@ use crate::dist::ParticipationMap;
 use lcs_congest::{
     id_bits, Ctx, Incoming, MessageSize, NodeProgram, RunMetrics, SimConfig, SimMode, Simulator,
 };
-use lcs_core::session::{OpReport, PartwiseOp, ShortcutSession};
+use lcs_core::session::{deps, OpReport, PartwiseOp, ShortcutSession};
 use lcs_core::{Partition, Shortcut};
 use lcs_graph::{Graph, PartId};
 use std::collections::HashMap;
@@ -157,8 +157,15 @@ impl PartwiseOp for GossipOp<'_> {
         session.prepare();
         let quality = session.quality_shared();
         // Reuses the session-cached participation map (shared with the
-        // leader-based aggregation — same artifact type, same slot).
-        let participation = session.op_artifact(ParticipationMap::build);
+        // leader-based aggregation — same artifact type, same slot), with
+        // the same incremental refresh under reassign_parts churn.
+        let participation = session.op_artifact_patched(
+            deps::SHORTCUT,
+            |s| ParticipationMap::build(s.graph(), s.partition(), s.shortcut_ref()),
+            |s, old: &ParticipationMap, touched| {
+                old.refreshed(s.graph(), s.partition(), s.shortcut_ref(), touched)
+            },
+        );
         let sim = session.config().aggregate_sim();
         let out = self.run_with(session.graph(), session.partition(), sim, &participation);
         let metrics = out.metrics.clone();

@@ -33,7 +33,7 @@ use lcs_graph::NodeId;
 /// // The second call reuses the cached shortcut.
 /// let again = session.aggregate(&values, AggOp::Sum);
 /// assert!(again.result.all_members_informed);
-/// assert_eq!(session.constructions(), 1);
+/// assert_eq!(session.cache_stats().full.builds, 1);
 /// # Ok::<(), lcs_core::PartitionError>(())
 /// ```
 pub trait SessionPartwiseOps {

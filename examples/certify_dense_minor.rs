@@ -44,7 +44,7 @@ fn main() {
         }
     }
     // Each δ̂ was swept exactly once; repeated queries would be cache hits.
-    assert_eq!(session.constructions(), 2);
+    assert_eq!(session.cache_stats().partials.builds, 2);
 
     // The full construction's doubling search collects the densest
     // certificate as a by-product (the remark after Theorem 3.1).

@@ -68,7 +68,7 @@ fn main() {
             q.max_congestion,
             q.max_blocks
         );
-        assert_eq!(session.constructions(), 1);
+        assert_eq!(session.cache_stats().full.builds, 1);
     }
 
     println!("\nall three backends satisfy the Theorem 3.1 bounds;");

@@ -29,8 +29,8 @@ fn main() {
     let delta_hat = session.delta_hat();
     let q = session.quality().clone();
     println!(
-        "construction: δ̂ = {delta_hat} (constructions: {})",
-        session.constructions()
+        "construction: δ̂ = {delta_hat} (full builds: {})",
+        session.cache_stats().full.builds
     );
     println!(
         "measured:  congestion = {:>4}   dilation <= {:>4}   blocks = {}",
@@ -59,7 +59,7 @@ fn main() {
         assert!(report.result.all_members_informed);
     }
     assert_eq!(
-        session.constructions(),
+        session.cache_stats().full.builds,
         1,
         "three queries, one construction — the serving scenario"
     );

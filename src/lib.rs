@@ -34,7 +34,7 @@
 //! assert_eq!(max.result.results[0], Some(15));
 //! let sum = session.aggregate(&values, AggOp::Sum);
 //! assert!(sum.result.all_members_informed);
-//! assert_eq!(session.constructions(), 1);
+//! assert_eq!(session.cache_stats().full.builds, 1);
 //!
 //! // The quality report rides along in every OpReport.
 //! let q = max.quality.expect("partition ops carry quality");
@@ -95,6 +95,47 @@ pub use lcs_partwise as partwise;
 /// construction drops ~2.6× in simulated rounds at `k = 8` with
 /// bit-identical results). Per-op overrides (`aggregate.sim`, `mst.sim`, …)
 /// replace the session-wide `sim` wholesale when set.
+///
+/// # Mutating a live session
+///
+/// Sessions are no longer frozen after the first construction. Five
+/// tracked inputs — `Topology`, `Tree`, `Partition`, `Weights`, `Sim`
+/// ([`Input`](lcs_core::session::Input)) — each carry an epoch counter
+/// ([`Epochs`](lcs_core::session::Epochs)); every cached artifact records
+/// the epochs it was built under plus a declared dependency set
+/// ([`deps`](lcs_core::session::deps)), and is invalidated precisely when
+/// a declared input's epoch bumps:
+///
+/// * [`set_partition`](lcs_core::session::ShortcutSession::set_partition)
+///   replaces the partition wholesale — shortcut, quality, partials, and
+///   partition-scoped op artifacts rebuild on next access; the tree and
+///   diameter bounds survive.
+/// * [`reassign_parts`](lcs_core::session::ShortcutSession::reassign_parts)
+///   moves nodes between existing parts and **re-customizes
+///   incrementally**: a mini doubling search over only the touched parts
+///   splices their `H_i` into the cached shortcut, quality rows are
+///   re-measured for touched parts only, and ops refresh their cached
+///   participation maps part-locally. Everything else survives
+///   byte-for-byte — the CCH-style customization step.
+/// * [`set_weights`](lcs_core::session::ShortcutSession::set_weights) /
+///   [`update_weights`](lcs_core::session::ShortcutSession::update_weights)
+///   mutate the weight input read by `session.mst(..)`; the shortcut and
+///   partition artifacts are weight-independent and survive.
+///
+/// [`CacheStats`](lcs_core::session::CacheStats) (serde-able, via
+/// [`cache_stats`](lcs_core::session::ShortcutSession::cache_stats))
+/// counts builds/hits/invalidations per artifact class plus the
+/// incremental-recustomization tallies; it replaces the deprecated
+/// `constructions()` counter.
+///
+/// **Migration note:** code that held a `&PartialArtifact` (or
+/// `&Shortcut` from `shortcut_ref()`) across a mutation must re-fetch it
+/// afterwards: references returned by the accessors are tied to the epoch
+/// they were read at, and `shortcut_ref()`/`tree_ref()` panic if called
+/// on a stale cache — call `prepare()` (or any owning accessor) after a
+/// mutation to refresh. The borrow checker already prevents holding a
+/// shared borrow across the `&mut self` mutation calls; the panic guards
+/// the remaining raw-handle patterns.
 pub mod facade {
     pub use lcs_algos::session_ops::SessionAlgoOps;
     pub use lcs_algos::{
@@ -103,9 +144,9 @@ pub mod facade {
         mst::{boruvka_config_of, MstOp},
     };
     pub use lcs_core::session::{
-        AggregateOpts, Backend, ConstructionStats, FullArtifact, MincutOpts, MstOpts, OpReport,
-        PartialArtifact, PartwiseOp, Session, SessionBuilder, SessionConfig, ShortcutSession,
-        TreeSource, UnicastOpts,
+        deps, AggregateOpts, ArtifactStats, Backend, CacheStats, ConstructionStats, Epochs,
+        FullArtifact, Input, MincutOpts, MstOpts, OpReport, PartialArtifact, PartwiseOp, Session,
+        SessionBuilder, SessionConfig, ShortcutSession, TreeSource, UnicastOpts,
     };
     pub use lcs_partwise::{AggregateOp, GossipOp, SessionPartwiseOps, UnicastOp};
 }

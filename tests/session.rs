@@ -1,13 +1,17 @@
 //! The `ShortcutSession` facade: cached-artifact reuse, backend
-//! equivalence, and the unified `SessionConfig`.
+//! equivalence, mutation correctness, and the unified `SessionConfig`.
 //!
 //! The serving scenario the facade exists for: prepare one topology, then
-//! answer many queries. These tests pin (a) that repeated operations reuse
-//! the cached shortcut (counted constructions), (b) that `session.aggregate`
-//! matches `centralized_aggregate` on the 50-seed × 3-family differential
-//! corpus on **all three backends**, and (c) that `SessionConfig` and the
-//! legacy config structs it absorbs survive serde round trips, with a
-//! pinned JSON snapshot of the defaults.
+//! answer many queries — and now mutate the inputs between queries. These
+//! tests pin (a) that repeated operations reuse the cached shortcut
+//! (counted builds in `CacheStats`), (b) that `session.aggregate` matches
+//! `centralized_aggregate` on the 50-seed × 3-family differential corpus
+//! on **all three backends**, (c) the **churn differential**: after every
+//! mutation (`reassign_parts`, `set_partition`, `update_weights`) each
+//! op's result is bit-identical to a fresh-built session on the mutated
+//! inputs, and (d) that `SessionConfig` and the legacy config structs it
+//! absorbs survive serde round trips, with a pinned JSON snapshot of the
+//! defaults.
 
 use lcs_graph::weights::EdgeWeights;
 use low_congestion_shortcuts::algos::mst::kruskal;
@@ -58,20 +62,28 @@ fn second_aggregate_reuses_cached_shortcut() {
         .backend(Backend::Centralized)
         .build()
         .unwrap();
-    assert_eq!(session.constructions(), 0, "build is lazy");
+    assert_eq!(session.cache_stats().full.builds, 0, "build is lazy");
 
     let values: Vec<u64> = (0..64).collect();
     let first = session.aggregate(&values, AggOp::Max);
-    assert_eq!(session.constructions(), 1, "first call constructs");
+    assert_eq!(
+        session.cache_stats().full.builds,
+        1,
+        "first call constructs"
+    );
     let second = session.aggregate(&values, AggOp::Sum);
     let third = session.gossip(
         &values,
         low_congestion_shortcuts::partwise::IdempotentOp::Min,
     );
     assert_eq!(
-        session.constructions(),
+        session.cache_stats().full.builds,
         1,
         "later ops must reuse the cached shortcut"
+    );
+    assert!(
+        session.cache_stats().full.hits >= 2,
+        "later ops count as cache hits"
     );
     assert!(first.result.all_members_informed);
     assert!(second.result.all_members_informed);
@@ -122,7 +134,7 @@ fn assert_session_matches_centralized(g: &Graph, parts: Vec<Vec<NodeId>>, label:
         );
         let got: Vec<u64> = out.result.results.iter().map(|r| r.unwrap()).collect();
         assert_eq!(got, expect, "{label}/{name}: aggregate differs");
-        assert_eq!(session.constructions(), 1, "{label}/{name}");
+        assert_eq!(session.cache_stats().full.builds, 1, "{label}/{name}");
     }
 }
 
@@ -163,6 +175,218 @@ fn session_aggregate_matches_centralized_on_ktrees_all_backends() {
     }
 }
 
+/// Finds one boundary move the session accepts and applies it: candidates
+/// are `(node, neighboring part)` pairs in ascending order;
+/// `reassign_parts` rejects — and provably leaves the session untouched —
+/// any move that would empty or disconnect a part. Returns `None` when no
+/// single-node move is valid (e.g. `k = 1`).
+fn reassign_one_boundary_node(session: &mut ShortcutSession<'_>) -> Option<Vec<PartId>> {
+    let g = session.graph();
+    let candidates: Vec<(NodeId, PartId)> = {
+        let partition = session.partition();
+        let mut c = Vec::new();
+        for v in (0..g.num_nodes() as u32).map(NodeId) {
+            let Some(from) = partition.part_of(v) else {
+                continue;
+            };
+            for nb in g.neighbors(v) {
+                match partition.part_of(nb.node) {
+                    Some(to) if to != from => c.push((v, to)),
+                    _ => {}
+                }
+            }
+        }
+        c.sort();
+        c.dedup();
+        c
+    };
+    candidates
+        .into_iter()
+        .find_map(|mv| session.reassign_parts(&[mv]).ok())
+}
+
+/// One churn check: every cheap partition op on the (mutated) live session
+/// must produce result values bit-identical to a session freshly built on
+/// the live session's current partition. Rounds/metrics are NOT compared —
+/// the incrementally re-customized shortcut may legitimately differ from a
+/// fresh joint construction, but both are valid shortcuts, so every op
+/// converges to the same values.
+fn assert_ops_match_fresh(
+    session: &mut ShortcutSession<'_>,
+    backend: &Backend,
+    values: &[u64],
+    label: &str,
+) {
+    let g = session.graph();
+    let mut fresh = Session::on(g)
+        .partition_object(session.partition().clone())
+        .backend(backend.clone())
+        .config(fast_config())
+        .build()
+        .unwrap();
+
+    let live_agg = session.aggregate(values, AggOp::Sum);
+    let fresh_agg = fresh.aggregate(values, AggOp::Sum);
+    assert_eq!(
+        live_agg.result.results, fresh_agg.result.results,
+        "{label}: aggregate results diverge from a fresh build"
+    );
+    assert!(
+        live_agg.result.all_members_informed && fresh_agg.result.all_members_informed,
+        "{label}: aggregate must inform all members"
+    );
+
+    let gossip_op = low_congestion_shortcuts::partwise::IdempotentOp::Min;
+    let live_gossip = session.gossip(values, gossip_op);
+    let fresh_gossip = fresh.gossip(values, gossip_op);
+    assert_eq!(
+        live_gossip.result.results, fresh_gossip.result.results,
+        "{label}: gossip results diverge from a fresh build"
+    );
+    assert!(
+        live_gossip.result.converged && fresh_gossip.result.converged,
+        "{label}: gossip must converge"
+    );
+
+    let q = session.quality().clone();
+    assert!(
+        q.all_connected(),
+        "{label}: mutated session's shortcut must keep every part connected"
+    );
+}
+
+/// The churn differential: after `reassign_parts` (incremental
+/// re-customization) and after `set_partition` (wholesale replacement),
+/// every op result on the live session is bit-identical to a fresh-built
+/// session — per backend, per corpus family, across the 50-seed sweep.
+/// CI repeats the sweep at `LCS_SIM_PACKING=8`.
+fn churn_differential(g: &Graph, parts: Vec<Vec<NodeId>>, rng: &mut SmallRng, label: &str) {
+    use rand::Rng;
+    let partition = Partition::from_parts(g, parts).unwrap();
+    let values: Vec<u64> = (0..g.num_nodes() as u64).map(|x| (x * 131) % 997).collect();
+    let k2 = 1 + rng.gen_range(0..g.num_nodes() / 4);
+    let wholesale = gen::random_connected_parts(g, k2, rng);
+    for (name, backend) in backends() {
+        let mut session = Session::on(g)
+            .partition_object(partition.clone())
+            .backend(backend.clone())
+            .config(fast_config())
+            .build()
+            .unwrap();
+        // Warm the cache, then mutate incrementally.
+        let _ = session.aggregate(&values, AggOp::Sum);
+        if reassign_one_boundary_node(&mut session).is_some() {
+            assert_ops_match_fresh(
+                &mut session,
+                &backend,
+                &values,
+                &format!("{label}/{name}/reassign"),
+            );
+        }
+        // Wholesale replacement on the same live session.
+        session.set_partition(wholesale.clone()).unwrap();
+        assert_ops_match_fresh(
+            &mut session,
+            &backend,
+            &values,
+            &format!("{label}/{name}/set_partition"),
+        );
+    }
+}
+
+const CHURN_SEEDS: u64 = 50;
+
+#[test]
+fn churn_differential_on_gnm_all_backends() {
+    for seed in 0..CHURN_SEEDS {
+        let mut rng = SmallRng::seed_from_u64(5000 + seed);
+        let g = gen::gnm_connected(120, 240, &mut rng);
+        let parts = gen::random_connected_parts(&g, 30, &mut rng);
+        churn_differential(&g, parts, &mut rng, &format!("gnm churn seed {seed}"));
+    }
+}
+
+#[test]
+fn churn_differential_on_tori_all_backends() {
+    for seed in 0..CHURN_SEEDS {
+        let mut rng = SmallRng::seed_from_u64(6000 + seed);
+        let rows = 4 + (seed as usize % 5);
+        let cols = 4 + ((seed as usize / 5) % 5);
+        let g = gen::torus(rows, cols);
+        let k = 1 + (seed as usize % (g.num_nodes() / 2));
+        let parts = gen::random_connected_parts(&g, k, &mut rng);
+        churn_differential(&g, parts, &mut rng, &format!("torus churn seed {seed}"));
+    }
+}
+
+#[test]
+fn churn_differential_on_ktrees_all_backends() {
+    for seed in 0..CHURN_SEEDS {
+        let mut rng = SmallRng::seed_from_u64(7000 + seed);
+        let n = 40 + (seed as usize % 80);
+        let g = gen::ktree(n, 3, &mut rng);
+        let k = 1 + (seed as usize % (n / 4));
+        let parts = gen::random_connected_parts(&g, k, &mut rng);
+        churn_differential(&g, parts, &mut rng, &format!("ktree churn seed {seed}"));
+    }
+}
+
+/// The full op surface under churn, small instance: MST under
+/// `update_weights`, components and mincut across partition churn, all
+/// three backends. Weighted/topology-scoped artifacts must read the
+/// current epoch-checked inputs, never a stale cache.
+#[test]
+fn all_ops_stay_differential_under_churn() {
+    let g = gen::grid(6, 6);
+    let mut rng = SmallRng::seed_from_u64(42);
+    let weights = EdgeWeights::random_unique(&g, &mut rng);
+    for (name, backend) in backends() {
+        let mut session = Session::on(&g)
+            .partition(gen::rows_of_grid(6, 6))
+            .backend(backend.clone())
+            .config(fast_config())
+            .build()
+            .unwrap();
+        // Weighted op before and after a sparse weight update.
+        let mst_before = session.mst(&weights);
+        assert_eq!(mst_before.result.edges, kruskal(&g, &weights), "{name}");
+        let mut bumped = weights.clone();
+        bumped.update(&[(EdgeId(0), 1_000_000), (EdgeId(7), 2)]);
+        session.update_weights(&[(EdgeId(0), 1_000_000), (EdgeId(7), 2)]);
+        let mst_after = session.run(low_congestion_shortcuts::facade::MstOp);
+        assert_eq!(
+            mst_after.result.edges,
+            kruskal(&g, &bumped),
+            "{name}: MST must read the updated weights, not a stale artifact"
+        );
+
+        // Partition churn must not disturb topology-scoped results.
+        let comps_before = session.components();
+        let cut_before = session.mincut();
+        let _ = reassign_one_boundary_node(&mut session).expect("grid rows have valid moves");
+        assert_ops_match_fresh(
+            &mut session,
+            &backend,
+            &(0..36u64).collect::<Vec<_>>(),
+            &format!("all-ops/{name}"),
+        );
+        let comps_after = session.components();
+        let cut_after = session.mincut();
+        assert_eq!(
+            comps_before.result.count, comps_after.result.count,
+            "{name}"
+        );
+        assert_eq!(
+            comps_before.result.label, comps_after.result.label,
+            "{name}"
+        );
+        assert_eq!(
+            cut_before.result.estimate, cut_after.result.estimate,
+            "{name}: mincut is partition-independent"
+        );
+    }
+}
+
 /// The algorithm surface: MST ≡ Kruskal, components ≡ centralized count,
 /// mincut ≥ exact, all driven through one session without a partition.
 #[test]
@@ -200,7 +424,7 @@ fn unicast_uses_the_tree_without_constructing_shortcuts() {
     let out = session.unicast(&demands);
     assert_eq!(out.result.delivered, 16);
     assert_eq!(
-        session.constructions(),
+        session.cache_stats().full.builds,
         0,
         "routing must not build shortcuts"
     );
@@ -225,7 +449,7 @@ fn deserialized_shortcut_serves_a_fresh_session() {
     let out = serving.aggregate(&values, AggOp::Sum);
     assert_eq!(out.result.results, vec![Some(6); 6]);
     assert_eq!(
-        serving.constructions(),
+        serving.cache_stats().full.builds,
         0,
         "served from the provided artifact"
     );
@@ -270,6 +494,71 @@ const SNAPSHOT: &str = "{\"shortcut\":{\"initial_delta_hat\":1,\"congestion_fact
 \"unicast\":{\"delay_range\":0,\"seed\":1047,\"sim\":null},\
 \"mst\":{\"seed\":11577874,\"max_phases\":null,\"skip_small_fragments\":true,\"sim\":null},\
 \"mincut\":{\"trees\":null,\"sim\":null}}";
+
+/// `CacheStats` is the serde-able observability surface a serving daemon
+/// exports — the counters must survive a round trip untouched.
+#[test]
+fn cache_stats_roundtrip_through_serde() {
+    let g = gen::grid(6, 6);
+    let mut session = Session::on(&g)
+        .partition(gen::rows_of_grid(6, 6))
+        .config(fast_config())
+        .build()
+        .unwrap();
+    let values: Vec<u64> = (0..36).collect();
+    let _ = session.aggregate(&values, AggOp::Sum);
+    let _ = session.aggregate(&values, AggOp::Max);
+    let _ = reassign_one_boundary_node(&mut session).expect("grid rows have valid moves");
+    let _ = session.aggregate(&values, AggOp::Min);
+    let stats = *session.cache_stats();
+    assert_eq!(stats.full.builds, 1);
+    assert_eq!(stats.recustomizations, 1);
+    assert!(stats.op_artifacts.builds >= 1);
+    assert_eq!(roundtrip(&stats), stats, "CacheStats serde round trip");
+}
+
+/// `message_packing = 0` survives serde verbatim (no silent schema
+/// rewrite) and is normalized to 1 in exactly one place — simulator
+/// construction — so a zero-packing config behaves bit-identically to an
+/// explicit 1.
+#[test]
+fn packing_zero_roundtrips_and_normalizes_at_construction() {
+    let zero = SimConfig {
+        message_packing: 0,
+        ..SimConfig::default()
+    };
+    let restored = roundtrip(&zero);
+    assert_eq!(
+        restored.message_packing, 0,
+        "serde must not rewrite the stored config"
+    );
+
+    let g = gen::grid(6, 6);
+    let run = |sim: SimConfig| {
+        let mut session = Session::on(&g)
+            .partition(gen::rows_of_grid(6, 6))
+            .backend(Backend::Distributed(sim))
+            .config(SessionConfig {
+                sim,
+                ..fast_config()
+            })
+            .build()
+            .unwrap();
+        let values: Vec<u64> = (0..36).collect();
+        session.aggregate(&values, AggOp::Sum)
+    };
+    let (zero_run, one_run) = (
+        run(restored),
+        run(SimConfig {
+            message_packing: 1,
+            ..SimConfig::default()
+        }),
+    );
+    assert_eq!(zero_run.result.results, one_run.result.results);
+    assert_eq!(zero_run.rounds, one_run.rounds);
+    assert_eq!(zero_run.messages, one_run.messages);
+    assert_eq!(zero_run.bits, one_run.bits);
+}
 
 #[test]
 fn legacy_configs_roundtrip() {
