@@ -8,7 +8,8 @@
 use crate::connectivity::{ComponentsOp, ComponentsReport};
 use crate::mincut::{MincutOp, MincutReport};
 use crate::mst::{MstOp, MstReport};
-use lcs_core::session::{OpReport, ShortcutSession};
+use lcs_core::session::{OpReport, SessionError, ShortcutSession};
+use lcs_graph::components;
 use lcs_graph::weights::EdgeWeights;
 
 /// Shortcut-based distributed algorithms served by a
@@ -49,6 +50,23 @@ pub trait SessionAlgoOps {
     /// [`approx_mincut_distributed`](crate::mincut::approx_mincut_distributed)
     /// semantics).
     fn mincut(&mut self) -> OpReport<MincutReport>;
+
+    /// [`mst`](Self::mst) with the weight vector validated up front: a
+    /// length mismatch or a weight outside the 31-bit budget the protocol
+    /// packs ids into comes back as a [`SessionError`] instead of a panic
+    /// — the entry point a serving process maps to structured 4xx
+    /// responses.
+    fn try_mst(&mut self, weights: &EdgeWeights) -> Result<OpReport<MstReport>, SessionError>;
+
+    /// [`components`](Self::components) behind the same fallible signature
+    /// as the other `try_` entry points (connectivity itself accepts any
+    /// graph, so this only fails on an empty graph).
+    fn try_components(&mut self) -> Result<OpReport<ComponentsReport>, SessionError>;
+
+    /// [`mincut`](Self::mincut) with the preconditions checked up front:
+    /// fewer than two nodes or a disconnected graph comes back as a
+    /// [`SessionError`] instead of a panic.
+    fn try_mincut(&mut self) -> Result<OpReport<MincutReport>, SessionError>;
 }
 
 impl SessionAlgoOps for ShortcutSession<'_> {
@@ -63,5 +81,96 @@ impl SessionAlgoOps for ShortcutSession<'_> {
 
     fn mincut(&mut self) -> OpReport<MincutReport> {
         self.run(MincutOp)
+    }
+
+    fn try_mst(&mut self, weights: &EdgeWeights) -> Result<OpReport<MstReport>, SessionError> {
+        if self.graph().num_nodes() == 0 {
+            return Err(SessionError::GraphTooSmall { need: 1, have: 0 });
+        }
+        if weights.len() != self.graph().num_edges() {
+            return Err(SessionError::WeightCountMismatch {
+                got: weights.len(),
+                expected: self.graph().num_edges(),
+            });
+        }
+        if let Some((edge, weight)) = weights.iter().find(|&(_, w)| w >= (1 << 31)) {
+            return Err(SessionError::WeightTooLarge { edge, weight });
+        }
+        Ok(self.mst(weights))
+    }
+
+    fn try_components(&mut self) -> Result<OpReport<ComponentsReport>, SessionError> {
+        if self.graph().num_nodes() == 0 {
+            return Err(SessionError::GraphTooSmall { need: 1, have: 0 });
+        }
+        Ok(self.components())
+    }
+
+    fn try_mincut(&mut self) -> Result<OpReport<MincutReport>, SessionError> {
+        if self.graph().num_nodes() < 2 {
+            return Err(SessionError::GraphTooSmall {
+                need: 2,
+                have: self.graph().num_nodes(),
+            });
+        }
+        if !components::is_connected(self.graph()) {
+            return Err(SessionError::GraphDisconnected);
+        }
+        Ok(self.mincut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_core::session::Session;
+    use lcs_graph::{gen, EdgeId, Graph};
+
+    #[test]
+    fn try_mst_validates_weights() {
+        let g = gen::grid(4, 4);
+        let mut s = Session::on(&g).build().unwrap();
+        let short = EdgeWeights::unit(&gen::path(3));
+        assert_eq!(
+            s.try_mst(&short).unwrap_err(),
+            SessionError::WeightCountMismatch {
+                got: 2,
+                expected: g.num_edges()
+            }
+        );
+        let mut heavy = EdgeWeights::unit(&g);
+        *heavy.weight_mut(EdgeId(1)) = 1 << 31;
+        assert_eq!(
+            s.try_mst(&heavy).unwrap_err(),
+            SessionError::WeightTooLarge {
+                edge: EdgeId(1),
+                weight: 1 << 31
+            }
+        );
+        let ok = s.try_mst(&EdgeWeights::unit(&g)).expect("valid weights");
+        assert_eq!(ok.result.edges.len(), 15);
+    }
+
+    #[test]
+    fn try_mincut_validates_preconditions() {
+        let single = gen::path(1);
+        let mut s = Session::on(&single).build().unwrap();
+        assert_eq!(
+            s.try_mincut().unwrap_err(),
+            SessionError::GraphTooSmall { need: 2, have: 1 }
+        );
+
+        // Two isolated nodes: disconnected.
+        let disconnected = Graph::from_edges(2, Vec::<(u32, u32)>::new());
+        let mut s = Session::on(&disconnected).build().unwrap();
+        assert_eq!(s.try_mincut().unwrap_err(), SessionError::GraphDisconnected);
+
+        let g = gen::cycle(6);
+        let mut s = Session::on(&g).build().unwrap();
+        assert_eq!(
+            s.try_mincut().expect("cycle is connected").result.estimate,
+            2
+        );
+        assert_eq!(s.try_components().expect("non-empty").result.count, 1);
     }
 }

@@ -85,11 +85,190 @@ use lcs_graph::{bfs, EdgeId, Graph, NodeId, PartId, RootedTree};
 use serde::{Deserialize, Serialize};
 use std::any::{Any, TypeId};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
 use std::sync::Arc;
 
 const NO_PARTITION: &str = "this session has no partition — pass .partition(..) to the builder";
 const NO_WEIGHTS: &str =
     "this session has no weights — pass .weights(..) to the builder or call set_weights(..)";
+
+/// Everything that can go wrong when driving a [`ShortcutSession`] — the
+/// typed form of what the panicking accessors report. The `try_*` methods
+/// (and the `try_*` operation entry points in `lcs_partwise` /
+/// `lcs_algos`) return this, so a long-lived serving process can turn
+/// every misuse into a structured error response instead of a dead worker
+/// thread. The panicking accessors are thin wrappers that `panic!` with
+/// this error's [`Display`](fmt::Display) message, so panic texts and
+/// error texts never drift apart.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// The session was built without a partition (partition-based ops
+    /// require `.partition(..)` on the builder).
+    NoPartition,
+    /// The session has no weights — pass `.weights(..)` to the builder or
+    /// call [`set_weights`](ShortcutSession::set_weights).
+    NoWeights,
+    /// A shared-reference accessor ([`ShortcutSession::shortcut_ref`] /
+    /// [`ShortcutSession::tree_ref`]) was called before the artifact was
+    /// built — call [`prepare`](ShortcutSession::prepare) first.
+    NotPrepared {
+        /// The artifact that was requested ("shortcut" or "tree").
+        artifact: &'static str,
+    },
+    /// A shared-reference accessor found its cached artifact stale: an
+    /// input was mutated since it was built — call
+    /// [`prepare`](ShortcutSession::prepare) again.
+    Stale {
+        /// The artifact that was requested ("shortcut" or "tree").
+        artifact: &'static str,
+    },
+    /// A partial shortcut was requested for `δ̂ = 0`.
+    ZeroDeltaHat,
+    /// A partition mutation failed validation; the session is unchanged.
+    Partition(PartitionError),
+    /// A node id exceeds the graph's node count.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the session graph.
+        num_nodes: usize,
+    },
+    /// A part id exceeds the partition's part count.
+    PartOutOfRange {
+        /// The offending part.
+        part: PartId,
+        /// Number of parts in the session partition.
+        num_parts: usize,
+    },
+    /// An edge id exceeds the graph's edge count.
+    EdgeOutOfRange {
+        /// The offending edge.
+        edge: EdgeId,
+        /// Number of edges in the session graph.
+        num_edges: usize,
+    },
+    /// A weight vector's length differs from the graph's edge count.
+    WeightCountMismatch {
+        /// Provided number of weights.
+        got: usize,
+        /// The graph's edge count.
+        expected: usize,
+    },
+    /// A weight exceeds the 31-bit budget the MST protocol packs ids into.
+    WeightTooLarge {
+        /// The offending edge.
+        edge: EdgeId,
+        /// Its proposed weight.
+        weight: u64,
+    },
+    /// A per-node value vector's length differs from the node count.
+    ValueCountMismatch {
+        /// Provided number of values.
+        got: usize,
+        /// The graph's node count.
+        expected: usize,
+    },
+    /// A per-part leader vector's length differs from the part count.
+    LeaderCountMismatch {
+        /// Provided number of leaders.
+        got: usize,
+        /// The partition's part count.
+        expected: usize,
+    },
+    /// A proposed aggregation leader does not belong to the part it is
+    /// supposed to lead.
+    LeaderNotInPart {
+        /// The offending leader node.
+        leader: NodeId,
+        /// Index of the part it was proposed for.
+        part: usize,
+    },
+    /// A unicast demand routes a packet to its own source.
+    UnicastSelfLoop {
+        /// Index of the offending `(source, target)` pair.
+        packet: usize,
+    },
+    /// The operation needs a larger graph (e.g. min-cut on < 2 nodes).
+    GraphTooSmall {
+        /// Minimum node count the operation supports.
+        need: usize,
+        /// The graph's node count.
+        have: usize,
+    },
+    /// The operation requires a connected graph.
+    GraphDisconnected,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoPartition => f.write_str(NO_PARTITION),
+            Self::NoWeights => f.write_str(NO_WEIGHTS),
+            Self::NotPrepared { artifact } => {
+                write!(f, "{artifact} not prepared — call prepare() first")
+            }
+            Self::Stale { artifact } => write!(
+                f,
+                "{artifact} stale — an input changed since prepare(); call prepare() again"
+            ),
+            Self::ZeroDeltaHat => f.write_str("δ̂ must be at least 1"),
+            Self::Partition(e) => write!(f, "{e}"),
+            Self::NodeOutOfRange { node, num_nodes } => {
+                write!(
+                    f,
+                    "node {node:?} out of range — the graph has {num_nodes} nodes"
+                )
+            }
+            Self::PartOutOfRange { part, num_parts } => {
+                write!(
+                    f,
+                    "part {part:?} out of range — the partition has {num_parts} parts"
+                )
+            }
+            Self::EdgeOutOfRange { edge, num_edges } => {
+                write!(
+                    f,
+                    "edge {edge:?} out of range — the graph has {num_edges} edges"
+                )
+            }
+            Self::WeightCountMismatch { got, expected } => write!(
+                f,
+                "one weight per edge required — got {got}, the graph has {expected} edges"
+            ),
+            Self::WeightTooLarge { edge, weight } => write!(
+                f,
+                "weight {weight} on edge {edge:?} exceeds 2^31 - 1 — weights must fit in 31 bits"
+            ),
+            Self::ValueCountMismatch { got, expected } => write!(
+                f,
+                "one value per node required — got {got}, the graph has {expected} nodes"
+            ),
+            Self::LeaderCountMismatch { got, expected } => write!(
+                f,
+                "one leader per part required — got {got}, the partition has {expected} parts"
+            ),
+            Self::LeaderNotInPart { leader, part } => {
+                write!(f, "leader {leader:?} is not a member of part {part}")
+            }
+            Self::UnicastSelfLoop { packet } => {
+                write!(f, "source equals target for packet {packet}")
+            }
+            Self::GraphTooSmall { need, have } => write!(
+                f,
+                "operation needs at least {need} nodes — the graph has {have}"
+            ),
+            Self::GraphDisconnected => f.write_str("graph must be connected"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<PartitionError> for SessionError {
+    fn from(e: PartitionError) -> Self {
+        SessionError::Partition(e)
+    }
+}
 
 /// Where the session's spanning tree comes from.
 #[derive(Clone, Debug)]
@@ -752,9 +931,16 @@ impl<'g> ShortcutSession<'g> {
     /// # Panics
     ///
     /// Panics if the session was built without one (partition-based ops
-    /// require `.partition(..)` on the builder).
+    /// require `.partition(..)` on the builder). Use
+    /// [`try_partition`](Self::try_partition) for the fallible form.
     pub fn partition(&self) -> &Partition {
         self.partition.as_ref().expect(NO_PARTITION)
+    }
+
+    /// Fallible [`partition`](Self::partition): the session partition, or
+    /// [`SessionError::NoPartition`].
+    pub fn try_partition(&self) -> Result<&Partition, SessionError> {
+        self.partition.as_ref().ok_or(SessionError::NoPartition)
     }
 
     /// Whether weights were configured.
@@ -767,9 +953,16 @@ impl<'g> ShortcutSession<'g> {
     /// # Panics
     ///
     /// Panics if the session has no weights — pass `.weights(..)` to the
-    /// builder or call [`set_weights`](Self::set_weights).
+    /// builder or call [`set_weights`](Self::set_weights). Use
+    /// [`try_weights`](Self::try_weights) for the fallible form.
     pub fn weights(&self) -> &EdgeWeights {
         self.weights.as_ref().expect(NO_WEIGHTS)
+    }
+
+    /// Fallible [`weights`](Self::weights): the session weights, or
+    /// [`SessionError::NoWeights`].
+    pub fn try_weights(&self) -> Result<&EdgeWeights, SessionError> {
+        self.weights.as_ref().ok_or(SessionError::NoWeights)
     }
 
     /// The current epoch of every input.
@@ -847,13 +1040,37 @@ impl<'g> ShortcutSession<'g> {
     /// # Panics
     ///
     /// Panics if the session has no partition, or a target part id is out
-    /// of range.
+    /// of range. Use [`try_reassign_parts`](Self::try_reassign_parts) for
+    /// the fully fallible form.
     pub fn reassign_parts(
         &mut self,
         moves: &[(NodeId, PartId)],
     ) -> Result<Vec<PartId>, PartitionError> {
-        let current = self.partition.as_ref().expect(NO_PARTITION);
-        let (next, touched) = current.reassign(self.g, moves)?;
+        match self.try_reassign_parts(moves) {
+            Ok(touched) => Ok(touched),
+            Err(SessionError::Partition(e)) => Err(e),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`reassign_parts`](Self::reassign_parts) with every misuse turned
+    /// into a typed error: a missing partition and an out-of-range target
+    /// part id are reported as [`SessionError::NoPartition`] /
+    /// [`SessionError::PartOutOfRange`] instead of a panic, and validation
+    /// failures as [`SessionError::Partition`]. On any `Err` the session
+    /// is unchanged.
+    pub fn try_reassign_parts(
+        &mut self,
+        moves: &[(NodeId, PartId)],
+    ) -> Result<Vec<PartId>, SessionError> {
+        let current = self.partition.as_ref().ok_or(SessionError::NoPartition)?;
+        let num_parts = current.num_parts();
+        if let Some(&(_, part)) = moves.iter().find(|(_, p)| p.index() >= num_parts) {
+            return Err(SessionError::PartOutOfRange { part, num_parts });
+        }
+        let (next, touched) = current
+            .reassign(self.g, moves)
+            .map_err(SessionError::Partition)?;
         if touched.is_empty() {
             return Ok(touched);
         }
@@ -870,18 +1087,29 @@ impl<'g> ShortcutSession<'g> {
     ///
     /// # Panics
     ///
-    /// Panics if the length differs from the graph's edge count.
+    /// Panics if the length differs from the graph's edge count. Use
+    /// [`try_set_weights`](Self::try_set_weights) for the fallible form.
     pub fn set_weights(&mut self, weights: EdgeWeights) {
-        assert_eq!(
-            weights.len(),
-            self.g.num_edges(),
-            "one weight per edge required"
-        );
+        self.try_set_weights(weights)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`set_weights`](Self::set_weights) with the length mismatch
+    /// reported as [`SessionError::WeightCountMismatch`] instead of a
+    /// panic. On `Err` the session is unchanged.
+    pub fn try_set_weights(&mut self, weights: EdgeWeights) -> Result<(), SessionError> {
+        if weights.len() != self.g.num_edges() {
+            return Err(SessionError::WeightCountMismatch {
+                got: weights.len(),
+                expected: self.g.num_edges(),
+            });
+        }
         if self.weights.as_ref() == Some(&weights) {
-            return;
+            return Ok(());
         }
         self.weights = Some(weights);
         self.epochs.bump(Input::Weights);
+        Ok(())
     }
 
     /// Applies sparse `(edge, new_weight)` updates to the session weights
@@ -890,14 +1118,30 @@ impl<'g> ShortcutSession<'g> {
     /// # Panics
     ///
     /// Panics if the session has no weights, or an edge id is out of
-    /// range.
+    /// range. Use [`try_update_weights`](Self::try_update_weights) for the
+    /// fallible form.
     pub fn update_weights(&mut self, changes: &[(EdgeId, u64)]) {
-        let w = self.weights.as_mut().expect(NO_WEIGHTS);
+        self.try_update_weights(changes)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`update_weights`](Self::update_weights) with typed errors: a
+    /// missing weight vector is [`SessionError::NoWeights`], an
+    /// out-of-range edge id [`SessionError::EdgeOutOfRange`]. Validation
+    /// is atomic (via [`EdgeWeights::try_update`]): on `Err` no weight was
+    /// written and no epoch bumped, so the serving state stays consistent.
+    pub fn try_update_weights(&mut self, changes: &[(EdgeId, u64)]) -> Result<(), SessionError> {
+        let w = self.weights.as_mut().ok_or(SessionError::NoWeights)?;
         if changes.is_empty() {
-            return;
+            return Ok(());
         }
-        w.update(changes);
+        w.try_update(changes)
+            .map_err(|e| SessionError::EdgeOutOfRange {
+                edge: e.edge,
+                num_edges: e.num_edges,
+            })?;
         self.epochs.bump(Input::Weights);
+        Ok(())
     }
 
     /// The session's spanning tree (computed on first access).
@@ -926,14 +1170,41 @@ impl<'g> ShortcutSession<'g> {
 
     /// The full-shortcut artifact (constructed on first access via the
     /// session backend).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has no partition and no fresh provided
+    /// shortcut. Use [`try_full_artifact`](Self::try_full_artifact) for
+    /// the fallible form.
     pub fn full_artifact(&mut self) -> &FullArtifact {
+        self.try_full_artifact().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`full_artifact`](Self::full_artifact) with the missing partition
+    /// reported as [`SessionError::NoPartition`] instead of a panic. A
+    /// caller-provided shortcut whose cached slot is still fresh is served
+    /// without requiring a partition, exactly like the panicking path.
+    pub fn try_full_artifact(&mut self) -> Result<&FullArtifact, SessionError> {
+        let fresh = self
+            .full
+            .as_ref()
+            .is_some_and(|s| s.fresh(&self.epochs, deps::SHORTCUT));
+        if !fresh && self.partition.is_none() {
+            return Err(SessionError::NoPartition);
+        }
         self.ensure_full();
-        &self.full.as_ref().expect("just built").value
+        Ok(&self.full.as_ref().expect("just built").value)
     }
 
     /// The served full shortcut.
     pub fn shortcut(&mut self) -> &Shortcut {
         &self.full_artifact().shortcut
+    }
+
+    /// [`shortcut`](Self::shortcut) with the missing partition reported as
+    /// [`SessionError::NoPartition`] instead of a panic.
+    pub fn try_shortcut(&mut self) -> Result<&Shortcut, SessionError> {
+        self.try_full_artifact().map(|f| &f.shortcut)
     }
 
     /// Final `δ̂` of the doubling search (0 for provided shortcuts).
@@ -956,9 +1227,23 @@ impl<'g> ShortcutSession<'g> {
     /// partition (measured once, cached; after
     /// [`reassign_parts`](Self::reassign_parts) only the touched parts'
     /// rows are re-measured).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has no partition. Use
+    /// [`try_quality`](Self::try_quality) for the fallible form.
     pub fn quality(&mut self) -> &QualityReport {
+        self.try_quality().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`quality`](Self::quality) with the missing partition reported as
+    /// [`SessionError::NoPartition`] instead of a panic.
+    pub fn try_quality(&mut self) -> Result<&QualityReport, SessionError> {
+        if self.partition.is_none() {
+            return Err(SessionError::NoPartition);
+        }
         self.ensure_quality();
-        &self.quality.as_ref().expect("just ensured").value
+        Ok(&self.quality.as_ref().expect("just ensured").value)
     }
 
     /// Shared handle to the cached quality report, if the session has a
@@ -1141,34 +1426,51 @@ impl<'g> ShortcutSession<'g> {
     /// [`prepare`](Self::prepare) or [`shortcut`](Self::shortcut) first),
     /// or if it went stale because an input was mutated since — references
     /// obtained before a mutation must be re-fetched through
-    /// [`prepare`](Self::prepare).
+    /// [`prepare`](Self::prepare). Use
+    /// [`try_shortcut_ref`](Self::try_shortcut_ref) for the fallible form.
     pub fn shortcut_ref(&self) -> &Shortcut {
-        let slot = self
-            .full
-            .as_ref()
-            .expect("shortcut not prepared — call prepare() first");
-        assert!(
-            slot.fresh(&self.epochs, deps::SHORTCUT),
-            "shortcut stale — an input changed since prepare(); call prepare() again"
-        );
-        &slot.value.shortcut
+        self.try_shortcut_ref().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`shortcut_ref`](Self::shortcut_ref) with the misuse states as
+    /// typed errors instead of panics: a never-built artifact is
+    /// [`SessionError::NotPrepared`], a cached-but-stale one
+    /// [`SessionError::Stale`]. A long-lived server uses this to turn a
+    /// client racing its own mutation into a structured error response
+    /// rather than a dead worker.
+    pub fn try_shortcut_ref(&self) -> Result<&Shortcut, SessionError> {
+        let slot = self.full.as_ref().ok_or(SessionError::NotPrepared {
+            artifact: "shortcut",
+        })?;
+        if !slot.fresh(&self.epochs, deps::SHORTCUT) {
+            return Err(SessionError::Stale {
+                artifact: "shortcut",
+            });
+        }
+        Ok(&slot.value.shortcut)
     }
 
     /// Shared reference to the cached tree.
     ///
     /// # Panics
     ///
-    /// Panics like [`shortcut_ref`](Self::shortcut_ref).
+    /// Panics like [`shortcut_ref`](Self::shortcut_ref). Use
+    /// [`try_tree_ref`](Self::try_tree_ref) for the fallible form.
     pub fn tree_ref(&self) -> &RootedTree {
+        self.try_tree_ref().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`tree_ref`](Self::tree_ref) with the misuse states as typed errors
+    /// instead of panics, like [`try_shortcut_ref`](Self::try_shortcut_ref).
+    pub fn try_tree_ref(&self) -> Result<&RootedTree, SessionError> {
         let slot = self
             .tree
             .as_ref()
-            .expect("tree not prepared — call prepare() first");
-        assert!(
-            slot.fresh(&self.epochs, deps::TREE),
-            "tree stale — an input changed since prepare(); call prepare() again"
-        );
-        &slot.value
+            .ok_or(SessionError::NotPrepared { artifact: "tree" })?;
+        if !slot.fresh(&self.epochs, deps::TREE) {
+            return Err(SessionError::Stale { artifact: "tree" });
+        }
+        Ok(&slot.value)
     }
 
     /// The per-`δ̂` partial shortcut (one Theorem 3.1 sweep over all parts),
@@ -1177,9 +1479,23 @@ impl<'g> ShortcutSession<'g> {
     ///
     /// # Panics
     ///
-    /// Panics if `δ̂ = 0` or the session has no partition.
+    /// Panics if `δ̂ = 0` or the session has no partition. Use
+    /// [`try_partial`](Self::try_partial) for the fallible form.
     pub fn partial(&mut self, delta_hat: u32) -> &PartialArtifact {
-        assert!(delta_hat >= 1, "δ̂ must be at least 1");
+        self.try_partial(delta_hat)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`partial`](Self::partial) with `δ̂ = 0` reported as
+    /// [`SessionError::ZeroDeltaHat`] and a missing partition as
+    /// [`SessionError::NoPartition`] instead of panics.
+    pub fn try_partial(&mut self, delta_hat: u32) -> Result<&PartialArtifact, SessionError> {
+        if delta_hat == 0 {
+            return Err(SessionError::ZeroDeltaHat);
+        }
+        if self.partition.is_none() {
+            return Err(SessionError::NoPartition);
+        }
         let now = self.epochs;
         let stale = self
             .partials
@@ -1196,7 +1512,7 @@ impl<'g> ShortcutSession<'g> {
         } else {
             self.stats.partials.hits += 1;
         }
-        &self.partials.get(&delta_hat).expect("just inserted").value
+        Ok(&self.partials.get(&delta_hat).expect("just inserted").value)
     }
 
     /// Drives one operation over the cached artifacts. Equivalent to the
@@ -1935,5 +2251,166 @@ mod tests {
         assert_eq!(cfg.unicast_sim(), over);
         assert_eq!(cfg.mst_sim(), cfg.sim);
         assert_eq!(cfg.mincut_sim(), cfg.sim);
+    }
+
+    #[test]
+    fn try_refs_report_lifecycle_states() {
+        let mut s = grid_session(5);
+        // Never prepared: both shared-reference accessors are NotPrepared.
+        assert_eq!(
+            s.try_shortcut_ref().unwrap_err(),
+            SessionError::NotPrepared {
+                artifact: "shortcut"
+            }
+        );
+        assert_eq!(
+            s.try_tree_ref().unwrap_err(),
+            SessionError::NotPrepared { artifact: "tree" }
+        );
+        s.prepare();
+        assert!(s.try_shortcut_ref().is_ok());
+        assert!(s.try_tree_ref().is_ok());
+        // Partition churn stales the shortcut (the tree does not depend on
+        // the partition, so it stays fresh).
+        s.reassign_parts(&[(NodeId(0), PartId(1))])
+            .expect("row move keeps parts connected");
+        assert_eq!(
+            s.try_shortcut_ref().unwrap_err(),
+            SessionError::Stale {
+                artifact: "shortcut"
+            }
+        );
+        assert!(s.try_tree_ref().is_ok());
+        s.prepare();
+        assert!(s.try_shortcut_ref().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "shortcut stale — an input changed since prepare()")]
+    fn shortcut_ref_panic_message_is_unchanged() {
+        let mut s = grid_session(5);
+        s.prepare();
+        s.reassign_parts(&[(NodeId(0), PartId(1))])
+            .expect("row move keeps parts connected");
+        let _ = s.shortcut_ref();
+    }
+
+    #[test]
+    fn try_accessors_report_missing_inputs() {
+        let g = gen::path(4);
+        let mut s = Session::on(&g).build().unwrap();
+        assert_eq!(s.try_partition().unwrap_err(), SessionError::NoPartition);
+        assert_eq!(s.try_weights().unwrap_err(), SessionError::NoWeights);
+        assert_eq!(s.try_quality().unwrap_err(), SessionError::NoPartition);
+        assert_eq!(
+            s.try_full_artifact().unwrap_err(),
+            SessionError::NoPartition
+        );
+        assert_eq!(s.try_partial(1).unwrap_err(), SessionError::NoPartition);
+        assert_eq!(
+            s.try_update_weights(&[(EdgeId(0), 2)]).unwrap_err(),
+            SessionError::NoWeights
+        );
+    }
+
+    #[test]
+    fn try_partial_rejects_zero_delta_hat() {
+        let mut s = grid_session(4);
+        assert_eq!(s.try_partial(0).unwrap_err(), SessionError::ZeroDeltaHat);
+        assert!(s.try_partial(1).is_ok());
+    }
+
+    #[test]
+    fn try_update_weights_validates_edges_atomically() {
+        let mut s = grid_session(4);
+        let m = s.graph().num_edges();
+        s.set_weights(EdgeWeights::unit(s.graph()));
+        let before = s.epochs();
+        let err = s
+            .try_update_weights(&[(EdgeId(0), 7), (EdgeId(m as u32), 9)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::EdgeOutOfRange {
+                edge: EdgeId(m as u32),
+                num_edges: m
+            }
+        );
+        // Rejected updates leave weights and epochs untouched.
+        assert_eq!(s.epochs(), before);
+        assert_eq!(s.weights().weight(EdgeId(0)), 1);
+        s.try_update_weights(&[(EdgeId(0), 7)]).expect("in range");
+        assert_eq!(s.weights().weight(EdgeId(0)), 7);
+    }
+
+    #[test]
+    fn try_set_weights_validates_length() {
+        let mut s = grid_session(4);
+        let g2 = gen::path(3);
+        let err = s.try_set_weights(EdgeWeights::unit(&g2)).unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::WeightCountMismatch {
+                got: 2,
+                expected: s.graph().num_edges()
+            }
+        );
+        assert!(
+            s.try_weights().is_err(),
+            "rejected weights are not installed"
+        );
+    }
+
+    #[test]
+    fn try_reassign_parts_reports_typed_errors() {
+        let mut s = grid_session(4);
+        let parts = s.partition().num_parts();
+        // Target part out of range: typed error instead of the panic the
+        // legacy `reassign_parts` keeps.
+        let err = s
+            .try_reassign_parts(&[(NodeId(0), PartId(parts as u32))])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::PartOutOfRange {
+                part: PartId(parts as u32),
+                num_parts: parts
+            }
+        );
+        // Node out of range flows through as a wrapped PartitionError.
+        let n = s.graph().num_nodes();
+        let err = s
+            .try_reassign_parts(&[(NodeId(n as u32), PartId(0))])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::Partition(PartitionError::OutOfRange(NodeId(n as u32)))
+        );
+        // And the happy path still reassigns.
+        let touched = s
+            .try_reassign_parts(&[(NodeId(0), PartId(1))])
+            .expect("row move keeps parts connected");
+        assert_eq!(touched.len(), 2);
+    }
+
+    #[test]
+    fn session_error_display_matches_legacy_messages() {
+        assert_eq!(SessionError::NoPartition.to_string(), NO_PARTITION);
+        assert_eq!(SessionError::NoWeights.to_string(), NO_WEIGHTS);
+        assert_eq!(
+            SessionError::NotPrepared {
+                artifact: "shortcut"
+            }
+            .to_string(),
+            "shortcut not prepared — call prepare() first"
+        );
+        assert_eq!(
+            SessionError::Stale { artifact: "tree" }.to_string(),
+            "tree stale — an input changed since prepare(); call prepare() again"
+        );
+        assert_eq!(
+            SessionError::ZeroDeltaHat.to_string(),
+            "δ̂ must be at least 1"
+        );
     }
 }

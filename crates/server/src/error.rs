@@ -1,0 +1,130 @@
+//! Structured API errors and their HTTP status mapping.
+//!
+//! Every handler failure flows through [`ApiError`], which renders as a
+//! JSON object `{"error": <code>, "message": <text>, "status": <n>}`. The
+//! status mapping is part of the API contract:
+//!
+//! | status | code             | meaning                                   |
+//! |--------|------------------|-------------------------------------------|
+//! | 400    | `malformed_json` | body is not valid JSON (or not UTF-8)     |
+//! | 404    | `not_found`      | unknown session id or endpoint            |
+//! | 405    | `method_not_allowed` | known path, wrong HTTP method         |
+//! | 409    | `invalid_mutation` | a mutation failed validation; session unchanged |
+//! | 413    | `body_too_large` | request body exceeds the configured cap   |
+//! | 422    | `bad_args`       | well-formed body with invalid op arguments |
+//! | 500    | `internal_panic` | a handler panicked (counted, worker survives) |
+
+use lcs_core::session::SessionError;
+use lcs_core::PartitionError;
+use serde::Value;
+use std::fmt;
+
+/// A structured, HTTP-mappable handler error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable machine-readable error code.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    /// 400 — the body is not parseable JSON.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 400,
+            code: "malformed_json",
+            message: message.into(),
+        }
+    }
+
+    /// 404 — unknown session or endpoint.
+    pub fn not_found(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 404,
+            code: "not_found",
+            message: message.into(),
+        }
+    }
+
+    /// 405 — the path exists but not for this method.
+    pub fn method_not_allowed(method: &str, path: &str) -> Self {
+        ApiError {
+            status: 405,
+            code: "method_not_allowed",
+            message: format!("{method} is not supported on {path}"),
+        }
+    }
+
+    /// 409 — a mutation failed validation; the session is unchanged.
+    pub fn conflict(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 409,
+            code: "invalid_mutation",
+            message: message.into(),
+        }
+    }
+
+    /// 413 — the request body exceeds the configured cap.
+    pub fn too_large(limit: usize) -> Self {
+        ApiError {
+            status: 413,
+            code: "body_too_large",
+            message: format!("request body exceeds the {limit}-byte limit"),
+        }
+    }
+
+    /// 422 — the body parsed but the op arguments are invalid.
+    pub fn bad_args(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 422,
+            code: "bad_args",
+            message: message.into(),
+        }
+    }
+
+    /// 500 — a handler panicked; the worker caught it and kept serving.
+    pub fn internal_panic() -> Self {
+        ApiError {
+            status: 500,
+            code: "internal_panic",
+            message: "handler panicked; the worker caught it and keeps serving".to_string(),
+        }
+    }
+
+    /// The JSON body of this error.
+    pub fn to_body(&self) -> Value {
+        Value::object([
+            ("error", Value::Str(self.code.to_string())),
+            ("message", Value::Str(self.message.clone())),
+            ("status", Value::U64(u64::from(self.status))),
+        ])
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.status, self.code, self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<SessionError> for ApiError {
+    fn from(e: SessionError) -> Self {
+        match e {
+            // Mutations that failed validation leave the session unchanged
+            // — the 409 class the mutation API promises.
+            SessionError::Partition(_) => ApiError::conflict(e.to_string()),
+            _ => ApiError::bad_args(e.to_string()),
+        }
+    }
+}
+
+impl From<PartitionError> for ApiError {
+    fn from(e: PartitionError) -> Self {
+        ApiError::conflict(e.to_string())
+    }
+}

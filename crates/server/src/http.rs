@@ -1,0 +1,151 @@
+//! Minimal HTTP/1.1 framing over `std::net` — just enough for a JSON API:
+//! request-line + headers + `Content-Length` bodies, keep-alive by
+//! default, no chunked encoding, no TLS. Header blocks are capped at 16
+//! KiB and bodies at the server's configured limit; both caps fail fast
+//! with a structured status instead of buffering unbounded input.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Maximum size of the request line + headers.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-cased HTTP method.
+    pub method: String,
+    /// Request path (query strings are not used by this API).
+    pub path: String,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean end of stream before any request bytes (keep-alive close).
+    Closed,
+    /// Socket error or read timeout mid-request.
+    Io(std::io::Error),
+    /// The head or body violates HTTP framing.
+    Malformed(String),
+    /// `Content-Length` exceeds the configured body cap; holds the cap.
+    /// The header block was consumed, so a 413 can still be written.
+    TooLarge(usize),
+}
+
+/// Reads one request from the stream. `max_body` bounds the declared
+/// `Content-Length`; anything larger is rejected before reading the body.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    // Byte-at-a-time until CRLFCRLF: bodies must not be consumed into a
+    // buffered reader that outlives this request on a keep-alive stream.
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                if head.is_empty() {
+                    return Err(ReadError::Closed);
+                }
+                return Err(ReadError::Malformed("truncated request head".to_string()));
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+        if head.len() > MAX_HEAD {
+            return Err(ReadError::Malformed("request head too large".to_string()));
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        // Tolerate bare-LF clients (e.g. hand-typed requests).
+        if head.ends_with(b"\n\n") {
+            break;
+        }
+    }
+
+    let head = String::from_utf8(head)
+        .map_err(|_| ReadError::Malformed("request head is not UTF-8".to_string()))?;
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("empty request line".to_string()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("request line has no path".to_string()))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!(
+            "unsupported protocol {version}"
+        )));
+    }
+
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| ReadError::Malformed("invalid Content-Length".to_string()))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+
+    if content_length > max_body {
+        return Err(ReadError::TooLarge(max_body));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(ReadError::Io)?;
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
+}
+
+/// Writes one JSON response. `keep_alive` mirrors the request's wish; the
+/// server closes the stream after `false`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {len}\r\nConnection: {conn}\r\n\r\n",
+        reason = reason(status),
+        len = body.len(),
+        conn = if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Canonical reason phrases for the statuses this API produces.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}

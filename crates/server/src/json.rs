@@ -1,0 +1,89 @@
+//! JSON plumbing over the vendored serde shim.
+//!
+//! The shim's [`Value`] tree implements neither `Serialize` nor
+//! `Deserialize` itself (it is the *target* of both traits), so the server
+//! wraps it in the local [`Json`] newtype to pass arbitrary request and
+//! response bodies through `serde_json`. Field extraction distinguishes
+//! the two client-error classes the API promises: a body that does not
+//! parse at all is a 400 (`malformed_json`), a body that parses but has
+//! the wrong shape is a 422 (`bad_args`).
+
+use crate::error::ApiError;
+use serde::de::DeserializeOwned;
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Local newtype making the shim's [`Value`] itself (de)serializable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Json(pub Value);
+
+impl Serialize for Json {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Json {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Json(v.clone()))
+    }
+}
+
+/// Parses a request body. An empty body is treated as the empty object so
+/// argument-free ops can be POSTed without a payload; anything else must
+/// be valid JSON (400 otherwise).
+pub fn parse(body: &[u8]) -> Result<Value, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("request body is not valid UTF-8"))?;
+    if text.trim().is_empty() {
+        return Ok(Value::Obj(Vec::new()));
+    }
+    serde_json::from_str::<Json>(text)
+        .map(|j| j.0)
+        .map_err(|e| ApiError::bad_request(format!("malformed JSON: {e}")))
+}
+
+/// Renders a response value to a JSON string. The server never produces
+/// non-finite floats, so rendering cannot fail.
+pub fn render(v: &Value) -> String {
+    serde_json::to_string(&Json(v.clone())).expect("server responses contain no non-finite floats")
+}
+
+/// The body as an object's field list (422 otherwise).
+pub fn object(v: &Value) -> Result<&[(String, Value)], ApiError> {
+    match v {
+        Value::Obj(fields) => Ok(fields),
+        _ => Err(ApiError::bad_args("request body must be a JSON object")),
+    }
+}
+
+/// Looks up a field, `None` when absent or `null`.
+pub fn lookup<'a>(v: &'a Value, name: &str) -> Option<&'a Value> {
+    match v {
+        Value::Obj(fields) => fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .filter(|v| !matches!(v, Value::Null)),
+        _ => None,
+    }
+}
+
+/// Deserializes a required field (422 when missing or mistyped).
+pub fn require<T: DeserializeOwned>(v: &Value, name: &str) -> Result<T, ApiError> {
+    object(v)?;
+    let field = lookup(v, name)
+        .ok_or_else(|| ApiError::bad_args(format!("missing required field `{name}`")))?;
+    T::from_value(field).map_err(|e| ApiError::bad_args(format!("field `{name}`: {e}")))
+}
+
+/// Deserializes an optional field (`None` when absent or `null`, 422 when
+/// present but mistyped).
+pub fn optional<T: DeserializeOwned>(v: &Value, name: &str) -> Result<Option<T>, ApiError> {
+    object(v)?;
+    match lookup(v, name) {
+        None => Ok(None),
+        Some(field) => T::from_value(field)
+            .map(Some)
+            .map_err(|e| ApiError::bad_args(format!("field `{name}`: {e}"))),
+    }
+}

@@ -1,0 +1,131 @@
+//! Lock-free serving metrics: request/response counters, a log₂-bucketed
+//! latency histogram, and the worker-panic tally the malformed-request
+//! barrage asserts on. Exported as JSON by `GET /metrics`.
+
+use serde::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ microsecond buckets (bucket `i` counts latencies in
+/// `[2^i, 2^(i+1))` µs; the last bucket absorbs the tail).
+const BUCKETS: usize = 32;
+
+/// Process-wide serving counters. All relaxed atomics — the numbers are
+/// observability, not synchronization.
+#[derive(Default)]
+pub struct Metrics {
+    /// Requests fully parsed and dispatched to a handler.
+    pub requests: AtomicU64,
+    /// 2xx responses.
+    pub ok: AtomicU64,
+    /// 4xx responses (structured client errors).
+    pub client_errors: AtomicU64,
+    /// 5xx responses (caught panics).
+    pub server_errors: AtomicU64,
+    /// Handler panics caught by the worker's `catch_unwind` fence. A
+    /// healthy server keeps this at zero; the worker survives either way.
+    pub worker_panics: AtomicU64,
+    latency: [AtomicU64; BUCKETS],
+}
+
+impl Metrics {
+    /// Records one response with its handler latency.
+    pub fn record(&self, status: u16, micros: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => &self.ok,
+            400..=499 => &self.client_errors,
+            _ => &self.server_errors,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Approximate latency quantile in microseconds (upper edge of the
+    /// histogram bucket holding the q-th response), 0 with no samples.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .latency
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+
+    /// The metrics as a JSON value.
+    pub fn to_value(&self) -> Value {
+        let histogram: Vec<Value> = self
+            .latency
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.load(Ordering::Relaxed) > 0)
+            .map(|(i, c)| {
+                Value::object([
+                    ("le_micros", Value::U64(1u64 << (i + 1))),
+                    ("count", Value::U64(c.load(Ordering::Relaxed))),
+                ])
+            })
+            .collect();
+        Value::object([
+            (
+                "requests",
+                Value::U64(self.requests.load(Ordering::Relaxed)),
+            ),
+            ("ok", Value::U64(self.ok.load(Ordering::Relaxed))),
+            (
+                "client_errors",
+                Value::U64(self.client_errors.load(Ordering::Relaxed)),
+            ),
+            (
+                "server_errors",
+                Value::U64(self.server_errors.load(Ordering::Relaxed)),
+            ),
+            (
+                "worker_panics",
+                Value::U64(self.worker_panics.load(Ordering::Relaxed)),
+            ),
+            ("p50_micros", Value::U64(self.quantile_micros(0.5))),
+            ("p99_micros", Value::U64(self.quantile_micros(0.99))),
+            ("latency_histogram", Value::Arr(histogram)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let m = Metrics::default();
+        for micros in [1, 2, 3, 100, 1000, 100_000] {
+            m.record(200, micros);
+        }
+        m.record(404, 50);
+        assert_eq!(m.requests.load(Ordering::Relaxed), 7);
+        assert_eq!(m.ok.load(Ordering::Relaxed), 6);
+        assert_eq!(m.client_errors.load(Ordering::Relaxed), 1);
+        // p50 of {1,2,3,50,100,1000,100000} lands in the bucket holding 50.
+        let p50 = m.quantile_micros(0.5);
+        assert!((4..=64).contains(&p50), "p50 bucket edge was {p50}");
+        assert!(m.quantile_micros(0.99) >= 65536);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.quantile_micros(0.5), 0);
+    }
+}

@@ -1,0 +1,727 @@
+//! Shared server state: the graph registry and the warm-session LRU.
+//!
+//! # Ownership and locking model
+//!
+//! `ShortcutSession<'g>` borrows its graph, so the daemon gives every
+//! served graph a `'static` lifetime by leaking it ([`Box::leak`]) into a
+//! **deduplicated, capacity-bounded registry** keyed by the canonical
+//! graph spec — the leak is deliberate and bounded: a graph is a few MB,
+//! the registry refuses new graphs past its cap (409), and identical
+//! specs share one allocation across all sessions.
+//!
+//! Sessions live behind a two-level locking scheme:
+//!
+//! 1. the registry's own [`Mutex`] guards the id → entry map and the LRU
+//!    order, and is held only for lookups/insertions (microseconds);
+//! 2. each [`SessionEntry`] wraps its `ShortcutSession` in a per-session
+//!    [`Mutex`] held for the duration of one op — concurrent clients on
+//!    *one* session serialize (the artifact cache is single-writer by
+//!    design), clients on *different* sessions run in parallel.
+//!
+//! Lock acquisition ignores poisoning (`PoisonError::into_inner`): a
+//! panicking handler must not condemn its session — the epoch-tracked
+//! artifact graph is kept consistent by the fallible `try_*` session APIs
+//! (validation happens before any state change), so the state behind a
+//! poisoned lock is still sound.
+//!
+//! The LRU is keyed by the canonical JSON of the full session spec
+//! `(graph, partition, backend, config)` — re-POSTing an identical spec
+//! returns the warm session (a *hit*) instead of rebuilding its artifacts,
+//! which is where the serve-many economics of the shortcut session come
+//! from. When the capacity is exceeded the least-recently-used session is
+//! dropped; in-flight requests holding its `Arc` finish undisturbed.
+
+use crate::error::ApiError;
+use crate::json;
+use crate::metrics::Metrics;
+use lcs_core::session::{Backend, Session, SessionConfig, ShortcutSession};
+use lcs_graph::weights::EdgeWeights;
+use lcs_graph::{gen, Graph, NodeId};
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Tunables of one server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Fixed worker-thread count.
+    pub workers: usize,
+    /// Request-body cap in bytes (413 beyond it).
+    pub max_body: usize,
+    /// Per-connection read/write timeout.
+    pub io_timeout: Duration,
+    /// Warm-session LRU capacity.
+    pub session_capacity: usize,
+    /// Distinct-graph cap (graphs are leaked; this bounds the leak).
+    pub graph_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_body: 1 << 20,
+            io_timeout: Duration::from_secs(10),
+            session_capacity: 16,
+            graph_capacity: 32,
+        }
+    }
+}
+
+/// Everything the workers share.
+pub struct AppState {
+    /// Server tunables.
+    pub config: ServerConfig,
+    /// Graph registry + session LRU.
+    pub registry: Registry,
+    /// Serving counters and latency histogram.
+    pub metrics: Metrics,
+    /// Set by `POST /shutdown` or [`crate::ServerHandle::shutdown`];
+    /// workers drain their current connection and exit.
+    pub shutdown: AtomicBool,
+    /// The bound address (filled in after bind).
+    pub addr: Mutex<Option<SocketAddr>>,
+    /// Clones of the live connections' streams, so shutdown can close
+    /// keep-alive connections whose workers are blocked waiting for the
+    /// next request (instead of waiting out the read timeout).
+    pub connections: Mutex<Vec<Option<TcpStream>>>,
+}
+
+impl AppState {
+    /// Fresh state for one server instance.
+    pub fn new(config: ServerConfig) -> Self {
+        let registry = Registry::new(config.graph_capacity, config.session_capacity);
+        AppState {
+            config,
+            registry,
+            metrics: Metrics::default(),
+            shutdown: AtomicBool::new(false),
+            addr: Mutex::new(None),
+            connections: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers a live connection; returns its slot for
+    /// [`unregister_connection`](Self::unregister_connection).
+    pub fn register_connection(&self, stream: &TcpStream) -> usize {
+        let clone = stream.try_clone().ok();
+        let mut slots = self
+            .connections
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(i) = slots.iter().position(Option::is_none) {
+            slots[i] = clone;
+            i
+        } else {
+            slots.push(clone);
+            slots.len() - 1
+        }
+    }
+
+    /// Frees a connection slot.
+    pub fn unregister_connection(&self, slot: usize) {
+        let mut slots = self
+            .connections
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(s) = slots.get_mut(slot) {
+            *s = None;
+        }
+    }
+
+    /// Force-closes every live connection so workers blocked reading the
+    /// next keep-alive request return immediately during shutdown.
+    pub fn close_connections(&self) {
+        let slots = self
+            .connections
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for stream in slots.iter().flatten() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// One warm session: the leaked graph it borrows, the canonical spec it
+/// was created from, and the session behind its per-session lock.
+pub struct SessionEntry {
+    /// Registry-assigned id (`s0`, `s1`, …).
+    pub id: String,
+    /// Canonical spec key (doubles as the LRU key).
+    pub spec_key: String,
+    /// The normalized spec, echoed by `GET /sessions`.
+    pub spec: Value,
+    /// The graph this session serves (leaked, shared, never freed).
+    pub graph: &'static Graph,
+    /// The warm session; see the module docs for the locking model.
+    pub session: Mutex<ShortcutSession<'static>>,
+}
+
+impl SessionEntry {
+    /// Locks the session, ignoring poisoning (see module docs).
+    pub fn lock(&self) -> MutexGuard<'_, ShortcutSession<'static>> {
+        self.session.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Point-in-time registry counters for `GET /metrics`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegistryStats {
+    /// `POST /sessions` calls answered by a warm session.
+    pub hits: u64,
+    /// `POST /sessions` calls that built a new session.
+    pub misses: u64,
+    /// Sessions dropped by the LRU bound.
+    pub evictions: u64,
+    /// Live sessions.
+    pub sessions: usize,
+    /// Distinct leaked graphs.
+    pub graphs: usize,
+}
+
+struct RegistryInner {
+    graphs: HashMap<String, &'static Graph>,
+    sessions: HashMap<String, Arc<SessionEntry>>,
+    by_spec: HashMap<String, String>,
+    /// LRU order of session ids, most recently used at the back.
+    order: VecDeque<String>,
+    next_id: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The graph registry and warm-session LRU (see module docs).
+pub struct Registry {
+    graph_capacity: usize,
+    session_capacity: usize,
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry with the given bounds.
+    pub fn new(graph_capacity: usize, session_capacity: usize) -> Self {
+        Registry {
+            graph_capacity,
+            session_capacity: session_capacity.max(1),
+            inner: Mutex::new(RegistryInner {
+                graphs: HashMap::new(),
+                sessions: HashMap::new(),
+                by_spec: HashMap::new(),
+                order: VecDeque::new(),
+                next_id: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    fn locked(&self) -> MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Resolves a session by id, refreshing its LRU position.
+    pub fn get(&self, id: &str) -> Option<Arc<SessionEntry>> {
+        let mut inner = self.locked();
+        let entry = inner.sessions.get(id).cloned()?;
+        inner.order.retain(|x| x != id);
+        inner.order.push_back(id.to_string());
+        Some(entry)
+    }
+
+    /// All live sessions, without touching the LRU order.
+    pub fn snapshot(&self) -> Vec<Arc<SessionEntry>> {
+        let inner = self.locked();
+        let mut all: Vec<_> = inner.sessions.values().cloned().collect();
+        all.sort_by(|a, b| a.id.cmp(&b.id));
+        all
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.locked();
+        RegistryStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            sessions: inner.sessions.len(),
+            graphs: inner.graphs.len(),
+        }
+    }
+
+    /// Returns the warm session for `spec` or builds (and caches) a new
+    /// one. The boolean is `true` when a session was built.
+    pub fn get_or_create(&self, spec: &SessionSpec) -> Result<(Arc<SessionEntry>, bool), ApiError> {
+        let spec_value = spec.canonical_value();
+        let spec_key = json::render(&spec_value);
+
+        // Fast path under the registry lock: an identical spec is warm.
+        {
+            let mut inner = self.locked();
+            if let Some(id) = inner.by_spec.get(&spec_key).cloned() {
+                if let Some(entry) = inner.sessions.get(&id).cloned() {
+                    inner.hits += 1;
+                    inner.order.retain(|x| x != &id);
+                    inner.order.push_back(id);
+                    return Ok((entry, false));
+                }
+            }
+        }
+
+        // Build outside the registry lock (graph generation and session
+        // construction can take milliseconds); a concurrent identical
+        // create is resolved at insertion time below.
+        let graph = self.get_or_leak_graph(spec)?;
+        let session = spec.build_session(graph)?;
+
+        let mut inner = self.locked();
+        if let Some(id) = inner.by_spec.get(&spec_key).cloned() {
+            // Lost the race: serve the winner's session.
+            if let Some(entry) = inner.sessions.get(&id).cloned() {
+                inner.hits += 1;
+                return Ok((entry, false));
+            }
+        }
+        inner.misses += 1;
+        let id = format!("s{}", inner.next_id);
+        inner.next_id += 1;
+        let entry = Arc::new(SessionEntry {
+            id: id.clone(),
+            spec_key: spec_key.clone(),
+            spec: spec_value,
+            graph,
+            session: Mutex::new(session),
+        });
+        inner.sessions.insert(id.clone(), entry.clone());
+        inner.by_spec.insert(spec_key, id.clone());
+        inner.order.push_back(id);
+        while inner.sessions.len() > self.session_capacity {
+            let Some(victim) = inner.order.pop_front() else {
+                break;
+            };
+            if let Some(old) = inner.sessions.remove(&victim) {
+                inner.by_spec.remove(&old.spec_key);
+                inner.evictions += 1;
+            }
+        }
+        Ok((entry, true))
+    }
+
+    /// The leaked graph for this spec, deduplicated by canonical graph
+    /// key. Refuses to leak past the graph cap.
+    fn get_or_leak_graph(&self, spec: &SessionSpec) -> Result<&'static Graph, ApiError> {
+        let key = json::render(&spec.graph.canonical_value());
+        {
+            let inner = self.locked();
+            if let Some(g) = inner.graphs.get(&key) {
+                return Ok(g);
+            }
+            if inner.graphs.len() >= self.graph_capacity {
+                return Err(ApiError::conflict(format!(
+                    "graph registry full ({} distinct graphs) — reuse an existing graph spec",
+                    self.graph_capacity
+                )));
+            }
+        }
+        let built = spec.graph.build()?;
+        let mut inner = self.locked();
+        if let Some(g) = inner.graphs.get(&key) {
+            return Ok(g); // lost a concurrent race; drop our copy
+        }
+        if inner.graphs.len() >= self.graph_capacity {
+            return Err(ApiError::conflict(format!(
+                "graph registry full ({} distinct graphs) — reuse an existing graph spec",
+                self.graph_capacity
+            )));
+        }
+        let leaked: &'static Graph = Box::leak(Box::new(built));
+        inner.graphs.insert(key, leaked);
+        Ok(leaked)
+    }
+}
+
+/// A validated graph spec: a generator family with parameters, or a JSON
+/// edge-list file.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphSpec {
+    /// `lcs_graph::gen` family by name.
+    Family {
+        /// Generator name (`grid`, `torus`, `path`, `cycle`, `complete`,
+        /// `wheel`, `grid_of_cliques`).
+        family: String,
+        /// Generator parameters in declaration order.
+        params: Vec<usize>,
+    },
+    /// A JSON file `{"n": ..., "edges": [[u, v], ...]}`.
+    File {
+        /// Path to the file.
+        path: String,
+    },
+}
+
+impl GraphSpec {
+    /// Parses and validates the `graph` field of a session spec.
+    pub fn from_value(v: &Value) -> Result<Self, ApiError> {
+        let family: String = json::require(v, "family")?;
+        if family == "file" {
+            let path: String = json::require(v, "path")?;
+            return Ok(GraphSpec::File { path });
+        }
+        let params = match family.as_str() {
+            "grid" | "torus" => vec![
+                json::require::<usize>(v, "rows")?,
+                json::require::<usize>(v, "cols")?,
+            ],
+            "path" | "cycle" | "complete" | "wheel" => vec![json::require::<usize>(v, "n")?],
+            "grid_of_cliques" => vec![
+                json::require::<usize>(v, "rows")?,
+                json::require::<usize>(v, "cols")?,
+                json::require::<usize>(v, "r")?,
+            ],
+            other => {
+                return Err(ApiError::bad_args(format!(
+                    "unknown graph family `{other}` — one of grid, torus, path, cycle, \
+                     complete, wheel, grid_of_cliques, file"
+                )))
+            }
+        };
+        if params.contains(&0) {
+            return Err(ApiError::bad_args("graph parameters must be positive"));
+        }
+        let min_n = match family.as_str() {
+            "cycle" => 3,
+            "wheel" => 4,
+            _ => 1,
+        };
+        if params[0] < min_n {
+            return Err(ApiError::bad_args(format!(
+                "{family} needs at least {min_n} nodes"
+            )));
+        }
+        let n: usize = params.iter().product();
+        if n > 40_000_000 {
+            return Err(ApiError::bad_args("graph too large for this server"));
+        }
+        Ok(GraphSpec::Family { family, params })
+    }
+
+    /// The canonical JSON form (fixed field order — the registry key).
+    pub fn canonical_value(&self) -> Value {
+        match self {
+            GraphSpec::Family { family, params } => Value::object([
+                ("family", Value::Str(family.clone())),
+                (
+                    "params",
+                    Value::Arr(params.iter().map(|&p| Value::U64(p as u64)).collect()),
+                ),
+            ]),
+            GraphSpec::File { path } => Value::object([
+                ("family", Value::Str("file".to_string())),
+                ("path", Value::Str(path.clone())),
+            ]),
+        }
+    }
+
+    /// Builds the graph.
+    pub fn build(&self) -> Result<Graph, ApiError> {
+        match self {
+            GraphSpec::Family { family, params } => {
+                Ok(match (family.as_str(), params.as_slice()) {
+                    ("grid", [r, c]) => gen::grid(*r, *c),
+                    ("torus", [r, c]) => gen::torus(*r, *c),
+                    ("path", [n]) => gen::path(*n),
+                    ("cycle", [n]) => gen::cycle(*n),
+                    ("complete", [n]) => gen::complete(*n),
+                    ("wheel", [n]) => gen::wheel(*n),
+                    ("grid_of_cliques", [r, c, k]) => gen::grid_of_cliques(*r, *c, *k),
+                    _ => unreachable!("validated in from_value"),
+                })
+            }
+            GraphSpec::File { path } => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| ApiError::bad_args(format!("cannot read graph file: {e}")))?;
+                let v = json::parse(text.as_bytes())
+                    .map_err(|e| ApiError::bad_args(format!("graph file: {}", e.message)))?;
+                let n: usize = json::require(&v, "n")?;
+                let edges: Vec<(u32, u32)> = json::require(&v, "edges")?;
+                if let Some(&(u, w)) = edges
+                    .iter()
+                    .find(|&&(u, w)| u as usize >= n || w as usize >= n || u == w)
+                {
+                    return Err(ApiError::bad_args(format!(
+                        "graph file: invalid edge ({u}, {w}) for n = {n}"
+                    )));
+                }
+                Ok(Graph::from_edges(n, edges))
+            }
+        }
+    }
+
+    /// The default partition for this family (`rows` for grids/tori,
+    /// `None` otherwise).
+    pub fn default_partition(&self) -> Option<Vec<Vec<NodeId>>> {
+        match self {
+            GraphSpec::Family { family, params } if family == "grid" || family == "torus" => {
+                Some(gen::rows_of_grid(params[0], params[1]))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// How the session partitions its graph.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PartitionSpec {
+    /// The graph family's default (rows for grids/tori, none otherwise).
+    Default,
+    /// No partition: tree/unicast/MST only.
+    None,
+    /// One part per node.
+    Singletons,
+    /// Explicit parts as node-id lists.
+    Explicit(Vec<Vec<u32>>),
+}
+
+impl PartitionSpec {
+    fn from_value(v: &Value) -> Result<Self, ApiError> {
+        match json::lookup(v, "partition") {
+            None => Ok(PartitionSpec::Default),
+            Some(Value::Str(s)) => match s.as_str() {
+                "default" => Ok(PartitionSpec::Default),
+                "none" => Ok(PartitionSpec::None),
+                "singletons" => Ok(PartitionSpec::Singletons),
+                other => Err(ApiError::bad_args(format!(
+                    "unknown partition kind `{other}` — one of default, none, singletons, \
+                     or an explicit [[node, ...], ...] array"
+                ))),
+            },
+            Some(arr) => {
+                let parts: Vec<Vec<u32>> = <Vec<Vec<u32>> as Deserialize>::from_value(arr)
+                    .map_err(|e| ApiError::bad_args(format!("field `partition`: {e}")))?;
+                Ok(PartitionSpec::Explicit(parts))
+            }
+        }
+    }
+
+    fn canonical_value(&self) -> Value {
+        match self {
+            PartitionSpec::Default => Value::Str("default".to_string()),
+            PartitionSpec::None => Value::Str("none".to_string()),
+            PartitionSpec::Singletons => Value::Str("singletons".to_string()),
+            PartitionSpec::Explicit(parts) => parts.to_value(),
+        }
+    }
+}
+
+/// A full, validated session spec — the LRU key domain.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionSpec {
+    /// The graph to serve.
+    pub graph: GraphSpec,
+    /// How to partition it.
+    pub partition: PartitionSpec,
+    /// Execution backend (default [`Backend::Centralized`]).
+    pub backend: Option<Backend>,
+    /// Full session configuration (default [`SessionConfig::default`]).
+    pub config: Option<SessionConfig>,
+    /// Initial edge weights (default none; `set_weights` can add them).
+    pub weights: Option<Vec<u64>>,
+}
+
+impl SessionSpec {
+    /// Parses and validates a `POST /sessions` body.
+    pub fn from_value(v: &Value) -> Result<Self, ApiError> {
+        let graph_value = json::lookup(v, "graph")
+            .ok_or_else(|| ApiError::bad_args("missing required field `graph`"))?;
+        let graph = GraphSpec::from_value(graph_value)?;
+        let partition = PartitionSpec::from_value(v)?;
+        let backend = match json::lookup(v, "backend") {
+            None => None,
+            Some(b) => Some(
+                <Backend as Deserialize>::from_value(b)
+                    .map_err(|e| ApiError::bad_args(format!("field `backend`: {e}")))?,
+            ),
+        };
+        let config = match json::lookup(v, "config") {
+            None => None,
+            Some(c) => Some(
+                <SessionConfig as Deserialize>::from_value(c)
+                    .map_err(|e| ApiError::bad_args(format!("field `config`: {e}")))?,
+            ),
+        };
+        let weights: Option<Vec<u64>> = json::optional(v, "weights")?;
+        Ok(SessionSpec {
+            graph,
+            partition,
+            backend,
+            config,
+            weights,
+        })
+    }
+
+    /// The canonical JSON of the whole spec (the LRU key).
+    pub fn canonical_value(&self) -> Value {
+        Value::object([
+            ("graph", self.graph.canonical_value()),
+            ("partition", self.partition.canonical_value()),
+            (
+                "backend",
+                self.backend
+                    .as_ref()
+                    .map(|b| b.to_value())
+                    .unwrap_or(Value::Null),
+            ),
+            (
+                "config",
+                self.config
+                    .as_ref()
+                    .map(|c| c.to_value())
+                    .unwrap_or(Value::Null),
+            ),
+            (
+                "weights",
+                self.weights
+                    .as_ref()
+                    .map(|w| w.to_value())
+                    .unwrap_or(Value::Null),
+            ),
+        ])
+    }
+
+    /// Builds the session against the (leaked) graph.
+    pub fn build_session(
+        &self,
+        graph: &'static Graph,
+    ) -> Result<ShortcutSession<'static>, ApiError> {
+        if graph.num_nodes() == 0 {
+            return Err(ApiError::bad_args("cannot serve an empty graph"));
+        }
+        let parts: Option<Vec<Vec<NodeId>>> = match &self.partition {
+            PartitionSpec::Default => self.graph.default_partition(),
+            PartitionSpec::None => None,
+            PartitionSpec::Singletons => Some(gen::singleton_parts(graph)),
+            PartitionSpec::Explicit(parts) => {
+                let n = graph.num_nodes();
+                if let Some(&bad) = parts.iter().flatten().find(|&&v| v as usize >= n) {
+                    return Err(ApiError::bad_args(format!(
+                        "partition node {bad} out of range — the graph has {n} nodes"
+                    )));
+                }
+                Some(
+                    parts
+                        .iter()
+                        .map(|p| p.iter().map(|&v| NodeId(v)).collect())
+                        .collect(),
+                )
+            }
+        };
+        let mut builder = Session::on(graph);
+        if let Some(parts) = parts {
+            builder = builder.partition(parts);
+        }
+        if let Some(backend) = &self.backend {
+            builder = builder.backend(backend.clone());
+        }
+        if let Some(config) = &self.config {
+            builder = builder.config(config.clone());
+        }
+        let mut session = builder
+            .build()
+            .map_err(|e| ApiError::bad_args(format!("invalid partition: {e}")))?;
+        if let Some(w) = &self.weights {
+            if w.len() != graph.num_edges() {
+                return Err(ApiError::bad_args(format!(
+                    "one weight per edge required — got {}, the graph has {} edges",
+                    w.len(),
+                    graph.num_edges()
+                )));
+            }
+            session
+                .try_set_weights(EdgeWeights::from_vec(graph, w.clone()))
+                .map_err(ApiError::from)?;
+        }
+        Ok(session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_spec(rows: usize, cols: usize) -> SessionSpec {
+        let v = Value::object([(
+            "graph",
+            Value::object([
+                ("family", Value::Str("grid".to_string())),
+                ("rows", Value::U64(rows as u64)),
+                ("cols", Value::U64(cols as u64)),
+            ]),
+        )]);
+        SessionSpec::from_value(&v).expect("valid spec")
+    }
+
+    #[test]
+    fn identical_specs_share_one_warm_session() {
+        let reg = Registry::new(4, 4);
+        let (a, created_a) = reg.get_or_create(&grid_spec(4, 4)).unwrap();
+        let (b, created_b) = reg.get_or_create(&grid_spec(4, 4)).unwrap();
+        assert!(created_a && !created_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = reg.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.graphs, 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let reg = Registry::new(8, 2);
+        let (a, _) = reg.get_or_create(&grid_spec(3, 3)).unwrap();
+        let (_b, _) = reg.get_or_create(&grid_spec(4, 4)).unwrap();
+        // Touch a so the 3×3 session is the most recently used.
+        assert!(reg.get(&a.id).is_some());
+        let (_c, _) = reg.get_or_create(&grid_spec(5, 5)).unwrap();
+        let stats = reg.stats();
+        assert_eq!(stats.sessions, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(reg.get(&a.id).is_some(), "recently used survives");
+    }
+
+    #[test]
+    fn graph_cap_is_enforced() {
+        let reg = Registry::new(1, 8);
+        reg.get_or_create(&grid_spec(3, 3)).unwrap();
+        let err = reg.get_or_create(&grid_spec(4, 4)).map(|_| ()).unwrap_err();
+        assert_eq!(err.status, 409);
+        // Same graph again is fine (deduplicated, not a new leak).
+        reg.get_or_create(&grid_spec(3, 3)).unwrap();
+    }
+
+    #[test]
+    fn explicit_partition_is_validated() {
+        let v = Value::object([
+            (
+                "graph",
+                Value::object([
+                    ("family", Value::Str("path".to_string())),
+                    ("n", Value::U64(4)),
+                ]),
+            ),
+            (
+                "partition",
+                Value::Arr(vec![Value::Arr(vec![Value::U64(0), Value::U64(9)])]),
+            ),
+        ]);
+        let spec = SessionSpec::from_value(&v).expect("parses");
+        let reg = Registry::new(4, 4);
+        let err = reg.get_or_create(&spec).map(|_| ()).unwrap_err();
+        assert_eq!(err.status, 422);
+    }
+}

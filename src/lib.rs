@@ -146,7 +146,7 @@ pub mod facade {
     pub use lcs_core::session::{
         deps, AggregateOpts, ArtifactStats, Backend, CacheStats, ConstructionStats, Epochs,
         FullArtifact, Input, MincutOpts, MstOpts, OpReport, PartialArtifact, PartwiseOp, Session,
-        SessionBuilder, SessionConfig, ShortcutSession, TreeSource, UnicastOpts,
+        SessionBuilder, SessionConfig, SessionError, ShortcutSession, TreeSource, UnicastOpts,
     };
     pub use lcs_partwise::{AggregateOp, GossipOp, SessionPartwiseOps, UnicastOp};
 }
