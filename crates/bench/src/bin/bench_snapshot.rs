@@ -3,15 +3,19 @@
 //! Usage:
 //!
 //! ```text
-//! bench_snapshot [--fast] [--out DIR]
+//! bench_snapshot [--fast] [--threads-sweep] [--out DIR]
 //! ```
 //!
 //! `--fast` restricts the sweep to the n ≈ 1e3 instances with a single
 //! repetition (the CI smoke configuration — it still covers every backend:
-//! strict, queued/calendar, the 4-thread sharded executor, sketch-mode
-//! detection, and the packed `message_packing = 8` rows); the full run
-//! covers n ∈ {1e3, 1e4, 1e5} with the median of three repetitions per
-//! entry.
+//! strict, queued/calendar, the multi-lane decentralized executor,
+//! sketch-mode detection, and the packed `message_packing = 8` rows); the
+//! full run covers n ∈ {1e3, 1e4, 1e5} with the median of three
+//! repetitions per entry. `--threads-sweep` widens the multi-thread block
+//! on the largest strict and queued instances from `threads = 4` to
+//! `threads ∈ {2, 4, 8}` (the `threads = 1` rows come from the main
+//! sweep), so together with the single-thread rows the snapshot carries a
+//! full lane-scaling curve.
 //!
 //! Packed rows (`"packing": 8`) carry `rounds_vs_unpacked`, their round
 //! count relative to the same instance's unpacked row from this run. The
@@ -28,7 +32,11 @@
 //! Every entry carries the wall time measured by this run (`wall_ms`) next
 //! to the pinned pre-CSR baseline (`wall_ms_before`, measured at the seed
 //! engine commit on the same instance; `null` for instances the seed engine
-//! was never measured on). Multi-threaded entries additionally report
+//! was never measured on). Simulator entries additionally break one
+//! repetition's wall time into the engine's phase buckets
+//! (`compute_ms` / `stage_ms` / `merge_ms`, see
+//! [`lcs_congest::PhaseTimings`]) — the serial-share evidence for the
+//! decentralized executor. Multi-threaded entries additionally report
 //! `speedup_vs_t1`, the ratio against the single-thread entry of the same
 //! instance **from the same run**. Sketch-mode detection entries assert
 //! their accuracy against the centralized exact construction (every cut's
@@ -43,7 +51,7 @@
 //! ```
 
 use lcs_congest::protocols::{AggOp, BfsTreeProgram};
-use lcs_congest::{SimConfig, SimMode, Simulator};
+use lcs_congest::{PhaseTimings, SimConfig, SimMode, Simulator};
 use lcs_core::dist::{DistConfig, DistMode};
 use lcs_core::session::{Backend, Session, SessionConfig, TreeSource};
 use lcs_core::{full_shortcut, Partition, ShortcutConfig, SweepOutcome, WitnessMode};
@@ -120,6 +128,9 @@ struct Entry {
     /// `facade_overhead` entry: session wall time / direct-call wall time.
     /// The builder+cache layer must be zero-cost: asserted <= 1.05.
     overhead_vs_direct: Option<f64>,
+    /// Simulator entries: the engine's per-phase wall-time split of the
+    /// last repetition (compute / serial stage window / account fold).
+    timings: Option<PhaseTimings>,
     terminated: bool,
     truncated: bool,
 }
@@ -154,8 +165,10 @@ fn sim_entry(
             ..SimConfig::default()
         },
     );
+    let mut timings = PhaseTimings::default();
     let (wall_ms, (rounds, messages, terminated, truncated)) = median_ms(reps, || {
         let run = sim.run(|v, _| BfsTreeProgram::new(v == NodeId(0)));
+        timings = run.timings;
         (
             run.metrics.rounds,
             run.metrics.messages,
@@ -183,6 +196,7 @@ fn sim_entry(
         min_cut_load_ratio: None,
         cut_edges: None,
         overhead_vs_direct: None,
+        timings: Some(timings),
         terminated,
         truncated,
     }
@@ -344,6 +358,7 @@ fn partial_entry(
         min_cut_load_ratio,
         cut_edges,
         overhead_vs_direct: None,
+        timings: None,
         terminated,
         truncated,
     };
@@ -460,6 +475,7 @@ fn facade_overhead_entry(reps: usize) -> Entry {
         min_cut_load_ratio: None,
         cut_edges: None,
         overhead_vs_direct: Some(ratio),
+        timings: None,
         terminated: last.2,
         truncated: last.3,
     }
@@ -471,7 +487,9 @@ fn render(schema: &str, entries: &[Entry]) -> String {
     out.push_str(
         "  \"note\": \"wall_ms_before is the pinned pre-CSR seed-engine baseline (single-thread); \
          speedup_vs_t1 compares a threads>1 entry against the same instance at threads=1 in this \
-         run and depends on the host's core count; regenerate with \
+         run and depends on the host's core count; compute_ms/stage_ms/merge_ms split one \
+         repetition's engine wall time into parallel compute vs the coordinator's serial stage \
+         window vs the (overlapped) metric fold; regenerate with \
          `cargo run --release -p lcs_bench --bin bench_snapshot -- --out .`\",\n",
     );
     let _ = writeln!(
@@ -481,6 +499,7 @@ fn render(schema: &str, entries: &[Entry]) -> String {
     );
     out.push_str("  \"entries\": [\n");
     let fmt_opt = |v: Option<f64>| v.map_or_else(|| "null".to_string(), |x| format!("{x:.2}"));
+    let fmt_phase = |v: Option<f64>| v.map_or_else(|| "null".to_string(), |x| format!("{x:.3}"));
     for (i, e) in entries.iter().enumerate() {
         let speedup = fmt_opt(e.wall_ms_before.map(|b| b / e.wall_ms.max(1e-9)));
         let vs_t1 = fmt_opt(
@@ -530,6 +549,7 @@ fn render(schema: &str, entries: &[Entry]) -> String {
              \"wall_ms\": {:.2}, \"wall_ms_before\": {}, \"speedup\": {}, \
              \"speedup_vs_t1\": {}, \"rounds_vs_unpacked\": {}, \
              \"min_cut_load_ratio\": {}, \"cut_edges\": {}, \"overhead_vs_direct\": {}, \
+             \"compute_ms\": {}, \"stage_ms\": {}, \"merge_ms\": {}, \
              \"terminated\": {}, \"truncated\": {}}}",
             e.family,
             e.n,
@@ -547,6 +567,9 @@ fn render(schema: &str, entries: &[Entry]) -> String {
             load_ratio,
             cuts,
             fmt_opt(e.overhead_vs_direct),
+            fmt_phase(e.timings.map(|t| t.compute_ms)),
+            fmt_phase(e.timings.map(|t| t.stage_ms)),
+            fmt_phase(e.timings.map(|t| t.merge_ms)),
             e.terminated,
             e.truncated,
         );
@@ -559,6 +582,7 @@ fn render(schema: &str, entries: &[Entry]) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
+    let threads_sweep = args.iter().any(|a| a == "--threads-sweep");
     let out_dir = args
         .iter()
         .position(|a| a == "--out")
@@ -577,13 +601,18 @@ fn main() {
         let t = gen::torus(side, side);
         sim_entries.push(sim_entry("sim", "torus", &t, SimMode::Strict, 1, reps));
     }
-    // The sharded executor: 4 workers on the largest instance of the sweep
-    // (the CI smoke covers the backend at n = 1e3).
+    // The decentralized executor on the largest instance of the sweep (the
+    // CI smoke covers the backend at n = 1e3): 4 lanes by default,
+    // `--threads-sweep` widens to the full scaling curve. Together with the
+    // single-thread rows above this yields threads ∈ {1, 2, 4, 8}.
     {
         let side = if fast { 32 } else { 316 };
         let g = gen::grid(side, side);
-        sim_entries.push(sim_entry("sim", "grid", &g, SimMode::Strict, 4, reps));
-        sim_entries.push(sim_entry("sim", "grid", &g, SimMode::Queued, 4, reps));
+        let lane_counts: &[usize] = if threads_sweep { &[2, 4, 8] } else { &[4] };
+        for &t in lane_counts {
+            sim_entries.push(sim_entry("sim", "grid", &g, SimMode::Strict, t, reps));
+            sim_entries.push(sim_entry("sim", "grid", &g, SimMode::Queued, t, reps));
+        }
     }
     // The zero-cost-facade guard (asserts <= MAX_FACADE_OVERHEAD; the CI
     // smoke greps for this row).
@@ -690,8 +719,8 @@ fn main() {
         partial_entries.push(packed);
     }
 
-    let sim_json = render("bench_sim/v4", &sim_entries);
-    let partial_json = render("bench_partial/v4", &partial_entries);
+    let sim_json = render("bench_sim/v5", &sim_entries);
+    let partial_json = render("bench_partial/v5", &partial_entries);
     std::fs::write(format!("{out_dir}/BENCH_sim.json"), &sim_json).expect("write BENCH_sim.json");
     std::fs::write(format!("{out_dir}/BENCH_partial.json"), &partial_json)
         .expect("write BENCH_partial.json");

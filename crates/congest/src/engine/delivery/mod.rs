@@ -1,20 +1,25 @@
-//! Pluggable delivery backends for the round loop.
+//! Pluggable delivery backends for the round loop — one *partition* per
+//! receiver shard.
 //!
-//! A backend owns every message between a sender's flush and its delivery
-//! into the receiver's inbox. The engine drives it through exactly three
-//! operations per round, all on the coordinating thread, in a fixed order:
+//! A backend instance owns every in-flight message whose directed edge is
+//! received by its shard, and runs entirely on that shard's lane: the lane
+//! validates its own nodes' sends, routes each envelope to the receiving
+//! lane's mailbox, and at the start of the next round the receiving lane
+//! pushes the ingested envelopes into its partition and stages the round's
+//! deliveries — no coordinator-side pass touches message payloads.
 //!
-//! 1. [`Delivery::push`] — once per validated message, in the global
-//!    deterministic send order (shards merged in shard order, nodes
-//!    ascending within a shard, sends in issue order within a node).
-//! 2. [`Delivery::stage`] — once per round: move everything due this round
-//!    into per-shard staging lists (routed by the *receiver's* shard, so
-//!    the shard workers can deliver without synchronization).
-//! 3. [`Delivery::inflight`] — the quiescence check.
+//! Determinism does not depend on which thread runs a partition, only on
+//! the *order* each partition sees its own pushes. The engine guarantees
+//! that order is the global deterministic send order (shard-major, nodes
+//! ascending within a shard, issue order within a node) filtered to the
+//! partition's dirs — a filter of a fixed order is itself fixed — and
+//! passes each push the exact global sequence number, reconstructed from
+//! per-shard send counts via a prefix sum in shard order.
 //!
-//! Because staging happens on one thread in a fixed order, the metrics a
-//! backend reports (`messages`, `max_queue`) are bit-identical regardless
-//! of how many worker threads later drain the staged lists.
+//! Each partition accounts what it delivers into a [`ShardAccount`]; the
+//! coordinator folds the accounts in shard order, which makes the summed
+//! metrics (`messages`, `bits`, `max_queue`) bit-identical at any thread
+//! count.
 //!
 //! Backends are generic over the wire message type; the engine
 //! instantiates them with [`PackedMsg`]`<P::Msg>` envelopes, so one queue
@@ -30,31 +35,54 @@ pub(crate) use queued::CalendarDelivery;
 pub(crate) use strict::StrictDelivery;
 
 use super::topology::Topology;
-use crate::{MessageSize, RunMetrics};
+use crate::MessageSize;
 
-/// A delivery backend: accepts validated sends, schedules them, and stages
-/// each round's deliveries into per-receiver-shard lists.
+/// Per-shard, per-round delivery accounting, folded into [`RunMetrics`] by
+/// the coordinator in shard order.
+///
+/// [`RunMetrics`]: crate::RunMetrics
+#[derive(Clone, Copy, Default, Debug)]
+pub(crate) struct ShardAccount {
+    /// Envelopes this shard's nodes sent this round (validated and
+    /// bit-accounted in-lane). Drives the seq-base prefix sum.
+    pub sends: u64,
+    /// Bits those sends were billed at.
+    pub bits: u64,
+    /// Envelopes this partition *delivered* this round.
+    pub messages: u64,
+    /// Largest per-dir backlog this partition observed this round.
+    pub max_queue: u64,
+    /// Wake-ups the shard's programs requested for future rounds.
+    pub wakes: usize,
+    /// Envelopes still queued in this partition after staging.
+    pub pending: usize,
+}
+
+/// One receiver shard's delivery partition: accepts validated sends
+/// addressed to this shard's dirs, schedules them, and stages each round's
+/// deliveries.
 pub(crate) trait Delivery<M: MessageSize> {
-    /// Accepts one message on directed edge `dir`.
+    /// Accepts one message on directed edge `dir` (which must belong to
+    /// this partition's shard).
     ///
-    /// `seq` is the run-global send sequence number (monotonic in push
-    /// order); `round` is the round the sender executed in (0 during
+    /// `seq` is the run-global send sequence number (monotonic in global
+    /// push order); `round` is the round the sender executed in (0 during
     /// `on_start`). Backends may panic on protocol violations (e.g. a
     /// strict-mode double send).
     fn push(&mut self, dir: u32, priority: u64, seq: u64, msg: M, round: u64, topo: &Topology<'_>);
 
-    /// Whether any accepted message has not been staged yet.
-    fn inflight(&self) -> bool;
+    /// Number of accepted messages not yet staged.
+    fn pending(&self) -> usize;
 
-    /// Moves every message due in `round` into `out`, where `out[s]`
-    /// collects `(dir, msg)` pairs whose receiver lies in shard `s`. Every
-    /// `out[s]` is empty on entry. Updates `metrics.messages` and
-    /// `metrics.max_queue` exactly as the seed engine did.
+    /// Moves every message due in `round` into `out` as `(dir, msg)` pairs
+    /// and accounts the deliveries (`messages`, `max_queue`, `pending`)
+    /// into `acc`. `out` is this shard's inbound buffer; it is empty on
+    /// entry.
     fn stage(
         &mut self,
         round: u64,
         topo: &Topology<'_>,
-        out: &mut [Vec<(u32, M)>],
-        metrics: &mut RunMetrics,
+        out: &mut Vec<(u32, M)>,
+        acc: &mut ShardAccount,
     );
 }

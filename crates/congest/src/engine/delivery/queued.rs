@@ -1,4 +1,5 @@
-//! Queued-mode delivery: a bucketed calendar queue.
+//! Queued-mode delivery: a bucketed calendar queue (one per receiver
+//! shard).
 //!
 //! Queued mode delivers, per round, the `(priority, seq)`-minimum pending
 //! message of every non-empty directed edge. The seed engine realized this
@@ -6,19 +7,22 @@
 //! backend replaces both with a calendar:
 //!
 //! - **Per-dir queues** hold each directed edge's pending messages sorted
-//!   ascending by `(priority, seq)` in a `VecDeque` ring. The dominant
-//!   workloads (detection convergecasts) send everything at one priority,
-//!   so inserts are monotone `push_back`s and pops are `pop_front`s — no
-//!   heap traffic, no comparisons beyond one against the back element.
-//!   Preempting sends (a lower priority arriving behind queued messages)
-//!   binary-search their slot; they only occur in multi-instance
-//!   random-delay workloads.
-//! - **Delivery tokens** schedule *when* a dir drains: a dir with `q`
-//!   pending messages owns tokens for `q` consecutive future rounds (one
-//!   delivery per round, exactly the CONGEST queue discipline). Tokens are
-//!   anonymous — a fired token delivers whatever is minimal *at that
-//!   round* — so preemption never reschedules anything.
-//! - **Calendar buckets**: token for round `r` lives in
+//!   ascending by `(priority, seq)` in a `VecDeque` ring, indexed by the
+//!   partition-local dense dir index. The dominant workloads (detection
+//!   convergecasts) send everything at one priority, so inserts are
+//!   monotone `push_back`s and pops are `pop_front`s — no heap traffic,
+//!   no comparisons beyond one against the back element. Preempting sends
+//!   (a lower priority arriving behind queued messages) binary-search
+//!   their slot; they only occur in multi-instance random-delay workloads.
+//! - **Delivery tokens** schedule *when* a dir drains. Each push claims
+//!   the dir's next free round via a per-dir clock:
+//!   `slot = max(round + 1, next_slot)`, then `next_slot = slot + 1`. The
+//!   clock makes every token slot of a dir distinct — the invariant that
+//!   keeps delivery-time merging (below) within the one-message-per-edge-
+//!   per-round CONGEST discipline. Tokens are anonymous — a fired token
+//!   delivers whatever is minimal *at that round* — so preemption never
+//!   reschedules anything.
+//! - **Calendar buckets**: a token for round `r` lives in
 //!   `buckets[r % horizon]`; staging round `r` drains one bucket linearly,
 //!   like the strict arena. Tokens more than `horizon` rounds out (a dir
 //!   backlog deeper than the horizon) wait in an **overflow ring** that is
@@ -26,18 +30,37 @@
 //!   (`round % horizon == 0`); a slot `s` token is always swept in by the
 //!   unique wrap in `[s - horizon + 1, s]`, i.e. before it is due.
 //!
-//! ## Why this is metric-identical to the seed engine
+//! ## Delivery-time merging
 //!
-//! A dir's tokens occupy consecutive rounds starting no later than the
-//! round after its first pending send (induction: a push onto a non-empty
-//! dir extends the token run by one; a push onto an empty dir starts a new
-//! run next round). Hence every non-empty dir fires exactly one token per
-//! round — the same "each active dir delivers its minimum once per round"
-//! schedule the seed engine's active-list scan produced, with `max_queue`
-//! measured at the same instant (delivery time).
+//! With `message_packing = k > 1`, a firing token absorbs the dir's
+//! queued follow-up messages — same priority, FIFO order — into the
+//! departing envelope while the combined value count stays within `k` and
+//! the combined packed width within the bandwidth budget. This is what
+//! lets *trickle* senders (one value per round, so send-side packing never
+//! sees a run) ride multi-value messages: the backlog coalesces at the
+//! moment the edge actually has bandwidth. Absorbed messages leave their
+//! tokens behind; a stale token either finds the dir empty (skipped) or
+//! delivers a later message a few rounds early — never two envelopes on
+//! one dir in one round, because token slots are distinct per dir.
+//! Per-dir future tokens always ≥ pending messages (a push adds one of
+//! each; a firing token removes one token and ≥ 1 message unless the dir
+//! is already empty), so no message is ever stranded.
+//!
+//! ## Why this is metric-identical to the seed engine at `packing = 1`
+//!
+//! Without merging there are no stale tokens, and the clock reduces to the
+//! seed schedule: a dir's tokens occupy consecutive rounds starting no
+//! later than the round after its first pending send (a push onto a
+//! non-empty dir extends the token run by one; a push onto an empty dir
+//! has `next_slot <= round + 1` and starts a new run next round). Hence
+//! every non-empty dir fires exactly one token per round — the same "each
+//! active dir delivers its minimum once per round" schedule the seed
+//! engine's active-list scan produced, with `max_queue` measured at the
+//! same instant (delivery time).
 
-use super::{Delivery, Topology};
-use crate::{MessageSize, RunMetrics};
+use super::{Delivery, ShardAccount, Topology};
+use crate::message::Mergeable;
+use crate::MessageSize;
 use std::collections::VecDeque;
 
 /// Calendar width in rounds. Backlogs deeper than this spill to the
@@ -60,67 +83,76 @@ impl<M> Pending<M> {
 }
 
 pub(crate) struct CalendarDelivery<M> {
-    /// The `(priority, seq)`-minimum pending message per dir, inline in a
-    /// flat array: the common ≤1-message-per-dir case (every one-shot
+    /// The `(priority, seq)`-minimum pending message per local dir, inline
+    /// in a flat array: the common ≤1-message-per-dir case (every one-shot
     /// protocol) never touches a heap allocation or a pointer chase.
     slots: Vec<Option<Pending<M>>>,
     /// Pending messages beyond the minimum, ascending by `(priority, seq)`.
-    /// A `VecDeque` ring per dir, allocated only once a second message
-    /// queues; FIFO streams (equal priorities ⇒ monotone keys) are pure
-    /// `push_back`/`pop_front`, a displaced slot minimum re-enters at the
-    /// front, and only preempting mid-priority sends binary-search.
+    /// A `VecDeque` ring per local dir, allocated only once a second
+    /// message queues; FIFO streams (equal priorities ⇒ monotone keys) are
+    /// pure `push_back`/`pop_front`, a displaced slot minimum re-enters at
+    /// the front, and only preempting mid-priority sends binary-search.
     rest: Vec<VecDeque<Pending<M>>>,
-    /// Dense mirror of `rest[dir].len()`, so the hot pop path skips the
+    /// Dense mirror of `rest[local].len()`, so the hot pop path skips the
     /// ring headers entirely while any dir's backlog is ≤ 1.
     rest_len: Vec<u32>,
-    /// `buckets[r % horizon]` holds the dirs delivering in round `r`.
+    /// Per-local-dir token clock: the earliest round this dir has not yet
+    /// claimed a delivery token for.
+    next_slot: Vec<u64>,
+    /// `buckets[r % horizon]` holds the (global) dirs delivering in round
+    /// `r`.
     buckets: Vec<Vec<u32>>,
     /// Tokens scheduled beyond the calendar window: `(round, dir)`, swept
     /// into the buckets at each calendar wrap.
     overflow: Vec<(u64, u32)>,
     horizon: u64,
-    inflight: usize,
+    /// Messages accepted but not yet delivered.
+    pending: usize,
+    /// Max values per delivered envelope (the resolved `message_packing`);
+    /// 1 disables delivery-time merging.
+    pack: usize,
+    /// Per-message bandwidth budget in bits, capping merged envelopes.
+    budget: usize,
 }
 
 impl<M> CalendarDelivery<M> {
-    pub fn new(num_dirs: usize) -> Self {
-        Self::with_horizon(num_dirs, HORIZON)
+    pub fn new(local_dirs: usize, pack: usize, budget: usize) -> Self {
+        Self::with_horizon(local_dirs, HORIZON, pack, budget)
     }
 
     /// Test hook: a custom (small) horizon exercises the overflow ring
     /// without thousand-message backlogs.
-    pub fn with_horizon(num_dirs: usize, horizon: u64) -> Self {
+    pub fn with_horizon(local_dirs: usize, horizon: u64, pack: usize, budget: usize) -> Self {
         assert!(horizon >= 1);
         CalendarDelivery {
-            slots: (0..num_dirs).map(|_| None).collect(),
-            rest: (0..num_dirs).map(|_| VecDeque::new()).collect(),
-            rest_len: vec![0; num_dirs],
+            slots: (0..local_dirs).map(|_| None).collect(),
+            rest: (0..local_dirs).map(|_| VecDeque::new()).collect(),
+            rest_len: vec![0; local_dirs],
+            next_slot: vec![0; local_dirs],
             buckets: (0..horizon).map(|_| Vec::new()).collect(),
             overflow: Vec::new(),
             horizon,
-            inflight: 0,
+            pending: 0,
+            pack: pack.max(1),
+            budget,
         }
     }
 }
 
 impl<M> CalendarDelivery<M> {
-    /// Inserts into the dir's `(priority, seq)`-ordered pending queue and
-    /// returns the queue length *before* the insert.
-    fn insert(&mut self, dir: usize, item: Pending<M>) -> usize {
-        match &mut self.slots[dir] {
-            empty @ None => {
-                *empty = Some(item);
-                0
-            }
+    /// Inserts into the local dir's `(priority, seq)`-ordered pending
+    /// queue.
+    fn insert(&mut self, local: usize, item: Pending<M>) {
+        match &mut self.slots[local] {
+            empty @ None => *empty = Some(item),
             Some(held) => {
-                let before = 1 + self.rest_len[dir] as usize;
                 if item.key() < held.key() {
                     // New minimum: the displaced slot holder precedes
                     // everything already in `rest`.
                     let displaced = std::mem::replace(held, item);
-                    self.rest[dir].push_front(displaced);
+                    self.rest[local].push_front(displaced);
                 } else {
-                    let rest = &mut self.rest[dir];
+                    let rest = &mut self.rest[local];
                     match rest.back() {
                         Some(back) if back.key() > item.key() => {
                             // Preempting send: binary-search the slot.
@@ -130,57 +162,58 @@ impl<M> CalendarDelivery<M> {
                         _ => rest.push_back(item),
                     }
                 }
-                self.rest_len[dir] += 1;
-                before
+                self.rest_len[local] += 1;
             }
         }
     }
 
-    /// Removes and returns the dir's minimum, refilling the slot from the
-    /// overflow ring. Returns `(item, queue length before the pop)`.
-    fn pop_min(&mut self, dir: usize) -> (Pending<M>, usize) {
-        let item = self.slots[dir]
-            .take()
-            .expect("fired token implies a pending message");
-        let rest_len = self.rest_len[dir];
+    /// Removes and returns the local dir's minimum, refilling the slot
+    /// from the rest ring. `None` when the dir has nothing pending (a
+    /// stale token after delivery-time merging). On `Some`, the second
+    /// element is the queue length before the pop.
+    fn pop_min(&mut self, local: usize) -> Option<(Pending<M>, usize)> {
+        let item = self.slots[local].take()?;
+        let rest_len = self.rest_len[local];
         if rest_len > 0 {
-            self.slots[dir] = self.rest[dir].pop_front();
-            self.rest_len[dir] = rest_len - 1;
+            self.slots[local] = self.rest[local].pop_front();
+            self.rest_len[local] = rest_len - 1;
         }
-        (item, 1 + rest_len as usize)
+        Some((item, 1 + rest_len as usize))
     }
 }
 
-impl<M: MessageSize> Delivery<M> for CalendarDelivery<M> {
-    fn push(&mut self, dir: u32, priority: u64, seq: u64, msg: M, round: u64, _topo: &Topology) {
-        let len_before = self.insert(dir as usize, Pending { priority, seq, msg });
-        // Claim the dir's next delivery round. A non-empty dir always has
-        // its in-flight tokens on the consecutive rounds starting next
-        // round (it delivers every round), so the new message's token goes
-        // `len_before` rounds after that — no per-dir clock needed.
-        // `round + 1 .. round + horizon` are all in the calendar window at
-        // push time (the round-`round` bucket was drained before any
-        // round-`round` send is pushed), and `round + horizon` would
-        // collide with it, so strictly-less guards the bucket bound.
-        let slot = round + 1 + len_before as u64;
+impl<M: MessageSize + Mergeable> Delivery<M> for CalendarDelivery<M> {
+    fn push(&mut self, dir: u32, priority: u64, seq: u64, msg: M, round: u64, topo: &Topology) {
+        let local = topo.dir_local(dir);
+        self.insert(local, Pending { priority, seq, msg });
+        // Claim the dir's next free delivery round. `round + 1 ..
+        // round + horizon` are all in the calendar window at push time (the
+        // round-`round` bucket was drained before any round-`round` send is
+        // pushed), and `round + horizon` would collide with it, so
+        // strictly-less guards the bucket bound. The clock only trails
+        // `round + 1` while the dir has been idle, in which case it has no
+        // outstanding tokens; after merging it may lead the dir's true
+        // backlog, keeping new slots distinct from stale tokens.
+        let slot = (round + 1).max(self.next_slot[local]);
+        self.next_slot[local] = slot + 1;
         if slot < round + self.horizon {
             self.buckets[(slot % self.horizon) as usize].push(dir);
         } else {
             self.overflow.push((slot, dir));
         }
-        self.inflight += 1;
+        self.pending += 1;
     }
 
-    fn inflight(&self) -> bool {
-        self.inflight > 0
+    fn pending(&self) -> usize {
+        self.pending
     }
 
     fn stage(
         &mut self,
         round: u64,
         topo: &Topology,
-        out: &mut [Vec<(u32, M)>],
-        metrics: &mut RunMetrics,
+        out: &mut Vec<(u32, M)>,
+        acc: &mut ShardAccount,
     ) {
         // Calendar wrap: pull overdue-soon tokens out of the overflow ring.
         // `slot == round` entries must land before the drain below; tokens at
@@ -199,15 +232,51 @@ impl<M: MessageSize> Delivery<M> for CalendarDelivery<M> {
             });
         }
 
+        let n = topo.num_nodes();
         let idx = (round % self.horizon) as usize;
         for k in 0..self.buckets[idx].len() {
             let dir = self.buckets[idx][k];
-            let (item, len) = self.pop_min(dir as usize);
-            metrics.max_queue = metrics.max_queue.max(len as u64);
-            let (recv, _) = topo.recv(dir);
-            out[topo.shard_of(recv)].push((dir, item.msg));
-            metrics.messages += 1;
-            self.inflight -= 1;
+            let local = topo.dir_local(dir);
+            let Some((item, qlen)) = self.pop_min(local) else {
+                continue; // stale token: this dir's backlog merged away
+            };
+            acc.max_queue = acc.max_queue.max(qlen as u64);
+            let Pending {
+                priority, mut msg, ..
+            } = item;
+            let mut removed = 1;
+            if self.pack > 1 {
+                // Delivery-time merging: absorb queued same-priority
+                // follow-ups (FIFO: pop_min yields them in (priority, seq)
+                // order) while the envelope stays within the packing
+                // factor and the bandwidth budget.
+                let mut vals = msg.values();
+                let mut width = msg.size_bits_in(n);
+                while vals < self.pack {
+                    let Some(next) = self.slots[local].as_ref() else {
+                        break;
+                    };
+                    if next.priority != priority {
+                        break;
+                    }
+                    let nvals = next.msg.values();
+                    if vals + nvals > self.pack {
+                        break;
+                    }
+                    let cost = msg.merge_cost_in(&next.msg, n);
+                    if width.saturating_add(cost) > self.budget {
+                        break;
+                    }
+                    let (follow, _) = self.pop_min(local).expect("peeked above");
+                    msg.absorb(follow.msg);
+                    vals += nvals;
+                    width += cost;
+                    removed += 1;
+                }
+            }
+            out.push((dir, msg));
+            acc.messages += 1;
+            self.pending -= removed;
         }
         self.buckets[idx].clear();
     }
@@ -216,21 +285,25 @@ impl<M: MessageSize> Delivery<M> for CalendarDelivery<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::PackedMsg;
     use lcs_graph::gen;
+
+    /// Raw `u32` payloads are unmergeable (the [`Mergeable`] defaults), so
+    /// the scheduling tests below exercise the calendar exactly as a
+    /// `packing = 1` run would even when constructed with a larger pack.
+    impl Mergeable for u32 {}
 
     /// Drives a backend directly: pushes with explicit rounds, stages every
     /// round, and returns the delivered payloads in order.
     fn drain_all(cal: &mut CalendarDelivery<u32>, topo: &Topology, from_round: u64) -> Vec<u32> {
         let mut got = Vec::new();
-        let mut metrics = RunMetrics::default();
-        let mut out = vec![Vec::new(); topo.num_shards()];
+        let mut acc = ShardAccount::default();
+        let mut out = Vec::new();
         let mut round = from_round;
-        while cal.inflight() {
+        while cal.pending() > 0 {
             round += 1;
-            cal.stage(round, topo, &mut out, &mut metrics);
-            for staged in &mut out {
-                got.extend(staged.drain(..).map(|(_, msg)| msg));
-            }
+            cal.stage(round, topo, &mut out, &mut acc);
+            got.extend(out.drain(..).map(|(_, msg)| msg));
             assert!(round < from_round + 10_000, "calendar failed to drain");
         }
         got
@@ -240,7 +313,8 @@ mod tests {
     fn priority_ties_resolve_fifo() {
         let g = gen::path(2);
         let topo = Topology::build(&g, 1);
-        let mut cal: CalendarDelivery<u32> = CalendarDelivery::with_horizon(topo.num_dirs(), 4);
+        let mut cal: CalendarDelivery<u32> =
+            CalendarDelivery::with_horizon(topo.num_dirs(), 4, 1, usize::MAX);
         // Same priority: seq (send order) breaks the tie.
         for (seq, msg) in [(1, 10), (2, 11), (3, 12), (4, 13)] {
             cal.push(0, 7, seq, msg, 0, &topo);
@@ -252,7 +326,8 @@ mod tests {
     fn preempting_priority_jumps_the_queue() {
         let g = gen::path(2);
         let topo = Topology::build(&g, 1);
-        let mut cal: CalendarDelivery<u32> = CalendarDelivery::with_horizon(topo.num_dirs(), 4);
+        let mut cal: CalendarDelivery<u32> =
+            CalendarDelivery::with_horizon(topo.num_dirs(), 4, 1, usize::MAX);
         cal.push(0, 5, 1, 50, 0, &topo);
         cal.push(0, 5, 2, 51, 0, &topo);
         cal.push(0, 1, 3, 10, 0, &topo); // lower priority value drains first
@@ -265,7 +340,8 @@ mod tests {
         let topo = Topology::build(&g, 1);
         // Horizon 4, backlog 11: tokens for rounds 1..=11, rounds >= 4
         // overflow and must be swept in across several calendar wraps.
-        let mut cal: CalendarDelivery<u32> = CalendarDelivery::with_horizon(topo.num_dirs(), 4);
+        let mut cal: CalendarDelivery<u32> =
+            CalendarDelivery::with_horizon(topo.num_dirs(), 4, 1, usize::MAX);
         for seq in 1..=11u64 {
             cal.push(0, 0, seq, seq as u32, 0, &topo);
         }
@@ -273,74 +349,165 @@ mod tests {
             !cal.overflow.is_empty(),
             "backlog must spill past the horizon"
         );
-        let mut metrics = RunMetrics::default();
-        let mut out = vec![Vec::new()];
+        let mut acc = ShardAccount::default();
+        let mut out = Vec::new();
         for round in 1..=11u64 {
-            cal.stage(round, &topo, &mut out, &mut metrics);
-            let staged: Vec<u32> = out[0].drain(..).map(|(_, msg)| msg).collect();
+            cal.stage(round, &topo, &mut out, &mut acc);
+            let staged: Vec<u32> = out.drain(..).map(|(_, msg)| msg).collect();
             assert_eq!(
                 staged,
                 vec![round as u32],
                 "exactly one delivery per round, in slot order"
             );
         }
-        assert!(!cal.inflight());
-        assert_eq!(metrics.messages, 11);
-        assert_eq!(metrics.max_queue, 11);
+        assert_eq!(cal.pending(), 0);
+        assert_eq!(acc.messages, 11);
+        assert_eq!(acc.max_queue, 11);
     }
 
     #[test]
     fn mid_stream_sends_extend_the_token_run() {
         let g = gen::path(2);
         let topo = Topology::build(&g, 1);
-        let mut cal: CalendarDelivery<u32> = CalendarDelivery::with_horizon(topo.num_dirs(), 4);
-        let mut metrics = RunMetrics::default();
-        let mut out = vec![Vec::new()];
+        let mut cal: CalendarDelivery<u32> =
+            CalendarDelivery::with_horizon(topo.num_dirs(), 4, 1, usize::MAX);
+        let mut acc = ShardAccount::default();
+        let mut out = Vec::new();
         cal.push(0, 0, 1, 1, 0, &topo);
         cal.push(0, 0, 2, 2, 0, &topo);
-        cal.stage(1, &topo, &mut out, &mut metrics);
-        assert_eq!(
-            out[0].drain(..).map(|(_, m)| m).collect::<Vec<_>>(),
-            vec![1]
-        );
+        cal.stage(1, &topo, &mut out, &mut acc);
+        assert_eq!(out.drain(..).map(|(_, m)| m).collect::<Vec<_>>(), vec![1]);
         // Sent during round 1 while a token for round 2 is in flight: the
         // new message claims round 3, not a duplicate round-2 token.
         cal.push(0, 0, 3, 3, 1, &topo);
-        cal.stage(2, &topo, &mut out, &mut metrics);
-        assert_eq!(
-            out[0].drain(..).map(|(_, m)| m).collect::<Vec<_>>(),
-            vec![2]
-        );
-        cal.stage(3, &topo, &mut out, &mut metrics);
-        assert_eq!(
-            out[0].drain(..).map(|(_, m)| m).collect::<Vec<_>>(),
-            vec![3]
-        );
-        assert!(!cal.inflight());
-        assert_eq!(metrics.max_queue, 2);
+        cal.stage(2, &topo, &mut out, &mut acc);
+        assert_eq!(out.drain(..).map(|(_, m)| m).collect::<Vec<_>>(), vec![2]);
+        cal.stage(3, &topo, &mut out, &mut acc);
+        assert_eq!(out.drain(..).map(|(_, m)| m).collect::<Vec<_>>(), vec![3]);
+        assert_eq!(cal.pending(), 0);
+        assert_eq!(acc.max_queue, 2);
     }
 
     #[test]
     fn idle_dir_restarts_cleanly_after_draining() {
         let g = gen::path(2);
         let topo = Topology::build(&g, 1);
-        let mut cal: CalendarDelivery<u32> = CalendarDelivery::with_horizon(topo.num_dirs(), 4);
-        let mut metrics = RunMetrics::default();
-        let mut out = vec![Vec::new()];
+        let mut cal: CalendarDelivery<u32> =
+            CalendarDelivery::with_horizon(topo.num_dirs(), 4, 1, usize::MAX);
+        let mut acc = ShardAccount::default();
+        let mut out = Vec::new();
         cal.push(0, 0, 1, 1, 0, &topo);
-        cal.stage(1, &topo, &mut out, &mut metrics);
-        out[0].clear();
+        cal.stage(1, &topo, &mut out, &mut acc);
+        out.clear();
         // Quiet rounds pass; a much later send must deliver the round after
         // it was pushed, not at the stale `next_slot`.
         for round in 2..=9 {
-            cal.stage(round, &topo, &mut out, &mut metrics);
-            assert!(out[0].is_empty());
+            cal.stage(round, &topo, &mut out, &mut acc);
+            assert!(out.is_empty());
         }
         cal.push(0, 0, 2, 42, 9, &topo);
-        cal.stage(10, &topo, &mut out, &mut metrics);
-        assert_eq!(
-            out[0].drain(..).map(|(_, m)| m).collect::<Vec<_>>(),
-            vec![42]
-        );
+        cal.stage(10, &topo, &mut out, &mut acc);
+        assert_eq!(out.drain(..).map(|(_, m)| m).collect::<Vec<_>>(), vec![42]);
+    }
+
+    /// Stages one round of a packed-envelope calendar, returning the
+    /// delivered envelopes.
+    fn stage_packed(
+        cal: &mut CalendarDelivery<PackedMsg<u32>>,
+        topo: &Topology,
+        round: u64,
+        acc: &mut ShardAccount,
+    ) -> Vec<PackedMsg<u32>> {
+        let mut out = Vec::new();
+        cal.stage(round, topo, &mut out, acc);
+        out.into_iter().map(|(_, m)| m).collect()
+    }
+
+    #[test]
+    fn delivery_merging_respects_pack_and_budget() {
+        let g = gen::path(2);
+        let topo = Topology::build(&g, 1);
+        // u32 payloads bill 32 bits each; a 70-bit budget fits 2 values.
+        let mut cal: CalendarDelivery<PackedMsg<u32>> =
+            CalendarDelivery::with_horizon(topo.num_dirs(), 8, 4, 70);
+        let mut acc = ShardAccount::default();
+        for seq in 1..=6u64 {
+            cal.push(0, 0, seq, PackedMsg::One(seq as u32), 0, &topo);
+        }
+        // Budget caps each envelope at 2 values despite pack = 4; FIFO
+        // order is preserved across the merged envelopes.
+        let mut all = Vec::new();
+        for round in 1..=6u64 {
+            for env in stage_packed(&mut cal, &topo, round, &mut acc) {
+                assert!(env.size_bits_in(topo.num_nodes()) <= 70);
+                assert_eq!(env.len(), 2);
+                all.extend(env.iter().copied());
+            }
+            if cal.pending() == 0 {
+                break;
+            }
+        }
+        assert_eq!(all, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(acc.messages, 3);
+        assert_eq!(cal.pending(), 0);
+    }
+
+    #[test]
+    fn delivery_merging_stops_at_pack_and_priority_boundaries() {
+        let g = gen::path(2);
+        let topo = Topology::build(&g, 1);
+        let mut cal: CalendarDelivery<PackedMsg<u32>> =
+            CalendarDelivery::with_horizon(topo.num_dirs(), 8, 3, usize::MAX);
+        let mut acc = ShardAccount::default();
+        // Four priority-0 values then two priority-1 values: the first
+        // envelope takes 3 (the pack cap), the second takes the remaining
+        // priority-0 value alone (a priority boundary stops the merge).
+        for seq in 1..=4u64 {
+            cal.push(0, 0, seq, PackedMsg::One(seq as u32), 0, &topo);
+        }
+        for seq in 5..=6u64 {
+            cal.push(0, 1, seq, PackedMsg::One(seq as u32), 0, &topo);
+        }
+        let r1 = stage_packed(&mut cal, &topo, 1, &mut acc);
+        assert_eq!(r1.len(), 1);
+        assert_eq!(r1[0].iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+        let r2 = stage_packed(&mut cal, &topo, 2, &mut acc);
+        assert_eq!(r2[0].iter().copied().collect::<Vec<_>>(), vec![4]);
+        // The priority-1 backlog merges separately.
+        let r3 = stage_packed(&mut cal, &topo, 3, &mut acc);
+        assert_eq!(r3[0].iter().copied().collect::<Vec<_>>(), vec![5, 6]);
+        assert_eq!(cal.pending(), 0);
+        // Stale tokens (left by the merges) fire on an empty dir and are
+        // skipped without delivering or panicking.
+        for round in 4..=7u64 {
+            assert!(stage_packed(&mut cal, &topo, round, &mut acc).is_empty());
+        }
+        assert_eq!(acc.messages, 3);
+    }
+
+    #[test]
+    fn merging_never_double_delivers_a_dir_in_one_round() {
+        let g = gen::path(2);
+        let topo = Topology::build(&g, 1);
+        let mut cal: CalendarDelivery<PackedMsg<u32>> =
+            CalendarDelivery::with_horizon(topo.num_dirs(), 8, 4, usize::MAX);
+        let mut acc = ShardAccount::default();
+        // Backlog of 4 merges into one envelope in round 1, leaving stale
+        // tokens at rounds 2..4. A send during round 1 must not ride a
+        // stale token *and* its own token.
+        for seq in 1..=4u64 {
+            cal.push(0, 0, seq, PackedMsg::One(seq as u32), 0, &topo);
+        }
+        let r1 = stage_packed(&mut cal, &topo, 1, &mut acc);
+        assert_eq!(r1[0].len(), 4);
+        cal.push(0, 0, 5, PackedMsg::One(5), 1, &topo);
+        let mut deliveries = 0;
+        for round in 2..=8u64 {
+            let envs = stage_packed(&mut cal, &topo, round, &mut acc);
+            assert!(envs.len() <= 1, "one envelope per dir per round");
+            deliveries += envs.len();
+        }
+        assert_eq!(deliveries, 1);
+        assert_eq!(cal.pending(), 0);
     }
 }

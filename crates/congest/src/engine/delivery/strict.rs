@@ -1,71 +1,72 @@
-//! Strict-mode delivery: the double-buffered flat send arena.
+//! Strict-mode delivery: a flat per-partition send arena.
 //!
 //! Pure CONGEST admits at most one message per directed edge per round, so
-//! no queueing structure is needed at all: pushes append to a per-shard
-//! arena `Vec` (routed by the receiver's shard at push time), and staging
-//! a round is a handful of `Vec` swaps. The arenas rotate between the
-//! backend and the shards' inbound buffers, so the steady-state round loop
-//! allocates nothing.
+//! no queueing structure is needed at all: pushes append to the
+//! partition's arena `Vec`, and staging a round is a single `Vec` swap
+//! with the shard's inbound buffer (the two rotate, so the steady-state
+//! round loop allocates nothing). Double-send detection stamps a per-dir
+//! round mark, indexed by the partition-local dense dir index.
 
-use super::{Delivery, Topology};
-use crate::{MessageSize, RunMetrics};
+use super::{Delivery, ShardAccount, Topology};
+use crate::MessageSize;
 
 pub(crate) struct StrictDelivery<M> {
-    /// Messages sent this round, grouped by the receiver's shard; swapped
-    /// into the shards' inbound buffers at the next [`stage`].
+    /// Messages sent this round, in partition push order; swapped into the
+    /// shard's inbound buffer at the next [`stage`].
     ///
     /// [`stage`]: Delivery::stage
-    next: Vec<Vec<(u32, M)>>,
-    /// Round stamp per directed edge for double-send detection.
+    arena: Vec<(u32, M)>,
+    /// Round stamp per partition-local dir for double-send detection.
     sent_round: Vec<u64>,
     /// Messages pushed but not yet staged.
-    inflight: usize,
+    pending: usize,
 }
 
 impl<M> StrictDelivery<M> {
-    pub fn new(num_dirs: usize, num_shards: usize) -> Self {
+    pub fn new(local_dirs: usize) -> Self {
         StrictDelivery {
-            next: (0..num_shards).map(|_| Vec::new()).collect(),
-            sent_round: vec![0; num_dirs],
-            inflight: 0,
+            arena: Vec::new(),
+            sent_round: vec![0; local_dirs],
+            pending: 0,
         }
     }
 }
 
 impl<M: MessageSize> Delivery<M> for StrictDelivery<M> {
     fn push(&mut self, dir: u32, _priority: u64, _seq: u64, msg: M, round: u64, topo: &Topology) {
+        let local = topo.dir_local(dir);
         assert!(
-            self.sent_round[dir as usize] != round + 1,
+            self.sent_round[local] != round + 1,
             "strict mode: node {} sent twice on port {} in round {round}",
             topo.sender_of(dir).0 .0,
             topo.sender_of(dir).1,
         );
-        self.sent_round[dir as usize] = round + 1;
-        let (recv, _) = topo.recv(dir);
-        self.next[topo.shard_of(recv)].push((dir, msg));
-        self.inflight += 1;
+        self.sent_round[local] = round + 1;
+        self.arena.push((dir, msg));
+        self.pending += 1;
     }
 
-    fn inflight(&self) -> bool {
-        self.inflight > 0
+    fn pending(&self) -> usize {
+        self.pending
     }
 
     fn stage(
         &mut self,
         _round: u64,
         _topo: &Topology,
-        out: &mut [Vec<(u32, M)>],
-        metrics: &mut RunMetrics,
+        out: &mut Vec<(u32, M)>,
+        acc: &mut ShardAccount,
     ) {
-        for (arena, staged) in self.next.iter_mut().zip(out.iter_mut()) {
-            if arena.is_empty() {
-                continue;
-            }
-            metrics.max_queue = metrics.max_queue.max(1);
-            metrics.messages += arena.len() as u64;
-            self.inflight -= arena.len();
-            debug_assert!(staged.is_empty());
-            std::mem::swap(arena, staged);
+        if self.arena.is_empty() {
+            return;
+        }
+        acc.max_queue = acc.max_queue.max(1);
+        acc.messages += self.arena.len() as u64;
+        self.pending -= self.arena.len();
+        if out.is_empty() {
+            std::mem::swap(&mut self.arena, out);
+        } else {
+            out.append(&mut self.arena);
         }
     }
 }

@@ -5,38 +5,47 @@
 //! The engine is split into focused layers (see each module's docs):
 //!
 //! - [`topology`] — the per-run routing tables: directed-edge reverse map
-//!   (`dir = first_out[v] + port` is the message address) and the shard
-//!   layout of the node-id space.
+//!   (`dir = first_out[v] + port` is the message address), the shard
+//!   layout of the node-id space, and the per-shard dir partition
+//!   (`dir_shard` / `dir_local`) the decentralized delivery indexes by.
 //! - [`delivery`] — pluggable delivery backends behind the `Delivery`
-//!   trait: strict mode is a double-buffered flat send arena drained in
-//!   one linear pass; queued mode is a bucketed **calendar queue**
-//!   (per-round buckets indexed by `slot % horizon`, an overflow ring for
-//!   deeper backlogs, and per-edge `VecDeque` rings replacing the seed
-//!   engine's per-edge binary heaps).
+//!   trait, instantiated **once per receiver shard**: strict mode is a
+//!   flat send arena drained in one linear pass; queued mode is a
+//!   bucketed **calendar queue** (per-round buckets indexed by
+//!   `slot % horizon`, an overflow ring for deeper backlogs, per-edge
+//!   `VecDeque` rings, and delivery-time merging of queued same-priority
+//!   messages under `message_packing`).
 //! - [`shard`] — a contiguous node range owning its programs, RNGs,
 //!   inboxes, and wake bookkeeping; the unit of parallel work.
-//! - [`parallel`] — the sharded round executor: scoped worker threads run
-//!   the shards of each round concurrently, and the coordinator merges
-//!   their outboxes **in shard order**, so sequence numbers and every
-//!   reported metric are bit-identical to the sequential engine at any
-//!   [`SimConfig::threads`] setting.
+//! - [`parallel`] — the decentralized round executor: each *lane* (a
+//!   shard plus its delivery partition) ingests routed envelopes, stages,
+//!   computes,
+//!   and validates/bit-accounts its own sends fully in parallel; the
+//!   coordinator's serial window shrinks to an `O(threads)` account fold,
+//!   a prefix sum of send counts (the sequence-number bases), and a
+//!   mailbox rotation — no per-message serial work remains.
 //!
-//! Determinism: all validation, sequence numbering, and metric accounting
-//! happens on the coordinating thread in a fixed order. The pinned
-//! conformance corpus (`tests/sim_conformance.rs`) passes unchanged for
-//! every thread count.
+//! Determinism: every per-message decision happens inside a lane, in an
+//! order fixed by the topology (nodes ascending within a shard, issue
+//! order within a node, sender-shard-major ingestion), and the exact
+//! global sequence numbers are reconstructed from the per-shard send
+//! counts via a prefix sum in shard order. Metrics are folded from the
+//! per-lane accounts in shard order. The pinned conformance corpus
+//! (`tests/sim_conformance.rs`) is therefore bit-identical at every
+//! [`SimConfig::threads`] setting.
 
 mod delivery;
 mod parallel;
 mod shard;
 mod topology;
 
-use crate::{MessageSize, PackedMsg, RunMetrics};
-use delivery::{CalendarDelivery, Delivery, StrictDelivery};
+use crate::{MessageSize, PackedMsg, PhaseTimings, RunMetrics};
+use delivery::{CalendarDelivery, Delivery, ShardAccount, StrictDelivery};
 use lcs_graph::{EdgeId, Graph, NodeId};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
 use shard::Shard;
+use std::time::Instant;
 use topology::Topology;
 
 /// How the engine treats sends beyond one message per edge per round.
@@ -264,6 +273,9 @@ pub struct RunOutcome<P> {
     pub programs: Vec<P>,
     /// Exact execution counts.
     pub metrics: RunMetrics,
+    /// Wall-clock phase breakdown of this execution (not deterministic,
+    /// unlike `metrics`; see [`PhaseTimings`] for bucket semantics).
+    pub timings: PhaseTimings,
 }
 
 /// The CONGEST simulator for a fixed graph.
@@ -341,27 +353,37 @@ impl<'g> Simulator<'g> {
                 )
             })
             .collect();
+        let (pack, budget) = (self.effective_packing(), self.bandwidth_bits());
         match self.config.mode {
             SimMode::Strict => self.drive(
                 &topo,
-                StrictDelivery::new(topo.num_dirs(), topo.num_shards()),
+                (0..topo.num_shards())
+                    .map(|s| StrictDelivery::new(topo.shard_dir_count(s)))
+                    .collect(),
                 shards,
             ),
-            SimMode::Queued => self.drive(&topo, CalendarDelivery::new(topo.num_dirs()), shards),
+            SimMode::Queued => self.drive(
+                &topo,
+                (0..topo.num_shards())
+                    .map(|s| CalendarDelivery::new(topo.shard_dir_count(s), pack, budget))
+                    .collect(),
+                shards,
+            ),
         }
     }
 
     /// Round 0 plus the round loop, generic over the delivery backend.
+    /// `parts[s]` is receiver shard `s`'s delivery partition.
     fn drive<P, D>(
         &self,
         topo: &Topology<'_>,
-        mut delivery: D,
+        mut parts: Vec<D>,
         mut shards: Vec<Shard<P>>,
     ) -> RunOutcome<P>
     where
         P: NodeProgram + Send,
         P::Msg: Send,
-        D: Delivery<PackedMsg<P::Msg>>,
+        D: Delivery<PackedMsg<P::Msg>> + Send,
     {
         let g = self.graph;
         let bandwidth = self.bandwidth_bits();
@@ -374,14 +396,16 @@ impl<'g> Simulator<'g> {
         let mut seq = 0u64;
         let mut wakes = 0usize;
 
-        // Round 0: on_start, merged in shard order like every later round.
+        // Round 0: on_start on every shard, flushed in shard order — the
+        // coordinator pushes round-0 sends straight into the partitions
+        // (no mailbox hop; the lanes have not started yet).
         for shard in &mut shards {
             shard.run_start(g);
         }
         for shard in &mut shards {
             flush_shard(
                 shard,
-                &mut delivery,
+                &mut parts,
                 topo,
                 0,
                 bandwidth,
@@ -391,13 +415,13 @@ impl<'g> Simulator<'g> {
             wakes += shard.pending_wakes();
         }
 
-        let (shards, metrics) = if shards.len() == 1 {
+        let (shards, metrics, timings) = if shards.len() == 1 {
             drive_seq(
                 &self.config,
                 g,
                 topo,
                 bandwidth,
-                delivery,
+                parts,
                 shards,
                 metrics,
                 seq,
@@ -409,45 +433,55 @@ impl<'g> Simulator<'g> {
                 g,
                 topo,
                 bandwidth,
-                delivery,
+                parts,
                 shards,
                 metrics,
                 seq,
-                wakes,
+                None,
             )
         };
         RunOutcome {
             programs: shards.into_iter().flat_map(Shard::into_programs).collect(),
             metrics,
+            timings,
         }
     }
 }
 
-/// The inline round loop used at `threads = 1` (no pools, no barriers).
+/// Milliseconds of a [`std::time::Duration`], for the phase-timing
+/// accumulators.
+pub(crate) fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// The inline round loop used at `threads = 1` (no pools, no barriers, no
+/// mailbox hop — the single partition's staged messages land directly in
+/// the shard's inbound buffer and its outbox flushes directly back).
 ///
-/// Structurally the parallel loop with the worker phase run in place; both
-/// paths share [`flush_shard`] and the delivery backends, which is what
-/// keeps them metric-identical.
+/// Per-message work is identical to a lane of the parallel executor
+/// ([`parallel::drive_par`]); only the envelope routing differs, which is
+/// what keeps the two paths metric-identical.
 #[allow(clippy::too_many_arguments)]
 fn drive_seq<P, D>(
     config: &SimConfig,
     g: &Graph,
     topo: &Topology<'_>,
     bandwidth: usize,
-    mut delivery: D,
+    mut parts: Vec<D>,
     mut shards: Vec<Shard<P>>,
     mut metrics: RunMetrics,
     mut seq: u64,
     mut wakes: usize,
-) -> (Vec<Shard<P>>, RunMetrics)
+) -> (Vec<Shard<P>>, RunMetrics, PhaseTimings)
 where
     P: NodeProgram,
     D: Delivery<PackedMsg<P::Msg>>,
 {
-    let mut staging: Vec<Vec<(u32, PackedMsg<P::Msg>)>> =
-        (0..shards.len()).map(|_| Vec::new()).collect();
+    debug_assert_eq!(shards.len(), 1);
+    debug_assert_eq!(parts.len(), 1);
+    let mut timings = PhaseTimings::default();
     loop {
-        if !delivery.inflight() && wakes == 0 {
+        if parts[0].pending() == 0 && wakes == 0 {
             metrics.terminated = shards.iter().all(Shard::all_done);
             break;
         }
@@ -457,36 +491,45 @@ where
         }
         metrics.rounds += 1;
         let round = metrics.rounds;
-        delivery.stage(round, topo, &mut staging, &mut metrics);
-        wakes = 0;
-        for (shard, staged) in shards.iter_mut().zip(staging.iter_mut()) {
-            std::mem::swap(&mut shard.inbound, staged);
-            shard.run_round(g, topo, round);
-            flush_shard(
-                shard,
-                &mut delivery,
-                topo,
-                round,
-                bandwidth,
-                &mut seq,
-                &mut metrics,
-            );
-            wakes += shard.pending_wakes();
-        }
+        let t0 = Instant::now();
+        let mut acc = ShardAccount::default();
+        parts[0].stage(round, topo, &mut shards[0].inbound, &mut acc);
+        metrics.messages += acc.messages;
+        metrics.max_queue = metrics.max_queue.max(acc.max_queue);
+        let t1 = Instant::now();
+        shards[0].run_round(g, topo, round);
+        let t2 = Instant::now();
+        flush_shard(
+            &mut shards[0],
+            &mut parts,
+            topo,
+            round,
+            bandwidth,
+            &mut seq,
+            &mut metrics,
+        );
+        wakes = shards[0].pending_wakes();
+        let t3 = Instant::now();
+        timings.stage_ms += ms(t1 - t0);
+        timings.compute_ms += ms(t2 - t1);
+        timings.merge_ms += ms(t3 - t2);
     }
-    (shards, metrics)
+    (shards, metrics, timings)
 }
 
-/// Merges one shard's outbox into the delivery backend: per-message
-/// bandwidth validation, global sequence numbering, and bit accounting —
-/// always on the coordinating thread, always in shard order. Sizing is
-/// `n`-aware ([`MessageSize::size_bits_in`]): id payloads are billed at
-/// `O(log n)` bits, as the CONGEST model assumes; a packed envelope bills
-/// its true multi-value width (see [`PackedMsg`]) and must fit the budget
-/// like any other message.
+/// Flushes one shard's outbox into the delivery partitions: per-message
+/// bandwidth validation, global sequence numbering, bit accounting, and
+/// routing by the receiver's shard. Used by the coordinator for round 0
+/// (all shards, in shard order) and by the single-shard loop every round;
+/// the parallel executor's lanes inline the same per-message work with
+/// lane-local sequence indices instead. Sizing is `n`-aware
+/// ([`MessageSize::size_bits_in`]): id payloads are billed at `O(log n)`
+/// bits, as the CONGEST model assumes; a packed envelope bills its true
+/// multi-value width (see [`PackedMsg`]) and must fit the budget like any
+/// other message.
 pub(crate) fn flush_shard<P, D>(
     shard: &mut Shard<P>,
-    delivery: &mut D,
+    parts: &mut [D],
     topo: &Topology<'_>,
     round: u64,
     bandwidth: usize,
@@ -505,7 +548,7 @@ pub(crate) fn flush_shard<P, D>(
         );
         metrics.bits += bits as u64;
         *seq += 1;
-        delivery.push(dir, priority, *seq, msg, round, topo);
+        parts[topo.dir_shard(dir)].push(dir, priority, *seq, msg, round, topo);
     }
 }
 

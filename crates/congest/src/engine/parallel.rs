@@ -1,31 +1,72 @@
-//! The sharded parallel round executor.
+//! The decentralized sharded round executor.
 //!
-//! One coordinator (the calling thread) plus `num_shards` scoped workers.
-//! Per round the coordinator stages deliveries into per-shard inbound
-//! buffers, releases the workers through a barrier, waits for them, then
-//! merges the shard outboxes — in shard order — into the delivery
-//! backend. All validation, sequence numbering, and metric accounting
-//! happens in that single-threaded merge, so the execution is bit-for-bit
-//! the sequential one; the workers only parallelize message delivery and
-//! the `on_round` callbacks.
+//! Earlier engine versions funneled every envelope through a coordinator
+//! thread that validated, sequence-numbered, bit-accounted, and staged all
+//! messages between rounds — an `O(messages)` serial section that capped
+//! parallel speedup well below the shard count. This executor moves all of
+//! that **into the shards**. Each *lane* pairs a [`Shard`] with the
+//! delivery partition of the dirs its nodes receive, and runs four steps
+//! per round with no synchronization beyond two barriers:
 //!
-//! Rounds are microseconds long, so the barrier is a spin barrier
-//! (sense-reversing, built from two atomics) with a `yield_now` fallback
-//! for oversubscribed hosts. Worker panics are caught, parked until the
-//! barrier cycle completes (a raw unwind past a barrier would deadlock
-//! everyone else), and re-raised on the coordinator once the workers have
-//! been shut down — so a protocol assertion behaves exactly as in the
-//! sequential engine.
+//! 1. **Ingest** the mailboxes routed to it last round (sender-shard
+//!    order), pushing each envelope into its own delivery partition with
+//!    the *exact global sequence number* reconstructed as
+//!    `mail.base + idx + 1`.
+//! 2. **Stage** the round's due deliveries straight into its shard's
+//!    inbound buffer.
+//! 3. **Compute** the node callbacks ([`Shard::run_round`]).
+//! 4. **Flush**: validate each send against the bandwidth budget, account
+//!    its bits, and route it — tagged with its lane-local send index — to
+//!    the receiving lane's mailbox for the *next* round.
+//!
+//! The coordinator's serial window between rounds is `O(lanes)`, not
+//! `O(messages)`: sum the per-lane accounts for the quiescence check,
+//! prefix-sum the per-lane send counts **in shard order** to obtain each
+//! lane's sequence base for the round, and rotate the mailbox buffers
+//! (receiver's drained vec swaps back to the sender — the steady state
+//! allocates nothing). The per-round metric fold is overlapped with the
+//! next round's compute.
+//!
+//! # Determinism argument
+//!
+//! The global send order is defined as: shards in ascending order, nodes
+//! ascending within a shard, issue order within a node. The prefix sum
+//! gives lane `t` the base `seq + Σ_{u<t} sends_u`, so
+//! `base + idx + 1` reproduces the exact sequence numbers a serial merge
+//! in that order would have assigned. A partition only ever sees the
+//! envelopes addressed to its own dirs, ingested sender-shard-major — a
+//! filter of the fixed global order, hence itself fixed. Metrics are
+//! folded from the per-lane [`ShardAccount`]s in shard order. None of
+//! this depends on which OS thread runs which lane, so rounds, messages,
+//! bits, and max_queue are bit-identical at any thread count — the pinned
+//! corpus in `tests/sim_conformance.rs` checks exactly this.
+//!
+//! # Execution
+//!
+//! Lanes are the *determinism* unit; OS threads are the *execution* unit.
+//! `exec = min(available_parallelism, lanes)` threads run the lanes
+//! round-robin (thread `w` owns lanes `w, w + exec, …`). On a single-core
+//! host `exec == 1` and the whole loop runs inline — no threads, no
+//! barriers, no mutexes — so asking for `threads = 4` on one core costs
+//! (almost) nothing over `threads = 1` instead of thrashing a spin
+//! barrier. With `exec > 1`, rounds are microseconds long, so the barrier
+//! is a spin barrier (sense-reversing, two atomics) with a `yield_now`
+//! fallback for oversubscribed hosts. Worker panics are caught, parked
+//! until the barrier cycle completes (a raw unwind past a barrier would
+//! deadlock everyone else), and re-raised on the coordinator once the
+//! workers have been shut down — so a protocol assertion behaves exactly
+//! as in the single-shard engine.
 
-use super::delivery::Delivery;
+use super::delivery::{Delivery, ShardAccount};
 use super::shard::Shard;
 use super::topology::Topology;
-use super::{flush_shard, NodeProgram, RunMetrics, SimConfig};
-use crate::PackedMsg;
+use super::{ms, NodeProgram, RunMetrics, SimConfig};
+use crate::{MessageSize, PackedMsg, PhaseTimings};
 use lcs_graph::Graph;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A sense-reversing spin barrier for `total` participants.
 ///
@@ -69,51 +110,332 @@ impl SpinBarrier {
     }
 }
 
-/// Runs the round loop with `shards.len()` worker threads. Returns the
-/// final metrics and the shards (for program extraction).
+/// One routed envelope: a validated send awaiting ingestion by the
+/// receiving lane.
+struct Env<M> {
+    dir: u32,
+    priority: u64,
+    /// Send index within the sending lane's round (0-based); the global
+    /// sequence number is `Mail::base + idx + 1`.
+    idx: u32,
+    msg: M,
+}
+
+/// A mailbox: the envelopes one sender lane routed to one receiver lane
+/// in one round, plus the sender's sequence base for that round.
+struct Mail<M> {
+    base: u64,
+    envs: Vec<Env<M>>,
+}
+
+/// A lane: one shard plus the delivery partition of the dirs it receives,
+/// its mailboxes, and its per-round account. The unit of deterministic
+/// work; several lanes may share one OS thread.
+struct Lane<P: NodeProgram, D> {
+    shard: Shard<P>,
+    part: D,
+    /// `in_from[t]`: the mailbox sender lane `t` routed to this lane last
+    /// round. Ingested in `t` order (= global send order filtered to this
+    /// partition's dirs).
+    in_from: Vec<Mail<PackedMsg<P::Msg>>>,
+    /// `out_to[s]`: envelopes this lane's nodes sent to receiver lane `s`
+    /// this round, in issue order, tagged with lane-local send indices.
+    out_to: Vec<Vec<Env<PackedMsg<P::Msg>>>>,
+    account: ShardAccount,
+}
+
+/// One lane's full round: ingest → stage → compute → flush. Runs with no
+/// access to any other lane's state; panics (bandwidth or strict-mode
+/// assertions) unwind to the calling worker's catch.
+fn lane_phase<P, D>(
+    lane: &mut Lane<P, D>,
+    g: &Graph,
+    topo: &Topology<'_>,
+    round: u64,
+    bandwidth: usize,
+) where
+    P: NodeProgram,
+    D: Delivery<PackedMsg<P::Msg>>,
+{
+    let Lane {
+        shard,
+        part,
+        in_from,
+        out_to,
+        account: acc,
+    } = lane;
+
+    // Ingest: last round's sends routed to this partition, sender-shard
+    // major. The senders executed in `round - 1`, which is the round the
+    // delivery backends schedule from.
+    for mail in in_from.iter_mut() {
+        for env in mail.envs.drain(..) {
+            part.push(
+                env.dir,
+                env.priority,
+                mail.base + u64::from(env.idx) + 1,
+                env.msg,
+                round - 1,
+                topo,
+            );
+        }
+    }
+
+    *acc = ShardAccount::default();
+
+    // Stage this round's due deliveries straight into the shard's inbound
+    // buffer — no coordinator staging pass, no extra copy.
+    debug_assert!(shard.inbound.is_empty());
+    part.stage(round, topo, &mut shard.inbound, acc);
+
+    // Compute.
+    shard.run_round(g, topo, round);
+
+    // Flush: validate + bit-account this lane's own sends and route each
+    // envelope to the lane that receives it. `idx` is the lane-local send
+    // index the coordinator's prefix sum turns into exact global seqs.
+    let n = topo.num_nodes();
+    let mut idx = 0u32;
+    for (dir, priority, msg) in shard.outbox.drain(..) {
+        let bits = msg.size_bits_in(n);
+        assert!(
+            bits <= bandwidth,
+            "message of {bits} bits exceeds the {bandwidth}-bit CONGEST bandwidth"
+        );
+        acc.bits += bits as u64;
+        out_to[topo.dir_shard(dir)].push(Env {
+            dir,
+            priority,
+            idx,
+            msg,
+        });
+        idx += 1;
+    }
+    acc.sends = u64::from(idx);
+    acc.wakes = shard.pending_wakes();
+    acc.pending = part.pending();
+}
+
+/// The coordinator's mailbox rotation: assigns each lane its sequence
+/// base for the finished round (prefix sum of send counts in shard
+/// order — the determinism keystone) and swaps every `out_to[s]` with the
+/// matching `in_from[t]` buffer, so the receiver gets the envelopes and
+/// the sender gets a drained vec back. `O(lanes²)` pointer swaps, no
+/// envelope is copied.
+fn rotate_mailboxes<P, D>(lanes: &mut [&mut Lane<P, D>], seq: &mut u64)
+where
+    P: NodeProgram,
+{
+    let count = lanes.len();
+    let mut bases = [0u64; 64];
+    debug_assert!(count <= 64, "threads are clamped to 64");
+    for (t, lane) in lanes.iter().enumerate() {
+        bases[t] = *seq;
+        *seq += lane.account.sends;
+    }
+    for t in 0..count {
+        for s in 0..count {
+            if s == t {
+                let Lane {
+                    in_from, out_to, ..
+                } = &mut *lanes[t];
+                std::mem::swap(&mut out_to[t], &mut in_from[t].envs);
+                in_from[t].base = bases[t];
+            } else {
+                let (a, b) = lanes.split_at_mut(s.max(t));
+                let (sender, receiver) = if t < s {
+                    (&mut *a[t], &mut *b[0])
+                } else {
+                    (&mut *b[0], &mut *a[s])
+                };
+                std::mem::swap(&mut sender.out_to[s], &mut receiver.in_from[t].envs);
+                receiver.in_from[t].base = bases[t];
+            }
+        }
+    }
+}
+
+/// Folds the per-lane accounts of one round into the run metrics, in
+/// shard order.
+fn fold_accounts(accounts: &[ShardAccount], metrics: &mut RunMetrics) {
+    for acc in accounts {
+        metrics.bits += acc.bits;
+        metrics.messages += acc.messages;
+        metrics.max_queue = metrics.max_queue.max(acc.max_queue);
+    }
+}
+
+/// Runs the round loop over `shards.len()` lanes. Returns the final
+/// shards (for program extraction), metrics, and phase timings.
 ///
-/// `metrics`, `seq`, and `wakes` carry the round-0 (`on_start`) state the
-/// caller already flushed.
+/// `metrics` and `seq` carry the round-0 (`on_start`) state the caller
+/// already flushed into the partitions. `exec_override` forces the OS
+/// thread count (tests use it to exercise the threaded path on
+/// single-core hosts); `None` resolves to the host parallelism.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn drive_par<P, D>(
     config: &SimConfig,
     g: &Graph,
     topo: &Topology<'_>,
     bandwidth: usize,
-    mut delivery: D,
+    parts: Vec<D>,
     shards: Vec<Shard<P>>,
-    mut metrics: RunMetrics,
-    mut seq: u64,
-    mut wakes: usize,
-) -> (Vec<Shard<P>>, RunMetrics)
+    metrics: RunMetrics,
+    seq: u64,
+    exec_override: Option<usize>,
+) -> (Vec<Shard<P>>, RunMetrics, PhaseTimings)
 where
     P: NodeProgram + Send,
     P::Msg: Send,
+    D: Delivery<PackedMsg<P::Msg>> + Send,
+{
+    let count = shards.len();
+    debug_assert_eq!(parts.len(), count);
+    let lanes: Vec<Lane<P, D>> = shards
+        .into_iter()
+        .zip(parts)
+        .map(|(shard, part)| {
+            // Seed the account with the round-0 state so the first serial
+            // window's quiescence check sees on_start's sends and wakes.
+            let account = ShardAccount {
+                wakes: shard.pending_wakes(),
+                pending: part.pending(),
+                ..ShardAccount::default()
+            };
+            Lane {
+                shard,
+                part,
+                in_from: (0..count)
+                    .map(|_| Mail {
+                        base: 0,
+                        envs: Vec::new(),
+                    })
+                    .collect(),
+                out_to: (0..count).map(|_| Vec::new()).collect(),
+                account,
+            }
+        })
+        .collect();
+
+    let exec = exec_override
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, count);
+
+    let (lanes, metrics, timings) = if exec == 1 {
+        drive_lanes_inline(config, g, topo, bandwidth, lanes, metrics, seq)
+    } else {
+        drive_lanes_threaded(config, g, topo, bandwidth, lanes, metrics, seq, exec)
+    };
+    (
+        lanes.into_iter().map(|l| l.shard).collect(),
+        metrics,
+        timings,
+    )
+}
+
+/// The `exec == 1` loop: every lane runs on the calling thread, in lane
+/// order, with zero synchronization. Deterministically identical to the
+/// threaded loop (same lane phases, same serial window); this is what a
+/// multi-shard config costs on a single-core host.
+fn drive_lanes_inline<P, D>(
+    config: &SimConfig,
+    g: &Graph,
+    topo: &Topology<'_>,
+    bandwidth: usize,
+    mut lanes: Vec<Lane<P, D>>,
+    mut metrics: RunMetrics,
+    mut seq: u64,
+) -> (Vec<Lane<P, D>>, RunMetrics, PhaseTimings)
+where
+    P: NodeProgram,
     D: Delivery<PackedMsg<P::Msg>>,
 {
-    let num_shards = shards.len();
-    let cells: Vec<Mutex<Shard<P>>> = shards.into_iter().map(Mutex::new).collect();
-    let barrier = SpinBarrier::new(num_shards + 1);
+    let mut timings = PhaseTimings::default();
+    let mut fold: Vec<ShardAccount> = Vec::with_capacity(lanes.len());
+    loop {
+        // Serial window (same work the threaded coordinator does).
+        let t0 = Instant::now();
+        let inflight: usize = lanes
+            .iter()
+            .map(|l| l.account.pending + l.account.sends as usize)
+            .sum();
+        let wakes: usize = lanes.iter().map(|l| l.account.wakes).sum();
+        fold.clear();
+        fold.extend(lanes.iter().map(|l| l.account));
+        if inflight == 0 && wakes == 0 {
+            fold_accounts(&fold, &mut metrics);
+            metrics.terminated = lanes.iter().all(|l| l.shard.all_done());
+            break;
+        }
+        if metrics.rounds >= config.max_rounds {
+            fold_accounts(&fold, &mut metrics);
+            metrics.truncated = true;
+            break;
+        }
+        let mut refs: Vec<&mut Lane<P, D>> = lanes.iter_mut().collect();
+        rotate_mailboxes(&mut refs, &mut seq);
+        metrics.rounds += 1;
+        let round = metrics.rounds;
+        let t1 = Instant::now();
+        fold_accounts(&fold, &mut metrics);
+        let t2 = Instant::now();
+        for lane in &mut lanes {
+            lane_phase(lane, g, topo, round, bandwidth);
+        }
+        let t3 = Instant::now();
+        timings.stage_ms += ms(t1 - t0);
+        timings.merge_ms += ms(t2 - t1);
+        timings.compute_ms += ms(t3 - t2);
+    }
+    (lanes, metrics, timings)
+}
+
+/// The `exec > 1` loop: `exec - 1` scoped workers plus the coordinator,
+/// each running the lanes `w, w + exec, …` between two spin barriers per
+/// round. The round-`r-1` metric fold happens after the release barrier,
+/// overlapped with the workers' round-`r` compute.
+#[allow(clippy::too_many_arguments)]
+fn drive_lanes_threaded<P, D>(
+    config: &SimConfig,
+    g: &Graph,
+    topo: &Topology<'_>,
+    bandwidth: usize,
+    lanes: Vec<Lane<P, D>>,
+    mut metrics: RunMetrics,
+    mut seq: u64,
+    exec: usize,
+) -> (Vec<Lane<P, D>>, RunMetrics, PhaseTimings)
+where
+    P: NodeProgram + Send,
+    P::Msg: Send,
+    D: Delivery<PackedMsg<P::Msg>> + Send,
+{
+    let cells: Vec<Mutex<Lane<P, D>>> = lanes.into_iter().map(Mutex::new).collect();
+    let barrier = SpinBarrier::new(exec);
     let stop = AtomicBool::new(false);
     let round_now = AtomicU64::new(0);
     let worker_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
-
-    let mut staging: Vec<Vec<(u32, PackedMsg<P::Msg>)>> =
-        (0..num_shards).map(|_| Vec::new()).collect();
+    let mut timings = PhaseTimings::default();
 
     std::thread::scope(|scope| {
-        for cell in &cells {
+        for w in 1..exec {
+            let cells = &cells;
             let (barrier, stop, round_now) = (&barrier, &stop, &round_now);
             let worker_panic = &worker_panic;
             scope.spawn(move || loop {
-                barrier.wait(); // released by the coordinator once staged
+                barrier.wait(); // released by the coordinator once rotated
                 if stop.load(Ordering::Acquire) {
                     break;
                 }
                 let round = round_now.load(Ordering::Acquire);
                 let result = catch_unwind(AssertUnwindSafe(|| {
-                    let mut shard = lock(cell);
-                    shard.run_round(g, topo, round);
+                    for cell in cells.iter().skip(w).step_by(exec) {
+                        lane_phase(&mut lock(cell), g, topo, round, bandwidth);
+                    }
                 }));
                 if let Err(payload) = result {
                     lock(worker_panic).get_or_insert(payload);
@@ -122,51 +444,65 @@ where
             });
         }
 
-        // The coordinator loop must not unwind between barriers: a panic
-        // (bandwidth or strict-mode assertion during the merge) is caught,
-        // the workers — parked at the release barrier — are shut down, and
-        // the payload re-raised outside the scope.
-        let outcome = catch_unwind(AssertUnwindSafe(|| loop {
-            if !delivery.inflight() && wakes == 0 {
-                metrics.terminated = cells.iter().all(|c| lock(c).all_done());
-                break;
-            }
-            if metrics.rounds >= config.max_rounds {
-                metrics.truncated = true;
-                break;
-            }
-            metrics.rounds += 1;
-            let round = metrics.rounds;
-            round_now.store(round, Ordering::Release);
+        // The coordinator loop must not unwind between barriers (the
+        // workers would deadlock); its own lane phases are caught like a
+        // worker's, and the serial window is guarded by this outer catch.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut fold: Vec<ShardAccount> = Vec::with_capacity(cells.len());
+            loop {
+                // Serial window: the workers are parked at the release
+                // barrier, so every lock is uncontended.
+                let t0 = Instant::now();
+                let mut guards: Vec<_> = cells.iter().map(lock).collect();
+                let inflight: usize = guards
+                    .iter()
+                    .map(|l| l.account.pending + l.account.sends as usize)
+                    .sum();
+                let wakes: usize = guards.iter().map(|l| l.account.wakes).sum();
+                fold.clear();
+                fold.extend(guards.iter().map(|l| l.account));
+                if inflight == 0 && wakes == 0 {
+                    fold_accounts(&fold, &mut metrics);
+                    metrics.terminated = guards.iter().all(|l| l.shard.all_done());
+                    break;
+                }
+                if metrics.rounds >= config.max_rounds {
+                    fold_accounts(&fold, &mut metrics);
+                    metrics.truncated = true;
+                    break;
+                }
+                let mut refs: Vec<&mut Lane<P, D>> = guards.iter_mut().map(|g| &mut **g).collect();
+                rotate_mailboxes(&mut refs, &mut seq);
+                drop(refs);
+                drop(guards);
+                metrics.rounds += 1;
+                let round = metrics.rounds;
+                round_now.store(round, Ordering::Release);
+                let t1 = Instant::now();
 
-            delivery.stage(round, topo, &mut staging, &mut metrics);
-            for (cell, staged) in cells.iter().zip(staging.iter_mut()) {
-                std::mem::swap(&mut lock(cell).inbound, staged);
-            }
+                barrier.wait(); // release the workers into the round
+                                // Overlap: fold the previous round's accounts while the
+                                // workers are already computing this one.
+                fold_accounts(&fold, &mut metrics);
+                let t2 = Instant::now();
+                // The coordinator is worker 0: run its own lanes.
+                let own = catch_unwind(AssertUnwindSafe(|| {
+                    for cell in cells.iter().step_by(exec) {
+                        lane_phase(&mut lock(cell), g, topo, round, bandwidth);
+                    }
+                }));
+                if let Err(payload) = own {
+                    lock(&worker_panic).get_or_insert(payload);
+                }
+                barrier.wait(); // wait for every lane to finish
+                let t3 = Instant::now();
+                timings.stage_ms += ms(t1 - t0);
+                timings.merge_ms += ms(t2 - t1);
+                timings.compute_ms += ms(t3 - t2);
 
-            barrier.wait(); // release the workers into the round
-            barrier.wait(); // wait for every shard to finish
-
-            if lock(&worker_panic).is_some() {
-                break; // re-raised below, after the workers are stopped
-            }
-
-            // Merge in shard order: the global send order equals the
-            // sequential engine's, so seq numbers and metrics match bit
-            // for bit.
-            wakes = 0;
-            for cell in &cells {
-                let mut shard = lock(cell);
-                flush_shard(
-                    &mut shard,
-                    &mut delivery,
-                    topo,
-                    round,
-                    bandwidth,
-                    &mut seq,
-                    &mut metrics,
-                );
-                wakes += shard.pending_wakes();
+                if lock(&worker_panic).is_some() {
+                    break; // re-raised below, after the workers are stopped
+                }
             }
         }));
 
@@ -182,15 +518,187 @@ where
         resume_unwind(payload);
     }
 
-    let shards = cells
+    let lanes = cells
         .into_iter()
         .map(|c| c.into_inner().unwrap_or_else(|e| e.into_inner()))
         .collect();
-    (shards, metrics)
+    (lanes, metrics, timings)
 }
 
-/// Locks ignoring poison: a poisoned shard only occurs on a worker panic,
+/// Locks ignoring poison: a poisoned lane only occurs on a worker panic,
 /// which the coordinator re-raises anyway.
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::delivery::StrictDelivery;
+    use super::super::{flush_shard, Ctx, Incoming};
+    use super::*;
+    use lcs_graph::{gen, NodeId};
+
+    /// MaxFlood: floods the maximum node id (same shape as the engine-level
+    /// test program, rebuilt here because that one is private to the
+    /// `engine::tests` module).
+    struct MaxFlood {
+        best: u32,
+    }
+
+    impl NodeProgram for MaxFlood {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            let best = self.best;
+            ctx.broadcast(best);
+        }
+
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[Incoming<u32>]) {
+            let mut improved = false;
+            for m in inbox {
+                if m.msg > self.best {
+                    self.best = m.msg;
+                    improved = true;
+                }
+            }
+            if improved {
+                let best = self.best;
+                ctx.broadcast(best);
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    /// Replicates `Simulator::run`'s setup (round 0 included) and drives
+    /// the lanes with a forced OS thread count — the only way to exercise
+    /// the threaded path on a single-core host.
+    fn run_max_flood(
+        g: &lcs_graph::Graph,
+        lanes: usize,
+        exec: usize,
+    ) -> (Vec<MaxFlood>, RunMetrics) {
+        let config = SimConfig::default();
+        let topo = Topology::build(g, lanes);
+        let mut shards: Vec<Shard<MaxFlood>> = (0..topo.num_shards())
+            .map(|s| {
+                Shard::new(
+                    g,
+                    topo.shard_range(s),
+                    config.seed,
+                    1,
+                    1 << 20,
+                    &mut |v, _| MaxFlood { best: v.0 },
+                )
+            })
+            .collect();
+        let mut parts: Vec<StrictDelivery<PackedMsg<u32>>> = (0..topo.num_shards())
+            .map(|s| StrictDelivery::new(topo.shard_dir_count(s)))
+            .collect();
+        let mut metrics = RunMetrics::default();
+        let mut seq = 0u64;
+        for shard in &mut shards {
+            shard.run_start(g);
+        }
+        for shard in &mut shards {
+            flush_shard(shard, &mut parts, &topo, 0, 1 << 20, &mut seq, &mut metrics);
+        }
+        let (shards, metrics, _) = drive_par(
+            &config,
+            g,
+            &topo,
+            1 << 20,
+            parts,
+            shards,
+            metrics,
+            seq,
+            Some(exec),
+        );
+        (
+            shards.into_iter().flat_map(Shard::into_programs).collect(),
+            metrics,
+        )
+    }
+
+    #[test]
+    fn forced_thread_counts_match_the_inline_path() {
+        let g = gen::grid(7, 9);
+        let (base_progs, base) = run_max_flood(&g, 4, 1);
+        assert!(base.terminated);
+        assert!(base_progs.iter().all(|p| p.best == 62));
+        for exec in [2, 3, 4] {
+            let (progs, metrics) = run_max_flood(&g, 4, exec);
+            assert_eq!(metrics.counts(), base.counts(), "exec={exec}");
+            assert!(progs.iter().all(|p| p.best == 62), "exec={exec}");
+        }
+        // Lanes ≠ exec ≠ divisor cases: uneven round-robin assignment.
+        let (_, m7) = run_max_flood(&g, 7, 3);
+        let (_, m7b) = run_max_flood(&g, 7, 1);
+        assert_eq!(m7.counts(), m7b.counts());
+    }
+
+    #[test]
+    fn threaded_worker_panics_propagate() {
+        struct Bomb;
+        impl NodeProgram for Bomb {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                ctx.wake_next_round();
+            }
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, _: &[Incoming<u32>]) {
+                if ctx.node() == NodeId(5) {
+                    panic!("protocol bug on node 5");
+                }
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = gen::path(8);
+        let config = SimConfig::default();
+        let topo = Topology::build(&g, 4);
+        let mut shards: Vec<Shard<Bomb>> = (0..topo.num_shards())
+            .map(|s| {
+                Shard::new(
+                    &g,
+                    topo.shard_range(s),
+                    config.seed,
+                    1,
+                    1 << 20,
+                    &mut |_, _| Bomb,
+                )
+            })
+            .collect();
+        let parts: Vec<StrictDelivery<PackedMsg<u32>>> = (0..topo.num_shards())
+            .map(|s| StrictDelivery::new(topo.shard_dir_count(s)))
+            .collect();
+        for shard in &mut shards {
+            shard.run_start(&g);
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            drive_par(
+                &config,
+                &g,
+                &topo,
+                1 << 20,
+                parts,
+                shards,
+                RunMetrics::default(),
+                0,
+                Some(2),
+            )
+        }));
+        let payload = match result {
+            Err(payload) => payload,
+            Ok(_) => panic!("the worker panic must reach the caller"),
+        };
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .unwrap_or_default();
+        assert!(msg.contains("protocol bug on node 5"), "got: {msg}");
+    }
 }

@@ -3,11 +3,11 @@
 //!
 //! Each shard exclusively owns its nodes' programs, RNG streams, inboxes,
 //! and wake bookkeeping, plus two message buffers: `inbound` (staged
-//! deliveries for the current round, filled by the delivery backend) and
-//! `outbox` (wire envelopes produced this round, drained by the
-//! coordinator's merge pass). A worker thread touches nothing outside its
-//! shard during a round, which is why no per-message synchronization
-//! exists anywhere.
+//! deliveries for the current round, filled in place by the shard's own
+//! delivery partition) and `outbox` (wire envelopes produced this round,
+//! validated and routed by the lane's flush step). A worker thread
+//! touches nothing outside its lane during a round, which is why no
+//! per-message synchronization exists anywhere.
 //!
 //! The shard is also where **multi-value message packing** happens: a
 //! node's raw sends land in a scratch buffer during its callback, and
@@ -16,13 +16,14 @@
 //! values and the bandwidth budget per envelope. At packing 1 every send
 //! becomes a `PackedMsg::One` with the exact bit cost of the raw message,
 //! so the wire stream (and every metric) is identical to the unpacked
-//! engine. Packing on the shard keeps the coalescing work parallel and
-//! the coordinator's merge pass unchanged.
+//! engine. Packing on the shard keeps the coalescing work parallel.
 //!
 //! Determinism: within a shard, nodes run in ascending id order and each
-//! node's envelopes are appended in issue order; the coordinator merges
-//! shard outboxes in shard order. The resulting global send order is
-//! therefore identical to the sequential engine's (ascending node id),
+//! node's envelopes are appended in issue order; the global send order is
+//! *defined* as the shard outboxes concatenated in shard order, which the
+//! executor realizes without serializing by prefix-summing per-shard send
+//! counts into sequence-number bases (see [`super::parallel`]). That
+//! order is identical to the sequential engine's (ascending node id),
 //! making sequence numbers — and with them every pinned metric —
 //! independent of the thread count.
 //!
@@ -45,12 +46,12 @@ pub(crate) struct Shard<P: NodeProgram> {
     /// Nodes (global ids) that requested a wake-up for the next round.
     wake_list: Vec<u32>,
     /// Deliveries staged for this round: `(dir, envelope)` with the
-    /// receiver in this shard. Swapped in by the coordinator, unpacked and
-    /// drained by `run_round`.
+    /// receiver in this shard. Filled by the shard's delivery partition,
+    /// unpacked and drained by `run_round`.
     pub(crate) inbound: Vec<(u32, PackedMsg<P::Msg>)>,
     /// Wire envelopes produced this round: `(dir, priority, envelope)` in
-    /// deterministic node-then-issue order. Drained by the coordinator's
-    /// merge pass.
+    /// deterministic node-then-issue order. Validated, bit-accounted, and
+    /// routed to the receiving lanes by the flush step.
     pub(crate) outbox: Vec<(u32, u64, PackedMsg<P::Msg>)>,
     /// Scratch: one node's raw sends `(port, priority, msg)` during its
     /// callback, coalesced into `outbox` envelopes afterwards.

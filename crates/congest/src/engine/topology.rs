@@ -19,6 +19,19 @@ pub(crate) struct Topology<'g> {
     /// Shard boundaries over the node-id space: shard `s` owns nodes
     /// `starts[s]..starts[s + 1]`. Length `num_shards + 1`.
     starts: Vec<u32>,
+    /// dir -> shard of the *receiver*, precomputed so the hot flush path
+    /// routes envelopes without the boundary scan in [`shard_of`].
+    ///
+    /// [`shard_of`]: Topology::shard_of
+    dir_shard: Vec<u32>,
+    /// dir -> dense index within the receiver shard's dir partition,
+    /// assigned in ascending global-dir order (so with one shard it is the
+    /// identity). Lets the per-shard delivery partitions use flat arrays
+    /// sized by their own dir count.
+    dir_local: Vec<u32>,
+    /// Per-shard partition sizes: `shard_dirs[s]` dirs are received by
+    /// shard `s`.
+    shard_dirs: Vec<usize>,
 }
 
 impl<'g> Topology<'g> {
@@ -56,15 +69,39 @@ impl<'g> Topology<'g> {
         }
 
         let shards = shards.max(1).min(n.max(1));
-        let starts = (0..=shards).map(|s| (s * n / shards) as u32).collect();
-        Topology {
+        let starts: Vec<u32> = (0..=shards).map(|s| (s * n / shards) as u32).collect();
+        let mut topo = Topology {
             g,
             dir_recv,
             starts,
+            dir_shard: Vec::new(),
+            dir_local: Vec::new(),
+            shard_dirs: Vec::new(),
+        };
+
+        // Receiver-shard routing: one more O(m) pass. `dir_local` is dense
+        // within each shard and ascending in global dir order, so the
+        // delivery partitions can index flat arrays by it while preserving
+        // the global order whenever they iterate their own dirs.
+        let mut dir_shard = vec![0u32; num_dirs];
+        let mut dir_local = vec![0u32; num_dirs];
+        let mut shard_dirs = vec![0usize; shards];
+        for dir in 0..num_dirs {
+            let s = topo.shard_of(topo.dir_recv[dir].0);
+            dir_shard[dir] = s as u32;
+            dir_local[dir] = shard_dirs[s] as u32;
+            shard_dirs[s] += 1;
         }
+        topo.dir_shard = dir_shard;
+        topo.dir_local = dir_local;
+        topo.shard_dirs = shard_dirs;
+        topo
     }
 
-    /// Number of directed edges (`2m`).
+    /// Number of directed edges (`2m`). Production code sizes per-shard
+    /// structures via [`shard_dir_count`](Topology::shard_dir_count); this
+    /// remains for the delivery unit tests.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn num_dirs(&self) -> usize {
         self.dir_recv.len()
     }
@@ -105,6 +142,25 @@ impl<'g> Topology<'g> {
     #[inline]
     pub fn recv(&self, dir: u32) -> (u32, u32) {
         self.dir_recv[dir as usize]
+    }
+
+    /// The shard that *receives* (and therefore delivers) `dir`.
+    #[inline]
+    pub fn dir_shard(&self, dir: u32) -> usize {
+        self.dir_shard[dir as usize] as usize
+    }
+
+    /// Dense index of `dir` within its receiver shard's partition.
+    #[inline]
+    pub fn dir_local(&self, dir: u32) -> usize {
+        self.dir_local[dir as usize] as usize
+    }
+
+    /// Number of dirs received by shard `s` — the size of its delivery
+    /// partition.
+    #[inline]
+    pub fn shard_dir_count(&self, s: usize) -> usize {
+        self.shard_dirs[s]
     }
 
     /// The sender side of `dir`: `(node, port)`. O(log n) — only used on
@@ -153,6 +209,37 @@ mod tests {
                     assert_eq!(topo.shard_of(v), s);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn dir_partitions_are_dense_and_order_preserving() {
+        let g = gen::grid(4, 5);
+        for shards in [1, 2, 3, 7] {
+            let topo = Topology::build(&g, shards);
+            let mut counts = vec![0usize; topo.num_shards()];
+            let mut last_local = vec![None::<usize>; topo.num_shards()];
+            for dir in 0..topo.num_dirs() as u32 {
+                let s = topo.dir_shard(dir);
+                assert_eq!(s, topo.shard_of(topo.recv(dir).0));
+                let local = topo.dir_local(dir);
+                // Dense and ascending in global dir order within a shard.
+                assert_eq!(local, counts[s]);
+                if let Some(prev) = last_local[s] {
+                    assert_eq!(local, prev + 1);
+                }
+                last_local[s] = Some(local);
+                counts[s] += 1;
+            }
+            for (s, &c) in counts.iter().enumerate() {
+                assert_eq!(c, topo.shard_dir_count(s));
+            }
+            assert_eq!(counts.iter().sum::<usize>(), topo.num_dirs());
+        }
+        // Single shard: dir_local is the identity.
+        let topo = Topology::build(&g, 1);
+        for dir in 0..topo.num_dirs() as u32 {
+            assert_eq!(topo.dir_local(dir), dir as usize);
         }
     }
 

@@ -45,4 +45,4 @@ pub mod protocols;
 
 pub use engine::{splitmix, Ctx, Incoming, NodeProgram, RunOutcome, SimConfig, SimMode, Simulator};
 pub use message::{id_bits, MessageSize, NodeIdMsg, PackedMsg};
-pub use metrics::RunMetrics;
+pub use metrics::{PhaseTimings, RunMetrics};

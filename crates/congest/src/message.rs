@@ -167,6 +167,84 @@ impl<M: MessageSize> MessageSize for PackedMsg<M> {
     }
 }
 
+/// Envelope types the calendar queue can coalesce at *delivery* time.
+///
+/// Send-side packing ([`SimConfig::message_packing`]) only merges sends
+/// issued consecutively within one node-round; a trickle sender that emits
+/// one value per round never benefits. Delivery-time merging closes that
+/// gap: when a queued-mode token fires, the backend absorbs follow-up
+/// envelopes of the same (port, priority) — in FIFO order — into the firing
+/// envelope, as long as the combined value count stays within the packing
+/// factor and the combined width within the bandwidth budget.
+///
+/// The defaults make a type unmergeable (`merge_cost_in` = `usize::MAX`
+/// never fits any budget), so only [`PackedMsg`] — the engine's actual wire
+/// envelope — opts in.
+///
+/// [`SimConfig::message_packing`]: crate::SimConfig::message_packing
+pub(crate) trait Mergeable {
+    /// Number of protocol-level values carried.
+    fn values(&self) -> usize {
+        1
+    }
+
+    /// Bits added to `self`'s packed width by absorbing `other` behind it,
+    /// in an `n`-node network. `usize::MAX` (the default) means "cannot
+    /// merge".
+    fn merge_cost_in(&self, other: &Self, n: usize) -> usize {
+        let _ = (other, n);
+        usize::MAX
+    }
+
+    /// Appends `other`'s values behind `self`'s. Only called after
+    /// [`merge_cost_in`](Mergeable::merge_cost_in) returned a finite cost.
+    fn absorb(&mut self, other: Self)
+    where
+        Self: Sized,
+    {
+        let _ = other;
+        unreachable!("absorb called on an unmergeable message type");
+    }
+}
+
+impl<M: MessageSize> Mergeable for PackedMsg<M> {
+    fn values(&self) -> usize {
+        self.len()
+    }
+
+    fn merge_cost_in(&self, other: &Self, n: usize) -> usize {
+        // Marginal cost of other's values appended behind self's last
+        // value — the same chaining rule PackedMsg::size_bits_in uses, so
+        // billing an absorbed batch equals billing it as one send-side
+        // batch.
+        let mut prev = match self {
+            PackedMsg::One(m) => m,
+            PackedMsg::Batch(vs) => match vs.last() {
+                Some(m) => m,
+                None => return other.size_bits_in(n),
+            },
+        };
+        let mut cost = 0usize;
+        for m in other.iter() {
+            cost = cost.saturating_add(m.size_bits_packed_in(prev, n));
+            prev = m;
+        }
+        cost
+    }
+
+    fn absorb(&mut self, other: Self) {
+        let mut vs = match std::mem::replace(self, PackedMsg::Batch(Vec::new())) {
+            PackedMsg::One(m) => vec![m],
+            PackedMsg::Batch(vs) => vs,
+        };
+        match other {
+            PackedMsg::One(m) => vs.push(m),
+            PackedMsg::Batch(os) => vs.extend(os),
+        }
+        *self = PackedMsg::Batch(vs);
+    }
+}
+
 /// A message that is exactly one id (node, part, fragment, …), billed at
 /// [`id_bits`]`(n)` by the simulator — the `O(log n)`-scaling counterpart
 /// of sending a raw `u32` (which always bills 32 bits).
@@ -335,6 +413,30 @@ mod tests {
         let plain = PackedMsg::Batch(vec![7u32, 8, 9]);
         assert_eq!(plain.size_bits_in(1000), 96);
         assert_eq!(plain.size_bits(), 96);
+    }
+
+    #[test]
+    fn merge_cost_matches_send_side_batch_billing() {
+        // Absorbing envelopes one by one must bill exactly what one big
+        // send-side batch of the same values would.
+        let mut env = PackedMsg::One(Tagged::Id(1));
+        let mut width = env.size_bits_in(64);
+        for follow in [
+            PackedMsg::One(Tagged::Id(2)),
+            PackedMsg::Batch(vec![Tagged::Id(3), Tagged::Val(9)]),
+        ] {
+            width += env.merge_cost_in(&follow, 64);
+            env.absorb(follow);
+        }
+        let reference = PackedMsg::Batch(vec![
+            Tagged::Id(1),
+            Tagged::Id(2),
+            Tagged::Id(3),
+            Tagged::Val(9),
+        ]);
+        assert_eq!(env, reference);
+        assert_eq!(width, reference.size_bits_in(64));
+        assert_eq!(env.values(), 4);
     }
 
     #[test]

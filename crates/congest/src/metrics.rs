@@ -54,6 +54,52 @@ pub struct RunMetrics {
     pub packing: usize,
 }
 
+/// Wall-clock breakdown of one run's round loop, reported alongside the
+/// deterministic [`RunMetrics`] on [`RunOutcome::timings`].
+///
+/// Kept out of `RunMetrics` on purpose: metrics are bit-identical across
+/// thread counts and compared with `==` by the conformance suite, while
+/// timings are measurements of *this* execution.
+///
+/// What the buckets mean depends on the executor path:
+///
+/// * single shard (`threads = 1`): `stage_ms` is delivery staging,
+///   `merge_ms` is the flush/validation/accounting pass, `compute_ms` is
+///   the node programs' `on_round` work;
+/// * sharded (`threads > 1`): `stage_ms` is the coordinator's serial
+///   window (account collection, quiescence check, seq-base prefix sum,
+///   mailbox rotation), `merge_ms` is the metric fold (overlapped with the
+///   next round's compute), `compute_ms` is the parallel region wall —
+///   everything the lanes do between barriers, which *includes* their
+///   in-lane validation, staging and flush.
+///
+/// [`RunOutcome::timings`]: crate::RunOutcome::timings
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Wall milliseconds in node-program execution (the parallel region
+    /// for sharded runs).
+    pub compute_ms: f64,
+    /// Wall milliseconds staging deliveries (single shard) or in the
+    /// coordinator's serial window (sharded).
+    pub stage_ms: f64,
+    /// Wall milliseconds merging/validating outboxes (single shard) or
+    /// folding shard accounts (sharded).
+    pub merge_ms: f64,
+}
+
+impl PhaseTimings {
+    /// The serial-coordination share of the loop: `(stage_ms + merge_ms) /
+    /// total`, in `[0, 1]`. 0 for an empty run.
+    pub fn serial_share(&self) -> f64 {
+        let total = self.compute_ms + self.stage_ms + self.merge_ms;
+        if total <= 0.0 {
+            0.0
+        } else {
+            (self.stage_ms + self.merge_ms) / total
+        }
+    }
+}
+
 impl RunMetrics {
     /// Average messages per round (0 for empty runs).
     pub fn messages_per_round(&self) -> f64 {

@@ -19,10 +19,12 @@
 //! strict-mode rewrite; the repo's protocols are arrival-order
 //! independent, which is exactly why the pinned metrics stay identical.
 //!
-//! The corpus runs at `threads = 1` **and** `threads = 4`: the sharded
-//! executor merges shard outboxes in shard order, so every pinned number
-//! must be independent of the thread count. `LCS_SIM_THREADS` (used by CI)
-//! additionally overrides the thread count of the env-driven run.
+//! The corpus runs at `threads` ∈ {1, 2, 4, 8}: the decentralized
+//! executor reconstructs the exact global sequence numbers from per-shard
+//! send counts (a prefix sum in shard order) and folds per-shard accounts
+//! in shard order, so every pinned number must be independent of the lane
+//! count. `LCS_SIM_THREADS` (used by CI) additionally overrides the
+//! thread count of the env-driven run.
 //!
 //! **Packing conformance** (`LCS_SIM_PACKING`, used by CI at `8`): with
 //! multi-value message packing enabled the corpus cannot match the
@@ -353,12 +355,24 @@ fn metrics_match_pinned_seed_corpus() {
     assert_corpus_matches(env_threads(), env_packing());
 }
 
-/// The sharded executor must be invisible in the metrics: the same pinned
-/// corpus, four worker shards (honoring `LCS_SIM_PACKING` like the
-/// env-driven run).
+/// The decentralized executor must be invisible in the metrics: the same
+/// pinned corpus at every lane count the bench sweep uses (honoring
+/// `LCS_SIM_PACKING` like the env-driven run).
+#[test]
+fn metrics_match_pinned_seed_corpus_threads2() {
+    assert_corpus_matches(2, env_packing());
+}
+
+/// See [`metrics_match_pinned_seed_corpus_threads2`].
 #[test]
 fn metrics_match_pinned_seed_corpus_threads4() {
     assert_corpus_matches(4, env_packing());
+}
+
+/// See [`metrics_match_pinned_seed_corpus_threads2`].
+#[test]
+fn metrics_match_pinned_seed_corpus_threads8() {
+    assert_corpus_matches(8, env_packing());
 }
 
 /// Strict mode must keep rejecting a double send over one directed edge in
@@ -459,7 +473,7 @@ fn queued_mode_preserves_priority_then_fifo_order() {
 /// the scheduling structure: exactly one delivery per round in ascending
 /// `(priority, seq)` order, and the metrics are the analytically pinned
 /// ones (`rounds = messages = max_queue = backlog`, one u32 per message).
-/// Run at both thread counts — scheduling is coordinator-side either way.
+/// Run at every lane count — each lane schedules its own partition.
 #[test]
 fn queued_mode_drains_deep_backlogs_in_slot_order() {
     const BACKLOG: u32 = 100;
@@ -491,7 +505,7 @@ fn queued_mode_drains_deep_backlogs_in_slot_order() {
             true
         }
     }
-    for threads in [1, 4] {
+    for threads in [1, 2, 4, 8] {
         let g = gen::path(2);
         let sim = Simulator::new(
             &g,
@@ -518,5 +532,112 @@ fn queued_mode_drains_deep_backlogs_in_slot_order() {
         };
         let expect: Vec<u32> = (1..=BACKLOG).rev().collect();
         assert_eq!(r.0, expect, "threads={threads}");
+    }
+}
+
+/// Delivery-time merging, end to end: the middle node of a 3-path bursts
+/// sends *interleaved* across its two ports, which defeats send-side
+/// packing (only consecutive same-`(port, priority)` sends pack), so the
+/// per-edge backlogs can only be coalesced by the calendar queue at
+/// delivery time. With `message_packing = 8` and the default `n = 3`
+/// budget of `4·id_bits(4) + 128 = 136` bits, a fired token may absorb up
+/// to three queued `u32` follow-ups (4 × 32 = 128 ≤ 136 < 160), never
+/// more — and bits are billed at send time, so the merged run's bit count
+/// must equal the unpacked run's exactly. Per-edge FIFO within a priority
+/// class must survive merging verbatim.
+#[test]
+fn queued_delivery_merging_respects_budget_and_fifo() {
+    const PER_PORT: u32 = 6;
+    struct Sender;
+    struct Recorder {
+        rounds: Vec<Vec<u32>>,
+    }
+    enum P {
+        S(Sender),
+        R(Recorder),
+    }
+    impl NodeProgram for P {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if let P::S(_) = self {
+                // 1, 2, 3, … alternating port 0 / port 1: odd values to
+                // one neighbor, even to the other, never two consecutive
+                // sends on the same port.
+                for k in 0..2 * PER_PORT {
+                    ctx.send((k % 2) as usize, k + 1);
+                }
+            }
+        }
+        fn on_round(&mut self, _: &mut Ctx<'_, u32>, inbox: &[Incoming<u32>]) {
+            if let P::R(r) = self {
+                if !inbox.is_empty() {
+                    r.rounds.push(inbox.iter().map(|m| m.msg).collect());
+                }
+            }
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+    let run_at = |threads: usize, packing: usize| {
+        let g = gen::path(3);
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                mode: SimMode::Queued,
+                threads,
+                message_packing: packing,
+                ..SimConfig::default()
+            },
+        );
+        sim.run(|v, _| {
+            if v == NodeId(1) {
+                P::S(Sender)
+            } else {
+                P::R(Recorder { rounds: Vec::new() })
+            }
+        })
+    };
+    for threads in [1, 4] {
+        let unpacked = run_at(threads, 1);
+        let packed = run_at(threads, 8);
+        assert!(unpacked.metrics.terminated && packed.metrics.terminated);
+
+        // Unpacked: one envelope per edge per round, PER_PORT rounds.
+        assert_eq!(unpacked.metrics.rounds, u64::from(PER_PORT));
+        assert_eq!(unpacked.metrics.messages, u64::from(2 * PER_PORT));
+
+        // Merged: the first token on each edge absorbs 3 queued
+        // follow-ups (budget-capped at 4 × 32 = 128 of 136 bits), the
+        // next takes the remaining 2 — so 2 envelopes per edge, and the
+        // backlog drains in 2 rounds instead of 6.
+        assert_eq!(packed.metrics.rounds, 2);
+        assert_eq!(packed.metrics.messages, 4);
+
+        // Bits are billed when the send is validated, not when envelopes
+        // merge: both runs bill 12 × 32 bits.
+        assert_eq!(unpacked.metrics.bits, u64::from(2 * PER_PORT) * 32);
+        assert_eq!(packed.metrics.bits, unpacked.metrics.bits);
+
+        for (node, parity) in [(0usize, 0u32), (2, 1)] {
+            let P::R(r) = &unpacked.programs[node] else {
+                panic!("node {node} records");
+            };
+            let fifo: Vec<u32> = (0..PER_PORT).map(|i| 2 * i + 1 + parity).collect();
+            assert!(r.rounds.iter().all(|v| v.len() == 1));
+            assert_eq!(r.rounds.concat(), fifo, "threads={threads}");
+
+            let P::R(r) = &packed.programs[node] else {
+                panic!("node {node} records");
+            };
+            // Budget cap: never more than 4 values per merged envelope;
+            // FIFO order concatenates back to the exact unpacked stream.
+            assert_eq!(
+                r.rounds.iter().map(Vec::len).collect::<Vec<_>>(),
+                vec![4, 2],
+                "threads={threads}"
+            );
+            assert_eq!(r.rounds.concat(), fifo, "threads={threads}");
+        }
     }
 }
