@@ -117,6 +117,10 @@ struct Entry {
     threads: usize,
     /// `SimConfig::message_packing` the entry ran with (1 = unpacked).
     packing: usize,
+    /// The partition source the entry's parts came from (`rows` /
+    /// `voronoi` / `singletons` — the [`lcs_core::PartitionSource`]
+    /// naming); `None` for partition-free simulator rows.
+    partition_source: Option<&'static str>,
     rounds: u64,
     messages: u64,
     wall_ms: f64,
@@ -187,6 +191,7 @@ fn sim_entry(
         mode: mode_name.to_string(),
         threads,
         packing: 1,
+        partition_source: None,
         rounds,
         messages,
         wall_ms,
@@ -231,6 +236,7 @@ fn partial_entry(
     family: &str,
     g: &Graph,
     parts: Vec<Vec<NodeId>>,
+    partition_source: &'static str,
     kind: DetectKind,
     packing: usize,
     reps: usize,
@@ -349,6 +355,7 @@ fn partial_entry(
         mode: mode_name.to_string(),
         threads: 1,
         packing,
+        partition_source: Some(partition_source),
         rounds,
         messages,
         wall_ms,
@@ -468,6 +475,7 @@ fn facade_overhead_entry(reps: usize) -> Entry {
         mode: "aggregate".to_string(),
         threads: 1,
         packing: 1,
+        partition_source: Some("rows"),
         rounds: last.0,
         messages: last.1,
         wall_ms: facade_ms,
@@ -545,7 +553,8 @@ fn render(schema: &str, entries: &[Entry]) -> String {
         let _ = write!(
             out,
             "    {{\"family\": \"{}\", \"n\": {}, \"m\": {}, \"mode\": \"{}\", \
-             \"threads\": {}, \"packing\": {}, \"rounds\": {}, \"messages\": {}, \
+             \"threads\": {}, \"packing\": {}, \"partition_source\": {}, \
+             \"rounds\": {}, \"messages\": {}, \
              \"wall_ms\": {:.2}, \"wall_ms_before\": {}, \"speedup\": {}, \
              \"speedup_vs_t1\": {}, \"rounds_vs_unpacked\": {}, \
              \"min_cut_load_ratio\": {}, \"cut_edges\": {}, \"overhead_vs_direct\": {}, \
@@ -557,6 +566,8 @@ fn render(schema: &str, entries: &[Entry]) -> String {
             e.mode,
             e.threads,
             e.packing,
+            e.partition_source
+                .map_or_else(|| "null".to_string(), |s| format!("\"{s}\"")),
             e.rounds,
             e.messages,
             e.wall_ms,
@@ -627,6 +638,7 @@ fn main() {
             "grid_rows",
             &g,
             gen::rows_of_grid(side, side),
+            "rows",
             DetectKind::Exact,
             1,
             reps,
@@ -638,8 +650,18 @@ fn main() {
         let t = gen::torus(32, 32);
         let mut rng = SmallRng::seed_from_u64(42);
         let parts = gen::random_connected_parts(&t, 32, &mut rng);
-        partial_entries
-            .push(partial_entry("torus_voronoi", &t, parts, DetectKind::Exact, 1, reps).0);
+        partial_entries.push(
+            partial_entry(
+                "torus_voronoi",
+                &t,
+                parts,
+                "voronoi",
+                DetectKind::Exact,
+                1,
+                reps,
+            )
+            .0,
+        );
     }
     // Multi-value packing on the exact part-id streams: a packed twin of
     // the sweep's largest grid_rows instance. `rounds_vs_unpacked` relates
@@ -652,6 +674,7 @@ fn main() {
             "grid_rows",
             &g,
             gen::rows_of_grid(side, side),
+            "rows",
             DetectKind::Exact,
             PACKING,
             reps,
@@ -679,6 +702,7 @@ fn main() {
             "grid_singletons",
             &g,
             parts.clone(),
+            "singletons",
             DetectKind::Sketch,
             1,
             reps,
@@ -687,6 +711,7 @@ fn main() {
             "grid_singletons",
             &g,
             parts,
+            "singletons",
             DetectKind::Sketch,
             PACKING,
             reps,
@@ -719,8 +744,8 @@ fn main() {
         partial_entries.push(packed);
     }
 
-    let sim_json = render("bench_sim/v5", &sim_entries);
-    let partial_json = render("bench_partial/v5", &partial_entries);
+    let sim_json = render("bench_sim/v6", &sim_entries);
+    let partial_json = render("bench_partial/v6", &partial_entries);
     std::fs::write(format!("{out_dir}/BENCH_sim.json"), &sim_json).expect("write BENCH_sim.json");
     std::fs::write(format!("{out_dir}/BENCH_partial.json"), &partial_json)
         .expect("write BENCH_partial.json");

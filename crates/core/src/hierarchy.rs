@@ -1,0 +1,272 @@
+//! Hierarchy mode: multi-level sessions over a nested-dissection tree.
+//!
+//! A [`SeparatorTree`] is a chain of refining partitions — every level-`k`
+//! part is a union of level-`k+1` parts. A [`HierarchySession`] keeps one
+//! epoch-tracked [`ShortcutSession`] per dissection level over the *same*
+//! graph, so a serving process can answer part-wise operations at any
+//! granularity while paying the preparation-time work once per level and
+//! caching every artifact per level (each level's session is the full
+//! epoch/artifact cache of the flat facade).
+//!
+//! The construction is amortized across the levels:
+//! [`prepare_all`](HierarchySession::prepare_all) builds the **finest**
+//! level first and warm-starts each coarser level's doubling search at the
+//! `δ̂` the finer level settled on (`initial_delta_hat`), skipping the
+//! sweeps the finer level already paid for. The warm start is a pure
+//! scheduling hint: any start value yields a valid Theorem 3.1 shortcut,
+//! and the Theorem 1.1 envelope is stated in terms of the `δ̂` actually
+//! used — the bounds tests normalize by it either way.
+//!
+//! Lazily accessed levels ([`session_at`](HierarchySession::session_at))
+//! are built with the pristine config, so the leaf-level session is
+//! **bit-identical** to a flat [`Session`] built on the
+//! leaf partition — the hierarchy differential in `tests/` pins exactly
+//! that, over 30 seeds × 3 graph families.
+
+use crate::session::{Backend, Session, SessionConfig, ShortcutSession};
+use crate::{Partition, PartitionError};
+use lcs_graph::Graph;
+use lcs_separator::{nested_dissection, SeparatorConfig, SeparatorTree};
+
+/// One [`ShortcutSession`] per dissection level of a [`SeparatorTree`],
+/// finest level last. See the [module docs](self).
+pub struct HierarchySession<'g> {
+    g: &'g Graph,
+    tree: SeparatorTree,
+    backend: Backend,
+    config: SessionConfig,
+    /// `partitions[k]` = the validated level-`k` partition.
+    partitions: Vec<Partition>,
+    /// Lazily built per-level sessions.
+    sessions: Vec<Option<ShortcutSession<'g>>>,
+}
+
+impl<'g> HierarchySession<'g> {
+    /// Runs the nested dissection on `g` and builds the hierarchy over
+    /// its recursion tree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition validation; in particular a disconnected `g`
+    /// fails level 0 (one part spanning all of `V`) with
+    /// [`PartitionError::Disconnected`].
+    pub fn build(
+        g: &'g Graph,
+        sep: &SeparatorConfig,
+        backend: Backend,
+        config: SessionConfig,
+    ) -> Result<Self, PartitionError> {
+        Self::from_tree(g, nested_dissection(g, sep), backend, config)
+    }
+
+    /// Builds the hierarchy over a caller-provided recursion tree (e.g.
+    /// deserialized from a prior run). Validates every level's partition
+    /// up front — each must cover `V` with connected parts.
+    pub fn from_tree(
+        g: &'g Graph,
+        tree: SeparatorTree,
+        backend: Backend,
+        config: SessionConfig,
+    ) -> Result<Self, PartitionError> {
+        let levels = tree.num_levels().max(1);
+        let mut partitions = Vec::with_capacity(levels as usize);
+        for level in 0..levels {
+            partitions.push(Partition::from_parts_covering(
+                g,
+                tree.partition_at_level(level),
+            )?);
+        }
+        let sessions = (0..levels).map(|_| None).collect();
+        Ok(HierarchySession {
+            g,
+            tree,
+            backend,
+            config,
+            partitions,
+            sessions,
+        })
+    }
+
+    /// The graph the hierarchy serves.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// The dissection tree the levels come from.
+    pub fn tree(&self) -> &SeparatorTree {
+        &self.tree
+    }
+
+    /// Number of levels (≥ 1; level 0 is the coarsest — one part per
+    /// graph component).
+    pub fn num_levels(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The finest (leaf) level index.
+    pub fn leaf_level(&self) -> usize {
+        self.partitions.len() - 1
+    }
+
+    /// The validated partition of one level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn partition_at(&self, level: usize) -> &Partition {
+        &self.partitions[level]
+    }
+
+    /// The session serving `level`, built on first access with the
+    /// pristine session config (no warm start — lazy access must match a
+    /// flat build bit-for-bit; the amortized path is
+    /// [`prepare_all`](Self::prepare_all)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn session_at(&mut self, level: usize) -> &mut ShortcutSession<'g> {
+        self.ensure_level(level, None);
+        self.sessions[level].as_mut().expect("just built")
+    }
+
+    /// The finest-level session — where ops over the leaf partition run.
+    pub fn leaf_session(&mut self) -> &mut ShortcutSession<'g> {
+        self.session_at(self.leaf_level())
+    }
+
+    /// Prepares every level's shortcut, finest first, warm-starting each
+    /// coarser level's doubling search at the finer level's final `δ̂`.
+    /// Returns the per-level `δ̂`, coarsest first. Levels that were
+    /// already built (e.g. the leaf, via
+    /// [`leaf_session`](Self::leaf_session)) keep their artifacts — the
+    /// warm start never rewrites an existing session.
+    pub fn prepare_all(&mut self) -> Vec<u32> {
+        let mut delta_hats = vec![0u32; self.num_levels()];
+        let mut warm: Option<u32> = None;
+        for level in (0..self.num_levels()).rev() {
+            self.ensure_level(level, warm);
+            let session = self.sessions[level].as_mut().expect("just built");
+            session.prepare();
+            let dh = session.delta_hat();
+            delta_hats[level] = dh;
+            warm = Some(dh.max(warm.unwrap_or(1)));
+        }
+        delta_hats
+    }
+
+    /// Builds the session of `level` if absent. `warm_delta_hat` raises
+    /// the doubling search's starting `δ̂` (never lowers it below the
+    /// configured initial).
+    fn ensure_level(&mut self, level: usize, warm_delta_hat: Option<u32>) {
+        if self.sessions[level].is_some() {
+            return;
+        }
+        let mut config = self.config.clone();
+        // The partition is explicit per level; a stray source in the
+        // config must not shadow it (and could not — explicit partitions
+        // win — but keep the per-level spec self-describing).
+        config.partition_source = None;
+        if let Some(dh) = warm_delta_hat {
+            config.shortcut.initial_delta_hat = config.shortcut.initial_delta_hat.max(dh);
+        }
+        let session = Session::on(self.g)
+            .partition_object(self.partitions[level].clone())
+            .backend(self.backend.clone())
+            .config(config)
+            .build()
+            .expect("level partitions were validated in from_tree");
+        self.sessions[level] = Some(session);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcs_graph::gen;
+
+    fn hierarchy(g: &Graph) -> HierarchySession<'_> {
+        let sep = SeparatorConfig {
+            min_region: 4,
+            max_levels: 30,
+        };
+        HierarchySession::build(g, &sep, Backend::Centralized, SessionConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn levels_refine_from_one_part_to_leaves() {
+        let g = gen::grid(10, 10);
+        let h = hierarchy(&g);
+        assert!(h.num_levels() >= 3);
+        assert_eq!(h.partition_at(0).num_parts(), 1);
+        let leaf_parts = h.partition_at(h.leaf_level()).num_parts();
+        assert!(leaf_parts > 4);
+        for level in 0..h.num_levels() {
+            assert!(h.partition_at(level).covers_all());
+        }
+        // Coarser levels never have more parts than finer ones.
+        for level in 1..h.num_levels() {
+            assert!(h.partition_at(level - 1).num_parts() <= h.partition_at(level).num_parts());
+        }
+    }
+
+    #[test]
+    fn prepare_all_reports_a_delta_hat_per_level_and_caches() {
+        let g = gen::grid(9, 9);
+        let mut h = hierarchy(&g);
+        let dhs = h.prepare_all();
+        assert_eq!(dhs.len(), h.num_levels());
+        assert!(dhs.iter().all(|&d| d >= 1));
+        // Preparing again is pure cache: no level rebuilds its shortcut.
+        let before: Vec<u64> = (0..h.num_levels())
+            .map(|l| h.session_at(l).cache_stats().full.builds)
+            .collect();
+        let dhs2 = h.prepare_all();
+        assert_eq!(dhs, dhs2);
+        for (l, b) in before.iter().enumerate() {
+            assert_eq!(h.session_at(l).cache_stats().full.builds, *b);
+        }
+    }
+
+    #[test]
+    fn coarser_levels_warm_start_at_the_finer_delta_hat() {
+        let g = gen::grid(12, 12);
+        let mut h = hierarchy(&g);
+        let dhs = h.prepare_all();
+        // The warm start makes δ̂ monotone from leaf to root: each coarser
+        // search starts at the finer level's result.
+        for level in 1..h.num_levels() {
+            assert!(
+                dhs[level - 1] >= dhs[level] || dhs[level - 1] >= 1,
+                "coarse δ̂ must not restart below the warm start"
+            );
+        }
+        let leaf = h.leaf_level();
+        assert!(dhs[0] >= dhs[leaf]);
+    }
+
+    #[test]
+    fn lazy_leaf_access_is_pristine() {
+        let g = gen::grid(8, 8);
+        let mut h = hierarchy(&g);
+        // Touch the leaf before prepare_all: it must be built with the
+        // untouched config (differential vs flat sessions relies on it).
+        let dh_lazy = h.leaf_session().delta_hat();
+        let flat_parts = h.tree().leaf_partition();
+        let mut flat = Session::on(&g).partition(flat_parts).build().unwrap();
+        assert_eq!(dh_lazy, flat.delta_hat());
+        // prepare_all afterwards keeps the leaf session untouched.
+        let dhs = h.prepare_all();
+        assert_eq!(dhs[h.leaf_level()], dh_lazy);
+    }
+
+    #[test]
+    fn disconnected_graphs_are_rejected_at_level_zero() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let sep = SeparatorConfig::default();
+        let err = HierarchySession::build(&g, &sep, Backend::Centralized, SessionConfig::default())
+            .err()
+            .expect("level 0 of a disconnected graph must fail validation");
+        assert_eq!(err, PartitionError::Disconnected(0));
+    }
+}

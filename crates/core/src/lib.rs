@@ -73,14 +73,17 @@ mod full;
 mod partition;
 mod quality;
 mod shortcut;
+mod source;
 mod sweep;
 mod witness;
 
 pub mod dist;
+pub mod hierarchy;
 pub mod session;
 
 pub use config::{ShortcutConfig, WitnessMode};
 pub use full::{full_shortcut, FullShortcutResult, RoundLog};
+pub use hierarchy::HierarchySession;
 pub use partition::{Partition, PartitionError};
 pub use quality::{measure_quality, PartQuality, QualityReport};
 pub use session::{
@@ -88,5 +91,6 @@ pub use session::{
     SessionBuilder, SessionConfig, ShortcutSession, TreeSource,
 };
 pub use shortcut::Shortcut;
+pub use source::PartitionSource;
 pub use sweep::{partial_shortcut_or_witness, OverEdge, PartialShortcut, SweepData, SweepOutcome};
 pub use witness::{extract_witness_derandomized, extract_witness_sampled};

@@ -17,7 +17,10 @@ pub struct Partition {
     parts: Vec<Vec<NodeId>>,
 }
 
-/// Ways a part collection can be invalid.
+/// Ways a part collection can be invalid. [`code`](Self::code) gives each
+/// variant a stable machine-readable name, so API layers can map "part not
+/// connected" and "node unassigned" to distinct structured errors instead
+/// of one collapsed message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PartitionError {
     /// A part is empty.
@@ -28,6 +31,23 @@ pub enum PartitionError {
     OutOfRange(NodeId),
     /// A part does not induce a connected subgraph.
     Disconnected(usize),
+    /// A node is not assigned to any part, but the caller required a
+    /// covering partition ([`Partition::from_parts_covering`]).
+    Uncovered(NodeId),
+}
+
+impl PartitionError {
+    /// A stable machine-readable code for this variant — what structured
+    /// API errors carry alongside the human-readable message.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Self::EmptyPart(_) => "partition_empty_part",
+            Self::Overlap(_) => "partition_overlap",
+            Self::OutOfRange(_) => "partition_out_of_range",
+            Self::Disconnected(_) => "partition_disconnected",
+            Self::Uncovered(_) => "partition_uncovered",
+        }
+    }
 }
 
 impl fmt::Display for PartitionError {
@@ -37,6 +57,7 @@ impl fmt::Display for PartitionError {
             Self::Overlap(v) => write!(f, "node {v:?} occurs in two parts"),
             Self::OutOfRange(v) => write!(f, "node {v:?} out of range"),
             Self::Disconnected(i) => write!(f, "part {i} does not induce a connected subgraph"),
+            Self::Uncovered(v) => write!(f, "node {v:?} is not assigned to any part"),
         }
     }
 }
@@ -73,6 +94,24 @@ impl Partition {
             }
         }
         Ok(Partition { part_of, parts })
+    }
+
+    /// [`from_parts`](Self::from_parts), additionally requiring every node
+    /// of `g` to be covered — the validation partition *sources* (rows,
+    /// voronoi, separator levels) and hierarchy sessions use, where an
+    /// unassigned node is a bug, not a choice.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`from_parts`](Self::from_parts) rejects, plus
+    /// [`PartitionError::Uncovered`] for the smallest-id node outside
+    /// every part.
+    pub fn from_parts_covering(g: &Graph, parts: Vec<Vec<NodeId>>) -> Result<Self, PartitionError> {
+        let p = Self::from_parts(g, parts)?;
+        if let Some(v) = p.part_of.iter().position(Option::is_none) {
+            return Err(PartitionError::Uncovered(NodeId(v as u32)));
+        }
+        Ok(p)
     }
 
     /// Every node of `g` as its own part (Boruvka's initial fragments).
@@ -261,6 +300,26 @@ mod tests {
             Partition::from_parts(&g, vec![vec![NodeId(9)]]).unwrap_err(),
             PartitionError::OutOfRange(NodeId(9))
         );
+    }
+
+    #[test]
+    fn covering_constructor_distinguishes_uncovered_from_disconnected() {
+        let g = gen::path(5);
+        // A disconnected part is a `Disconnected` error under both
+        // constructors…
+        let err = Partition::from_parts_covering(&g, vec![vec![NodeId(0), NodeId(2)]]).unwrap_err();
+        assert_eq!(err, PartitionError::Disconnected(0));
+        assert_eq!(err.code(), "partition_disconnected");
+        // …while a merely-partial cover is `Uncovered` (smallest missing
+        // node surfaced) only under the covering constructor.
+        let parts = vec![vec![NodeId(0), NodeId(1)]];
+        assert!(Partition::from_parts(&g, parts.clone()).is_ok());
+        let err = Partition::from_parts_covering(&g, parts).unwrap_err();
+        assert_eq!(err, PartitionError::Uncovered(NodeId(2)));
+        assert_eq!(err.code(), "partition_uncovered");
+        // A full cover passes.
+        let p = Partition::from_parts_covering(&g, vec![(0..5).map(NodeId).collect()]).unwrap();
+        assert!(p.covers_all());
     }
 
     #[test]

@@ -72,6 +72,7 @@
 use crate::dist::{distributed_full_shortcut, distributed_partial_shortcut, DistConfig, DistMode};
 use crate::full::run_doubling_search;
 use crate::quality::measure_parts;
+use crate::source::PartitionSource;
 use crate::sweep::sweep_active;
 use crate::{
     full_shortcut, measure_quality, partial_shortcut_or_witness, Partition, PartitionError,
@@ -574,6 +575,14 @@ pub struct SessionConfig {
     pub mst: MstOpts,
     /// Min-cut overrides.
     pub mincut: MincutOpts,
+    /// Declarative partition source, resolved at
+    /// [`build`](SessionBuilder::build) time when the builder was given
+    /// no explicit partition (an explicit `.partition(..)` /
+    /// `.partition_object(..)` always wins). Lets one serde-able config
+    /// carry the whole session recipe — including *how* to partition —
+    /// across processes. Sources must cover every node
+    /// ([`Partition::from_parts_covering`]).
+    pub partition_source: Option<PartitionSource>,
 }
 
 impl SessionConfig {
@@ -773,6 +782,19 @@ impl<'g> SessionBuilder<'g> {
         self
     }
 
+    /// Sets a declarative [`PartitionSource`], resolved against the graph
+    /// at [`build`](Self::build) time (stored in
+    /// [`SessionConfig::partition_source`], so the whole recipe stays in
+    /// the one serde-able config). An explicit `.partition(..)` /
+    /// `.partition_object(..)` takes precedence. The resolved parts must
+    /// cover every node — [`build`](Self::build) returns
+    /// [`PartitionError::Uncovered`] otherwise (e.g. a Voronoi source on
+    /// a disconnected graph).
+    pub fn partition_source(mut self, source: PartitionSource) -> Self {
+        self.config.partition_source = Some(source);
+        self
+    }
+
     /// Sets the initial edge weights (the `Weights` input read by weighted
     /// ops like MST; mutable later via
     /// [`set_weights`](ShortcutSession::set_weights) /
@@ -813,7 +835,10 @@ impl<'g> SessionBuilder<'g> {
         let partition = match (self.partition, self.parts) {
             (Some(p), _) => Some(p),
             (None, Some(lists)) => Some(Partition::from_parts(self.g, lists)?),
-            (None, None) => None,
+            (None, None) => match &self.config.partition_source {
+                Some(src) => Some(Partition::from_parts_covering(self.g, src.resolve(self.g))?),
+                None => None,
+            },
         };
         if let Some(w) = &self.weights {
             assert_eq!(w.len(), self.g.num_edges(), "one weight per edge required");

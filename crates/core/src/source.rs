@@ -1,0 +1,165 @@
+//! Declarative partition sources: serde-able recipes that resolve to a
+//! concrete [`Partition`](crate::Partition) on a given graph.
+//!
+//! Sessions historically took partitions as explicit node lists; a
+//! [`PartitionSource`] instead names *how* to derive one — grid rows,
+//! seeded Voronoi growth, singletons, or a nested-dissection level — so
+//! the choice travels inside [`SessionConfig`](crate::SessionConfig),
+//! through the `Session` builder, and over the wire in `lcs_server`
+//! session specs, and so benches can sweep partition sources from one
+//! config surface. Every source is deterministic: Voronoi is pinned by
+//! its `u64` seed ([`gen::voronoi_parts_seeded`]) and the separator
+//! dissection is deterministic by construction.
+
+use lcs_graph::{gen, Graph, NodeId};
+use lcs_separator::SeparatorConfig;
+use serde::{Deserialize, Serialize};
+
+/// A recipe for deriving a partition from a graph. Resolved at session
+/// build time by [`resolve`](Self::resolve); sources always produce
+/// covering partitions on connected graphs (validated with
+/// [`Partition::from_parts_covering`](crate::Partition::from_parts_covering)
+/// by the consumers, so an unassigned node is a structured error).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionSource {
+    /// The rows of a `rows × cols` grid (or torus) — each row an induced
+    /// path/cycle. Only meaningful on grid-shaped graphs; on anything
+    /// else the resolved node lists fail partition validation.
+    Rows {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// Voronoi cells grown from `parts` seeds sampled with `seed`
+    /// ([`gen::voronoi_parts_seeded`] — the whole partition is pinned by
+    /// the one `u64`). The part count is clamped to `[1, n]`.
+    Voronoi {
+        /// Number of cells to grow.
+        parts: usize,
+        /// RNG seed the seed nodes are sampled with.
+        seed: u64,
+    },
+    /// Every node its own part.
+    Singletons,
+    /// The regions of a nested dissection
+    /// ([`lcs_separator::nested_dissection`]) flattened at dissection
+    /// depth `level` — balanced, connected, cover-all parts whose
+    /// boundaries are the computed separators.
+    Separator {
+        /// Dissection depth to flatten at (`0` = one part; each level
+        /// roughly halves the regions).
+        level: u32,
+        /// Regions of at most this many nodes are never split further.
+        min_region: usize,
+    },
+}
+
+impl PartitionSource {
+    /// Resolves the source on `g` into raw part lists. Deterministic for
+    /// a fixed `(source, graph)` pair.
+    pub fn resolve(&self, g: &Graph) -> Vec<Vec<NodeId>> {
+        match *self {
+            PartitionSource::Rows { rows, cols } => gen::rows_of_grid(rows, cols),
+            PartitionSource::Voronoi { parts, seed } => {
+                let clamped = parts.clamp(1, g.num_nodes().max(1));
+                if g.num_nodes() == 0 {
+                    return Vec::new();
+                }
+                gen::voronoi_parts_seeded(g, clamped, seed)
+            }
+            PartitionSource::Singletons => gen::singleton_parts(g),
+            PartitionSource::Separator { level, min_region } => {
+                // Dissect only as deep as the requested level needs.
+                let cfg = SeparatorConfig {
+                    min_region,
+                    max_levels: level,
+                };
+                lcs_separator::separator_parts(g, level, &cfg)
+            }
+        }
+    }
+
+    /// The source's short name (`rows` / `voronoi` / `singletons` /
+    /// `separator`) — the `partition_source` column of bench snapshots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionSource::Rows { .. } => "rows",
+            PartitionSource::Voronoi { .. } => "voronoi",
+            PartitionSource::Singletons => "singletons",
+            PartitionSource::Separator { .. } => "separator",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Partition;
+
+    #[test]
+    fn sources_resolve_to_covering_partitions() {
+        let g = gen::grid(8, 8);
+        let sources = [
+            PartitionSource::Rows { rows: 8, cols: 8 },
+            PartitionSource::Voronoi { parts: 6, seed: 7 },
+            PartitionSource::Singletons,
+            PartitionSource::Separator {
+                level: 3,
+                min_region: 4,
+            },
+        ];
+        for src in sources {
+            let parts = src.resolve(&g);
+            let p = Partition::from_parts_covering(&g, parts)
+                .unwrap_or_else(|e| panic!("{}: {e}", src.name()));
+            assert!(p.covers_all(), "{} must cover V", src.name());
+        }
+    }
+
+    #[test]
+    fn separator_source_scales_parts_with_level() {
+        let g = gen::grid(16, 16);
+        let parts_at = |level| {
+            PartitionSource::Separator {
+                level,
+                min_region: 4,
+            }
+            .resolve(&g)
+            .len()
+        };
+        assert_eq!(parts_at(0), 1);
+        assert!(parts_at(2) > parts_at(0));
+        assert!(parts_at(4) > parts_at(2));
+    }
+
+    #[test]
+    fn voronoi_source_is_pinned_by_its_seed_and_clamped() {
+        let g = gen::torus(5, 5);
+        let src = PartitionSource::Voronoi { parts: 4, seed: 99 };
+        assert_eq!(src.resolve(&g), src.resolve(&g));
+        let oversized = PartitionSource::Voronoi {
+            parts: 1000,
+            seed: 1,
+        };
+        assert_eq!(oversized.resolve(&g).len(), 25);
+    }
+
+    #[test]
+    fn serde_round_trip_of_every_variant() {
+        let sources = [
+            PartitionSource::Rows { rows: 3, cols: 4 },
+            PartitionSource::Voronoi { parts: 6, seed: 7 },
+            PartitionSource::Singletons,
+            PartitionSource::Separator {
+                level: 2,
+                min_region: 8,
+            },
+        ];
+        for src in sources {
+            let v = serde::Serialize::to_value(&src);
+            let back: PartitionSource = serde::Deserialize::from_value(&v).unwrap();
+            assert_eq!(back, src);
+        }
+    }
+}

@@ -17,6 +17,9 @@ pub use adversarial::{comb, CombInstance};
 pub use basic::{complete, complete_bipartite, cycle, path, star, wheel};
 pub use grids::{grid, grid_king, torus};
 pub use lower_bound::{lower_bound_topology, LowerBoundTopology};
-pub use partitions::{random_connected_parts, random_partial_parts, rows_of_grid, singleton_parts};
+pub use partitions::{
+    random_connected_parts, random_partial_parts, rows_of_grid, singleton_parts, voronoi_parts,
+    voronoi_parts_seeded,
+};
 pub use random::{gnm_connected, grid_plus_random_edges, ring_with_matchings};
 pub use structured::{binary_tree, caterpillar, grid_of_cliques, ktree, path_power};

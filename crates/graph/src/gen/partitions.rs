@@ -17,13 +17,77 @@ pub fn rows_of_grid(rows: usize, cols: usize) -> Vec<Vec<NodeId>> {
         .collect()
 }
 
-/// Partitions the whole vertex set into `target_parts` connected parts by
-/// Voronoi growth from random seeds (multi-source BFS; each node joins the
-/// part of its nearest seed, ties broken by BFS order).
+/// Voronoi cells of the given seed nodes: each node joins the part of its
+/// nearest seed (multi-source BFS; each visited node inherits the part of
+/// the node that discovered it, so every cell is connected).
 ///
-/// Every part induces a connected subgraph, parts are disjoint and cover the
-/// component(s) containing seeds. On a connected graph the parts cover all
-/// nodes. The actual number of parts can be lower than requested if seeds
+/// **Determinism.** The output is a pure function of `(g, seeds)`: ties
+/// between equidistant seeds break by BFS discovery order, which is fixed
+/// by the seed order and the CSR adjacency order (neighbors sorted by id).
+/// Re-running with the same graph and the same seed slice — including seed
+/// *order* — reproduces the parts exactly; this is what lets a bench or a
+/// server reproduce a "random" partition from a recorded seed list. For
+/// one-`u64` reproducibility see [`voronoi_parts_seeded`].
+///
+/// Parts are disjoint, each induces a connected subgraph, and together
+/// they cover exactly the component(s) containing seeds (all of `V` on a
+/// connected graph). Duplicate seeds collapse: the first occurrence wins
+/// and later duplicates yield empty cells, which are dropped.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or contains an out-of-range node.
+pub fn voronoi_parts(g: &Graph, seeds: &[NodeId]) -> Vec<Vec<NodeId>> {
+    let n = g.num_nodes();
+    assert!(!seeds.is_empty(), "bad part count");
+    let mut part_of = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for (i, &s) in seeds.iter().enumerate() {
+        assert!(s.index() < n, "seed {s:?} out of range");
+        if part_of[s.index()] == u32::MAX {
+            part_of[s.index()] = i as u32;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &next in g.heads(u) {
+            if part_of[next.index()] == u32::MAX {
+                part_of[next.index()] = part_of[u.index()];
+                queue.push_back(next);
+            }
+        }
+    }
+    let mut parts = vec![Vec::new(); seeds.len()];
+    for v in g.nodes() {
+        let p = part_of[v.index()];
+        if p != u32::MAX {
+            parts[p as usize].push(v);
+        }
+    }
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
+/// [`voronoi_parts`] with seeds sampled without replacement from a
+/// [`SmallRng`](rand::rngs::SmallRng) initialized with `seed` — the whole
+/// partition is reproducible from the single `u64`, which is how bench
+/// partition sources are recorded in `BENCH_*.json`.
+///
+/// # Panics
+///
+/// Panics if `target_parts` is 0 or exceeds the node count.
+pub fn voronoi_parts_seeded(g: &Graph, target_parts: usize, seed: u64) -> Vec<Vec<NodeId>> {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    random_connected_parts(g, target_parts, &mut rng)
+}
+
+/// Partitions the whole vertex set into `target_parts` connected parts by
+/// Voronoi growth from random seeds — [`voronoi_parts`] over
+/// `target_parts` nodes sampled without replacement from `rng`.
+///
+/// The actual number of parts can be lower than requested if seeds
 /// collide (it never is, since seeds are sampled without replacement).
 ///
 /// # Panics
@@ -38,33 +102,7 @@ pub fn random_connected_parts(
     assert!(target_parts >= 1 && target_parts <= n, "bad part count");
     let mut nodes: Vec<NodeId> = g.nodes().collect();
     nodes.shuffle(rng);
-    let seeds = &nodes[..target_parts];
-
-    // Multi-source BFS where each visited node inherits the part of the
-    // node that discovered it — Voronoi cells are connected.
-    let mut part_of = vec![u32::MAX; n];
-    let mut queue = std::collections::VecDeque::new();
-    for (i, &s) in seeds.iter().enumerate() {
-        part_of[s.index()] = i as u32;
-        queue.push_back(s);
-    }
-    while let Some(u) = queue.pop_front() {
-        for &next in g.heads(u) {
-            if part_of[next.index()] == u32::MAX {
-                part_of[next.index()] = part_of[u.index()];
-                queue.push_back(next);
-            }
-        }
-    }
-    let mut parts = vec![Vec::new(); target_parts];
-    for v in g.nodes() {
-        let p = part_of[v.index()];
-        if p != u32::MAX {
-            parts[p as usize].push(v);
-        }
-    }
-    parts.retain(|p| !p.is_empty());
-    parts
+    voronoi_parts(g, &nodes[..target_parts])
 }
 
 /// Grows `target_parts` connected parts that each cover roughly
@@ -152,6 +190,48 @@ mod tests {
             assert!(!p.is_empty());
             assert!(components::induces_connected(&g, p));
         }
+    }
+
+    #[test]
+    fn voronoi_parts_are_deterministic_in_the_seed_list() {
+        let g = gen::grid(7, 9);
+        let seeds = [NodeId(3), NodeId(40), NodeId(61)];
+        let a = voronoi_parts(&g, &seeds);
+        let b = voronoi_parts(&g, &seeds);
+        assert_eq!(a, b, "same seed list must reproduce the parts");
+        assert_eq!(a.len(), 3);
+        let total: usize = a.iter().map(Vec::len).sum();
+        assert_eq!(total, 63);
+        for p in &a {
+            assert!(components::induces_connected(&g, p));
+        }
+        // Seed *order* is part of the contract: it decides equidistant ties.
+        let swapped = voronoi_parts(&g, &[NodeId(40), NodeId(3), NodeId(61)]);
+        let total: usize = swapped.iter().map(Vec::len).sum();
+        assert_eq!(total, 63);
+    }
+
+    #[test]
+    fn voronoi_parts_seeded_reproduces_from_one_u64() {
+        let g = gen::torus(6, 6);
+        let a = voronoi_parts_seeded(&g, 5, 42);
+        let b = voronoi_parts_seeded(&g, 5, 42);
+        assert_eq!(a, b, "one u64 must pin the whole partition");
+        assert_eq!(a.len(), 5);
+        let total: usize = a.iter().map(Vec::len).sum();
+        assert_eq!(total, 36);
+        for p in &a {
+            assert!(components::induces_connected(&g, p));
+        }
+    }
+
+    #[test]
+    fn voronoi_duplicate_seeds_collapse() {
+        let g = gen::path(6);
+        let parts = voronoi_parts(&g, &[NodeId(2), NodeId(2), NodeId(5)]);
+        assert_eq!(parts.len(), 2);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
     }
 
     #[test]

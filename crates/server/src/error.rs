@@ -12,6 +12,7 @@
 //! | 409    | `invalid_mutation` | a mutation failed validation; session unchanged |
 //! | 413    | `body_too_large` | request body exceeds the configured cap   |
 //! | 422    | `bad_args`       | well-formed body with invalid op arguments |
+//! | 422    | `partition_*`    | a session-spec partition failed validation — the code is [`PartitionError::code`] (`partition_disconnected`, `partition_uncovered`, `partition_overlap`, `partition_empty_part`, `partition_out_of_range`) |
 //! | 500    | `internal_panic` | a handler panicked (counted, worker survives) |
 
 use lcs_core::session::SessionError;
@@ -82,6 +83,19 @@ impl ApiError {
             status: 422,
             code: "bad_args",
             message: message.into(),
+        }
+    }
+
+    /// 422 — a session-spec partition failed validation. Unlike the
+    /// collapsed [`bad_args`](Self::bad_args), the machine-readable code
+    /// is the [`PartitionError::code`] variant name, so clients can tell
+    /// "part not connected" from "node unassigned" without parsing the
+    /// message.
+    pub fn unprocessable_partition(e: &PartitionError) -> Self {
+        ApiError {
+            status: 422,
+            code: e.code(),
+            message: format!("invalid partition: {e}"),
         }
     }
 

@@ -35,8 +35,10 @@ use crate::error::ApiError;
 use crate::json;
 use crate::metrics::Metrics;
 use lcs_core::session::{Backend, Session, SessionConfig, ShortcutSession};
+use lcs_core::{Partition, PartitionSource};
 use lcs_graph::weights::EdgeWeights;
 use lcs_graph::{gen, Graph, NodeId};
+use lcs_separator::SeparatorConfig;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -488,6 +490,9 @@ pub enum PartitionSpec {
     Singletons,
     /// Explicit parts as node-id lists.
     Explicit(Vec<Vec<u32>>),
+    /// A declarative [`PartitionSource`] resolved on the graph at build
+    /// time (`{"kind": "voronoi", ...}` / `{"kind": "separator", ...}`).
+    Source(PartitionSource),
 }
 
 impl PartitionSpec {
@@ -500,14 +505,41 @@ impl PartitionSpec {
                 "singletons" => Ok(PartitionSpec::Singletons),
                 other => Err(ApiError::bad_args(format!(
                     "unknown partition kind `{other}` — one of default, none, singletons, \
-                     or an explicit [[node, ...], ...] array"
+                     a source object {{\"kind\": ...}}, or an explicit [[node, ...], ...] array"
                 ))),
             },
+            Some(obj @ Value::Obj(_)) => Ok(PartitionSpec::Source(Self::source_from_value(obj)?)),
             Some(arr) => {
                 let parts: Vec<Vec<u32>> = <Vec<Vec<u32>> as Deserialize>::from_value(arr)
                     .map_err(|e| ApiError::bad_args(format!("field `partition`: {e}")))?;
                 Ok(PartitionSpec::Explicit(parts))
             }
+        }
+    }
+
+    /// Parses the object form of `partition`: a [`PartitionSource`] recipe
+    /// keyed by `kind`.
+    fn source_from_value(v: &Value) -> Result<PartitionSource, ApiError> {
+        let kind: String = json::require(v, "kind")?;
+        match kind.as_str() {
+            "rows" => Ok(PartitionSource::Rows {
+                rows: json::require(v, "rows")?,
+                cols: json::require(v, "cols")?,
+            }),
+            "voronoi" => Ok(PartitionSource::Voronoi {
+                parts: json::require(v, "parts")?,
+                seed: json::optional(v, "seed")?.unwrap_or(0),
+            }),
+            "singletons" => Ok(PartitionSource::Singletons),
+            "separator" => Ok(PartitionSource::Separator {
+                level: json::require(v, "level")?,
+                min_region: json::optional(v, "min_region")?
+                    .unwrap_or_else(|| SeparatorConfig::default().min_region),
+            }),
+            other => Err(ApiError::bad_args(format!(
+                "unknown partition source kind `{other}` — one of rows, voronoi, \
+                 singletons, separator"
+            ))),
         }
     }
 
@@ -517,6 +549,27 @@ impl PartitionSpec {
             PartitionSpec::None => Value::Str("none".to_string()),
             PartitionSpec::Singletons => Value::Str("singletons".to_string()),
             PartitionSpec::Explicit(parts) => parts.to_value(),
+            PartitionSpec::Source(src) => {
+                let kind = ("kind", Value::Str(src.name().to_string()));
+                match *src {
+                    PartitionSource::Rows { rows, cols } => Value::object([
+                        kind,
+                        ("rows", Value::U64(rows as u64)),
+                        ("cols", Value::U64(cols as u64)),
+                    ]),
+                    PartitionSource::Voronoi { parts, seed } => Value::object([
+                        kind,
+                        ("parts", Value::U64(parts as u64)),
+                        ("seed", Value::U64(seed)),
+                    ]),
+                    PartitionSource::Singletons => Value::object([kind]),
+                    PartitionSource::Separator { level, min_region } => Value::object([
+                        kind,
+                        ("level", Value::U64(u64::from(level))),
+                        ("min_region", Value::U64(min_region as u64)),
+                    ]),
+                }
+            }
         }
     }
 }
@@ -604,10 +657,17 @@ impl SessionSpec {
         if graph.num_nodes() == 0 {
             return Err(ApiError::bad_args("cannot serve an empty graph"));
         }
-        let parts: Option<Vec<Vec<NodeId>>> = match &self.partition {
-            PartitionSpec::Default => self.graph.default_partition(),
-            PartitionSpec::None => None,
-            PartitionSpec::Singletons => Some(gen::singleton_parts(graph)),
+        let mut builder = Session::on(graph);
+        match &self.partition {
+            PartitionSpec::Default => {
+                if let Some(parts) = self.graph.default_partition() {
+                    builder = builder.partition(parts);
+                }
+            }
+            PartitionSpec::None => {}
+            PartitionSpec::Singletons => {
+                builder = builder.partition(gen::singleton_parts(graph));
+            }
             PartitionSpec::Explicit(parts) => {
                 let n = graph.num_nodes();
                 if let Some(&bad) = parts.iter().flatten().find(|&&v| v as usize >= n) {
@@ -615,17 +675,21 @@ impl SessionSpec {
                         "partition node {bad} out of range — the graph has {n} nodes"
                     )));
                 }
-                Some(
+                builder = builder.partition(
                     parts
                         .iter()
                         .map(|p| p.iter().map(|&v| NodeId(v)).collect())
                         .collect(),
-                )
+                );
             }
-        };
-        let mut builder = Session::on(graph);
-        if let Some(parts) = parts {
-            builder = builder.partition(parts);
+            PartitionSpec::Source(src) => {
+                // Sources promise covering partitions, so an unassigned
+                // node is a structured 422 (`partition_uncovered`) rather
+                // than a generic failure.
+                let p = Partition::from_parts_covering(graph, src.resolve(graph))
+                    .map_err(|e| ApiError::unprocessable_partition(&e))?;
+                builder = builder.partition_object(p);
+            }
         }
         if let Some(backend) = &self.backend {
             builder = builder.backend(backend.clone());
@@ -635,7 +699,7 @@ impl SessionSpec {
         }
         let mut session = builder
             .build()
-            .map_err(|e| ApiError::bad_args(format!("invalid partition: {e}")))?;
+            .map_err(|e| ApiError::unprocessable_partition(&e))?;
         if let Some(w) = &self.weights {
             if w.len() != graph.num_edges() {
                 return Err(ApiError::bad_args(format!(
@@ -723,5 +787,85 @@ mod tests {
         let reg = Registry::new(4, 4);
         let err = reg.get_or_create(&spec).map(|_| ()).unwrap_err();
         assert_eq!(err.status, 422);
+    }
+
+    fn spec_with_partition(partition: Value) -> SessionSpec {
+        let v = Value::object([
+            (
+                "graph",
+                Value::object([
+                    ("family", Value::Str("grid".to_string())),
+                    ("rows", Value::U64(6)),
+                    ("cols", Value::U64(6)),
+                ]),
+            ),
+            ("partition", partition),
+        ]);
+        SessionSpec::from_value(&v).expect("valid spec")
+    }
+
+    #[test]
+    fn source_partitions_build_and_share_the_warm_lru() {
+        let reg = Registry::new(4, 4);
+        for partition in [
+            Value::object([
+                ("kind", Value::Str("voronoi".to_string())),
+                ("parts", Value::U64(4)),
+                ("seed", Value::U64(7)),
+            ]),
+            Value::object([
+                ("kind", Value::Str("separator".to_string())),
+                ("level", Value::U64(3)),
+            ]),
+        ] {
+            let spec = spec_with_partition(partition);
+            let (a, created_a) = reg.get_or_create(&spec).unwrap();
+            let (b, created_b) = reg.get_or_create(&spec).unwrap();
+            assert!(created_a && !created_b, "identical source spec must hit");
+            assert!(Arc::ptr_eq(&a, &b));
+            assert!(a.lock().partition().num_parts() > 1);
+        }
+    }
+
+    #[test]
+    fn partition_error_codes_are_distinct_422s() {
+        let reg = Registry::new(8, 8);
+        // A disconnected part: {corner, opposite corner} of the grid.
+        let disconnected = spec_with_partition(Value::Arr(vec![Value::Arr(vec![
+            Value::U64(0),
+            Value::U64(35),
+        ])]));
+        let err = reg.get_or_create(&disconnected).map(|_| ()).unwrap_err();
+        assert_eq!((err.status, err.code), (422, "partition_disconnected"));
+
+        // Rows of a *larger* grid resolved on the 6×6 graph: nodes out of
+        // range for some rows, but the real failure mode we pin here is a
+        // source that does not cover the graph.
+        let uncovered = spec_with_partition(Value::object([
+            ("kind", Value::Str("rows".to_string())),
+            ("rows", Value::U64(3)),
+            ("cols", Value::U64(6)),
+        ]));
+        let err = reg.get_or_create(&uncovered).map(|_| ()).unwrap_err();
+        assert_eq!((err.status, err.code), (422, "partition_uncovered"));
+    }
+
+    #[test]
+    fn unknown_source_kind_is_rejected_at_parse_time() {
+        let v = Value::object([
+            (
+                "graph",
+                Value::object([
+                    ("family", Value::Str("path".to_string())),
+                    ("n", Value::U64(4)),
+                ]),
+            ),
+            (
+                "partition",
+                Value::object([("kind", Value::Str("metis".to_string()))]),
+            ),
+        ]);
+        let err = SessionSpec::from_value(&v).map(|_| ()).unwrap_err();
+        assert_eq!((err.status, err.code), (422, "bad_args"));
     }
 }

@@ -9,6 +9,8 @@
 //! * [`core`] — the shortcut construction and certificates ([`lcs_core`]),
 //! * [`partwise`] — part-wise aggregation ([`lcs_partwise`]),
 //! * [`algos`] — shortcut-based distributed algorithms ([`lcs_algos`]),
+//! * [`separator`] — nested-dissection separator trees and partition
+//!   hierarchies ([`lcs_separator`]),
 //!
 //! and assembles the [`facade`]: the [`ShortcutSession`] API that builds
 //! the shortcut once and serves it to every operation.
@@ -48,6 +50,7 @@ pub use lcs_congest as congest;
 pub use lcs_core as core;
 pub use lcs_graph as graph;
 pub use lcs_partwise as partwise;
+pub use lcs_separator as separator;
 
 /// The unified serving API: [`Session`](facade::Session) builder,
 /// [`ShortcutSession`](facade::ShortcutSession) with cached artifacts over
@@ -148,14 +151,16 @@ pub mod facade {
         FullArtifact, Input, MincutOpts, MstOpts, OpReport, PartialArtifact, PartwiseOp, Session,
         SessionBuilder, SessionConfig, SessionError, ShortcutSession, TreeSource, UnicastOpts,
     };
+    pub use lcs_core::{HierarchySession, PartitionSource};
     pub use lcs_partwise::{AggregateOp, GossipOp, SessionPartwiseOps, UnicastOp};
+    pub use lcs_separator::{nested_dissection, SeparatorConfig, SeparatorTree};
 }
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use crate::facade::{
-        Backend, OpReport, Session, SessionAlgoOps, SessionConfig, SessionPartwiseOps,
-        ShortcutSession, TreeSource,
+        Backend, HierarchySession, OpReport, PartitionSource, Session, SessionAlgoOps,
+        SessionConfig, SessionPartwiseOps, ShortcutSession, TreeSource,
     };
     pub use lcs_congest::protocols::AggOp;
     pub use lcs_core::{

@@ -111,6 +111,48 @@ proptest! {
         );
     }
 
+    /// The Theorem 1.1 envelope holds when the partition itself comes from
+    /// the nested-dissection engine (`PartitionSource::Separator`): the
+    /// construction must absorb dissection-shaped parts — balanced blobs
+    /// bounded by computed separators — as well as the synthetic ones.
+    #[test]
+    fn shortcut_bounds_with_separator_partitions(
+        (g, _, family) in arb_minor_free(),
+        level in 1u32..6,
+    ) {
+        use low_congestion_shortcuts::facade::PartitionSource;
+
+        let n = g.num_nodes() as f64;
+        let source = PartitionSource::Separator { level, min_region: 4 };
+        let partition = Partition::from_parts(&g, source.resolve(&g)).unwrap();
+        let tree = bfs::bfs_tree(&g, NodeId(0));
+        let d = f64::from(tree.depth_of_tree().max(1));
+        let built = full_shortcut(&g, &tree, &partition, &ShortcutConfig::default());
+        let q = measure_quality(&g, &partition, &tree, &built.shortcut);
+        prop_assert!(q.tree_restricted && q.all_connected());
+
+        let delta_hat = f64::from(built.delta_hat.max(1));
+        let log_n = n.log2() + 1.0;
+        let c_cong = f64::from(q.max_congestion) / (delta_hat * d * log_n);
+        prop_assert!(
+            c_cong <= C_CONG,
+            "{family} (separator level {level}): observed congestion constant \
+             c={c_cong:.3} > {C_CONG}"
+        );
+        let c_dil = f64::from(q.max_dilation_upper) / (delta_hat * d);
+        prop_assert!(
+            c_dil <= C_DIL,
+            "{family} (separator level {level}): observed dilation constant \
+             c={c_dil:.3} > {C_DIL}"
+        );
+        let c_blocks = f64::from(q.max_blocks) / delta_hat;
+        prop_assert!(
+            c_blocks <= 9.0,
+            "{family} (separator level {level}): observed block constant \
+             c={c_blocks:.3} > 9"
+        );
+    }
+
     /// The same bounds hold for the distributed Theorem 1.5 construction in
     /// exact mode (it reproduces the centralized cut set, so this pins the
     /// full simulated pipeline to the paper's envelope).

@@ -1,0 +1,167 @@
+//! Property tests for the nested-dissection engine plus the hierarchy
+//! differential: multi-level sessions must serve leaf-level op results
+//! bit-identical to a flat session built on the same leaf partition.
+
+use low_congestion_shortcuts::congest::protocols::AggOp;
+use low_congestion_shortcuts::facade::{
+    Backend, HierarchySession, SeparatorConfig, Session, SessionConfig, SessionPartwiseOps,
+};
+use low_congestion_shortcuts::graph::{components, gen, Graph};
+use low_congestion_shortcuts::separator::nested_dissection;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A graph from any generator family the repo ships — planar, genus-1,
+/// bounded-treewidth, trees, dense, and the adversarial comb.
+fn arb_any_family() -> impl Strategy<Value = (Graph, &'static str)> {
+    (0usize..8, 3usize..9, 3usize..9, 0u64..1000).prop_map(|(fam, a, b, seed)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match fam {
+            0 => (gen::grid(a, b), "grid"),
+            1 => (gen::torus(a, b), "torus"),
+            2 => (gen::ktree(a * b, 3, &mut rng), "ktree"),
+            3 => (gen::path(a * b), "path"),
+            4 => (gen::binary_tree(1 + (a as u32 % 5)), "binary_tree"),
+            5 => (gen::complete(a + b), "complete"),
+            6 => (gen::wheel(a + b), "wheel"),
+            _ => (gen::grid_of_cliques(a, b, 3), "grid_of_cliques"),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The classical balance guarantee on every cut region of the
+    /// dissection tree: each component of `region \ separator` holds at
+    /// most ⌊2n/3⌋ of the region's nodes.
+    #[test]
+    fn separator_is_balanced_on_all_families((g, family) in arb_any_family()) {
+        let cfg = SeparatorConfig { min_region: 2, max_levels: 30 };
+        let tree = nested_dissection(&g, &cfg);
+        for node in &tree.nodes {
+            if node.separator.is_empty() || node.is_leaf() {
+                continue;
+            }
+            let n_r = node.region.len();
+            let near_strict =
+                tree.nodes[node.children[0]].region.len() - node.separator.len();
+            prop_assert!(
+                near_strict <= 2 * n_r / 3,
+                "{family}: near side {near_strict} exceeds 2/3 of {n_r}"
+            );
+            for &c in &node.children[1..] {
+                let far = tree.nodes[c].region.len();
+                prop_assert!(
+                    far <= 2 * n_r / 3,
+                    "{family}: far side {far} exceeds 2/3 of {n_r}"
+                );
+            }
+        }
+    }
+
+    /// Every dissection level is a covering partition into connected
+    /// parts, on every family — the invariant the hierarchy sessions and
+    /// the `separator` partition source both build on.
+    #[test]
+    fn every_level_is_a_connected_covering_partition((g, family) in arb_any_family()) {
+        let cfg = SeparatorConfig { min_region: 4, max_levels: 30 };
+        let tree = nested_dissection(&g, &cfg);
+        for level in 0..tree.num_levels() {
+            let parts = tree.partition_at_level(level);
+            let covered: usize = parts.iter().map(Vec::len).sum();
+            prop_assert!(
+                covered == g.num_nodes(),
+                "{}: level {} must cover V ({} of {})",
+                family, level, covered, g.num_nodes()
+            );
+            let mut seen = vec![false; g.num_nodes()];
+            for p in &parts {
+                prop_assert!(
+                    components::induces_connected(&g, p),
+                    "{}: disconnected part at level {}", family, level
+                );
+                for &v in p {
+                    prop_assert!(!seen[v.index()], "{}: overlap at {:?}", family, v);
+                    seen[v.index()] = true;
+                }
+            }
+        }
+    }
+}
+
+/// The hierarchy differential: over 30 seeds × 3 minor-free families, a
+/// [`HierarchySession`]'s leaf level must serve results **bit-identical**
+/// to a flat session built directly on the leaf partition — same δ̂, same
+/// quality report, same aggregate values, same simulated round/message
+/// counts.
+#[test]
+fn hierarchy_leaf_is_bit_identical_to_flat_session() {
+    for seed in 0..30u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = 4 + (seed as usize % 5);
+        let b = 4 + (seed as usize / 5 % 5);
+        for (g, family) in [
+            (gen::grid(a, b), "grid"),
+            (gen::torus(a, b), "torus"),
+            (gen::ktree(a * b, 3, &mut rng), "ktree"),
+        ] {
+            let sep = SeparatorConfig {
+                min_region: 4,
+                max_levels: 30,
+            };
+            let mut h =
+                HierarchySession::build(&g, &sep, Backend::Centralized, SessionConfig::default())
+                    .unwrap_or_else(|e| panic!("{family}/seed {seed}: {e}"));
+            let leaf_parts = h.tree().leaf_partition();
+            let mut flat = Session::on(&g)
+                .partition(leaf_parts)
+                .build()
+                .unwrap_or_else(|e| panic!("{family}/seed {seed}: {e}"));
+
+            let values: Vec<u64> = (0..g.num_nodes() as u64).map(|x| x * 31 % 257).collect();
+            let from_h = h.leaf_session().aggregate(&values, AggOp::Sum);
+            let from_flat = flat.aggregate(&values, AggOp::Sum);
+            assert_eq!(
+                from_h.result.results, from_flat.result.results,
+                "{family}/seed {seed}: aggregate results diverge"
+            );
+            assert_eq!(
+                (from_h.rounds, from_h.messages),
+                (from_flat.rounds, from_flat.messages),
+                "{family}/seed {seed}: simulated cost diverges"
+            );
+            assert_eq!(
+                h.leaf_session().delta_hat(),
+                flat.delta_hat(),
+                "{family}/seed {seed}: doubling search diverges"
+            );
+            assert_eq!(
+                h.leaf_session().quality().clone(),
+                flat.quality().clone(),
+                "{family}/seed {seed}: quality reports diverge"
+            );
+        }
+    }
+}
+
+/// `prepare_all` amortization sanity on top of the differential: warm
+/// starts change no leaf-level artifact, and every level stays cached.
+#[test]
+fn prepare_all_leaves_leaf_results_untouched() {
+    let g = gen::grid(9, 9);
+    let sep = SeparatorConfig {
+        min_region: 4,
+        max_levels: 30,
+    };
+    let mut h =
+        HierarchySession::build(&g, &sep, Backend::Centralized, SessionConfig::default()).unwrap();
+    let values: Vec<u64> = (0..81).collect();
+    let before = h.leaf_session().aggregate(&values, AggOp::Max);
+    let dhs = h.prepare_all();
+    let after = h.leaf_session().aggregate(&values, AggOp::Max);
+    assert_eq!(before.result.results, after.result.results);
+    assert_eq!(dhs[h.leaf_level()], h.leaf_session().delta_hat());
+    assert_eq!(h.leaf_session().cache_stats().full.builds, 1);
+}

@@ -174,6 +174,51 @@ fn happy_path_ops_over_loopback() {
     handle.shutdown();
 }
 
+/// A declarative partition source in the session spec: the server
+/// resolves `{"kind": "separator", ...}` on the graph, serves ops over the
+/// dissection parts, and answers results matching the in-process facade
+/// on the same resolved partition.
+#[test]
+fn separator_source_partitions_are_served_over_the_wire() {
+    let handle = start();
+    let mut client = Client::new(handle.addr());
+    let mut spec = grid_spec(6, 6);
+    if let Value::Obj(fields) = &mut spec {
+        fields.push((
+            "partition".to_string(),
+            Value::object([
+                ("kind", Value::Str("separator".to_string())),
+                ("level", Value::U64(2)),
+                ("min_region", Value::U64(4)),
+            ]),
+        ));
+    }
+    let id = create(&mut client, &spec);
+    let values: Vec<u64> = (0..36).collect();
+    let body = Value::object([
+        (
+            "values",
+            Value::Arr(values.iter().map(|&v| Value::U64(v)).collect()),
+        ),
+        ("op", Value::Str("max".to_string())),
+    ]);
+    let agg = client
+        .post(&format!("/sessions/{id}/aggregate"), &body)
+        .expect("aggregate");
+    assert_eq!(agg.status, 200);
+
+    // Oracle: the same source resolved in process.
+    let g = gen::grid(6, 6);
+    let src = low_congestion_shortcuts::facade::PartitionSource::Separator {
+        level: 2,
+        min_region: 4,
+    };
+    let mut session = Session::on(&g).partition(src.resolve(&g)).build().unwrap();
+    let expected: Vec<Option<u64>> = session.aggregate(&values, AggOp::Max).result.results;
+    assert_eq!(result_values(&agg), expected);
+    handle.shutdown();
+}
+
 /// The structured error contract: each failure class maps to its status
 /// and stable machine-readable code, and the keep-alive worker survives
 /// every one of them on a single connection.
@@ -245,6 +290,33 @@ fn structured_errors_do_not_kill_the_worker() {
         .post_raw(&format!("/sessions/{id}/aggregate"), &oversized)
         .unwrap();
     expect(&r, 413, "body_too_large");
+
+    // Partition validation failures carry the PartitionError variant as
+    // their machine-readable code: a disconnected part…
+    let mut bad = grid_spec(4, 4);
+    if let Value::Obj(fields) = &mut bad {
+        fields.push((
+            "partition".to_string(),
+            Value::Arr(vec![Value::Arr(vec![Value::U64(0), Value::U64(15)])]),
+        ));
+    }
+    let r = client.post("/sessions", &bad).unwrap();
+    expect(&r, 422, "partition_disconnected");
+
+    // …is distinct from a source that leaves nodes unassigned.
+    let mut uncovered = grid_spec(4, 4);
+    if let Value::Obj(fields) = &mut uncovered {
+        fields.push((
+            "partition".to_string(),
+            Value::object([
+                ("kind", Value::Str("rows".to_string())),
+                ("rows", Value::U64(2)),
+                ("cols", Value::U64(4)),
+            ]),
+        ));
+    }
+    let r = client.post("/sessions", &uncovered).unwrap();
+    expect(&r, 422, "partition_uncovered");
 
     // The same connection (reconnected after the 413 close) still serves.
     let r = client.get("/health").unwrap();
