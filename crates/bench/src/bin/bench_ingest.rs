@@ -1,0 +1,322 @@
+//! Ingestion bench: emits `BENCH_ingest.json` — the acceptance evidence
+//! for the flat-binary graph format and the million-node scale-up.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_ingest [--fast] [--out DIR]
+//! ```
+//!
+//! The harness generates the seeded near-planar `road_like` instance
+//! (n = 1e6 in the full run; n = 1e4 for the CI smoke), writes it both as
+//! an `.lcsg` flat binary and as the legacy `{"n", "edges"}` JSON
+//! edge-list, and loads each back through its [`GraphSource`] — the same
+//! resolver `SessionConfig`, the `Session` builder and `lcs_server` use —
+//! timing the round trip. The decoded graphs are asserted identical, and
+//! the `load_speedup` column (JSON wall time over flat wall time) is
+//! **asserted ≥ 10× in the full run** (≥ 2× in the smoke, where both
+//! files fit in cache and the gap narrows).
+//!
+//! The scale-up half then serves the flat-loaded graph end-to-end: a
+//! seeded voronoi partition, the KMV-sketch detection backend with
+//! `message_packing = 8` (the configuration that makes n = 1e6
+//! affordable, see `BENCH_partial.json`), one part-wise aggregation
+//! (asserted: every member informed, simulator quiesced) and the cached
+//! quality report of the shortcut the aggregation was served over.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p lcs_bench --bin bench_ingest -- --out .
+//! ```
+
+use lcs_congest::protocols::AggOp;
+use lcs_congest::SimConfig;
+use lcs_core::dist::{DistConfig, DistMode};
+use lcs_core::session::{Backend, SessionConfig};
+use lcs_core::{GeneratorSpec, GraphSource, PartitionSource};
+use lcs_graph::io;
+use lcs_partwise::SessionPartwiseOps;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Acceptance bar: flat-binary load vs JSON parse of the same graph.
+const FULL_SPEEDUP_BAR: f64 = 10.0;
+const FAST_SPEEDUP_BAR: f64 = 2.0;
+
+/// Seed of the road-like instance (pins the committed snapshot).
+const ROAD_SEED: u64 = 7;
+
+/// One emitted row; unused columns render as `null`.
+#[derive(Default)]
+struct Row {
+    row: &'static str,
+    graph_source: Option<&'static str>,
+    n: u64,
+    m: u64,
+    bytes: Option<u64>,
+    wall_ms: Option<f64>,
+    load_speedup: Option<f64>,
+    rounds: Option<u64>,
+    messages: Option<u64>,
+    parts: Option<usize>,
+    delta_hat: Option<u32>,
+    congestion: Option<u32>,
+    dilation: Option<u32>,
+    blocks: Option<u32>,
+    terminated: Option<bool>,
+}
+
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Renders the legacy JSON edge-list form of `g` (the `from-json` /
+/// `edge_list_json` input format).
+fn edge_list_json(g: &lcs_graph::Graph) -> String {
+    let mut out = String::with_capacity(24 * g.num_edges());
+    let _ = write!(out, "{{\"n\": {}, \"edges\": [", g.num_nodes());
+    for (i, e) in g.edges().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{},{}]", e.u.0, e.v.0);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn render(rows: &[Row]) -> String {
+    let fmt_f = |v: Option<f64>| v.map_or_else(|| "null".to_string(), |x| format!("{x:.2}"));
+    let fmt_u = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |x| x.to_string());
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"bench_ingest/v1\",\n");
+    out.push_str(
+        "  \"note\": \"load rows time GraphSource::resolve() on the same road_like instance \
+         stored as .lcsg flat binary vs legacy JSON edge-list (load_speedup = json_ms/flat_ms, \
+         asserted >= 10x in the full run); the aggregate/quality rows serve the flat-loaded \
+         graph end-to-end on the sketch backend with message_packing = 8; regenerate with \
+         `cargo run --release -p lcs_bench --bin bench_ingest -- --out .`\",\n",
+    );
+    out.push_str("  \"entries\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"row\": \"{}\", \"graph_source\": {}, \"n\": {}, \"m\": {}, \
+             \"bytes\": {}, \"wall_ms\": {}, \"load_speedup\": {}, \"rounds\": {}, \
+             \"messages\": {}, \"parts\": {}, \"delta_hat\": {}, \"congestion\": {}, \
+             \"dilation\": {}, \"blocks\": {}, \"terminated\": {}}}",
+            r.row,
+            r.graph_source
+                .map_or_else(|| "null".to_string(), |s| format!("\"{s}\"")),
+            r.n,
+            r.m,
+            fmt_u(r.bytes),
+            fmt_f(r.wall_ms),
+            fmt_f(r.load_speedup),
+            fmt_u(r.rounds),
+            fmt_u(r.messages),
+            fmt_u(r.parts.map(|p| p as u64)),
+            fmt_u(r.delta_hat.map(u64::from)),
+            fmt_u(r.congestion.map(u64::from)),
+            fmt_u(r.dilation.map(u64::from)),
+            fmt_u(r.blocks.map(u64::from)),
+            r.terminated
+                .map_or_else(|| "null".to_string(), |b| b.to_string()),
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| ".".to_string());
+    let reps = if fast { 1 } else { 3 };
+    let side: usize = if fast { 100 } else { 1000 };
+
+    // The instance, produced once by the generator source.
+    let spec = GeneratorSpec::RoadLike {
+        rows: side,
+        cols: side,
+        seed: ROAD_SEED,
+    };
+    let g = spec.build().expect("valid road_like spec");
+    let (n, m) = (g.num_nodes() as u64, g.num_edges() as u64);
+    eprintln!("bench_ingest: road_like {side}x{side} (n = {n}, m = {m})");
+
+    // Store it both ways, in a scratch dir that survives only this run.
+    let scratch = std::env::temp_dir().join(format!("bench_ingest_{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    let flat_path = scratch.join("road.lcsg");
+    let json_path = scratch.join("road.json");
+    io::save_graph(&flat_path, &g, None).expect("write .lcsg");
+    std::fs::write(&json_path, edge_list_json(&g)).expect("write edge-list JSON");
+    let flat_bytes = std::fs::metadata(&flat_path).expect("stat").len();
+    let json_bytes = std::fs::metadata(&json_path).expect("stat").len();
+
+    let flat_source = GraphSource::FlatBinary {
+        path: flat_path.to_str().expect("utf-8 path").to_string(),
+    };
+    let json_source = GraphSource::EdgeListJson {
+        path: json_path.to_str().expect("utf-8 path").to_string(),
+    };
+
+    // Load timings. Every rep re-resolves from disk through the same
+    // GraphSource path the server and session builder use.
+    let mut flat_loaded = None;
+    let flat_ms = median_ms(reps, || {
+        flat_loaded = Some(flat_source.resolve().expect("flat load"));
+    });
+    let mut json_loaded = None;
+    let json_ms = median_ms(reps, || {
+        json_loaded = Some(json_source.resolve().expect("json load"));
+    });
+    let flat_loaded = flat_loaded.expect("at least one rep");
+    let json_loaded = json_loaded.expect("at least one rep");
+    assert_eq!(
+        flat_loaded.graph, json_loaded.graph,
+        "both stores must decode to the identical graph"
+    );
+    assert_eq!(flat_loaded.graph, g, "round trip must be lossless");
+
+    let speedup = json_ms / flat_ms.max(1e-9);
+    let bar = if fast {
+        FAST_SPEEDUP_BAR
+    } else {
+        FULL_SPEEDUP_BAR
+    };
+    eprintln!(
+        "bench_ingest: flat {flat_ms:.2} ms vs json {json_ms:.2} ms — {speedup:.1}x \
+         (bar {bar:.0}x)"
+    );
+    assert!(
+        speedup >= bar,
+        "flat-binary load must beat JSON parse by >= {bar}x — got {speedup:.2}x \
+         (flat {flat_ms:.2} ms, json {json_ms:.2} ms)"
+    );
+
+    let mut rows = vec![
+        Row {
+            row: "load_flat",
+            graph_source: Some("flat_binary"),
+            n,
+            m,
+            bytes: Some(flat_bytes),
+            wall_ms: Some(flat_ms),
+            load_speedup: Some(speedup),
+            ..Row::default()
+        },
+        Row {
+            row: "load_json",
+            graph_source: Some("edge_list_json"),
+            n,
+            m,
+            bytes: Some(json_bytes),
+            wall_ms: Some(json_ms),
+            ..Row::default()
+        },
+    ];
+
+    // End-to-end scale-up: serve the flat-loaded graph. Sketch detection
+    // plus packed messages is the million-node configuration; the voronoi
+    // source gives ~1e3 connected parts without an embedding.
+    let parts = if fast { 16 } else { 1024 };
+    let sim = SimConfig {
+        message_packing: 8,
+        ..SimConfig::default()
+    };
+    let mut session = flat_loaded
+        .session()
+        .backend(Backend::Sketch(DistConfig {
+            mode: DistMode::Sketch {
+                t: 16,
+                hash_seed: 0xbeef,
+                cut_factor: 1.0,
+            },
+            sim,
+        }))
+        // `.config(..)` replaces the whole config, so the provenance
+        // `ResolvedGraph::session()` recorded is restated here.
+        .config(SessionConfig {
+            sim,
+            partition_source: Some(PartitionSource::Voronoi {
+                parts,
+                seed: ROAD_SEED,
+            }),
+            graph_source: Some(flat_source.clone()),
+            ..SessionConfig::default()
+        })
+        .build()
+        .expect("voronoi source yields a valid partition");
+    assert_eq!(
+        session.config().graph_source,
+        Some(flat_source.clone()),
+        "provenance must survive the builder"
+    );
+    let values: Vec<u64> = (0..n).map(|x| (x * 37) % 1009).collect();
+    let t0 = Instant::now();
+    let report = session.aggregate(&values, AggOp::Sum);
+    let agg_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        report.result.all_members_informed,
+        "aggregation must inform every part member"
+    );
+    assert!(
+        report.result.metrics.terminated && !report.result.metrics.truncated,
+        "the served aggregation must quiesce"
+    );
+    rows.push(Row {
+        row: "aggregate",
+        graph_source: Some("flat_binary"),
+        n,
+        m,
+        wall_ms: Some(agg_ms),
+        rounds: Some(report.rounds),
+        messages: Some(report.messages),
+        parts: Some(session.partition().num_parts()),
+        terminated: Some(report.result.metrics.terminated),
+        ..Row::default()
+    });
+
+    // The quality of the shortcut the aggregation was served over
+    // (cached — the aggregate above built it).
+    let q = session.quality().clone();
+    assert!(q.all_connected(), "served shortcut parts must be connected");
+    assert_eq!(
+        session.cache_stats().full.builds,
+        1,
+        "quality must come from the cached shortcut"
+    );
+    rows.push(Row {
+        row: "quality",
+        graph_source: Some("flat_binary"),
+        n,
+        m,
+        parts: Some(session.partition().num_parts()),
+        delta_hat: Some(session.delta_hat()),
+        congestion: Some(q.max_congestion),
+        dilation: Some(q.max_dilation_upper),
+        blocks: Some(q.max_blocks),
+        ..Row::default()
+    });
+
+    let json = render(&rows);
+    std::fs::write(format!("{out_dir}/BENCH_ingest.json"), &json).expect("write BENCH_ingest.json");
+    print!("{json}");
+    let _ = std::fs::remove_dir_all(&scratch);
+}

@@ -121,6 +121,11 @@ struct Entry {
     /// `voronoi` / `singletons` — the [`lcs_core::PartitionSource`]
     /// naming); `None` for partition-free simulator rows.
     partition_source: Option<&'static str>,
+    /// The graph source kind the instance came from (the
+    /// [`lcs_core::GraphSource::name`] naming — every snapshot row is
+    /// synthesized in-process, so today this is always `generator`;
+    /// file-backed rows would carry `edge_list_json` / `flat_binary`).
+    graph_source: &'static str,
     rounds: u64,
     messages: u64,
     wall_ms: f64,
@@ -192,6 +197,7 @@ fn sim_entry(
         threads,
         packing: 1,
         partition_source: None,
+        graph_source: "generator",
         rounds,
         messages,
         wall_ms,
@@ -356,6 +362,7 @@ fn partial_entry(
         threads: 1,
         packing,
         partition_source: Some(partition_source),
+        graph_source: "generator",
         rounds,
         messages,
         wall_ms,
@@ -476,6 +483,7 @@ fn facade_overhead_entry(reps: usize) -> Entry {
         threads: 1,
         packing: 1,
         partition_source: Some("rows"),
+        graph_source: "generator",
         rounds: last.0,
         messages: last.1,
         wall_ms: facade_ms,
@@ -554,6 +562,7 @@ fn render(schema: &str, entries: &[Entry]) -> String {
             out,
             "    {{\"family\": \"{}\", \"n\": {}, \"m\": {}, \"mode\": \"{}\", \
              \"threads\": {}, \"packing\": {}, \"partition_source\": {}, \
+             \"graph_source\": \"{}\", \
              \"rounds\": {}, \"messages\": {}, \
              \"wall_ms\": {:.2}, \"wall_ms_before\": {}, \"speedup\": {}, \
              \"speedup_vs_t1\": {}, \"rounds_vs_unpacked\": {}, \
@@ -568,6 +577,7 @@ fn render(schema: &str, entries: &[Entry]) -> String {
             e.packing,
             e.partition_source
                 .map_or_else(|| "null".to_string(), |s| format!("\"{s}\"")),
+            e.graph_source,
             e.rounds,
             e.messages,
             e.wall_ms,
@@ -744,8 +754,8 @@ fn main() {
         partial_entries.push(packed);
     }
 
-    let sim_json = render("bench_sim/v6", &sim_entries);
-    let partial_json = render("bench_partial/v6", &partial_entries);
+    let sim_json = render("bench_sim/v7", &sim_entries);
+    let partial_json = render("bench_partial/v7", &partial_entries);
     std::fs::write(format!("{out_dir}/BENCH_sim.json"), &sim_json).expect("write BENCH_sim.json");
     std::fs::write(format!("{out_dir}/BENCH_partial.json"), &partial_json)
         .expect("write BENCH_partial.json");

@@ -1,0 +1,188 @@
+//! Graph ingestion CLI: generates, converts and inspects `.lcsg` flat
+//! binaries (the [`lcs_graph::io`] format every layer of the stack loads
+//! through [`lcs_core::GraphSource::FlatBinary`]).
+//!
+//! Usage:
+//!
+//! ```text
+//! lcs_convert generate --family FAM [params] --out FILE [--weights-seed S]
+//! lcs_convert from-json --input FILE.json --out FILE.lcsg [--weights-seed S]
+//! lcs_convert road --rows R --cols C [--seed S] --out FILE [--weights-seed S]
+//! lcs_convert info FILE.lcsg
+//! ```
+//!
+//! `generate` families and their parameters mirror [`lcs_core::GeneratorSpec`]:
+//!
+//! | family            | parameters                  |
+//! |-------------------|-----------------------------|
+//! | `path` `cycle` `complete` `wheel` | `--n N`     |
+//! | `grid` `torus`    | `--rows R --cols C`         |
+//! | `grid_of_cliques` | `--rows R --cols C --r K`   |
+//! | `road_like`       | `--rows R --cols C [--seed S]` |
+//!
+//! `road` is shorthand for `generate --family road_like` — the seeded
+//! near-planar generator sized for the n = 1e6–1e7 scale-up benchmarks
+//! (`--rows 1000 --cols 1000` gives one million nodes in a ~28 MB file).
+//!
+//! `from-json` converts the legacy `{"n": ..., "edges": [[u, v], ...]}`
+//! edge-list form through the same validation path the server uses
+//! ([`GraphSource::EdgeListJson`]), so a file that converts is exactly a
+//! file that serves.
+//!
+//! `--weights-seed S` embeds deterministic random edge weights (1..=n)
+//! into the file; sessions built from the file start weighted.
+//!
+//! Exit status is non-zero on any typed [`lcs_graph::io::IoError`] /
+//! [`lcs_core::GraphSourceError`]; the message carries the error code.
+
+use lcs_core::{GeneratorSpec, GraphSource};
+use lcs_graph::weights::EdgeWeights;
+use lcs_graph::{io, Graph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  lcs_convert generate --family FAM [--n N | --rows R --cols C [--r K] \
+         [--seed S]] --out FILE [--weights-seed S]\n  lcs_convert from-json --input FILE.json \
+         --out FILE.lcsg [--weights-seed S]\n  lcs_convert road --rows R --cols C [--seed S] \
+         --out FILE [--weights-seed S]\n  lcs_convert info FILE.lcsg"
+    );
+    ExitCode::from(2)
+}
+
+/// `--name value` lookup over the raw argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parsed<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    match flag(args, name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{name}: cannot parse `{raw}`")),
+    }
+}
+
+fn required<T: std::str::FromStr>(args: &[String], name: &str) -> Result<T, String> {
+    parsed(args, name)?.ok_or_else(|| format!("missing required flag {name}"))
+}
+
+/// Builds the [`GeneratorSpec`] named by `--family` + its parameter flags.
+fn spec_from_flags(args: &[String]) -> Result<GeneratorSpec, String> {
+    let family: String = required(args, "--family")?;
+    let spec = match family.as_str() {
+        "path" => GeneratorSpec::Path {
+            n: required(args, "--n")?,
+        },
+        "cycle" => GeneratorSpec::Cycle {
+            n: required(args, "--n")?,
+        },
+        "complete" => GeneratorSpec::Complete {
+            n: required(args, "--n")?,
+        },
+        "wheel" => GeneratorSpec::Wheel {
+            n: required(args, "--n")?,
+        },
+        "grid" => GeneratorSpec::Grid {
+            rows: required(args, "--rows")?,
+            cols: required(args, "--cols")?,
+        },
+        "torus" => GeneratorSpec::Torus {
+            rows: required(args, "--rows")?,
+            cols: required(args, "--cols")?,
+        },
+        "grid_of_cliques" => GeneratorSpec::GridOfCliques {
+            rows: required(args, "--rows")?,
+            cols: required(args, "--cols")?,
+            clique: required(args, "--r")?,
+        },
+        "road_like" => road_spec(args)?,
+        other => {
+            return Err(format!(
+                "unknown family `{other}` — one of path, cycle, complete, wheel, grid, \
+                 torus, grid_of_cliques, road_like"
+            ))
+        }
+    };
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
+fn road_spec(args: &[String]) -> Result<GeneratorSpec, String> {
+    Ok(GeneratorSpec::RoadLike {
+        rows: required(args, "--rows")?,
+        cols: required(args, "--cols")?,
+        seed: parsed(args, "--seed")?.unwrap_or(0),
+    })
+}
+
+/// Saves `g` (with optional seeded weights) and prints a one-line summary.
+fn save(g: &Graph, args: &[String], what: &str) -> Result<(), String> {
+    let out: String = required(args, "--out")?;
+    let weights = parsed::<u64>(args, "--weights-seed")?.map(|seed| {
+        let max = (g.num_nodes() as u64).max(1);
+        EdgeWeights::random(g, max, &mut SmallRng::seed_from_u64(seed))
+    });
+    io::save_graph(&out, g, weights.as_ref()).map_err(|e| format!("{out}: {e}"))?;
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {out}: {what}, n = {}, m = {}, weights = {}, {bytes} bytes",
+        g.num_nodes(),
+        g.num_edges(),
+        weights.is_some(),
+    );
+    Ok(())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("generate") => {
+            let spec = spec_from_flags(&args[1..])?;
+            let g = spec.build().map_err(|e| e.to_string())?;
+            save(&g, &args[1..], spec.name())
+        }
+        Some("road") => {
+            let spec = road_spec(&args[1..])?;
+            spec.validate().map_err(|e| e.to_string())?;
+            let g = spec.build().map_err(|e| e.to_string())?;
+            save(&g, &args[1..], spec.name())
+        }
+        Some("from-json") => {
+            let input: String = required(&args[1..], "--input")?;
+            let source = GraphSource::EdgeListJson {
+                path: input.clone(),
+            };
+            let resolved = source.resolve().map_err(|e| e.to_string())?;
+            save(&resolved.graph, &args[1..], "edge_list_json")
+        }
+        Some("info") => {
+            let path = args.get(1).ok_or("info: missing FILE argument")?;
+            let h = io::load_header(path).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "{path}: lcsg v{}, n = {}, m = {}, weights = {}, checksum = {:#018x}",
+                h.version, h.n, h.m, h.has_weights, h.checksum
+            );
+            Ok(())
+        }
+        _ => Err(String::new()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) if msg.is_empty() => usage(),
+        Err(msg) => {
+            eprintln!("lcs_convert: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

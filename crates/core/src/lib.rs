@@ -91,6 +91,6 @@ pub use session::{
     SessionBuilder, SessionConfig, ShortcutSession, TreeSource,
 };
 pub use shortcut::Shortcut;
-pub use source::PartitionSource;
+pub use source::{GeneratorSpec, GraphSource, GraphSourceError, PartitionSource, ResolvedGraph};
 pub use sweep::{partial_shortcut_or_witness, OverEdge, PartialShortcut, SweepData, SweepOutcome};
 pub use witness::{extract_witness_derandomized, extract_witness_sampled};

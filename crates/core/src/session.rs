@@ -72,7 +72,7 @@
 use crate::dist::{distributed_full_shortcut, distributed_partial_shortcut, DistConfig, DistMode};
 use crate::full::run_doubling_search;
 use crate::quality::measure_parts;
-use crate::source::PartitionSource;
+use crate::source::{GraphSource, PartitionSource};
 use crate::sweep::sweep_active;
 use crate::{
     full_shortcut, measure_quality, partial_shortcut_or_witness, Partition, PartitionError,
@@ -583,6 +583,17 @@ pub struct SessionConfig {
     /// across processes. Sources must cover every node
     /// ([`Partition::from_parts_covering`]).
     pub partition_source: Option<PartitionSource>,
+    /// Declarative graph source — *where the graph came from*. Sessions
+    /// always run over the explicit [`Graph`] handed to
+    /// [`Session::on`] (the graph is the session's borrowed substrate, so
+    /// an explicit graph always wins, mirroring the
+    /// [`partition_source`](Self::partition_source) precedence); this
+    /// field makes the recipe serde-able end to end:
+    /// [`GraphSource::resolve`](crate::GraphSource::resolve) +
+    /// [`ResolvedGraph::session`](crate::ResolvedGraph::session) start a
+    /// builder from the recorded source, and servers canonicalize it into
+    /// their dedup keys.
+    pub graph_source: Option<GraphSource>,
 }
 
 impl SessionConfig {
@@ -792,6 +803,19 @@ impl<'g> SessionBuilder<'g> {
     /// a disconnected graph).
     pub fn partition_source(mut self, source: PartitionSource) -> Self {
         self.config.partition_source = Some(source);
+        self
+    }
+
+    /// Records the declarative [`GraphSource`] the session's graph came
+    /// from (stored in [`SessionConfig::graph_source`], so the whole
+    /// recipe stays in the one serde-able config). The explicit graph
+    /// handed to [`Session::on`] always wins — the source is provenance,
+    /// resolved (if at all) *before* the builder exists via
+    /// [`GraphSource::resolve`](crate::GraphSource::resolve) /
+    /// [`ResolvedGraph::session`](crate::ResolvedGraph::session), which
+    /// calls this setter for you.
+    pub fn graph_source(mut self, source: GraphSource) -> Self {
+        self.config.graph_source = Some(source);
         self
     }
 

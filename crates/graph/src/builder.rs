@@ -1,6 +1,68 @@
 //! Incremental construction of [`Graph`]s.
 
 use crate::{EdgeId, Graph, NodeId};
+use std::fmt;
+
+/// Largest node count the CSR layout can address: node ids are `u32`, and
+/// [`Graph::nodes`] enumerates `0..n as u32`, so `n` itself must fit in
+/// `u32`.
+pub const MAX_NODES: u64 = u32::MAX as u64;
+
+/// Largest undirected edge count the CSR layout can address: the
+/// `first_out` offsets are `u32` values counting **directed** slots, so
+/// `2m` must fit in `u32` (and edge ids, also `u32`, follow a fortiori).
+pub const MAX_EDGES: u64 = (u32::MAX / 2) as u64;
+
+/// The requested graph exceeds what the `u32`-based CSR index arithmetic
+/// can represent. Returned by [`check_csr_capacity`],
+/// [`GraphBuilder::try_build`] and [`Graph::try_from_edges`] **before** any
+/// proportional allocation happens, so million-node (and beyond) inputs
+/// fail with a typed error instead of a silent `u32` wrap in release
+/// builds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CapacityError {
+    /// `n` exceeds [`MAX_NODES`].
+    TooManyNodes {
+        /// The requested node count.
+        n: u64,
+    },
+    /// `m` exceeds [`MAX_EDGES`].
+    TooManyEdges {
+        /// The requested undirected edge count.
+        m: u64,
+    },
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CapacityError::TooManyNodes { n } => {
+                write!(f, "{n} nodes exceed the CSR limit of {MAX_NODES}")
+            }
+            CapacityError::TooManyEdges { m } => write!(
+                f,
+                "{m} edges exceed the CSR limit of {MAX_EDGES} (2m must fit in u32)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// Checks that a graph with `n` nodes and `m` undirected edges fits the
+/// CSR layout's `u32` index arithmetic (see [`MAX_NODES`] / [`MAX_EDGES`]).
+///
+/// Counts are taken as `u64` so callers holding on-disk headers can
+/// validate them before casting to `usize`.
+pub fn check_csr_capacity(n: u64, m: u64) -> Result<(), CapacityError> {
+    if n > MAX_NODES {
+        return Err(CapacityError::TooManyNodes { n });
+    }
+    if m > MAX_EDGES {
+        return Err(CapacityError::TooManyEdges { m });
+    }
+    Ok(())
+}
 
 /// Builder for [`Graph`].
 ///
@@ -86,8 +148,31 @@ impl GraphBuilder {
     /// # Panics
     ///
     /// Panics if duplicate edges were added (use
-    /// [`add_edge_dedup`](Self::add_edge_dedup) to silently ignore them).
+    /// [`add_edge_dedup`](Self::add_edge_dedup) to silently ignore them) or
+    /// if the graph exceeds the CSR capacity limits (see
+    /// [`try_build`](Self::try_build) for the fallible form).
     pub fn build(self) -> Graph {
+        match self.try_build() {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`build`](Self::build) with the capacity limits checked up front:
+    /// returns a typed [`CapacityError`] — **before** allocating anything
+    /// proportional to `n` or `m` — when the graph cannot be represented in
+    /// the `u32`-based CSR layout ([`MAX_NODES`] / [`MAX_EDGES`]).
+    ///
+    /// # Panics
+    ///
+    /// Still panics on duplicate edges, which are a logic error rather than
+    /// a size limit.
+    pub fn try_build(self) -> Result<Graph, CapacityError> {
+        check_csr_capacity(self.num_nodes as u64, self.edges.len() as u64)?;
+        Ok(self.build_unchecked())
+    }
+
+    fn build_unchecked(self) -> Graph {
         let n = self.num_nodes;
         let m = self.edges.len();
         // Duplicate detection via sorted copy.
@@ -170,6 +255,41 @@ mod tests {
         b.add_edge(NodeId(0), NodeId(1));
         b.add_edge(NodeId(1), NodeId(0));
         b.build();
+    }
+
+    #[test]
+    fn capacity_check_at_the_boundaries() {
+        // Exactly at the limits: representable.
+        assert_eq!(check_csr_capacity(MAX_NODES, MAX_EDGES), Ok(()));
+        assert_eq!(check_csr_capacity(0, 0), Ok(()));
+        // One past either limit: typed errors, not u32 wrap-around.
+        assert_eq!(
+            check_csr_capacity(MAX_NODES + 1, 0),
+            Err(CapacityError::TooManyNodes { n: MAX_NODES + 1 })
+        );
+        assert_eq!(
+            check_csr_capacity(0, MAX_EDGES + 1),
+            Err(CapacityError::TooManyEdges { m: MAX_EDGES + 1 })
+        );
+    }
+
+    #[test]
+    fn try_build_rejects_oversized_n_before_allocating() {
+        // A builder over 2^32 nodes must fail fast with a typed error; the
+        // check runs before the n+1-sized offset array would be allocated.
+        let b = GraphBuilder::new(MAX_NODES as usize + 1);
+        assert_eq!(
+            b.try_build(),
+            Err(CapacityError::TooManyNodes { n: MAX_NODES + 1 })
+        );
+    }
+
+    #[test]
+    fn capacity_error_messages_name_the_limit() {
+        let e = CapacityError::TooManyEdges { m: MAX_EDGES + 1 };
+        assert!(e.to_string().contains("2m must fit in u32"));
+        let e = CapacityError::TooManyNodes { n: MAX_NODES + 7 };
+        assert!(e.to_string().contains("CSR limit"));
     }
 
     #[test]

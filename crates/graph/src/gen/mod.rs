@@ -21,5 +21,5 @@ pub use partitions::{
     random_connected_parts, random_partial_parts, rows_of_grid, singleton_parts, voronoi_parts,
     voronoi_parts_seeded,
 };
-pub use random::{gnm_connected, grid_plus_random_edges, ring_with_matchings};
+pub use random::{gnm_connected, grid_plus_random_edges, ring_with_matchings, road_like};
 pub use structured::{binary_tree, caterpillar, grid_of_cliques, ktree, path_power};

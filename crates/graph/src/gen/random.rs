@@ -107,6 +107,59 @@ pub fn ring_with_matchings(n: usize, r: usize, rng: &mut impl Rng) -> Graph {
     b.build()
 }
 
+/// A deterministic seeded near-planar "road-like" network on a
+/// `rows × cols` lattice — the scale-up family for n = 10⁶–10⁷ ingestion
+/// benchmarks.
+///
+/// Construction (all randomness from a [`SmallRng`](rand::rngs::SmallRng)
+/// seeded with `seed`, so the same parameters always yield the same graph):
+///
+/// - every horizontal lattice edge is kept (streets stay traversable),
+/// - the column-0 vertical edges are all kept (an arterial spine), which
+///   together with the streets makes the graph **connected by
+///   construction**,
+/// - each remaining vertical edge appears with probability 0.45,
+/// - each cell gains its `(r, c)–(r+1, c+1)` diagonal with probability
+///   0.05.
+///
+/// Only one diagonal orientation per cell is ever added, so the result
+/// embeds in the plane (each diagonal drawn inside its cell) — the graph is
+/// **planar**, hence `K₅`-minor-free with minor density `δ(G) < 3`, exactly
+/// the dense-minor-excluding regime of Theorem 1.1. Expected size is
+/// `m ≈ 1.5 · n`, matching real road networks.
+pub fn road_like(rows: usize, cols: usize, seed: u64) -> Graph {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    assert!(rows >= 1 && cols >= 1, "need a non-empty lattice");
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols - 1 {
+            b.add_edge(id(r, c), id(r, c + 1));
+        }
+    }
+    for r in 0..rows - 1 {
+        b.add_edge(id(r, 0), id(r + 1, 0));
+    }
+    for r in 0..rows - 1 {
+        for c in 1..cols {
+            if rng.gen_bool(0.45) {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    for r in 0..rows - 1 {
+        for c in 0..cols - 1 {
+            if rng.gen_bool(0.05) {
+                b.add_edge(id(r, c), id(r + 1, c + 1));
+            }
+        }
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +198,29 @@ mod tests {
         let base = super::super::grid(5, 5);
         assert_eq!(g.num_edges(), base.num_edges() + 7);
         assert!(components::is_connected(&g));
+    }
+
+    #[test]
+    fn road_like_is_connected_deterministic_and_sparse() {
+        let g = road_like(20, 30, 42);
+        assert_eq!(g.num_nodes(), 600);
+        assert!(components::is_connected(&g));
+        // Same seed → bit-identical; different seed → (almost surely) not.
+        assert_eq!(g, road_like(20, 30, 42));
+        assert_ne!(g, road_like(20, 30, 43));
+        // Planar bound: m <= 3n - 6.
+        assert!(g.num_edges() <= 3 * g.num_nodes() - 6);
+        // Road-like sparsity: every horizontal street plus ~half the
+        // verticals lands well above the tree bound and below 2n.
+        assert!(g.num_edges() > g.num_nodes());
+        assert!(g.num_edges() < 2 * g.num_nodes());
+    }
+
+    #[test]
+    fn road_like_degenerate_lattices() {
+        assert!(components::is_connected(&road_like(1, 7, 0)));
+        assert!(components::is_connected(&road_like(7, 1, 0)));
+        assert_eq!(road_like(1, 1, 0).num_edges(), 0);
     }
 
     #[test]

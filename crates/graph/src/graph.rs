@@ -148,6 +148,28 @@ impl Graph {
         b.build()
     }
 
+    /// [`from_edges`](Self::from_edges) with the CSR capacity limits checked
+    /// up front instead of panicking: `n` and `m` beyond what the `u32`
+    /// index arithmetic can represent produce a typed
+    /// [`CapacityError`](crate::CapacityError) before anything proportional
+    /// to the input is allocated.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on malformed edges (self-loop, endpoint `>= n`,
+    /// duplicates) — those are logic errors, not size limits.
+    pub fn try_from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Result<Self, crate::CapacityError> {
+        crate::check_csr_capacity(n as u64, 0)?;
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.try_build()
+    }
+
     /// Number of nodes `n`.
     #[inline]
     pub fn num_nodes(&self) -> usize {

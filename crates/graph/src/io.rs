@@ -1,0 +1,652 @@
+//! Flat binary on-disk format for CSR graphs (`.lcsg`).
+//!
+//! Route-planning engines (RoutingKit, `rust_road_router`) ship road
+//! networks as raw little-endian `Vec<u32>` files of exactly the
+//! `first_out`/`head` arrays a CSR graph is made of, so loading is a
+//! handful of bulk reads instead of a parse. This module adopts that idea
+//! for the shortcut workspace — it is what makes n = 10⁶–10⁷ instances
+//! practical, where JSON edge lists take seconds to parse.
+//!
+//! # Format (`.lcsg`, version 1)
+//!
+//! All integers are **little-endian**. A fixed 40-byte header is followed
+//! by the CSR sections in a fixed order:
+//!
+//! | offset | size      | field                                              |
+//! |--------|-----------|----------------------------------------------------|
+//! | 0      | 4         | magic `"LCSG"`                                     |
+//! | 4      | 4         | version (`u32`) = 1                                |
+//! | 8      | 4         | flags (`u32`): bit 0 = weights section present     |
+//! | 12     | 4         | reserved = 0                                       |
+//! | 16     | 8         | `n` (`u64`) — node count                           |
+//! | 24     | 8         | `m` (`u64`) — undirected edge count                |
+//! | 32     | 8         | checksum (`u64`) — FNV-1a over all section bytes   |
+//! | 40     | 4·(n+1)   | `first_out` section (`u32` each)                   |
+//! | …      | 4·2m      | `head` section (`u32` node id per directed slot)   |
+//! | …      | 4·2m      | `edge_id` section (`u32` edge id per directed slot)|
+//! | …      | 8·m       | weights section (`u64` each; only if flag bit 0)   |
+//!
+//! The canonical `endpoints` array is *not* stored: it is reconstructed in
+//! one O(n + m) sweep during load, which doubles as full structural
+//! validation (offset monotonicity, sorted simple adjacencies, every edge
+//! id appearing exactly twice with consistent endpoints). The crate forbids
+//! `unsafe`, so the loader does one `read_exact` per section and decodes
+//! with `chunks_exact` — still a bulk copy, not a parse.
+//!
+//! # Example
+//!
+//! ```
+//! use lcs_graph::{gen, io};
+//!
+//! let g = gen::grid(4, 5);
+//! let mut buf = Vec::new();
+//! io::write_graph(&mut buf, &g, None).unwrap();
+//! let loaded = io::read_graph(&mut buf.as_slice()).unwrap();
+//! assert_eq!(loaded.graph, g);
+//! assert!(loaded.weights.is_none());
+//! ```
+
+use crate::weights::EdgeWeights;
+use crate::{check_csr_capacity, CapacityError, EdgeId, Graph, NodeId};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// The 4-byte magic at offset 0 of every `.lcsg` file.
+pub const MAGIC: [u8; 4] = *b"LCSG";
+
+/// The current (and only) format version.
+pub const VERSION: u32 = 1;
+
+/// Header flag bit 0: a weights section (`u64` per undirected edge) follows
+/// the `edge_id` section.
+pub const FLAG_WEIGHTS: u32 = 1;
+
+const HEADER_LEN: usize = 40;
+
+/// Reading or validating a `.lcsg` file failed.
+///
+/// Every variant is distinct so callers (notably `lcs_server`) can map them
+/// to structured error codes; [`code`](IoError::code) provides the stable
+/// snake_case identifier.
+#[derive(Debug)]
+pub enum IoError {
+    /// An underlying filesystem/stream error (including file-not-found).
+    Io(std::io::Error),
+    /// The file does not start with the `"LCSG"` magic.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The header's version field is not [`VERSION`].
+    UnsupportedVersion {
+        /// The version actually found.
+        found: u32,
+    },
+    /// The header sets flag bits this version does not define.
+    UnknownFlags {
+        /// The full flags word.
+        flags: u32,
+    },
+    /// The header's `n`/`m` exceed what the CSR layout can represent.
+    Capacity(CapacityError),
+    /// The stream ended before the named section was complete.
+    Truncated {
+        /// Which section (or `"header"`) was cut short.
+        section: &'static str,
+    },
+    /// Bytes remain after the final section.
+    TrailingBytes,
+    /// The FNV-1a checksum over the section bytes does not match the header.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum computed from the section bytes.
+        found: u64,
+    },
+    /// The sections decode but do not describe a valid CSR graph
+    /// (non-monotone `first_out`, unsorted or out-of-range adjacency,
+    /// self-loop, edge id not appearing exactly twice, …).
+    Inconsistent {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+}
+
+impl IoError {
+    /// A stable snake_case code per variant, for structured error
+    /// reporting (the HTTP server maps these onto its 4xx error codes).
+    /// File-not-found is distinguished from other I/O errors so it can map
+    /// to a 404.
+    pub fn code(&self) -> &'static str {
+        match self {
+            IoError::Io(e) if e.kind() == std::io::ErrorKind::NotFound => "graph_file_not_found",
+            IoError::Io(_) => "graph_io",
+            IoError::BadMagic { .. } => "graph_bad_magic",
+            IoError::UnsupportedVersion { .. } => "graph_unsupported_version",
+            IoError::UnknownFlags { .. } => "graph_unknown_flags",
+            IoError::Capacity(_) => "graph_too_large",
+            IoError::Truncated { .. } => "graph_truncated",
+            IoError::TrailingBytes => "graph_trailing_bytes",
+            IoError::ChecksumMismatch { .. } => "graph_checksum_mismatch",
+            IoError::Inconsistent { .. } => "graph_inconsistent",
+        }
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::BadMagic { found } => {
+                write!(f, "bad magic {found:?} — not an .lcsg file")
+            }
+            IoError::UnsupportedVersion { found } => {
+                write!(f, "unsupported format version {found} (expected {VERSION})")
+            }
+            IoError::UnknownFlags { flags } => {
+                write!(f, "unknown flag bits in {flags:#x}")
+            }
+            IoError::Capacity(e) => write!(f, "{e}"),
+            IoError::Truncated { section } => {
+                write!(f, "file truncated inside the {section} section")
+            }
+            IoError::TrailingBytes => write!(f, "trailing bytes after the final section"),
+            IoError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checksum mismatch: header says {expected:#x}, sections hash to {found:#x}"
+            ),
+            IoError::Inconsistent { reason } => write!(f, "inconsistent CSR data: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Capacity(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<CapacityError> for IoError {
+    fn from(e: CapacityError) -> Self {
+        IoError::Capacity(e)
+    }
+}
+
+/// The parsed fixed-size header of an `.lcsg` file, as returned by
+/// [`read_header`] — cheap introspection without loading the sections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// Format version (currently always [`VERSION`]).
+    pub version: u32,
+    /// Whether a weights section is present.
+    pub has_weights: bool,
+    /// Node count.
+    pub n: u64,
+    /// Undirected edge count.
+    pub m: u64,
+    /// FNV-1a checksum over the section bytes.
+    pub checksum: u64,
+}
+
+/// A graph loaded from an `.lcsg` file, with its optional weights.
+#[derive(Clone, Debug)]
+pub struct LoadedGraph {
+    /// The reconstructed graph.
+    pub graph: Graph,
+    /// Edge weights, if the file carried a weights section.
+    pub weights: Option<EdgeWeights>,
+}
+
+/// 64-bit FNV-1a, the checksum of the section bytes.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// Writes `g` (and optionally `weights`) in `.lcsg` form.
+///
+/// Two passes over the arrays: one to checksum the section bytes (the sum
+/// lands in the header, which precedes the sections), one to write them.
+/// Nothing proportional to the graph is buffered.
+///
+/// # Panics
+///
+/// Panics if `weights` is given with a length other than `g.num_edges()`.
+pub fn write_graph(
+    w: &mut impl Write,
+    g: &Graph,
+    weights: Option<&EdgeWeights>,
+) -> std::io::Result<()> {
+    if let Some(ws) = weights {
+        assert_eq!(ws.len(), g.num_edges(), "one weight per edge required");
+    }
+    let mut fnv = Fnv::new();
+    for &x in &g.first_out {
+        fnv.update(&x.to_le_bytes());
+    }
+    for &NodeId(x) in &g.head {
+        fnv.update(&x.to_le_bytes());
+    }
+    for &EdgeId(x) in &g.edge_id {
+        fnv.update(&x.to_le_bytes());
+    }
+    if let Some(ws) = weights {
+        for (_, x) in ws.iter() {
+            fnv.update(&x.to_le_bytes());
+        }
+    }
+
+    let flags = if weights.is_some() { FLAG_WEIGHTS } else { 0 };
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&flags.to_le_bytes())?;
+    w.write_all(&0u32.to_le_bytes())?;
+    w.write_all(&(g.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    w.write_all(&fnv.0.to_le_bytes())?;
+
+    for &x in &g.first_out {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    for &NodeId(x) in &g.head {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    for &EdgeId(x) in &g.edge_id {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    if let Some(ws) = weights {
+        for (_, x) in ws.iter() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Saves `g` (and optionally `weights`) to `path` via a buffered writer.
+pub fn save_graph(
+    path: impl AsRef<Path>,
+    g: &Graph,
+    weights: Option<&EdgeWeights>,
+) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_graph(&mut w, g, weights)?;
+    w.flush()?;
+    Ok(())
+}
+
+fn parse_header(buf: &[u8; HEADER_LEN]) -> Result<Header, IoError> {
+    let magic = [buf[0], buf[1], buf[2], buf[3]];
+    if magic != MAGIC {
+        return Err(IoError::BadMagic { found: magic });
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
+    let u64_at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
+    let version = u32_at(4);
+    if version != VERSION {
+        return Err(IoError::UnsupportedVersion { found: version });
+    }
+    let flags = u32_at(8);
+    if flags & !FLAG_WEIGHTS != 0 {
+        return Err(IoError::UnknownFlags { flags });
+    }
+    let (n, m) = (u64_at(16), u64_at(24));
+    check_csr_capacity(n, m)?;
+    Ok(Header {
+        version,
+        has_weights: flags & FLAG_WEIGHTS != 0,
+        n,
+        m,
+        checksum: u64_at(32),
+    })
+}
+
+/// Reads and validates only the fixed-size header — magic, version, flags
+/// and capacity limits are checked, the sections are not touched.
+pub fn read_header(r: &mut impl Read) -> Result<Header, IoError> {
+    let mut buf = [0u8; HEADER_LEN];
+    r.read_exact(&mut buf)
+        .map_err(|e| truncated_or_io(e, "header"))?;
+    parse_header(&buf)
+}
+
+/// Reads the header of the file at `path` without loading the sections.
+pub fn load_header(path: impl AsRef<Path>) -> Result<Header, IoError> {
+    read_header(&mut File::open(path)?)
+}
+
+fn truncated_or_io(e: std::io::Error, section: &'static str) -> IoError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        IoError::Truncated { section }
+    } else {
+        IoError::Io(e)
+    }
+}
+
+/// One `read_exact` for a whole section, checksummed as raw bytes.
+fn read_section(
+    r: &mut impl Read,
+    fnv: &mut Fnv,
+    len_bytes: usize,
+    section: &'static str,
+) -> Result<Vec<u8>, IoError> {
+    let mut buf = vec![0u8; len_bytes];
+    r.read_exact(&mut buf)
+        .map_err(|e| truncated_or_io(e, section))?;
+    fnv.update(&buf);
+    Ok(buf)
+}
+
+fn decode_u32s(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn inconsistent<T>(reason: String) -> Result<T, IoError> {
+    Err(IoError::Inconsistent { reason })
+}
+
+/// Reads a `.lcsg` stream into a [`LoadedGraph`].
+///
+/// One `read_exact` per section; after the bulk reads, a single O(n + m)
+/// sweep reconstructs the canonical `endpoints` array and verifies every
+/// CSR invariant ([`IoError::Inconsistent`] on the first violation), so a
+/// loaded graph is indistinguishable from one built by
+/// [`GraphBuilder`](crate::GraphBuilder).
+pub fn read_graph(r: &mut impl Read) -> Result<LoadedGraph, IoError> {
+    let h = read_header(r)?;
+    let n = h.n as usize;
+    let m = h.m as usize;
+    let slots = 2 * m;
+
+    let mut fnv = Fnv::new();
+    let first_out = decode_u32s(&read_section(r, &mut fnv, 4 * (n + 1), "first_out")?);
+    let head_raw = decode_u32s(&read_section(r, &mut fnv, 4 * slots, "head")?);
+    let edge_raw = decode_u32s(&read_section(r, &mut fnv, 4 * slots, "edge_id")?);
+    let weights: Option<Vec<u64>> = if h.has_weights {
+        let bytes = read_section(r, &mut fnv, 8 * m, "weights")?;
+        Some(
+            bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+        )
+    } else {
+        None
+    };
+    if r.read(&mut [0u8; 1])? != 0 {
+        return Err(IoError::TrailingBytes);
+    }
+    if fnv.0 != h.checksum {
+        return Err(IoError::ChecksumMismatch {
+            expected: h.checksum,
+            found: fnv.0,
+        });
+    }
+
+    // Structural validation + endpoints reconstruction in one ascending
+    // sweep. For the canonical edge (u, v) with u < v the slot under u is
+    // visited first (and records the endpoints), the slot under v second
+    // (and must agree) — so "exactly twice, consistently" falls out of
+    // visiting nodes in order.
+    if first_out[0] != 0 {
+        return inconsistent(format!("first_out[0] = {} (expected 0)", first_out[0]));
+    }
+    if first_out[n] as usize != slots {
+        return inconsistent(format!("first_out[n] = {} but 2m = {slots}", first_out[n]));
+    }
+    let mut endpoints = vec![(NodeId(0), NodeId(0)); m];
+    let mut seen = vec![0u8; m];
+    for v in 0..n {
+        let (lo, hi) = (first_out[v] as usize, first_out[v + 1] as usize);
+        if hi < lo || hi > slots {
+            return inconsistent(format!("first_out not monotone at node {v}: [{lo}, {hi})"));
+        }
+        let mut prev: Option<u32> = None;
+        for s in lo..hi {
+            let w = head_raw[s];
+            let e = edge_raw[s];
+            if w as usize >= n {
+                return inconsistent(format!("head {w} out of range at slot {s}"));
+            }
+            if w as usize == v {
+                return inconsistent(format!("self-loop at node {v}"));
+            }
+            if prev.is_some_and(|p| p >= w) {
+                return inconsistent(format!("adjacency of node {v} not strictly sorted"));
+            }
+            prev = Some(w);
+            if e as usize >= m {
+                return inconsistent(format!("edge id {e} out of range at slot {s}"));
+            }
+            let ei = e as usize;
+            if (v as u32) < w {
+                if seen[ei] != 0 {
+                    return inconsistent(format!("edge {e} recorded more than twice"));
+                }
+                endpoints[ei] = (NodeId(v as u32), NodeId(w));
+                seen[ei] = 1;
+            } else {
+                if seen[ei] != 1 || endpoints[ei] != (NodeId(w), NodeId(v as u32)) {
+                    return inconsistent(format!(
+                        "edge {e} has mismatched slots (endpoints disagree)"
+                    ));
+                }
+                seen[ei] = 2;
+            }
+        }
+    }
+    if let Some(e) = seen.iter().position(|&s| s != 2) {
+        return inconsistent(format!("edge {e} does not appear in exactly two slots"));
+    }
+
+    let graph = Graph {
+        num_nodes: n,
+        endpoints,
+        first_out,
+        head: head_raw.into_iter().map(NodeId).collect(),
+        edge_id: edge_raw.into_iter().map(EdgeId).collect(),
+    };
+    let weights = weights.map(|ws| EdgeWeights::from_vec(&graph, ws));
+    Ok(LoadedGraph { graph, weights })
+}
+
+/// Loads the `.lcsg` file at `path` via a buffered reader.
+pub fn load_graph(path: impl AsRef<Path>) -> Result<LoadedGraph, IoError> {
+    read_graph(&mut BufReader::new(File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn round_trip(g: &Graph, weights: Option<&EdgeWeights>) -> LoadedGraph {
+        let mut buf = Vec::new();
+        write_graph(&mut buf, g, weights).unwrap();
+        read_graph(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn round_trips_bit_identically() {
+        for g in [
+            gen::grid(5, 7),
+            gen::complete(6),
+            gen::path(1),
+            Graph::from_edges(0, []),
+        ] {
+            let loaded = round_trip(&g, None);
+            assert_eq!(loaded.graph, g);
+            assert!(loaded.weights.is_none());
+        }
+    }
+
+    #[test]
+    fn round_trips_weights() {
+        let g = gen::torus(4, 5);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let ws = EdgeWeights::random(&g, 1000, &mut rng);
+        let loaded = round_trip(&g, Some(&ws));
+        assert_eq!(loaded.graph, g);
+        assert_eq!(loaded.weights.unwrap(), ws);
+    }
+
+    #[test]
+    fn header_introspection() {
+        let g = gen::grid(3, 4);
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &g, Some(&EdgeWeights::unit(&g))).unwrap();
+        let h = read_header(&mut buf.as_slice()).unwrap();
+        assert_eq!(h.version, VERSION);
+        assert!(h.has_weights);
+        assert_eq!(h.n, 12);
+        assert_eq!(h.m, g.num_edges() as u64);
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &gen::path(3), None).unwrap();
+        buf[0] = b'X';
+        let err = read_graph(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, IoError::BadMagic { .. }), "{err}");
+        assert_eq!(err.code(), "graph_bad_magic");
+    }
+
+    #[test]
+    fn truncation_names_the_section() {
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &gen::grid(4, 4), None).unwrap();
+        for (cut, section, code) in [
+            (10, "header", "graph_truncated"),
+            (HEADER_LEN + 2, "first_out", "graph_truncated"),
+            (buf.len() - 1, "edge_id", "graph_truncated"),
+        ] {
+            let err = read_graph(&mut &buf[..cut]).unwrap_err();
+            match &err {
+                IoError::Truncated { section: s } => assert_eq!(*s, section),
+                other => panic!("expected truncation at {cut}, got {other}"),
+            }
+            assert_eq!(err.code(), code);
+        }
+    }
+
+    #[test]
+    fn checksum_flip_is_detected() {
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &gen::grid(4, 4), None).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        let err = read_graph(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, IoError::ChecksumMismatch { .. }), "{err}");
+        assert_eq!(err.code(), "graph_checksum_mismatch");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &gen::path(4), None).unwrap();
+        buf.push(0);
+        let err = read_graph(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, IoError::TrailingBytes), "{err}");
+    }
+
+    #[test]
+    fn unsupported_version_and_flags_are_typed() {
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &gen::path(3), None).unwrap();
+        let mut v2 = buf.clone();
+        v2[4] = 2;
+        assert!(matches!(
+            read_graph(&mut v2.as_slice()).unwrap_err(),
+            IoError::UnsupportedVersion { found: 2 }
+        ));
+        buf[8] |= 0x80;
+        assert!(matches!(
+            read_graph(&mut buf.as_slice()).unwrap_err(),
+            IoError::UnknownFlags { .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_header_counts_are_capacity_errors() {
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &gen::path(3), None).unwrap();
+        // Patch n to 2^32: beyond MAX_NODES, caught before any allocation.
+        buf[16..24].copy_from_slice(&(1u64 << 32).to_le_bytes());
+        let err = read_graph(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, IoError::Capacity(_)), "{err}");
+        assert_eq!(err.code(), "graph_too_large");
+    }
+
+    /// Rewrites the header checksum so corruption of the *section* bytes
+    /// reaches structural validation instead of tripping the checksum.
+    fn fix_checksum(buf: &mut [u8]) {
+        let mut fnv = Fnv::new();
+        fnv.update(&buf[HEADER_LEN..]);
+        buf[32..40].copy_from_slice(&fnv.0.to_le_bytes());
+    }
+
+    #[test]
+    fn non_monotone_first_out_is_inconsistent() {
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &gen::path(3), None).unwrap();
+        // first_out = [0, 1, 3, 4]; drop entry 2 to 0 so node 1's range
+        // decreases: [1, 0).
+        buf[HEADER_LEN + 8..HEADER_LEN + 12].copy_from_slice(&0u32.to_le_bytes());
+        fix_checksum(&mut buf);
+        let err = read_graph(&mut buf.as_slice()).unwrap_err();
+        match &err {
+            IoError::Inconsistent { reason } => {
+                assert!(reason.contains("monotone"), "{reason}")
+            }
+            other => panic!("expected Inconsistent, got {other}"),
+        }
+        assert_eq!(err.code(), "graph_inconsistent");
+    }
+
+    #[test]
+    fn dangling_edge_id_is_inconsistent() {
+        let g = gen::path(4);
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &g, None).unwrap();
+        // Point the first edge_id slot at a different edge: that edge now
+        // appears three times and edge 0 only once.
+        let edge_section = HEADER_LEN + 4 * (g.num_nodes() + 1) + 4 * 2 * g.num_edges();
+        buf[edge_section..edge_section + 4].copy_from_slice(&1u32.to_le_bytes());
+        fix_checksum(&mut buf);
+        let err = read_graph(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, IoError::Inconsistent { .. }), "{err}");
+    }
+
+    #[test]
+    fn io_code_distinguishes_not_found() {
+        let err = load_graph("/nonexistent/definitely-missing.lcsg").unwrap_err();
+        assert_eq!(err.code(), "graph_file_not_found");
+    }
+}

@@ -9,6 +9,8 @@
 //! * rooted spanning trees with the tree-edge-by-child addressing the paper
 //!   uses (`v_e` = deeper endpoint of tree edge `e`) ([`RootedTree`]),
 //! * graph-family generators with known minor density ([`gen`]),
+//! * a flat binary on-disk format (`.lcsg`) with a bulk-read loader for
+//!   million-node instances ([`io`]),
 //! * minors: contraction, witnesses, verification and density estimation
 //!   ([`minor`]).
 //!
@@ -37,11 +39,12 @@ pub mod bfs;
 pub mod components;
 pub mod diameter;
 pub mod gen;
+pub mod io;
 pub mod minor;
 pub mod tree;
 pub mod weights;
 
-pub use builder::GraphBuilder;
+pub use builder::{check_csr_capacity, CapacityError, GraphBuilder, MAX_EDGES, MAX_NODES};
 pub use graph::{EdgeRef, Graph, Neighbor, Neighbors};
 pub use ids::{EdgeId, NodeId, PartId};
 pub use tree::RootedTree;

@@ -8,15 +8,17 @@
 //! |--------|------------------|-------------------------------------------|
 //! | 400    | `malformed_json` | body is not valid JSON (or not UTF-8)     |
 //! | 404    | `not_found`      | unknown session id or endpoint            |
+//! | 404    | `graph_file_not_found` | a graph spec names a file that does not exist |
 //! | 405    | `method_not_allowed` | known path, wrong HTTP method         |
 //! | 409    | `invalid_mutation` | a mutation failed validation; session unchanged |
 //! | 413    | `body_too_large` | request body exceeds the configured cap   |
 //! | 422    | `bad_args`       | well-formed body with invalid op arguments |
 //! | 422    | `partition_*`    | a session-spec partition failed validation — the code is [`PartitionError::code`] (`partition_disconnected`, `partition_uncovered`, `partition_overlap`, `partition_empty_part`, `partition_out_of_range`) |
+//! | 422    | `graph_*`        | a session-spec graph source failed to resolve — the code is [`GraphSourceError::code`] (`graph_invalid_spec`, `graph_json_malformed`, `graph_invalid_edge`, `graph_too_large`, `graph_io`, and the flat-binary loader codes `graph_bad_magic`, `graph_unsupported_version`, `graph_unknown_flags`, `graph_truncated`, `graph_trailing_bytes`, `graph_checksum_mismatch`, `graph_inconsistent`) |
 //! | 500    | `internal_panic` | a handler panicked (counted, worker survives) |
 
 use lcs_core::session::SessionError;
-use lcs_core::PartitionError;
+use lcs_core::{GraphSourceError, PartitionError};
 use serde::Value;
 use std::fmt;
 
@@ -96,6 +98,24 @@ impl ApiError {
             status: 422,
             code: e.code(),
             message: format!("invalid partition: {e}"),
+        }
+    }
+
+    /// 422 (or 404 for a missing file) — a session-spec graph source
+    /// failed to resolve. The machine-readable code is
+    /// [`GraphSourceError::code`], so clients can tell a truncated
+    /// `.lcsg` file from a checksum mismatch from malformed edge-list
+    /// JSON without parsing the message.
+    pub fn unprocessable_graph(e: &GraphSourceError) -> Self {
+        let code = e.code();
+        ApiError {
+            status: if code == "graph_file_not_found" {
+                404
+            } else {
+                422
+            },
+            code,
+            message: format!("invalid graph: {e}"),
         }
     }
 

@@ -35,7 +35,7 @@ use crate::error::ApiError;
 use crate::json;
 use crate::metrics::Metrics;
 use lcs_core::session::{Backend, Session, SessionConfig, ShortcutSession};
-use lcs_core::{Partition, PartitionSource};
+use lcs_core::{GeneratorSpec, GraphSource, Partition, PartitionSource};
 use lcs_graph::weights::EdgeWeights;
 use lcs_graph::{gen, Graph, NodeId};
 use lcs_separator::SeparatorConfig;
@@ -189,7 +189,9 @@ pub struct RegistryStats {
 }
 
 struct RegistryInner {
-    graphs: HashMap<String, &'static Graph>,
+    /// Leaked graph plus the weights its source carried (flat-binary
+    /// files can embed weights; generators and edge lists never do).
+    graphs: HashMap<String, (&'static Graph, Option<EdgeWeights>)>,
     sessions: HashMap<String, Arc<SessionEntry>>,
     by_spec: HashMap<String, String>,
     /// LRU order of session ids, most recently used at the back.
@@ -281,8 +283,8 @@ impl Registry {
         // Build outside the registry lock (graph generation and session
         // construction can take milliseconds); a concurrent identical
         // create is resolved at insertion time below.
-        let graph = self.get_or_leak_graph(spec)?;
-        let session = spec.build_session(graph)?;
+        let (graph, file_weights) = self.get_or_leak_graph(spec)?;
+        let session = spec.build_session(graph, file_weights)?;
 
         let mut inner = self.locked();
         if let Some(id) = inner.by_spec.get(&spec_key).cloned() {
@@ -317,14 +319,18 @@ impl Registry {
         Ok((entry, true))
     }
 
-    /// The leaked graph for this spec, deduplicated by canonical graph
-    /// key. Refuses to leak past the graph cap.
-    fn get_or_leak_graph(&self, spec: &SessionSpec) -> Result<&'static Graph, ApiError> {
+    /// The leaked graph for this spec (plus any weights its source file
+    /// carried), deduplicated by canonical graph key. Refuses to leak
+    /// past the graph cap.
+    fn get_or_leak_graph(
+        &self,
+        spec: &SessionSpec,
+    ) -> Result<(&'static Graph, Option<EdgeWeights>), ApiError> {
         let key = json::render(&spec.graph.canonical_value());
         {
             let inner = self.locked();
-            if let Some(g) = inner.graphs.get(&key) {
-                return Ok(g);
+            if let Some((g, w)) = inner.graphs.get(&key) {
+                return Ok((g, w.clone()));
             }
             if inner.graphs.len() >= self.graph_capacity {
                 return Err(ApiError::conflict(format!(
@@ -333,10 +339,10 @@ impl Registry {
                 )));
             }
         }
-        let built = spec.graph.build()?;
+        let (built, weights) = spec.graph.build()?;
         let mut inner = self.locked();
-        if let Some(g) = inner.graphs.get(&key) {
-            return Ok(g); // lost a concurrent race; drop our copy
+        if let Some((g, w)) = inner.graphs.get(&key) {
+            return Ok((g, w.clone())); // lost a concurrent race; drop our copy
         }
         if inner.graphs.len() >= self.graph_capacity {
             return Err(ApiError::conflict(format!(
@@ -345,135 +351,175 @@ impl Registry {
             )));
         }
         let leaked: &'static Graph = Box::leak(Box::new(built));
-        inner.graphs.insert(key, leaked);
-        Ok(leaked)
+        inner.graphs.insert(key, (leaked, weights.clone()));
+        Ok((leaked, weights))
     }
 }
 
-/// A validated graph spec: a generator family with parameters, or a JSON
-/// edge-list file.
+/// A validated graph spec: a thin wrapper over the unified
+/// [`GraphSource`] — the server's wire form of the one graph-construction
+/// path the whole workspace shares.
+///
+/// Two wire forms parse to the same source (and therefore the same
+/// canonical key, warm session, and leaked graph):
+///
+/// - the **unified form**, mirroring partition sources:
+///   `{"kind": "grid", "rows": 8, "cols": 8}`,
+///   `{"kind": "road_like", "rows": 1000, "cols": 1000, "seed": 7}`,
+///   `{"kind": "edge_list_json", "path": "g.json"}`,
+///   `{"kind": "flat_binary", "path": "g.lcsg"}`;
+/// - the **legacy form** `{"family": ...}` (deprecated alias), including
+///   `{"family": "file", "path": ...}` which maps onto
+///   [`GraphSource::EdgeListJson`].
 #[derive(Clone, Debug, PartialEq)]
-pub enum GraphSpec {
-    /// `lcs_graph::gen` family by name.
-    Family {
-        /// Generator name (`grid`, `torus`, `path`, `cycle`, `complete`,
-        /// `wheel`, `grid_of_cliques`).
-        family: String,
-        /// Generator parameters in declaration order.
-        params: Vec<usize>,
-    },
-    /// A JSON file `{"n": ..., "edges": [[u, v], ...]}`.
-    File {
-        /// Path to the file.
-        path: String,
-    },
+pub struct GraphSpec {
+    /// The unified source this spec names.
+    pub source: GraphSource,
 }
 
+/// Node-count cap on served graphs (generator families are rejected at
+/// parse time; file-backed graphs after loading).
+const MAX_SERVED_NODES: u64 = 40_000_000;
+
 impl GraphSpec {
-    /// Parses and validates the `graph` field of a session spec.
+    /// Parses and validates the `graph` field of a session spec (both
+    /// wire forms; see the type docs).
     pub fn from_value(v: &Value) -> Result<Self, ApiError> {
-        let family: String = json::require(v, "family")?;
-        if family == "file" {
+        let kind: String = match json::lookup(v, "kind") {
+            Some(_) => json::require(v, "kind")?,
+            // Legacy alias: `{"family": ...}`.
+            None => json::require(v, "family")?,
+        };
+        if kind == "file" || kind == "edge_list_json" {
             let path: String = json::require(v, "path")?;
-            return Ok(GraphSpec::File { path });
+            return Ok(GraphSpec {
+                source: GraphSource::EdgeListJson { path },
+            });
         }
-        let params = match family.as_str() {
-            "grid" | "torus" => vec![
-                json::require::<usize>(v, "rows")?,
-                json::require::<usize>(v, "cols")?,
-            ],
-            "path" | "cycle" | "complete" | "wheel" => vec![json::require::<usize>(v, "n")?],
-            "grid_of_cliques" => vec![
-                json::require::<usize>(v, "rows")?,
-                json::require::<usize>(v, "cols")?,
-                json::require::<usize>(v, "r")?,
-            ],
+        if kind == "flat_binary" {
+            let path: String = json::require(v, "path")?;
+            return Ok(GraphSpec {
+                source: GraphSource::FlatBinary { path },
+            });
+        }
+        let spec = match kind.as_str() {
+            "grid" => GeneratorSpec::Grid {
+                rows: json::require(v, "rows")?,
+                cols: json::require(v, "cols")?,
+            },
+            "torus" => GeneratorSpec::Torus {
+                rows: json::require(v, "rows")?,
+                cols: json::require(v, "cols")?,
+            },
+            "path" => GeneratorSpec::Path {
+                n: json::require(v, "n")?,
+            },
+            "cycle" => GeneratorSpec::Cycle {
+                n: json::require(v, "n")?,
+            },
+            "complete" => GeneratorSpec::Complete {
+                n: json::require(v, "n")?,
+            },
+            "wheel" => GeneratorSpec::Wheel {
+                n: json::require(v, "n")?,
+            },
+            "grid_of_cliques" => GeneratorSpec::GridOfCliques {
+                rows: json::require(v, "rows")?,
+                cols: json::require(v, "cols")?,
+                clique: json::require(v, "r")?,
+            },
+            "road_like" => GeneratorSpec::RoadLike {
+                rows: json::require(v, "rows")?,
+                cols: json::require(v, "cols")?,
+                seed: json::optional(v, "seed")?.unwrap_or(0),
+            },
             other => {
                 return Err(ApiError::bad_args(format!(
-                    "unknown graph family `{other}` — one of grid, torus, path, cycle, \
-                     complete, wheel, grid_of_cliques, file"
+                    "unknown graph kind `{other}` — one of grid, torus, path, cycle, \
+                     complete, wheel, grid_of_cliques, road_like, edge_list_json, \
+                     flat_binary (or the legacy `family` aliases)"
                 )))
             }
         };
-        if params.contains(&0) {
-            return Err(ApiError::bad_args("graph parameters must be positive"));
-        }
-        let min_n = match family.as_str() {
-            "cycle" => 3,
-            "wheel" => 4,
-            _ => 1,
-        };
-        if params[0] < min_n {
-            return Err(ApiError::bad_args(format!(
-                "{family} needs at least {min_n} nodes"
-            )));
-        }
-        let n: usize = params.iter().product();
-        if n > 40_000_000 {
+        spec.validate()
+            .map_err(|e| ApiError::unprocessable_graph(&e))?;
+        if spec.num_nodes() > MAX_SERVED_NODES {
             return Err(ApiError::bad_args("graph too large for this server"));
         }
-        Ok(GraphSpec::Family { family, params })
+        Ok(GraphSpec {
+            source: GraphSource::Generator(spec),
+        })
     }
 
-    /// The canonical JSON form (fixed field order — the registry key).
+    /// The canonical JSON form (fixed field order, always the unified
+    /// `kind` shape — legacy-alias specs canonicalize to the same value,
+    /// so they share warm sessions with their unified twins).
     pub fn canonical_value(&self) -> Value {
-        match self {
-            GraphSpec::Family { family, params } => Value::object([
-                ("family", Value::Str(family.clone())),
-                (
-                    "params",
-                    Value::Arr(params.iter().map(|&p| Value::U64(p as u64)).collect()),
-                ),
-            ]),
-            GraphSpec::File { path } => Value::object([
-                ("family", Value::Str("file".to_string())),
-                ("path", Value::Str(path.clone())),
-            ]),
-        }
-    }
-
-    /// Builds the graph.
-    pub fn build(&self) -> Result<Graph, ApiError> {
-        match self {
-            GraphSpec::Family { family, params } => {
-                Ok(match (family.as_str(), params.as_slice()) {
-                    ("grid", [r, c]) => gen::grid(*r, *c),
-                    ("torus", [r, c]) => gen::torus(*r, *c),
-                    ("path", [n]) => gen::path(*n),
-                    ("cycle", [n]) => gen::cycle(*n),
-                    ("complete", [n]) => gen::complete(*n),
-                    ("wheel", [n]) => gen::wheel(*n),
-                    ("grid_of_cliques", [r, c, k]) => gen::grid_of_cliques(*r, *c, *k),
-                    _ => unreachable!("validated in from_value"),
-                })
-            }
-            GraphSpec::File { path } => {
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| ApiError::bad_args(format!("cannot read graph file: {e}")))?;
-                let v = json::parse(text.as_bytes())
-                    .map_err(|e| ApiError::bad_args(format!("graph file: {}", e.message)))?;
-                let n: usize = json::require(&v, "n")?;
-                let edges: Vec<(u32, u32)> = json::require(&v, "edges")?;
-                if let Some(&(u, w)) = edges
-                    .iter()
-                    .find(|&&(u, w)| u as usize >= n || w as usize >= n || u == w)
-                {
-                    return Err(ApiError::bad_args(format!(
-                        "graph file: invalid edge ({u}, {w}) for n = {n}"
-                    )));
+        let path_obj = |kind: &str, path: &str| {
+            Value::object([
+                ("kind", Value::Str(kind.to_string())),
+                ("path", Value::Str(path.to_string())),
+            ])
+        };
+        match &self.source {
+            GraphSource::EdgeListJson { path } => path_obj("edge_list_json", path),
+            GraphSource::FlatBinary { path } => path_obj("flat_binary", path),
+            GraphSource::Generator(spec) => {
+                let kind = ("kind", Value::Str(spec.name().to_string()));
+                match *spec {
+                    GeneratorSpec::Path { n }
+                    | GeneratorSpec::Cycle { n }
+                    | GeneratorSpec::Complete { n }
+                    | GeneratorSpec::Wheel { n } => {
+                        Value::object([kind, ("n", Value::U64(n as u64))])
+                    }
+                    GeneratorSpec::Grid { rows, cols } | GeneratorSpec::Torus { rows, cols } => {
+                        Value::object([
+                            kind,
+                            ("rows", Value::U64(rows as u64)),
+                            ("cols", Value::U64(cols as u64)),
+                        ])
+                    }
+                    GeneratorSpec::GridOfCliques { rows, cols, clique } => Value::object([
+                        kind,
+                        ("rows", Value::U64(rows as u64)),
+                        ("cols", Value::U64(cols as u64)),
+                        ("r", Value::U64(clique as u64)),
+                    ]),
+                    GeneratorSpec::RoadLike { rows, cols, seed } => Value::object([
+                        kind,
+                        ("rows", Value::U64(rows as u64)),
+                        ("cols", Value::U64(cols as u64)),
+                        ("seed", Value::U64(seed)),
+                    ]),
                 }
-                Ok(Graph::from_edges(n, edges))
             }
         }
     }
 
-    /// The default partition for this family (`rows` for grids/tori,
+    /// Resolves the source into a graph (plus weights when the backing
+    /// `.lcsg` file carries them), mapping every
+    /// [`lcs_core::GraphSourceError`] onto its structured 422/404.
+    pub fn build(&self) -> Result<(Graph, Option<EdgeWeights>), ApiError> {
+        let resolved = self
+            .source
+            .resolve()
+            .map_err(|e| ApiError::unprocessable_graph(&e))?;
+        // Generator sizes are capped at parse time; file-backed graphs
+        // can only be measured after loading.
+        if resolved.graph.num_nodes() as u64 > MAX_SERVED_NODES {
+            return Err(ApiError::bad_args("graph too large for this server"));
+        }
+        Ok((resolved.graph, resolved.weights))
+    }
+
+    /// The default partition for this source (`rows` for grids/tori,
     /// `None` otherwise).
     pub fn default_partition(&self) -> Option<Vec<Vec<NodeId>>> {
-        match self {
-            GraphSpec::Family { family, params } if family == "grid" || family == "torus" => {
-                Some(gen::rows_of_grid(params[0], params[1]))
-            }
+        match &self.source {
+            GraphSource::Generator(
+                GeneratorSpec::Grid { rows, cols } | GeneratorSpec::Torus { rows, cols },
+            ) => Some(gen::rows_of_grid(*rows, *cols)),
             _ => None,
         }
     }
@@ -649,10 +695,13 @@ impl SessionSpec {
         ])
     }
 
-    /// Builds the session against the (leaked) graph.
+    /// Builds the session against the (leaked) graph. `file_weights` are
+    /// the weights the graph's source file carried, if any; an explicit
+    /// `weights` field in the spec wins over them.
     pub fn build_session(
         &self,
         graph: &'static Graph,
+        file_weights: Option<EdgeWeights>,
     ) -> Result<ShortcutSession<'static>, ApiError> {
         if graph.num_nodes() == 0 {
             return Err(ApiError::bad_args("cannot serve an empty graph"));
@@ -697,6 +746,9 @@ impl SessionSpec {
         if let Some(config) = &self.config {
             builder = builder.config(config.clone());
         }
+        // Provenance: record which source produced the graph. Applied
+        // after `.config(..)` so an explicit config does not erase it.
+        builder = builder.graph_source(self.graph.source.clone());
         let mut session = builder
             .build()
             .map_err(|e| ApiError::unprocessable_partition(&e))?;
@@ -711,6 +763,8 @@ impl SessionSpec {
             session
                 .try_set_weights(EdgeWeights::from_vec(graph, w.clone()))
                 .map_err(ApiError::from)?;
+        } else if let Some(w) = file_weights {
+            session.try_set_weights(w).map_err(ApiError::from)?;
         }
         Ok(session)
     }
@@ -848,6 +902,198 @@ mod tests {
         ]));
         let err = reg.get_or_create(&uncovered).map(|_| ()).unwrap_err();
         assert_eq!((err.status, err.code), (422, "partition_uncovered"));
+    }
+
+    /// A scratch file under the OS temp dir, removed on drop.
+    struct TempPath(std::path::PathBuf);
+
+    impl TempPath {
+        fn new(name: &str) -> Self {
+            let mut p = std::env::temp_dir();
+            p.push(format!("lcs_server_state_{}_{name}", std::process::id()));
+            TempPath(p)
+        }
+
+        fn as_str(&self) -> &str {
+            self.0.to_str().expect("utf-8 temp path")
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    fn graph_only_spec(graph: Value) -> SessionSpec {
+        SessionSpec::from_value(&Value::object([("graph", graph)])).expect("valid spec")
+    }
+
+    #[test]
+    fn unified_kind_form_parses_every_generator() {
+        for (graph, nodes) in [
+            (
+                Value::object([
+                    ("kind", Value::Str("grid".to_string())),
+                    ("rows", Value::U64(3)),
+                    ("cols", Value::U64(4)),
+                ]),
+                12,
+            ),
+            (
+                Value::object([
+                    ("kind", Value::Str("road_like".to_string())),
+                    ("rows", Value::U64(5)),
+                    ("cols", Value::U64(5)),
+                    ("seed", Value::U64(7)),
+                ]),
+                25,
+            ),
+            (
+                Value::object([
+                    ("kind", Value::Str("wheel".to_string())),
+                    ("n", Value::U64(6)),
+                ]),
+                6,
+            ),
+        ] {
+            let spec = graph_only_spec(graph);
+            let (g, w) = spec.graph.build().expect("builds");
+            assert_eq!(g.num_nodes(), nodes);
+            assert!(w.is_none(), "generators never carry weights");
+        }
+    }
+
+    #[test]
+    fn legacy_family_and_unified_kind_share_one_warm_session() {
+        // The pre-GraphSource wire form must keep working *and* dedup
+        // onto the same canonical key as its unified twin.
+        let legacy = grid_spec(4, 4);
+        let unified = graph_only_spec(Value::object([
+            ("kind", Value::Str("grid".to_string())),
+            ("rows", Value::U64(4)),
+            ("cols", Value::U64(4)),
+        ]));
+        assert_eq!(legacy.graph, unified.graph);
+        let reg = Registry::new(4, 4);
+        let (a, created_a) = reg.get_or_create(&legacy).unwrap();
+        let (b, created_b) = reg.get_or_create(&unified).unwrap();
+        assert!(created_a && !created_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.stats().graphs, 1);
+    }
+
+    #[test]
+    fn legacy_file_alias_is_edge_list_json() {
+        let path = TempPath::new("alias.json");
+        std::fs::write(&path.0, r#"{"n": 3, "edges": [[0, 1], [1, 2]]}"#).unwrap();
+        let legacy = graph_only_spec(Value::object([
+            ("family", Value::Str("file".to_string())),
+            ("path", Value::Str(path.as_str().to_string())),
+        ]));
+        let unified = graph_only_spec(Value::object([
+            ("kind", Value::Str("edge_list_json".to_string())),
+            ("path", Value::Str(path.as_str().to_string())),
+        ]));
+        assert_eq!(
+            legacy.graph.source,
+            GraphSource::EdgeListJson {
+                path: path.as_str().to_string()
+            }
+        );
+        assert_eq!(legacy.graph, unified.graph);
+        assert_eq!(
+            json::render(&legacy.graph.canonical_value()),
+            json::render(&unified.graph.canonical_value()),
+        );
+        let reg = Registry::new(4, 4);
+        let (a, _) = reg.get_or_create(&legacy).unwrap();
+        let (b, created_b) = reg.get_or_create(&unified).unwrap();
+        assert!(!created_b, "alias and unified form share the warm session");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.stats().graphs, 1);
+        assert_eq!(a.graph.num_nodes(), 3);
+    }
+
+    #[test]
+    fn flat_binary_specs_serve_the_file_graph_and_its_weights() {
+        let path = TempPath::new("weighted.lcsg");
+        let g = gen::grid(3, 3);
+        let w = EdgeWeights::from_vec(&g, (0..g.num_edges() as u64).map(|i| i + 10).collect());
+        lcs_graph::io::save_graph(&path.0, &g, Some(&w)).unwrap();
+
+        let spec = graph_only_spec(Value::object([
+            ("kind", Value::Str("flat_binary".to_string())),
+            ("path", Value::Str(path.as_str().to_string())),
+        ]));
+        let reg = Registry::new(4, 4);
+        let (entry, created) = reg.get_or_create(&spec).unwrap();
+        assert!(created);
+        assert_eq!(entry.graph.num_nodes(), 9);
+        let session = entry.lock();
+        assert_eq!(session.weights(), &w, "file weights reach the session");
+        assert_eq!(
+            session.config().graph_source,
+            Some(spec.graph.source.clone()),
+            "provenance survives into the session config"
+        );
+    }
+
+    #[test]
+    fn graph_error_codes_are_distinct() {
+        let reg = Registry::new(8, 8);
+
+        // Missing file → 404 with the dedicated code.
+        let missing = graph_only_spec(Value::object([
+            ("kind", Value::Str("flat_binary".to_string())),
+            ("path", Value::Str("/nonexistent/g.lcsg".to_string())),
+        ]));
+        let err = reg.get_or_create(&missing).map(|_| ()).unwrap_err();
+        assert_eq!((err.status, err.code), (404, "graph_file_not_found"));
+
+        // A file that is not an .lcsg → 422 graph_bad_magic.
+        let junk = TempPath::new("junk.lcsg");
+        std::fs::write(&junk.0, [b'J'; 64]).unwrap();
+        let bad_magic = graph_only_spec(Value::object([
+            ("kind", Value::Str("flat_binary".to_string())),
+            ("path", Value::Str(junk.as_str().to_string())),
+        ]));
+        let err = reg.get_or_create(&bad_magic).map(|_| ()).unwrap_err();
+        assert_eq!((err.status, err.code), (422, "graph_bad_magic"));
+
+        // Malformed edge-list JSON → 422 graph_json_malformed.
+        let mangled = TempPath::new("mangled.json");
+        std::fs::write(&mangled.0, "{\"n\": 3").unwrap();
+        let bad_json = graph_only_spec(Value::object([
+            ("kind", Value::Str("edge_list_json".to_string())),
+            ("path", Value::Str(mangled.as_str().to_string())),
+        ]));
+        let err = reg.get_or_create(&bad_json).map(|_| ()).unwrap_err();
+        assert_eq!((err.status, err.code), (422, "graph_json_malformed"));
+
+        // An invalid generator spec is typed at parse time.
+        let err = SessionSpec::from_value(&Value::object([(
+            "graph",
+            Value::object([
+                ("kind", Value::Str("cycle".to_string())),
+                ("n", Value::U64(2)),
+            ]),
+        )]))
+        .map(|_| ())
+        .unwrap_err();
+        assert_eq!((err.status, err.code), (422, "graph_invalid_spec"));
+    }
+
+    #[test]
+    fn unknown_graph_kind_names_the_choices() {
+        let err = SessionSpec::from_value(&Value::object([(
+            "graph",
+            Value::object([("kind", Value::Str("hypercube".to_string()))]),
+        )]))
+        .map(|_| ())
+        .unwrap_err();
+        assert_eq!((err.status, err.code), (422, "bad_args"));
+        assert!(err.message.contains("flat_binary"), "{}", err.message);
     }
 
     #[test]

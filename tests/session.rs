@@ -493,7 +493,7 @@ const SNAPSHOT: &str = "{\"shortcut\":{\"initial_delta_hat\":1,\"congestion_fact
 \"aggregate\":{\"delay_range\":0,\"seed\":909743,\"sim\":null},\
 \"unicast\":{\"delay_range\":0,\"seed\":1047,\"sim\":null},\
 \"mst\":{\"seed\":11577874,\"max_phases\":null,\"skip_small_fragments\":true,\"sim\":null},\
-\"mincut\":{\"trees\":null,\"sim\":null},\"partition_source\":null}";
+\"mincut\":{\"trees\":null,\"sim\":null},\"partition_source\":null,\"graph_source\":null}";
 
 /// `CacheStats` is the serde-able observability surface a serving daemon
 /// exports — the counters must survive a round trip untouched.
